@@ -1,0 +1,47 @@
+//! End-to-end figure pipelines at reduced sample counts, benchmarked with
+//! Criterion so regressions in the full experiment harness are caught by
+//! `cargo bench`. Each benchmark runs the same code path as the
+//! corresponding `src/bin` binary.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcim_bench::{figures, Args};
+
+fn tiny_args() -> Args {
+    Args {
+        samples: Some(20),
+        seed: 7,
+        part: None,
+        budget: Some(5),
+        scale: Some(0.01),
+        out_dir: std::env::temp_dir().join("fairtcim-bench-figures"),
+        full: false,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_pipelines");
+    group.sample_size(10);
+
+    group.bench_function("fig1_illustrative", |b| {
+        let args = Args { samples: Some(20), ..tiny_args() };
+        b.iter(|| black_box(figures::fig1::run(&args)))
+    });
+    group.bench_function("fig4a_budget_synthetic", |b| {
+        let args = Args { part: Some("a".to_string()), ..tiny_args() };
+        b.iter(|| black_box(figures::fig4::run(&args)))
+    });
+    group.bench_function("fig6_cover_synthetic", |b| {
+        let args = Args { part: Some("c".to_string()), ..tiny_args() };
+        b.iter(|| black_box(figures::fig6::run(&args)))
+    });
+    group.bench_function("fig9a_instagram_scaled", |b| {
+        let args = Args { part: Some("a".to_string()), ..tiny_args() };
+        b.iter(|| black_box(figures::fig9::run(&args)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the graph generators and the clustering pipeline.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcim_datasets::instagram::{instagram_surrogate, InstagramConfig};
+use tcim_datasets::rice::rice_facebook_surrogate;
+use tcim_graph::clustering::{spectral_clustering, SpectralConfig};
+use tcim_graph::generators::{
+    barabasi_albert, stochastic_block_model, BarabasiAlbertConfig, SbmConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    for &n in &[500usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("sbm_bernoulli", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    stochastic_block_model(&SbmConfig::two_group(n, 0.7, 0.025, 0.001, 0.05, 1))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.bench_function("barabasi_albert_500", |b| {
+        b.iter(|| {
+            black_box(
+                barabasi_albert(&BarabasiAlbertConfig {
+                    num_nodes: 500,
+                    edges_per_node: 3,
+                    minority_fraction: 0.3,
+                    homophily_bias: 2.0,
+                    edge_probability: 0.05,
+                    seed: 1,
+                })
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("rice_surrogate", |b| {
+        b.iter(|| black_box(rice_facebook_surrogate(1).unwrap()))
+    });
+    group.bench_function("instagram_surrogate_2pct", |b| {
+        b.iter(|| black_box(instagram_surrogate(&InstagramConfig { scale: 0.02, seed: 1 }).unwrap()))
+    });
+    group.finish();
+
+    let mut clustering = c.benchmark_group("clustering");
+    clustering.sample_size(10);
+    let graph =
+        stochastic_block_model(&SbmConfig::two_group(400, 0.6, 0.05, 0.005, 0.1, 2)).unwrap();
+    clustering.bench_function("spectral_k2_400", |b| {
+        b.iter(|| {
+            black_box(
+                spectral_clustering(&graph, &SpectralConfig { k: 2, ..Default::default() })
+                    .unwrap(),
+            )
+        })
+    });
+    clustering.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

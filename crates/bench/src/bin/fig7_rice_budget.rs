@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact implemented in
+//! [`tcim_bench::figures::fig7`]. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for the measured-vs-paper comparison.
+
+fn main() {
+    let args = tcim_bench::Args::parse();
+    let outputs = tcim_bench::figures::fig7::run(&args);
+    tcim_bench::emit(&args, &outputs);
+}

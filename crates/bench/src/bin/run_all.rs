@@ -1,0 +1,25 @@
+//! Regenerates every table and figure of the paper in sequence, writing CSVs
+//! under `target/experiments/`. Pass `--full` for the paper's full sample
+//! counts (slower) or `--samples N` to override globally.
+
+fn main() {
+    let args = tcim_bench::Args::parse();
+    let figures: Vec<(&str, fn(&tcim_bench::Args) -> tcim_bench::FigureOutput)> = vec![
+        ("fig1", tcim_bench::figures::fig1::run),
+        ("fig4", tcim_bench::figures::fig4::run),
+        ("fig5", tcim_bench::figures::fig5::run),
+        ("fig6", tcim_bench::figures::fig6::run),
+        ("fig7", tcim_bench::figures::fig7::run),
+        ("fig8", tcim_bench::figures::fig8::run),
+        ("fig9", tcim_bench::figures::fig9::run),
+        ("fig10", tcim_bench::figures::fig10::run),
+        ("theory", tcim_bench::figures::theory::run),
+    ];
+    for (name, run) in figures {
+        println!("\n================ {name} ================\n");
+        let started = std::time::Instant::now();
+        let outputs = run(&args);
+        tcim_bench::emit(&args, &outputs);
+        println!("[{name}] finished in {:.1?}", started.elapsed());
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 4 — synthetic dataset, budget problem.
+//!
+//! * 4a: total and per-group influenced fraction for P1, P4-log, P4-sqrt.
+//! * 4b: influenced fractions as the seed budget `B` sweeps 5..30.
+//! * 4c: disparity as the deadline `τ` sweeps {1, 2, 5, 10, 20, ∞}.
+
+use std::sync::Arc;
+
+use tcim_core::ConcaveWrapper;
+use tcim_datasets::synthetic::{BUDGET_SWEEP, DEADLINE_SWEEP};
+use tcim_datasets::SyntheticConfig;
+use tcim_diffusion::Deadline;
+
+use crate::{budget_summary, build_oracle, fmt3, run_budget_suite, Args, FigureOutput, Table};
+
+/// Runs the Figure 4 experiments (panels selected via `--part`).
+pub fn run(args: &Args) -> FigureOutput {
+    let config = SyntheticConfig::default().with_seed(args.seed);
+    let samples = args.sample_count(100, config.samples);
+    let budget = args.budget.unwrap_or(config.budget);
+    let graph = Arc::new(config.build().expect("synthetic graph generation failed"));
+    let default_deadline = Deadline::finite(config.deadline);
+
+    let mut outputs = FigureOutput::new();
+
+    if args.runs_part("a") {
+        let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
+        let reports = run_budget_suite(
+            &oracle,
+            budget,
+            None,
+            &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt],
+        );
+        let mut table = Table::new(
+            "Fig. 4a — total and group influence (synthetic, B = 30, tau = 20)",
+            &["algorithm", "total", "group1", "group2", "disparity"],
+        );
+        for report in &reports {
+            let (total, groups, disparity) = budget_summary(report);
+            table.push_row(vec![
+                report.label.clone(),
+                fmt3(total),
+                fmt3(groups[0]),
+                fmt3(groups[1]),
+                fmt3(disparity),
+            ]);
+        }
+        outputs.push(("fig4a_total_group_influence".to_string(), table));
+    }
+
+    if args.runs_part("b") {
+        let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
+        let mut table = Table::new(
+            "Fig. 4b — influence vs seed budget B (synthetic, tau = 20)",
+            &[
+                "B",
+                "P1 total",
+                "P1 group1",
+                "P1 group2",
+                "P4 total",
+                "P4 group1",
+                "P4 group2",
+            ],
+        );
+        for &b in &BUDGET_SWEEP {
+            let reports = run_budget_suite(&oracle, b, None, &[ConcaveWrapper::Log]);
+            let (u_total, u_groups, _) = budget_summary(&reports[0]);
+            let (f_total, f_groups, _) = budget_summary(&reports[1]);
+            table.push_row(vec![
+                b.to_string(),
+                fmt3(u_total),
+                fmt3(u_groups[0]),
+                fmt3(u_groups[1]),
+                fmt3(f_total),
+                fmt3(f_groups[0]),
+                fmt3(f_groups[1]),
+            ]);
+        }
+        outputs.push(("fig4b_budget_sweep".to_string(), table));
+    }
+
+    if args.runs_part("c") {
+        let mut table = Table::new(
+            "Fig. 4c — disparity vs time deadline tau (synthetic, B = 30)",
+            &["tau", "P1 disparity", "P4 disparity"],
+        );
+        for &deadline in &DEADLINE_SWEEP {
+            let deadline = Deadline::from(deadline);
+            let oracle = build_oracle(Arc::clone(&graph), deadline, samples, args.seed);
+            let reports = run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log]);
+            table.push_row(vec![
+                deadline.to_string(),
+                fmt3(reports[0].disparity()),
+                fmt3(reports[1].disparity()),
+            ]);
+        }
+        outputs.push(("fig4c_deadline_sweep".to_string(), table));
+    }
+
+    outputs
+}

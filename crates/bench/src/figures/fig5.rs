@@ -1,0 +1,104 @@
+//! Figure 5 — synthetic dataset, budget problem, graph-property sweeps.
+//!
+//! * 5a: disparity vs activation probability `p_e`, for `τ ∈ {2, ∞}`.
+//! * 5b: disparity vs group-size ratio (55:45 … 80:20).
+//! * 5c: disparity vs inter/intra-group connectivity ratio (1:1 … 1:25).
+
+use std::sync::Arc;
+
+use tcim_core::ConcaveWrapper;
+use tcim_datasets::synthetic::{ACTIVATION_SWEEP, CONNECTIVITY_SWEEP, GROUP_RATIO_SWEEP};
+use tcim_datasets::SyntheticConfig;
+use tcim_diffusion::Deadline;
+
+use crate::{build_oracle, fmt3, run_budget_suite, Args, FigureOutput, Table};
+
+/// Runs the Figure 5 experiments (panels selected via `--part`).
+pub fn run(args: &Args) -> FigureOutput {
+    let base = SyntheticConfig::default().with_seed(args.seed);
+    let samples = args.sample_count(100, base.samples);
+    let budget = args.budget.unwrap_or(base.budget);
+
+    let mut outputs = FigureOutput::new();
+
+    if args.runs_part("a") {
+        let mut table = Table::new(
+            "Fig. 5a — disparity vs activation probability p_e (synthetic, B = 30)",
+            &["p_e", "P1 tau=2", "P4 tau=2", "P1 tau=inf", "P4 tau=inf"],
+        );
+        for &pe in &ACTIVATION_SWEEP {
+            let graph = Arc::new(
+                base.clone()
+                    .with_edge_probability(pe)
+                    .build()
+                    .expect("synthetic graph generation failed"),
+            );
+            let mut row = vec![format!("{pe}")];
+            for deadline in [Deadline::finite(2), Deadline::unbounded()] {
+                let oracle = build_oracle(Arc::clone(&graph), deadline, samples, args.seed);
+                let reports = run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log]);
+                row.push(fmt3(reports[0].disparity()));
+                row.push(fmt3(reports[1].disparity()));
+            }
+            // Reorder so the columns match the header (P1/P4 per deadline).
+            table.push_row(vec![
+                row[0].clone(),
+                row[1].clone(),
+                row[2].clone(),
+                row[3].clone(),
+                row[4].clone(),
+            ]);
+        }
+        outputs.push(("fig5a_activation_probability".to_string(), table));
+    }
+
+    if args.runs_part("b") {
+        let mut table = Table::new(
+            "Fig. 5b — disparity vs group-size ratio |V1|:|V2| (synthetic, B = 30, tau = 20)",
+            &["ratio", "P1 disparity", "P4 disparity"],
+        );
+        for &(label, fraction) in &GROUP_RATIO_SWEEP {
+            let config = base.clone().with_majority_fraction(fraction);
+            let graph = Arc::new(config.build().expect("synthetic graph generation failed"));
+            let oracle = build_oracle(
+                Arc::clone(&graph),
+                Deadline::finite(base.deadline),
+                samples,
+                args.seed,
+            );
+            let reports = run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log]);
+            table.push_row(vec![
+                label.to_string(),
+                fmt3(reports[0].disparity()),
+                fmt3(reports[1].disparity()),
+            ]);
+        }
+        outputs.push(("fig5b_group_sizes".to_string(), table));
+    }
+
+    if args.runs_part("c") {
+        let mut table = Table::new(
+            "Fig. 5c — disparity vs inter/intra connectivity ratio (synthetic, B = 30, tau = 20)",
+            &["inter:intra", "P1 disparity", "P4 disparity"],
+        );
+        for &(label, p_across) in &CONNECTIVITY_SWEEP {
+            let config = base.clone().with_p_across(p_across);
+            let graph = Arc::new(config.build().expect("synthetic graph generation failed"));
+            let oracle = build_oracle(
+                Arc::clone(&graph),
+                Deadline::finite(base.deadline),
+                samples,
+                args.seed,
+            );
+            let reports = run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log]);
+            table.push_row(vec![
+                label.to_string(),
+                fmt3(reports[0].disparity()),
+                fmt3(reports[1].disparity()),
+            ]);
+        }
+        outputs.push(("fig5c_connectivity".to_string(), table));
+    }
+
+    outputs
+}

@@ -1,0 +1,131 @@
+//! Figure 7 — Rice-Facebook dataset (surrogate), budget problem.
+//!
+//! * 7a: total and per-group influence for P1, P4-log, P4-sqrt (4 age
+//!   groups; the two most disparate groups are reported, as in the paper).
+//! * 7b: influenced fractions vs seed budget `B`.
+//! * 7c: disparity vs deadline `τ ∈ {1, 2, 5, 20, 50, ∞}`.
+
+use std::sync::Arc;
+
+use tcim_core::ConcaveWrapper;
+use tcim_datasets::rice::{rice_facebook_surrogate, RICE_SAMPLES};
+use tcim_diffusion::Deadline;
+use tcim_graph::Graph;
+
+use crate::{
+    budget_summary, build_oracle, fmt3, most_disparate_pair, run_budget_suite, Args, FigureOutput,
+    Table,
+};
+
+/// Deadlines swept in Fig. 7c.
+pub const RICE_DEADLINE_SWEEP: [Option<u32>; 6] =
+    [Some(1), Some(2), Some(5), Some(20), Some(50), None];
+
+/// Runs the Figure 7 experiments (panels selected via `--part`).
+pub fn run(args: &Args) -> FigureOutput {
+    let samples = args.sample_count(100, RICE_SAMPLES);
+    let budget = args.budget.unwrap_or(30);
+    let graph = Arc::new(rice_facebook_surrogate(args.seed).expect("rice surrogate failed"));
+    run_multigroup_budget_figure(
+        args,
+        graph,
+        Deadline::finite(20),
+        &RICE_DEADLINE_SWEEP,
+        samples,
+        budget,
+        "fig7",
+        "rice-facebook",
+    )
+}
+
+/// Shared implementation for multi-group budget figures (Fig. 7 and the
+/// budget panel of Fig. 10): reports totals over all groups but per-group
+/// columns only for the most disparate pair, as the paper does.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_multigroup_budget_figure(
+    args: &Args,
+    graph: Arc<Graph>,
+    default_deadline: Deadline,
+    deadline_sweep: &[Option<u32>],
+    samples: usize,
+    budget: usize,
+    prefix: &str,
+    dataset: &str,
+) -> FigureOutput {
+    let mut outputs = FigureOutput::new();
+
+    if args.runs_part("a") {
+        let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
+        let reports = run_budget_suite(
+            &oracle,
+            budget,
+            None,
+            &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt],
+        );
+        // The "most disparate pair" is determined by the unfair solution and
+        // then held fixed across algorithms so the columns are comparable.
+        let (hi, lo) = most_disparate_pair(&reports[0]);
+        let mut table = Table::new(
+            &format!("{prefix}a — total and group influence ({dataset}, B = {budget})"),
+            &["algorithm", "total", &format!("group{hi}"), &format!("group{lo}"), "disparity"],
+        );
+        for report in &reports {
+            let (total, groups, disparity) = budget_summary(report);
+            table.push_row(vec![
+                report.label.clone(),
+                fmt3(total),
+                fmt3(groups[hi]),
+                fmt3(groups[lo]),
+                fmt3(disparity),
+            ]);
+        }
+        outputs.push((format!("{prefix}a_total_group_influence"), table));
+    }
+
+    if args.runs_part("b") {
+        let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
+        let mut table = Table::new(
+            &format!("{prefix}b — influence vs seed budget B ({dataset})"),
+            &["B", "P1 total", "P1 worst group", "P4 total", "P4 worst group"],
+        );
+        for b in [5usize, 10, 15, 20, 25, 30] {
+            let reports = run_budget_suite(&oracle, b, None, &[ConcaveWrapper::Log]);
+            let worst = |report: &tcim_core::SolverReport| {
+                report
+                    .fairness()
+                    .normalized_utilities
+                    .iter()
+                    .cloned()
+                    .fold(f64::MAX, f64::min)
+            };
+            table.push_row(vec![
+                b.to_string(),
+                fmt3(reports[0].total_fraction()),
+                fmt3(worst(&reports[0])),
+                fmt3(reports[1].total_fraction()),
+                fmt3(worst(&reports[1])),
+            ]);
+        }
+        outputs.push((format!("{prefix}b_budget_sweep"), table));
+    }
+
+    if args.runs_part("c") {
+        let mut table = Table::new(
+            &format!("{prefix}c — disparity vs time deadline tau ({dataset}, B = {budget})"),
+            &["tau", "P1 disparity", "P4 disparity"],
+        );
+        for &deadline in deadline_sweep {
+            let deadline = Deadline::from(deadline);
+            let oracle = build_oracle(Arc::clone(&graph), deadline, samples, args.seed);
+            let reports = run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log]);
+            table.push_row(vec![
+                deadline.to_string(),
+                fmt3(reports[0].disparity()),
+                fmt3(reports[1].disparity()),
+            ]);
+        }
+        outputs.push((format!("{prefix}c_deadline_sweep"), table));
+    }
+
+    outputs
+}

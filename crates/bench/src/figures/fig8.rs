@@ -1,0 +1,29 @@
+//! Figure 8 — Rice-Facebook dataset (surrogate), cover problem.
+//!
+//! * 8a: per-iteration coverage trajectory for `Q = 0.2`.
+//! * 8b: per-group influenced fraction for quotas `Q ∈ {0.1, 0.2, 0.3}`.
+//! * 8c: solution set size `|S|` for the same quotas.
+
+use std::sync::Arc;
+
+use tcim_datasets::rice::{rice_facebook_surrogate, RICE_SAMPLES};
+use tcim_diffusion::Deadline;
+
+use crate::figures::fig6::run_cover_figure;
+use crate::{Args, FigureOutput};
+
+/// Runs the Figure 8 experiments (panels selected via `--part`).
+pub fn run(args: &Args) -> FigureOutput {
+    let samples = args.sample_count(100, RICE_SAMPLES);
+    let graph = Arc::new(rice_facebook_surrogate(args.seed).expect("rice surrogate failed"));
+    run_cover_figure(
+        args,
+        graph,
+        Deadline::finite(20),
+        samples,
+        &[0.1, 0.2, 0.3],
+        0.2,
+        "fig8",
+        "rice-facebook",
+    )
+}

@@ -1,0 +1,14 @@
+//! One module per paper figure/table; each exposes `run(&Args) -> FigureOutput`.
+//!
+//! The figure ↔ module mapping is listed in `DESIGN.md` (experiment index)
+//! and the measured-vs-paper comparison in `EXPERIMENTS.md`.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod theory;

@@ -1,0 +1,110 @@
+//! Theorem 1 / Theorem 2 empirical verification (not a figure in the paper,
+//! but the guarantees it quotes alongside the experiments).
+//!
+//! * Theorem 1: on a small synthetic instance and the illustrative graph,
+//!   compute the exhaustive optimum of P1, solve P4 greedily and check
+//!   `f_τ(Ŝ) ≥ (1 − 1/e) · H(f_τ(S*))`.
+//! * Theorem 2: solve FAIRTCIM-COVER greedily and compare its size against
+//!   `ln(1 + |V|) · Σ_i |S_i|`, where the `|S_i|` are per-group greedy cover
+//!   sizes (certified over-estimates of the optimal `|S*_i|`, so the reported
+//!   bound is conservative in the right direction).
+
+use std::sync::Arc;
+
+use tcim_core::theory::{theorem1_check, theorem2_check};
+use tcim_core::{
+    solve_budget_exhaustive, solve_fair_tcim_budget, solve_fair_tcim_cover,
+    solve_group_tcim_cover, BudgetConfig, ConcaveWrapper, CoverProblemConfig,
+    ExhaustiveObjective,
+};
+use tcim_diffusion::Deadline;
+use tcim_graph::generators::{illustrative_example, IllustrativeConfig};
+
+use crate::{build_oracle, fmt3, Args, FigureOutput, Table};
+
+/// Runs the theorem-verification experiments.
+pub fn run(args: &Args) -> FigureOutput {
+    let samples = args.sample_count(200, 1000);
+    let mut outputs = FigureOutput::new();
+
+    // ----------------------------------------------------------------- T1 --
+    let mut t1 = Table::new(
+        "Theorem 1 — f(fair greedy) >= (1 - 1/e) * H(f(optimal unfair))",
+        &["instance", "H", "fair total", "optimal total", "bound", "satisfied"],
+    );
+
+    let (illustrative, _) = illustrative_example(&IllustrativeConfig::default())
+        .expect("illustrative graph construction cannot fail");
+    let small_sbm = tcim_datasets::SyntheticConfig {
+        num_nodes: 60,
+        ..tcim_datasets::SyntheticConfig::default()
+    }
+    .with_edge_probability(0.2)
+    .with_seed(args.seed)
+    .build()
+    .expect("synthetic graph generation failed");
+
+    for (name, graph, deadline) in [
+        ("illustrative tau=2", illustrative, Deadline::finite(2)),
+        ("small-sbm tau=3", small_sbm, Deadline::finite(3)),
+    ] {
+        let graph = Arc::new(graph);
+        let oracle = build_oracle(Arc::clone(&graph), deadline, samples, args.seed);
+        let optimal = solve_budget_exhaustive(&oracle, 2, None, ExhaustiveObjective::Total)
+            .expect("exhaustive optimum failed");
+        for wrapper in [ConcaveWrapper::Log, ConcaveWrapper::Sqrt] {
+            let fair = solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), wrapper, None)
+                .expect("fair budget solve failed");
+            let check = theorem1_check(fair.influence.total(), optimal.influence.total(), wrapper);
+            t1.push_row(vec![
+                name.to_string(),
+                wrapper.to_string(),
+                fmt3(check.achieved_total),
+                fmt3(check.reference_total),
+                fmt3(check.bound),
+                check.satisfied.to_string(),
+            ]);
+        }
+    }
+    outputs.push(("theory_theorem1".to_string(), t1));
+
+    // ----------------------------------------------------------------- T2 --
+    let mut t2 = Table::new(
+        "Theorem 2 — |fair cover| <= ln(1 + |V|) * sum_i |per-group cover_i|",
+        &["instance", "Q", "fair |S|", "per-group sizes", "bound", "satisfied"],
+    );
+    let config = tcim_datasets::SyntheticConfig::default().with_seed(args.seed);
+    let graph = Arc::new(config.build().expect("synthetic graph generation failed"));
+    let oracle = build_oracle(
+        Arc::clone(&graph),
+        Deadline::finite(config.deadline),
+        samples.min(100),
+        args.seed,
+    );
+    for quota in [0.1, 0.2] {
+        let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota))
+            .expect("fair cover solve failed");
+
+        // Per-group greedy cover sizes: certified upper bounds on |S*_i|.
+        let mut per_group_sizes = Vec::new();
+        for group in graph.group_ids() {
+            let report =
+                solve_group_tcim_cover(&oracle, group, &CoverProblemConfig::new(quota))
+                    .expect("per-group cover solve failed");
+            per_group_sizes.push(report.seed_count());
+        }
+
+        let check = theorem2_check(fair.seed_count(), &per_group_sizes, graph.num_nodes());
+        t2.push_row(vec![
+            "synthetic".to_string(),
+            format!("{quota}"),
+            check.achieved_size.to_string(),
+            format!("{:?}", check.per_group_sizes),
+            fmt3(check.bound),
+            check.satisfied.to_string(),
+        ]);
+    }
+    outputs.push(("theory_theorem2".to_string(), t2));
+
+    outputs
+}

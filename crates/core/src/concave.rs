@@ -1,0 +1,151 @@
+//! Concave wrappers `H` for the FAIRTCIM-BUDGET surrogate (problem P4).
+//!
+//! Problem P4 replaces the total-influence objective by
+//! `Σ_i H(f_τ(S; V_i))` for a non-negative, monotone, concave `H`. Because a
+//! concave function of a monotone submodular function is submodular, the
+//! surrogate keeps the greedy guarantees; because `H` flattens large values,
+//! marginal influence on the currently *under-influenced* group is worth more,
+//! which is what pulls the solution towards parity (Figure 2 of the paper).
+//!
+//! The curvature of `H` is the fairness/efficiency dial: `log` penalises
+//! disparity hardest, `sqrt` is milder, `identity` recovers the unfair
+//! problem P1.
+
+use std::fmt;
+
+/// A non-negative, non-decreasing concave function `H : ℝ≥0 → ℝ≥0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConcaveWrapper {
+    /// `H(z) = z` — no fairness pressure; P4 degenerates to P1.
+    Identity,
+    /// `H(z) = ln(1 + z)`.
+    ///
+    /// The paper writes `log(z)`, which is undefined at `z = 0` (the empty
+    /// seed set); `ln(1 + z)` is the standard smoothed variant with the same
+    /// curvature behaviour and keeps the function non-negative.
+    Log,
+    /// `H(z) = √z`.
+    Sqrt,
+    /// `H(z) = z^p` for an exponent `p ∈ (0, 1]`; generalises `Sqrt`
+    /// (`p = 0.5`) and `Identity` (`p = 1`), letting experiments sweep the
+    /// curvature continuously.
+    Power(f64),
+}
+
+impl ConcaveWrapper {
+    /// Applies the wrapper to a non-negative value. Negative inputs (possible
+    /// only through floating-point noise) are clamped to zero.
+    #[inline]
+    pub fn apply(&self, z: f64) -> f64 {
+        let z = z.max(0.0);
+        match self {
+            ConcaveWrapper::Identity => z,
+            ConcaveWrapper::Log => (1.0 + z).ln(),
+            ConcaveWrapper::Sqrt => z.sqrt(),
+            ConcaveWrapper::Power(p) => z.powf(*p),
+        }
+    }
+
+    /// Returns `true` if the wrapper parameters are valid (`Power` exponent
+    /// must lie in `(0, 1]` to stay concave and monotone).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            ConcaveWrapper::Power(p) => *p > 0.0 && *p <= 1.0 && !p.is_nan(),
+            _ => true,
+        }
+    }
+
+    /// A short, stable name used in experiment tables ("P4-Log", ...).
+    pub fn label(&self) -> String {
+        match self {
+            ConcaveWrapper::Identity => "identity".to_string(),
+            ConcaveWrapper::Log => "log".to_string(),
+            ConcaveWrapper::Sqrt => "sqrt".to_string(),
+            ConcaveWrapper::Power(p) => format!("pow{p:.2}"),
+        }
+    }
+}
+
+impl Default for ConcaveWrapper {
+    fn default() -> Self {
+        ConcaveWrapper::Log
+    }
+}
+
+impl fmt::Display for ConcaveWrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WRAPPERS: [ConcaveWrapper; 4] = [
+        ConcaveWrapper::Identity,
+        ConcaveWrapper::Log,
+        ConcaveWrapper::Sqrt,
+        ConcaveWrapper::Power(0.3),
+    ];
+
+    #[test]
+    fn wrappers_are_monotone_and_nonnegative() {
+        for h in WRAPPERS {
+            let mut prev = h.apply(0.0);
+            assert!(prev >= 0.0);
+            for step in 1..=100 {
+                let z = step as f64 * 0.37;
+                let value = h.apply(z);
+                assert!(value >= prev, "{h} not monotone at {z}");
+                prev = value;
+            }
+        }
+    }
+
+    #[test]
+    fn wrappers_are_concave_on_a_grid() {
+        for h in WRAPPERS {
+            for step in 1..100 {
+                let z = step as f64 * 0.25;
+                let delta = 0.25;
+                let left = h.apply(z) - h.apply(z - delta);
+                let right = h.apply(z + delta) - h.apply(z);
+                assert!(right <= left + 1e-9, "{h} not concave at {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_known_values() {
+        assert_eq!(ConcaveWrapper::Identity.apply(3.5), 3.5);
+        assert!((ConcaveWrapper::Log.apply(std::f64::consts::E - 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(ConcaveWrapper::Sqrt.apply(9.0), 3.0);
+        assert!((ConcaveWrapper::Power(0.5).apply(9.0) - 3.0).abs() < 1e-12);
+        // Negative noise is clamped.
+        assert_eq!(ConcaveWrapper::Sqrt.apply(-1e-9), 0.0);
+    }
+
+    #[test]
+    fn curvature_ordering_log_sharper_than_sqrt() {
+        // Relative reward for helping a group at 1.0 vs a group at 100.0:
+        // the ratio is larger for the higher-curvature wrapper.
+        let reward_ratio = |h: ConcaveWrapper| {
+            (h.apply(2.0) - h.apply(1.0)) / (h.apply(101.0) - h.apply(100.0))
+        };
+        assert!(reward_ratio(ConcaveWrapper::Log) > reward_ratio(ConcaveWrapper::Sqrt));
+        assert!(reward_ratio(ConcaveWrapper::Sqrt) > reward_ratio(ConcaveWrapper::Identity));
+    }
+
+    #[test]
+    fn power_validation_and_labels() {
+        assert!(ConcaveWrapper::Power(0.5).is_valid());
+        assert!(!ConcaveWrapper::Power(0.0).is_valid());
+        assert!(!ConcaveWrapper::Power(1.5).is_valid());
+        assert!(!ConcaveWrapper::Power(f64::NAN).is_valid());
+        assert!(ConcaveWrapper::Log.is_valid());
+        assert_eq!(ConcaveWrapper::Log.label(), "log");
+        assert_eq!(ConcaveWrapper::Power(0.25).label(), "pow0.25");
+        assert_eq!(ConcaveWrapper::default(), ConcaveWrapper::Log);
+    }
+}

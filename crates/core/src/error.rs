@@ -1,0 +1,86 @@
+//! Error type for the TCIM problem layer.
+
+use std::fmt;
+
+/// Errors produced by the fair-TCIM solvers.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The solver configuration is invalid (zero budget, quota outside
+    /// `[0, 1]`, empty candidate set, …).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An error from the diffusion / estimation layer.
+    Diffusion(tcim_diffusion::DiffusionError),
+    /// An error from the submodular-optimization layer.
+    Submodular(tcim_submodular::SubmodularError),
+    /// An error from the graph substrate.
+    Graph(tcim_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            CoreError::Diffusion(err) => write!(f, "diffusion error: {err}"),
+            CoreError::Submodular(err) => write!(f, "submodular optimization error: {err}"),
+            CoreError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Diffusion(err) => Some(err),
+            CoreError::Submodular(err) => Some(err),
+            CoreError::Graph(err) => Some(err),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<tcim_diffusion::DiffusionError> for CoreError {
+    fn from(err: tcim_diffusion::DiffusionError) -> Self {
+        CoreError::Diffusion(err)
+    }
+}
+
+impl From<tcim_submodular::SubmodularError> for CoreError {
+    fn from(err: tcim_submodular::SubmodularError) -> Self {
+        CoreError::Submodular(err)
+    }
+}
+
+impl From<tcim_graph::GraphError> for CoreError {
+    fn from(err: tcim_graph::GraphError) -> Self {
+        CoreError::Graph(err)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: CoreError = tcim_submodular::SubmodularError::ZeroBudget.into();
+        assert!(matches!(err, CoreError::Submodular(_)));
+        assert!(err.to_string().contains("submodular"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err: CoreError = tcim_diffusion::DiffusionError::NoSamples.into();
+        assert!(err.to_string().contains("diffusion"));
+
+        let err: CoreError = tcim_graph::GraphError::InvalidProbability { value: 3.0 }.into();
+        assert!(err.to_string().contains("graph"));
+
+        let err = CoreError::InvalidConfig { message: "quota out of range".into() };
+        assert!(err.to_string().contains("quota out of range"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

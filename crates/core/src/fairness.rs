@@ -1,0 +1,165 @@
+//! The group-fairness (disparity) measure of Section 4.3.
+//!
+//! Unfairness of a seed set is the maximum pairwise gap between *normalized*
+//! group utilities (Eq. 2):
+//!
+//! ```text
+//! disparity(S) = max_{i,j} | f_τ(S; V_i)/|V_i| − f_τ(S; V_j)/|V_j| |
+//! ```
+//!
+//! Normalizing by group size makes the measure capture "average utility per
+//! node in a group" and hence agnostic to group sizes.
+
+use tcim_diffusion::GroupInfluence;
+use tcim_graph::GroupId;
+
+/// Maximum pairwise disparity in normalized group utilities (Eq. 2).
+///
+/// Groups with zero members are ignored (they carry no utility and would
+/// otherwise force the disparity to the maximum trivially).
+pub fn disparity(influence: &GroupInfluence, group_sizes: &[usize]) -> f64 {
+    let normalized: Vec<f64> = influence
+        .values()
+        .iter()
+        .zip(group_sizes)
+        .filter(|(_, &size)| size > 0)
+        .map(|(&f, &size)| f / size as f64)
+        .collect();
+    max_pairwise_gap(&normalized)
+}
+
+/// Maximum pairwise absolute difference of a slice (0 for fewer than two
+/// entries).
+pub fn max_pairwise_gap(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    max - min
+}
+
+/// A per-group fairness summary for one solution, convenient for experiment
+/// tables and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Normalized utility `f_τ(S; V_i) / |V_i|` per group.
+    pub normalized_utilities: Vec<f64>,
+    /// Raw expected influenced counts per group.
+    pub raw_utilities: Vec<f64>,
+    /// Group sizes.
+    pub group_sizes: Vec<usize>,
+    /// The Eq. 2 disparity.
+    pub disparity: f64,
+    /// Total expected influenced nodes.
+    pub total: f64,
+    /// Fraction of the whole population influenced.
+    pub total_fraction: f64,
+}
+
+impl FairnessReport {
+    /// Builds a report from an influence vector and group sizes.
+    pub fn new(influence: &GroupInfluence, group_sizes: &[usize]) -> Self {
+        let raw_utilities = influence.values().to_vec();
+        let normalized_utilities = influence.normalized(group_sizes);
+        let total = influence.total();
+        let population: usize = group_sizes.iter().sum();
+        FairnessReport {
+            disparity: disparity(influence, group_sizes),
+            normalized_utilities,
+            raw_utilities,
+            group_sizes: group_sizes.to_vec(),
+            total,
+            total_fraction: if population == 0 { 0.0 } else { total / population as f64 },
+        }
+    }
+
+    /// Normalized utility of one group (0 for unknown groups).
+    pub fn group_fraction(&self, group: GroupId) -> f64 {
+        self.normalized_utilities.get(group.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Index of the group with the lowest normalized utility among non-empty
+    /// groups (`None` if there are no non-empty groups).
+    pub fn worst_off_group(&self) -> Option<GroupId> {
+        self.normalized_utilities
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.group_sizes[*i] > 0)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| GroupId::from_index(i))
+    }
+
+    /// The pair of non-empty groups realizing the maximum disparity.
+    pub fn most_disparate_pair(&self) -> Option<(GroupId, GroupId)> {
+        let candidates: Vec<(usize, f64)> = self
+            .normalized_utilities
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.group_sizes[*i] > 0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        if candidates.len() < 2 {
+            return None;
+        }
+        let best = candidates
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        let worst = candidates
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        Some((GroupId::from_index(best.0), GroupId::from_index(worst.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disparity_is_the_max_normalized_gap() {
+        let influence = GroupInfluence::from_values(vec![30.0, 2.0]);
+        // Normalized: 30/100 = 0.3 vs 2/50 = 0.04 -> disparity 0.26.
+        let d = disparity(&influence, &[100, 50]);
+        assert!((d - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disparity_is_zero_for_single_or_empty_groups() {
+        let influence = GroupInfluence::from_values(vec![10.0]);
+        assert_eq!(disparity(&influence, &[100]), 0.0);
+        let influence = GroupInfluence::from_values(vec![10.0, 0.0]);
+        assert_eq!(disparity(&influence, &[100, 0]), 0.0);
+        assert_eq!(max_pairwise_gap(&[]), 0.0);
+    }
+
+    #[test]
+    fn disparity_is_group_size_agnostic() {
+        // Same per-capita utility in very different group sizes -> 0 disparity.
+        let influence = GroupInfluence::from_values(vec![50.0, 5.0]);
+        assert!(disparity(&influence, &[500, 50]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_summarizes_everything() {
+        let influence = GroupInfluence::from_values(vec![30.0, 2.0, 0.0]);
+        let report = FairnessReport::new(&influence, &[100, 50, 0]);
+        assert_eq!(report.raw_utilities, vec![30.0, 2.0, 0.0]);
+        assert!((report.group_fraction(GroupId(0)) - 0.3).abs() < 1e-12);
+        assert!((report.total - 32.0).abs() < 1e-12);
+        assert!((report.total_fraction - 32.0 / 150.0).abs() < 1e-12);
+        assert_eq!(report.worst_off_group(), Some(GroupId(1)));
+        assert_eq!(report.most_disparate_pair(), Some((GroupId(0), GroupId(1))));
+        assert!((report.disparity - 0.26).abs() < 1e-12);
+        assert_eq!(report.group_fraction(GroupId(9)), 0.0);
+    }
+
+    #[test]
+    fn report_handles_empty_population() {
+        let influence = GroupInfluence::from_values(vec![]);
+        let report = FairnessReport::new(&influence, &[]);
+        assert_eq!(report.total_fraction, 0.0);
+        assert_eq!(report.worst_off_group(), None);
+        assert_eq!(report.most_disparate_pair(), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! # tcim-core
+//!
+//! Fairness-aware time-critical influence maximization — the reference
+//! implementation of the problem formulations, surrogates and guarantees of
+//! *"On the Fairness of Time-Critical Influence Maximization in Social
+//! Networks"* (Ali et al., ICDE 2022).
+//!
+//! ## Problems
+//!
+//! | Problem | API | Objective / constraint |
+//! |---------|-----|------------------------|
+//! | P1 TCIM-BUDGET | [`solve_tcim_budget`] | maximize `f_τ(S; V)`, `|S| ≤ B` |
+//! | P4 FAIRTCIM-BUDGET | [`solve_fair_tcim_budget`] | maximize `Σ_i λ_i H(f_τ(S; V_i))`, `|S| ≤ B` |
+//! | P2 TCIM-COVER | [`solve_tcim_cover`] | minimize `|S|` s.t. `f_τ(S; V)/|V| ≥ Q` |
+//! | P6 FAIRTCIM-COVER | [`solve_fair_tcim_cover`] | minimize `|S|` s.t. `f_τ(S; V_i)/|V_i| ≥ Q ∀i` |
+//!
+//! Disparity is measured by Eq. 2 ([`fairness::disparity`]); Theorems 1 and 2
+//! can be checked with [`theory::theorem1_check`] / [`theory::theorem2_check`].
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tcim_core::{solve_fair_tcim_budget, solve_tcim_budget, BudgetConfig, ConcaveWrapper};
+//! use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
+//! use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+//!
+//! // A small homophilous two-group network with a tight deadline.
+//! let graph = Arc::new(
+//!     stochastic_block_model(&SbmConfig::two_group(120, 0.7, 0.08, 0.01, 0.2, 1)).unwrap(),
+//! );
+//! let oracle = WorldEstimator::new(
+//!     Arc::clone(&graph),
+//!     Deadline::finite(3),
+//!     &WorldsConfig { num_worlds: 64, seed: 0 },
+//! )
+//! .unwrap();
+//!
+//! let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(5)).unwrap();
+//! let fair =
+//!     solve_fair_tcim_budget(&oracle, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
+//!
+//! // The fair surrogate never increases disparity, at a bounded cost in
+//! // total influence.
+//! assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod concave;
+mod error;
+mod exhaustive;
+mod objective;
+mod report;
+
+pub mod baselines;
+pub mod fairness;
+pub mod problems;
+pub mod theory;
+
+pub use concave::ConcaveWrapper;
+pub use error::{CoreError, Result};
+pub use exhaustive::{solve_budget_exhaustive, ExhaustiveObjective, MAX_EXHAUSTIVE_SETS};
+pub use fairness::{disparity, FairnessReport};
+pub use objective::{InfluenceObjective, Scalarization};
+pub use problems::budget::{solve_fair_tcim_budget, solve_tcim_budget, BudgetConfig};
+pub use problems::constrained::{
+    solve_constrained_budget, solve_constrained_cover, ConstrainedBudgetReport,
+    ConstrainedCoverReport, DEFAULT_WRAPPER_LADDER,
+};
+pub use problems::cover::{
+    solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_cover, CoverProblemConfig,
+};
+pub use problems::GreedyAlgorithm;
+pub use report::{CoverReport, IterationRecord, SolverReport};

@@ -1,0 +1,354 @@
+//! Budget-constrained seed selection: TCIM-BUDGET (P1) and FAIRTCIM-BUDGET
+//! (P4).
+//!
+//! Both problems pick at most `B` seeds; they differ only in the scalar
+//! objective the greedy maximizes:
+//!
+//! * **P1** maximizes total influence `f_τ(S; V)` — the classical objective,
+//!   which Section 4 shows can starve minority groups, increasingly so for
+//!   tight deadlines.
+//! * **P4** maximizes `Σ_i λ_i · H(f_τ(S; V_i))` for a concave `H`, which
+//!   rewards influence on under-served groups and provably costs only a
+//!   bounded amount of total influence (Theorem 1).
+
+use tcim_diffusion::InfluenceOracle;
+use tcim_graph::NodeId;
+use tcim_submodular::{
+    maximize_greedy, maximize_lazy, maximize_stochastic, SelectionTrace, StochasticGreedyConfig,
+};
+
+use crate::concave::ConcaveWrapper;
+use crate::error::{CoreError, Result};
+use crate::objective::{InfluenceObjective, Scalarization};
+use crate::problems::{final_influence, replay_influence, resolve_candidates, GreedyAlgorithm};
+use crate::report::SolverReport;
+
+/// Configuration shared by the budget-constrained solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetConfig {
+    /// Maximum number of seeds `B`.
+    pub budget: usize,
+    /// Greedy strategy.
+    pub algorithm: GreedyAlgorithm,
+    /// Optional candidate pool the seeds must come from (the Instagram
+    /// experiment restricts seeds to 5000 random nodes); `None` means every
+    /// node is a candidate.
+    pub candidates: Option<Vec<NodeId>>,
+}
+
+impl BudgetConfig {
+    /// Convenience constructor: budget `B`, lazy greedy, all nodes candidates.
+    pub fn new(budget: usize) -> Self {
+        BudgetConfig { budget, algorithm: GreedyAlgorithm::default(), candidates: None }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(CoreError::InvalidConfig { message: "budget must be at least 1".into() });
+        }
+        if let GreedyAlgorithm::Stochastic { epsilon, .. } = self.algorithm {
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("stochastic greedy epsilon {epsilon} must be in (0, 1)"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves the standard TCIM-BUDGET problem P1 with the greedy heuristic.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or estimator failures.
+pub fn solve_tcim_budget(
+    oracle: &dyn InfluenceOracle,
+    config: &BudgetConfig,
+) -> Result<SolverReport> {
+    solve_budget_with(oracle, config, Scalarization::Total, "P1".to_string())
+}
+
+/// Solves the FAIRTCIM-BUDGET surrogate P4 with the greedy heuristic.
+///
+/// `weights` are the optional per-group multipliers `λ_i` (all 1 when `None`);
+/// the paper suggests raising the weight of under-represented groups as an
+/// additional lever.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration (including an invalid concave
+/// wrapper or wrong-length weight vector) or estimator failures.
+pub fn solve_fair_tcim_budget(
+    oracle: &dyn InfluenceOracle,
+    config: &BudgetConfig,
+    wrapper: ConcaveWrapper,
+    weights: Option<Vec<f64>>,
+) -> Result<SolverReport> {
+    if !wrapper.is_valid() {
+        return Err(CoreError::InvalidConfig {
+            message: format!("concave wrapper {wrapper} has invalid parameters"),
+        });
+    }
+    let k = oracle.graph().num_groups();
+    if let Some(w) = &weights {
+        if w.len() != k {
+            return Err(CoreError::InvalidConfig {
+                message: format!("weight vector has {} entries for {k} groups", w.len()),
+            });
+        }
+        if w.iter().any(|x| *x < 0.0 || x.is_nan()) {
+            return Err(CoreError::InvalidConfig {
+                message: "group weights must be non-negative".to_string(),
+            });
+        }
+    }
+    let label = format!("P4-{wrapper}");
+    solve_budget_with(oracle, config, Scalarization::Concave { wrapper, weights }, label)
+}
+
+/// Shared driver: builds the incremental objective, runs the chosen greedy
+/// variant and assembles the report.
+fn solve_budget_with(
+    oracle: &dyn InfluenceOracle,
+    config: &BudgetConfig,
+    scalarization: Scalarization,
+    label: String,
+) -> Result<SolverReport> {
+    config.validate()?;
+    let ground = resolve_candidates(oracle, config.candidates.as_deref())?;
+
+    let mut objective = InfluenceObjective::new(oracle.cursor(), scalarization);
+    let trace = run_greedy(&mut objective, &ground, config)?;
+
+    build_report(oracle, &trace, label)
+}
+
+pub(crate) fn run_greedy(
+    objective: &mut InfluenceObjective<'_>,
+    ground: &[usize],
+    config: &BudgetConfig,
+) -> Result<SelectionTrace> {
+    let trace = match config.algorithm {
+        GreedyAlgorithm::Greedy => maximize_greedy(objective, ground, config.budget)?,
+        GreedyAlgorithm::Lazy => maximize_lazy(objective, ground, config.budget)?,
+        GreedyAlgorithm::Stochastic { epsilon, seed } => maximize_stochastic(
+            objective,
+            ground,
+            config.budget,
+            &StochasticGreedyConfig { epsilon, seed },
+        )?,
+    };
+    Ok(trace)
+}
+
+pub(crate) fn build_report(
+    oracle: &dyn InfluenceOracle,
+    trace: &SelectionTrace,
+    label: String,
+) -> Result<SolverReport> {
+    let seeds: Vec<NodeId> = trace.selected.iter().map(|&i| NodeId::from_index(i)).collect();
+    let objective_values: Vec<f64> = trace.steps.iter().map(|s| s.value_after).collect();
+    let iterations = replay_influence(oracle, &seeds, &objective_values);
+    let influence = final_influence(oracle, &seeds)?;
+    Ok(SolverReport {
+        seeds,
+        influence,
+        group_sizes: oracle.graph().group_sizes(),
+        iterations,
+        gain_evaluations: trace.gain_evaluations,
+        label,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
+    use tcim_graph::generators::{illustrative_example, IllustrativeConfig};
+    use tcim_graph::{Graph, GraphBuilder, GroupId};
+
+    fn estimator(graph: Graph, deadline: Deadline, worlds: usize) -> WorldEstimator {
+        WorldEstimator::new(
+            Arc::new(graph),
+            deadline,
+            &WorldsConfig { num_worlds: worlds, seed: 7 },
+        )
+        .unwrap()
+    }
+
+    /// Two stars: a large one in group 0 (hub 0, 10 leaves) and a small one
+    /// in group 1 (hub 11, 4 leaves); no inter-group edges, probability 1.
+    fn two_star_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let hub0 = b.add_node(GroupId(0));
+        let leaves0 = b.add_nodes(10, GroupId(0));
+        let hub1 = b.add_node(GroupId(1));
+        let leaves1 = b.add_nodes(4, GroupId(1));
+        for &l in &leaves0 {
+            b.add_edge(hub0, l, 1.0).unwrap();
+        }
+        for &l in &leaves1 {
+            b.add_edge(hub1, l, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn p1_greedy_picks_the_highest_influence_hubs() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let report = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        assert_eq!(report.num_seeds(), 2);
+        assert!(report.seeds.contains(&NodeId(0)));
+        assert!(report.seeds.contains(&NodeId(11)));
+        assert!((report.influence.total() - 16.0).abs() < 1e-9);
+        assert_eq!(report.label, "P1");
+        assert_eq!(report.iterations.len(), 2);
+    }
+
+    #[test]
+    fn p1_with_budget_one_prefers_the_majority_hub_and_is_unfair() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let report = solve_tcim_budget(&est, &BudgetConfig::new(1)).unwrap();
+        assert_eq!(report.seeds, vec![NodeId(0)]);
+        // Group 1 gets nothing -> disparity = 1.0.
+        assert!(report.disparity() > 0.99);
+    }
+
+    #[test]
+    fn p4_with_budget_one_is_identical_but_with_budget_two_equalizes() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let fair = solve_fair_tcim_budget(
+            &est,
+            &BudgetConfig::new(2),
+            ConcaveWrapper::Log,
+            None,
+        )
+        .unwrap();
+        // With two seeds the fair solution covers both groups completely.
+        assert!(fair.disparity() < 1e-9);
+        assert!((fair.influence.total() - 16.0).abs() < 1e-9);
+        assert!(fair.label.contains("P4"));
+    }
+
+    #[test]
+    fn all_greedy_variants_agree_on_small_instances() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let lazy = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        let plain = solve_tcim_budget(
+            &est,
+            &BudgetConfig { budget: 2, algorithm: GreedyAlgorithm::Greedy, candidates: None },
+        )
+        .unwrap();
+        assert_eq!(lazy.seeds, plain.seeds);
+        assert!(lazy.gain_evaluations <= plain.gain_evaluations);
+
+        let stochastic = solve_tcim_budget(
+            &est,
+            &BudgetConfig {
+                budget: 2,
+                algorithm: GreedyAlgorithm::Stochastic { epsilon: 0.05, seed: 3 },
+                candidates: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(stochastic.num_seeds(), 2);
+        assert!(stochastic.influence.total() >= 0.8 * plain.influence.total());
+    }
+
+    #[test]
+    fn candidate_restriction_is_honored() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let config = BudgetConfig {
+            budget: 2,
+            algorithm: GreedyAlgorithm::Lazy,
+            candidates: Some(vec![NodeId(1), NodeId(12)]),
+        };
+        let report = solve_tcim_budget(&est, &config).unwrap();
+        assert!(report.seeds.iter().all(|s| [NodeId(1), NodeId(12)].contains(s)));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
+        assert!(solve_tcim_budget(&est, &BudgetConfig::new(0)).is_err());
+        let bad_candidate = BudgetConfig {
+            budget: 1,
+            algorithm: GreedyAlgorithm::Lazy,
+            candidates: Some(vec![NodeId(999)]),
+        };
+        assert!(solve_tcim_budget(&est, &bad_candidate).is_err());
+        let empty_candidates = BudgetConfig {
+            budget: 1,
+            algorithm: GreedyAlgorithm::Lazy,
+            candidates: Some(vec![]),
+        };
+        assert!(solve_tcim_budget(&est, &empty_candidates).is_err());
+        let bad_epsilon = BudgetConfig {
+            budget: 1,
+            algorithm: GreedyAlgorithm::Stochastic { epsilon: 1.5, seed: 0 },
+            candidates: None,
+        };
+        assert!(solve_tcim_budget(&est, &bad_epsilon).is_err());
+        assert!(solve_fair_tcim_budget(
+            &est,
+            &BudgetConfig::new(1),
+            ConcaveWrapper::Power(2.0),
+            None
+        )
+        .is_err());
+        assert!(solve_fair_tcim_budget(
+            &est,
+            &BudgetConfig::new(1),
+            ConcaveWrapper::Log,
+            Some(vec![1.0])
+        )
+        .is_err());
+        assert!(solve_fair_tcim_budget(
+            &est,
+            &BudgetConfig::new(1),
+            ConcaveWrapper::Log,
+            Some(vec![1.0, -2.0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fair_solution_reduces_disparity_on_the_illustrative_graph() {
+        let (graph, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        let est = estimator(graph, Deadline::finite(2), 128);
+        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        let fair =
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
+        assert!(
+            fair.disparity() < unfair.disparity(),
+            "fair disparity {} should be below unfair disparity {}",
+            fair.disparity(),
+            unfair.disparity()
+        );
+        // The fair solution pays at most a bounded cost in total influence and
+        // must keep some of it.
+        assert!(fair.influence.total() > 0.0);
+        assert!(fair.influence.total() <= unfair.influence.total() + 1e-9);
+    }
+
+    #[test]
+    fn per_group_weights_can_boost_the_minority_further() {
+        let (graph, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        let est = estimator(graph, Deadline::finite(2), 64);
+        let unweighted =
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(1), ConcaveWrapper::Log, None).unwrap();
+        let weighted = solve_fair_tcim_budget(
+            &est,
+            &BudgetConfig::new(1),
+            ConcaveWrapper::Log,
+            Some(vec![1.0, 50.0]),
+        )
+        .unwrap();
+        let minority = GroupId(1);
+        assert!(
+            weighted.influence.group(minority) >= unweighted.influence.group(minority) - 1e-9
+        );
+    }
+}

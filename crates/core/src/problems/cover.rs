@@ -1,0 +1,321 @@
+//! Coverage-constrained seed selection: TCIM-COVER (P2) and FAIRTCIM-COVER
+//! (P6).
+//!
+//! Both problems select the smallest seed set that reaches a coverage quota
+//! `Q`; they differ in *whose* coverage the quota constrains:
+//!
+//! * **P2** requires `f_τ(S; V) / |V| ≥ Q` — the whole population on
+//!   average, which lets the solver satisfy the quota entirely out of the
+//!   majority group.
+//! * **P6** requires `f_τ(S; V_i) / |V_i| ≥ Q` for *every* group `i`, which
+//!   bounds the disparity of any feasible solution by `1 − Q` and is solved
+//!   greedily through the truncated potential
+//!   `Σ_i min(f_τ(S; V_i)/|V_i|, Q) ≥ k·Q` (Appendix B).
+
+use tcim_diffusion::InfluenceOracle;
+use tcim_graph::NodeId;
+use tcim_submodular::{cover_greedy, CoverConfig as SubmodularCoverConfig};
+
+use crate::error::{CoreError, Result};
+use crate::objective::{InfluenceObjective, Scalarization};
+use crate::problems::budget::build_report;
+use crate::problems::resolve_candidates;
+use crate::report::CoverReport;
+
+/// Configuration shared by the coverage-constrained solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverProblemConfig {
+    /// The coverage quota `Q ∈ [0, 1]`.
+    pub quota: f64,
+    /// Numerical slack on the quota (useful because the oracle is a
+    /// Monte-Carlo estimate); the solver stops at `Q − tolerance`.
+    pub tolerance: f64,
+    /// Optional cap on the number of seeds (defaults to the candidate count).
+    pub max_seeds: Option<usize>,
+    /// Optional candidate pool; `None` means every node is a candidate.
+    pub candidates: Option<Vec<NodeId>>,
+}
+
+impl CoverProblemConfig {
+    /// Convenience constructor with zero tolerance, no seed cap and all nodes
+    /// as candidates.
+    pub fn new(quota: f64) -> Self {
+        CoverProblemConfig { quota, tolerance: 0.0, max_seeds: None, candidates: None }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.quota) || self.quota.is_nan() {
+            return Err(CoreError::InvalidConfig {
+                message: format!("quota {} must be in [0, 1]", self.quota),
+            });
+        }
+        if self.tolerance < 0.0 || self.tolerance.is_nan() {
+            return Err(CoreError::InvalidConfig {
+                message: format!("tolerance {} must be non-negative", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Solves the standard TCIM-COVER problem P2 with the greedy heuristic:
+/// iteratively add the seed with the largest marginal gain in population
+/// coverage until `f_τ(S; V)/|V| ≥ Q`.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or estimator failures. An
+/// unreachable quota is *not* an error; it is reported through
+/// [`CoverReport::reached`].
+pub fn solve_tcim_cover(
+    oracle: &dyn InfluenceOracle,
+    config: &CoverProblemConfig,
+) -> Result<CoverReport> {
+    config.validate()?;
+    let population = oracle.graph().num_nodes();
+    let scalarization = Scalarization::NormalizedTotal { population };
+    solve_cover_with(oracle, config, scalarization, config.quota, "P2".to_string())
+}
+
+/// Solves the FAIRTCIM-COVER surrogate P6 with the greedy heuristic:
+/// maximize the truncated potential `Σ_i min(f_τ(S; V_i)/|V_i|, Q)` until it
+/// reaches `k·Q`, i.e. until every (non-empty) group meets the quota.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or estimator failures.
+pub fn solve_fair_tcim_cover(
+    oracle: &dyn InfluenceOracle,
+    config: &CoverProblemConfig,
+) -> Result<CoverReport> {
+    config.validate()?;
+    let group_sizes = oracle.graph().group_sizes();
+    let non_empty = group_sizes.iter().filter(|&&s| s > 0).count();
+    let scalarization =
+        Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
+    let target = config.quota * non_empty as f64;
+    solve_cover_with(oracle, config, scalarization, target, "P6".to_string())
+}
+
+/// Solves the *per-group* cover problem used in the Theorem 2 analysis:
+/// find a small seed set with `f_τ(S; V_i)/|V_i| ≥ Q` for the single group
+/// `group`, ignoring every other group.
+///
+/// The greedy solution size is a certified upper bound on the optimal
+/// `|S*_i|` appearing in Theorem 2, which is how the experiment harness
+/// reports the bound.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration, an unknown group, or estimator
+/// failures.
+pub fn solve_group_tcim_cover(
+    oracle: &dyn InfluenceOracle,
+    group: tcim_graph::GroupId,
+    config: &CoverProblemConfig,
+) -> Result<CoverReport> {
+    config.validate()?;
+    let mut group_sizes = oracle.graph().group_sizes();
+    if group.index() >= group_sizes.len() || group_sizes[group.index()] == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: format!("group {group} does not exist or is empty"),
+        });
+    }
+    // Zero out every other group so only the target group's (truncated)
+    // coverage counts towards the objective and the target.
+    for (i, size) in group_sizes.iter_mut().enumerate() {
+        if i != group.index() {
+            *size = 0;
+        }
+    }
+    let scalarization = Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
+    solve_cover_with(oracle, config, scalarization, config.quota, format!("P2-{group}"))
+}
+
+fn solve_cover_with(
+    oracle: &dyn InfluenceOracle,
+    config: &CoverProblemConfig,
+    scalarization: Scalarization,
+    target: f64,
+    label: String,
+) -> Result<CoverReport> {
+    let ground = resolve_candidates(oracle, config.candidates.as_deref())?;
+    let mut objective = InfluenceObjective::new(oracle.cursor(), scalarization);
+    let result = cover_greedy(
+        &mut objective,
+        &ground,
+        &SubmodularCoverConfig {
+            target,
+            tolerance: config.tolerance,
+            max_items: config.max_seeds,
+        },
+    )?;
+    let report = build_report(oracle, &result.trace, label)?;
+    Ok(CoverReport { report, quota: config.quota, reached: result.reached })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
+    use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+    use tcim_graph::{Graph, GraphBuilder, GroupId};
+
+    fn estimator(graph: Graph, deadline: Deadline, worlds: usize) -> WorldEstimator {
+        WorldEstimator::new(
+            Arc::new(graph),
+            deadline,
+            &WorldsConfig { num_worlds: worlds, seed: 11 },
+        )
+        .unwrap()
+    }
+
+    /// Majority star (hub + 15 leaves, group 0) and minority star (hub + 3
+    /// leaves, group 1), probability 1, no cross edges.
+    fn two_star_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let hub0 = b.add_node(GroupId(0));
+        let leaves0 = b.add_nodes(15, GroupId(0));
+        let hub1 = b.add_node(GroupId(1));
+        let leaves1 = b.add_nodes(3, GroupId(1));
+        for &l in &leaves0 {
+            b.add_edge(hub0, l, 1.0).unwrap();
+        }
+        for &l in &leaves1 {
+            b.add_edge(hub1, l, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn p2_meets_the_population_quota_out_of_the_majority_alone() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.5)).unwrap();
+        assert!(report.reached);
+        // The majority star alone covers 16/20 = 0.8 >= 0.5 with one seed.
+        assert_eq!(report.seed_count(), 1);
+        assert_eq!(report.report.seeds, vec![NodeId(0)]);
+        // ... and the minority group is left with nothing.
+        assert!(report.fairness().group_fraction(GroupId(1)) < 1e-9);
+        assert_eq!(report.report.label, "P2");
+    }
+
+    #[test]
+    fn p6_requires_every_group_to_meet_the_quota() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.5)).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.seed_count(), 2);
+        let fairness = report.fairness();
+        assert!(fairness.group_fraction(GroupId(0)) >= 0.5);
+        assert!(fairness.group_fraction(GroupId(1)) >= 0.5);
+        // Feasible fair solutions have disparity at most 1 - Q.
+        assert!(fairness.disparity <= 0.5 + 1e-9);
+        assert_eq!(report.report.label, "P6");
+    }
+
+    #[test]
+    fn fair_cover_uses_at_most_a_few_more_seeds_than_unfair_cover() {
+        let cfg = SbmConfig::two_group(150, 0.7, 0.08, 0.01, 0.3, 5);
+        let graph = stochastic_block_model(&cfg).unwrap();
+        let est = estimator(graph, Deadline::finite(5), 64);
+        let unfair = solve_tcim_cover(&est, &CoverProblemConfig::new(0.2)).unwrap();
+        let fair = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.2)).unwrap();
+        assert!(unfair.reached);
+        assert!(fair.reached);
+        assert!(fair.seed_count() >= unfair.seed_count());
+        // Theorem-2-style sanity bound: the fair solution stays within the
+        // logarithmic factor of the per-group requirement.
+        assert!(fair.seed_count() <= unfair.seed_count() + 20);
+        // Disparity of the fair solution is bounded by 1 - Q, and in practice
+        // no larger than that of the unfair one.
+        assert!(fair.fairness().disparity <= 0.8 + 1e-9);
+    }
+
+    #[test]
+    fn unreachable_quota_is_reported_not_errored() {
+        // Isolated nodes: only seeds themselves are influenced, so a quota of
+        // 0.9 with a 2-seed cap is unreachable.
+        let mut b = GraphBuilder::new();
+        b.add_nodes(10, GroupId(0));
+        let est = estimator(b.build().unwrap(), Deadline::unbounded(), 2);
+        let config = CoverProblemConfig {
+            quota: 0.9,
+            tolerance: 0.0,
+            max_seeds: Some(2),
+            candidates: None,
+        };
+        let report = solve_tcim_cover(&est, &config).unwrap();
+        assert!(!report.reached);
+        assert_eq!(report.seed_count(), 2);
+    }
+
+    #[test]
+    fn zero_quota_needs_no_seeds() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
+        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.0)).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.seed_count(), 0);
+        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.0)).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.seed_count(), 0);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
+        assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(1.5)).is_err());
+        assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(f64::NAN)).is_err());
+        let bad_tolerance = CoverProblemConfig {
+            quota: 0.2,
+            tolerance: -1.0,
+            max_seeds: None,
+            candidates: None,
+        };
+        assert!(solve_fair_tcim_cover(&est, &bad_tolerance).is_err());
+        let bad_candidates = CoverProblemConfig {
+            quota: 0.2,
+            tolerance: 0.0,
+            max_seeds: None,
+            candidates: Some(vec![NodeId(500)]),
+        };
+        assert!(solve_tcim_cover(&est, &bad_candidates).is_err());
+    }
+
+    #[test]
+    fn per_group_cover_targets_a_single_group() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        let minority = solve_group_tcim_cover(&est, GroupId(1), &CoverProblemConfig::new(0.5))
+            .unwrap();
+        assert!(minority.reached);
+        // One seed (the minority hub) suffices, and the majority group can be
+        // ignored entirely.
+        assert_eq!(minority.seed_count(), 1);
+        assert_eq!(minority.report.seeds, vec![NodeId(16)]);
+        assert!(minority.fairness().group_fraction(GroupId(1)) >= 0.5);
+
+        // Unknown / empty groups are rejected.
+        assert!(solve_group_tcim_cover(&est, GroupId(9), &CoverProblemConfig::new(0.5)).is_err());
+    }
+
+    #[test]
+    fn tolerance_loosens_the_stopping_rule() {
+        let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
+        // Exact quota 0.85 needs both hubs (0.8 is not enough); with a
+        // tolerance of 0.1 the majority hub alone suffices.
+        let strict = solve_tcim_cover(&est, &CoverProblemConfig::new(0.85)).unwrap();
+        let loose = solve_tcim_cover(
+            &est,
+            &CoverProblemConfig {
+                quota: 0.85,
+                tolerance: 0.1,
+                max_seeds: None,
+                candidates: None,
+            },
+        )
+        .unwrap();
+        assert!(strict.seed_count() > loose.seed_count());
+        assert!(loose.reached);
+    }
+}

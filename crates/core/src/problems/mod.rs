@@ -1,0 +1,96 @@
+//! The four TCIM problem formulations and their greedy solvers.
+//!
+//! * [`budget`] — TCIM-BUDGET (P1) and FAIRTCIM-BUDGET (P4),
+//! * [`cover`] — TCIM-COVER (P2) and FAIRTCIM-COVER (P6).
+
+pub mod budget;
+pub mod constrained;
+pub mod cover;
+
+use tcim_diffusion::{GroupInfluence, InfluenceOracle};
+use tcim_graph::NodeId;
+
+use crate::error::{CoreError, Result};
+use crate::report::IterationRecord;
+
+/// Which greedy strategy drives the seed selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GreedyAlgorithm {
+    /// Plain greedy: scan every candidate at every step.
+    Greedy,
+    /// CELF lazy greedy (default): identical selection, far fewer
+    /// marginal-gain evaluations.
+    Lazy,
+    /// Stochastic greedy with accuracy parameter `epsilon` and subsample RNG
+    /// seed; used for very large candidate pools.
+    Stochastic {
+        /// Accuracy parameter in `(0, 1)`.
+        epsilon: f64,
+        /// RNG seed of the per-step subsampling.
+        seed: u64,
+    },
+}
+
+impl Default for GreedyAlgorithm {
+    fn default() -> Self {
+        GreedyAlgorithm::Lazy
+    }
+}
+
+/// Resolves the candidate (ground-set) node indices: the explicit candidate
+/// list when given, otherwise every node of the graph.
+pub(crate) fn resolve_candidates(
+    oracle: &dyn InfluenceOracle,
+    candidates: Option<&[NodeId]>,
+) -> Result<Vec<usize>> {
+    let n = oracle.graph().num_nodes();
+    let ground: Vec<usize> = match candidates {
+        Some(list) => {
+            for &c in list {
+                if c.index() >= n {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!("candidate node {c} out of bounds ({n} nodes)"),
+                    });
+                }
+            }
+            list.iter().map(|c| c.index()).collect()
+        }
+        None => (0..n).collect(),
+    };
+    if ground.is_empty() {
+        return Err(CoreError::InvalidConfig { message: "candidate set is empty".to_string() });
+    }
+    Ok(ground)
+}
+
+/// Replays `seeds` on a fresh cursor of `oracle`, returning the influence
+/// after each prefix. Used to attach per-iteration influence records to the
+/// solver reports without entangling the solvers themselves.
+pub(crate) fn replay_influence(
+    oracle: &dyn InfluenceOracle,
+    seeds: &[NodeId],
+    objective_values: &[f64],
+) -> Vec<IterationRecord> {
+    let mut cursor = oracle.cursor();
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            cursor.add_seed(seed);
+            IterationRecord {
+                seed,
+                influence: cursor.current().clone(),
+                objective_value: objective_values.get(i).copied().unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Final influence of a seed set according to `oracle` (empty seed sets give
+/// the all-zero vector).
+pub(crate) fn final_influence(
+    oracle: &dyn InfluenceOracle,
+    seeds: &[NodeId],
+) -> Result<GroupInfluence> {
+    Ok(oracle.evaluate(seeds)?)
+}

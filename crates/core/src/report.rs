@@ -1,0 +1,138 @@
+//! Solver output types: seed sets plus per-iteration records.
+
+use tcim_diffusion::GroupInfluence;
+use tcim_graph::NodeId;
+
+use crate::fairness::FairnessReport;
+
+/// One committed seed during greedy selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// The seed committed at this iteration.
+    pub seed: NodeId,
+    /// Influence of the seed set *after* committing this seed, as estimated
+    /// by the solver's oracle.
+    pub influence: GroupInfluence,
+    /// Value of the surrogate objective the solver was maximizing, after this
+    /// iteration.
+    pub objective_value: f64,
+}
+
+/// Result of a budget-constrained solve (problems P1 / P4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverReport {
+    /// Selected seeds in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Influence of the final seed set (per group), estimated by the solver's
+    /// oracle.
+    pub influence: GroupInfluence,
+    /// Group sizes of the underlying graph.
+    pub group_sizes: Vec<usize>,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Number of marginal-gain oracle calls issued by the solver.
+    pub gain_evaluations: usize,
+    /// Human-readable label of the problem / algorithm ("P1", "P4-log", ...).
+    pub label: String,
+}
+
+impl SolverReport {
+    /// Fairness summary of the final seed set.
+    pub fn fairness(&self) -> FairnessReport {
+        FairnessReport::new(&self.influence, &self.group_sizes)
+    }
+
+    /// Normalized total influence `f_τ(S; V) / |V|`.
+    pub fn total_fraction(&self) -> f64 {
+        self.fairness().total_fraction
+    }
+
+    /// The Eq. 2 disparity of the final seed set.
+    pub fn disparity(&self) -> f64 {
+        self.fairness().disparity
+    }
+
+    /// Number of selected seeds.
+    pub fn num_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Fairness summary after `i + 1` seeds (for iteration plots like
+    /// Fig. 6a / 8a). Returns `None` past the end.
+    pub fn fairness_at(&self, i: usize) -> Option<FairnessReport> {
+        self.iterations
+            .get(i)
+            .map(|rec| FairnessReport::new(&rec.influence, &self.group_sizes))
+    }
+}
+
+/// Result of a coverage-constrained solve (problems P2 / P6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverReport {
+    /// The underlying selection record.
+    pub report: SolverReport,
+    /// The requested quota `Q` (fraction of each target population).
+    pub quota: f64,
+    /// Whether the solver's stopping criterion (quota reached) was satisfied
+    /// before running out of candidates.
+    pub reached: bool,
+}
+
+impl CoverReport {
+    /// Number of seeds used to (attempt to) reach the quota — the paper's
+    /// "solution set size |S|".
+    pub fn seed_count(&self) -> usize {
+        self.report.num_seeds()
+    }
+
+    /// Fairness summary of the final seed set.
+    pub fn fairness(&self) -> FairnessReport {
+        self.report.fairness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SolverReport {
+        SolverReport {
+            seeds: vec![NodeId(3), NodeId(7)],
+            influence: GroupInfluence::from_values(vec![20.0, 5.0]),
+            group_sizes: vec![100, 50],
+            iterations: vec![
+                IterationRecord {
+                    seed: NodeId(3),
+                    influence: GroupInfluence::from_values(vec![12.0, 1.0]),
+                    objective_value: 13.0,
+                },
+                IterationRecord {
+                    seed: NodeId(7),
+                    influence: GroupInfluence::from_values(vec![20.0, 5.0]),
+                    objective_value: 25.0,
+                },
+            ],
+            gain_evaluations: 42,
+            label: "P1".to_string(),
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = sample_report();
+        assert_eq!(report.num_seeds(), 2);
+        assert!((report.total_fraction() - 25.0 / 150.0).abs() < 1e-12);
+        assert!((report.disparity() - (0.2 - 0.1)).abs() < 1e-12);
+        let at0 = report.fairness_at(0).unwrap();
+        assert!((at0.total - 13.0).abs() < 1e-12);
+        assert!(report.fairness_at(5).is_none());
+    }
+
+    #[test]
+    fn cover_report_delegates() {
+        let cover = CoverReport { report: sample_report(), quota: 0.2, reached: true };
+        assert_eq!(cover.seed_count(), 2);
+        assert!(cover.reached);
+        assert!((cover.fairness().total - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Surrogate for the Instagram-Activities dataset (Stoica et al., WWW 2018).
+//!
+//! The original graph has 553628 nodes (Instagram users with a binary gender
+//! attribute, 45.5% male) and 652830 undirected like/comment edges, split
+//! into 179668 male–male, 201083 female–female and 136039 across-gender
+//! edges. The raw data is not redistributable, so this module generates an
+//! expected-edge-count stochastic block model with exactly those proportions,
+//! scaled by a configurable factor (default 0.1 ⇒ ≈55k nodes) so the
+//! experiments run on a laptop; the full-scale graph can be produced with
+//! `scale = 1.0`.
+//!
+//! The defining property of this dataset — extreme sparsity (average degree
+//! ≈ 2.4) together with mild gender homophily — is preserved at every scale,
+//! which is what makes the Fig. 9 comparison meaningful.
+
+use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+use tcim_graph::{Graph, GraphError, Result};
+
+/// Published structural statistics of the Instagram-Activities dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstagramStats {
+    /// Total number of nodes.
+    pub num_nodes: usize,
+    /// Fraction of nodes in the male group.
+    pub male_fraction: f64,
+    /// Male–male undirected edges.
+    pub male_within: usize,
+    /// Female–female undirected edges.
+    pub female_within: usize,
+    /// Across-gender undirected edges.
+    pub across: usize,
+}
+
+/// The statistics reported in Section 7.1 of the paper.
+pub const INSTAGRAM_STATS: InstagramStats = InstagramStats {
+    num_nodes: 553_628,
+    male_fraction: 0.455,
+    male_within: 179_668,
+    female_within: 201_083,
+    across: 136_039,
+};
+
+/// Default activation probability for the Instagram experiments (Section 7.1).
+pub const INSTAGRAM_EDGE_PROBABILITY: f64 = 0.06;
+
+/// Default deadline for the Instagram experiments.
+pub const INSTAGRAM_DEADLINE: u32 = 2;
+
+/// Default seed-candidate pool size (the paper restricts seed selection to
+/// 5000 randomly chosen nodes while evaluating influence on the full graph).
+pub const INSTAGRAM_CANDIDATE_POOL: usize = 5000;
+
+/// Configuration of the Instagram surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstagramConfig {
+    /// Linear scale factor applied to node and edge counts (1.0 = full size).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InstagramConfig {
+    fn default() -> Self {
+        InstagramConfig { scale: 0.1, seed: 0 }
+    }
+}
+
+/// Builds the Instagram-Activities surrogate graph. Group 0 is the female
+/// (majority) group, group 1 the male group.
+///
+/// # Errors
+///
+/// Returns an error if `scale` is not in `(0, 1]`.
+pub fn instagram_surrogate(config: &InstagramConfig) -> Result<Graph> {
+    if !(config.scale > 0.0 && config.scale <= 1.0) || config.scale.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            message: format!("instagram scale {} must be in (0, 1]", config.scale),
+        });
+    }
+    let stats = INSTAGRAM_STATS;
+    let num_nodes = ((stats.num_nodes as f64) * config.scale).round() as usize;
+    let male = ((num_nodes as f64) * stats.male_fraction).round() as usize;
+    let female = num_nodes - male;
+    let scale_edges = |e: usize| ((e as f64) * config.scale).round() as usize;
+
+    let sbm = SbmConfig {
+        // Group 0 = female (majority), group 1 = male.
+        group_sizes: vec![female, male],
+        p_within: 0.0,
+        p_across: 0.0,
+        edge_probability: INSTAGRAM_EDGE_PROBABILITY,
+        seed: config.seed,
+        expected_edges: Some(vec![
+            ((0, 0), scale_edges(stats.female_within)),
+            ((1, 1), scale_edges(stats.male_within)),
+            ((0, 1), scale_edges(stats.across)),
+        ]),
+    };
+    stochastic_block_model(&sbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::stats::graph_stats;
+    use tcim_graph::GroupId;
+
+    #[test]
+    fn default_scale_matches_proportions() {
+        let g = instagram_surrogate(&InstagramConfig::default()).unwrap();
+        assert_eq!(g.num_groups(), 2);
+        let n = g.num_nodes();
+        assert!((55_000..56_000).contains(&n), "nodes {n}");
+        let male_fraction = g.group_size(GroupId(1)) as f64 / n as f64;
+        assert!((male_fraction - 0.455).abs() < 0.01);
+
+        let stats = graph_stats(&g);
+        // Sparsity: average undirected degree ≈ 2 * 652830 / 553628 ≈ 2.36.
+        let avg_degree = stats.num_edges as f64 / n as f64;
+        assert!((1.8..3.0).contains(&avg_degree), "avg degree {avg_degree}");
+        assert!(g.edges().all(|(_, _, p)| (p - INSTAGRAM_EDGE_PROBABILITY).abs() < 1e-12));
+    }
+
+    #[test]
+    fn within_and_across_edge_ratios_are_preserved() {
+        let g = instagram_surrogate(&InstagramConfig { scale: 0.05, seed: 3 }).unwrap();
+        let stats = graph_stats(&g);
+        let female_within = stats.groups[0].within_edges as f64;
+        let male_within = stats.groups[1].within_edges as f64;
+        let across = stats.across_group_edges as f64;
+        let total = female_within + male_within + across;
+        assert!((female_within / total - 0.389).abs() < 0.03);
+        assert!((male_within / total - 0.348).abs() < 0.03);
+        assert!((across / total - 0.263).abs() < 0.03);
+    }
+
+    #[test]
+    fn invalid_scales_are_rejected_and_generation_is_deterministic() {
+        assert!(instagram_surrogate(&InstagramConfig { scale: 0.0, seed: 0 }).is_err());
+        assert!(instagram_surrogate(&InstagramConfig { scale: 1.5, seed: 0 }).is_err());
+        let cfg = InstagramConfig { scale: 0.02, seed: 9 };
+        assert_eq!(instagram_surrogate(&cfg).unwrap(), instagram_surrogate(&cfg).unwrap());
+    }
+}

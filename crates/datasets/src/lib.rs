@@ -1,0 +1,35 @@
+//! # tcim-datasets
+//!
+//! Evaluation datasets for fairness-aware time-critical influence
+//! maximization:
+//!
+//! * [`synthetic`] — the Section 6.1 stochastic-block-model suite with its
+//!   parameter sweeps,
+//! * [`rice`], [`instagram`], [`fbsnap`] — surrogate generators matching the
+//!   published structural statistics of the Rice-Facebook,
+//!   Instagram-Activities and Facebook-SNAP datasets (the originals are not
+//!   redistributable; see `DESIGN.md` for the substitution rationale),
+//! * [`loader`] — plain-text loading of the genuine files when available,
+//! * [`registry`] — one-stop construction of each dataset together with the
+//!   experiment parameters the paper uses on it.
+//!
+//! ```
+//! use tcim_datasets::registry::Dataset;
+//!
+//! let bundle = Dataset::Synthetic.build(7).unwrap();
+//! assert_eq!(bundle.graph.num_nodes(), 500);
+//! assert_eq!(bundle.defaults.budget, 30);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fbsnap;
+pub mod instagram;
+pub mod loader;
+pub mod registry;
+pub mod rice;
+pub mod synthetic;
+
+pub use registry::{Dataset, DatasetBundle, ExperimentDefaults};
+pub use synthetic::SyntheticConfig;

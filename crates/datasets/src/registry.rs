@@ -1,0 +1,195 @@
+//! A small registry tying every evaluation dataset to the experiment
+//! parameters the paper uses with it.
+
+use tcim_graph::generators::{illustrative_example, IllustrativeConfig};
+use tcim_graph::{Graph, Result};
+
+use crate::fbsnap::{fbsnap_surrogate, FBSNAP_DEADLINE, FBSNAP_EDGE_PROBABILITY};
+use crate::instagram::{
+    instagram_surrogate, InstagramConfig, INSTAGRAM_CANDIDATE_POOL, INSTAGRAM_DEADLINE,
+};
+use crate::rice::{rice_facebook_surrogate, RICE_EDGE_PROBABILITY, RICE_SAMPLES};
+use crate::synthetic::SyntheticConfig;
+
+/// The datasets used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// The 38-node illustrative example of Figure 1.
+    Illustrative,
+    /// The Section 6.1 synthetic stochastic block model.
+    Synthetic,
+    /// The Rice-Facebook surrogate (Section 7.1).
+    RiceFacebook,
+    /// The Instagram-Activities surrogate, default 10% scale (Section 7.1).
+    InstagramActivities,
+    /// The Facebook-SNAP surrogate (Appendix C).
+    FacebookSnap,
+}
+
+/// Experiment parameters recommended for a dataset (the paper's settings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentDefaults {
+    /// Deadline `τ` (`None` = ∞).
+    pub deadline: Option<u32>,
+    /// Monte-Carlo samples / live-edge worlds.
+    pub samples: usize,
+    /// Seed budget `B` for budget experiments.
+    pub budget: usize,
+    /// Coverage quotas swept in cover experiments.
+    pub quotas: Vec<f64>,
+    /// Size of the random candidate pool, if the dataset restricts seeds.
+    pub candidate_pool: Option<usize>,
+}
+
+/// A dataset instance plus metadata and recommended parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetBundle {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// Human-readable name used in experiment tables.
+    pub name: &'static str,
+    /// One-line description including the substitution note where relevant.
+    pub description: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// Recommended experiment parameters.
+    pub defaults: ExperimentDefaults,
+}
+
+impl Dataset {
+    /// All datasets, in the order the paper presents them.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Illustrative,
+        Dataset::Synthetic,
+        Dataset::RiceFacebook,
+        Dataset::InstagramActivities,
+        Dataset::FacebookSnap,
+    ];
+
+    /// Builds the dataset graph and bundles it with its recommended
+    /// experiment parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn build(&self, seed: u64) -> Result<DatasetBundle> {
+        match self {
+            Dataset::Illustrative => {
+                let (graph, _) = illustrative_example(&IllustrativeConfig::default())?;
+                Ok(DatasetBundle {
+                    dataset: *self,
+                    name: "illustrative",
+                    description: "38-node planted example of Figure 1 (p_e = 0.7)",
+                    graph,
+                    defaults: ExperimentDefaults {
+                        deadline: Some(2),
+                        samples: 2000,
+                        budget: 2,
+                        quotas: vec![0.2],
+                        candidate_pool: None,
+                    },
+                })
+            }
+            Dataset::Synthetic => {
+                let config = SyntheticConfig::default().with_seed(seed);
+                let graph = config.build()?;
+                Ok(DatasetBundle {
+                    dataset: *self,
+                    name: "synthetic-sbm",
+                    description: "Section 6.1 two-group SBM (500 nodes, g = 0.7, p_e = 0.05)",
+                    graph,
+                    defaults: ExperimentDefaults {
+                        deadline: Some(config.deadline),
+                        samples: config.samples,
+                        budget: config.budget,
+                        quotas: vec![0.1, 0.2, 0.3],
+                        candidate_pool: None,
+                    },
+                })
+            }
+            Dataset::RiceFacebook => Ok(DatasetBundle {
+                dataset: *self,
+                name: "rice-facebook",
+                description: "surrogate matching the published Rice-Facebook group statistics (p_e = 0.01)",
+                graph: rice_facebook_surrogate(seed)?,
+                defaults: ExperimentDefaults {
+                    deadline: Some(20),
+                    samples: RICE_SAMPLES,
+                    budget: 30,
+                    quotas: vec![0.1, 0.2, 0.3],
+                    candidate_pool: None,
+                },
+            }),
+            Dataset::InstagramActivities => Ok(DatasetBundle {
+                dataset: *self,
+                name: "instagram-activities",
+                description: "surrogate matching the published Instagram gender statistics, 10% scale (p_e = 0.06)",
+                graph: instagram_surrogate(&InstagramConfig { scale: 0.1, seed })?,
+                defaults: ExperimentDefaults {
+                    deadline: Some(INSTAGRAM_DEADLINE),
+                    samples: 500,
+                    budget: 30,
+                    quotas: vec![0.0015, 0.002],
+                    candidate_pool: Some(INSTAGRAM_CANDIDATE_POOL),
+                },
+            }),
+            Dataset::FacebookSnap => Ok(DatasetBundle {
+                dataset: *self,
+                name: "facebook-snap",
+                description: "surrogate matching the Facebook-SNAP spectral-cluster statistics (p_e = 0.01)",
+                graph: fbsnap_surrogate(seed)?,
+                defaults: ExperimentDefaults {
+                    deadline: Some(FBSNAP_DEADLINE),
+                    samples: 200,
+                    budget: 30,
+                    quotas: vec![0.1],
+                    candidate_pool: None,
+                },
+            }),
+        }
+    }
+}
+
+/// Sanity: every dataset's defaults reference valid probabilities.
+pub fn default_edge_probability(dataset: Dataset) -> f64 {
+    match dataset {
+        Dataset::Illustrative => 0.7,
+        Dataset::Synthetic => 0.05,
+        Dataset::RiceFacebook => RICE_EDGE_PROBABILITY,
+        Dataset::InstagramActivities => crate::instagram::INSTAGRAM_EDGE_PROBABILITY,
+        Dataset::FacebookSnap => FBSNAP_EDGE_PROBABILITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_builds_and_has_sensible_defaults() {
+        for dataset in [Dataset::Illustrative, Dataset::Synthetic] {
+            let bundle = dataset.build(1).unwrap();
+            assert!(bundle.graph.num_nodes() > 0);
+            assert!(bundle.defaults.samples > 0);
+            assert!(bundle.defaults.budget > 0);
+            assert!(!bundle.defaults.quotas.is_empty());
+            assert!(!bundle.name.is_empty());
+            assert!(!bundle.description.is_empty());
+            let p = default_edge_probability(dataset);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn heavier_surrogates_build_too() {
+        let rice = Dataset::RiceFacebook.build(2).unwrap();
+        assert_eq!(rice.graph.num_nodes(), 1205);
+        let snap = Dataset::FacebookSnap.build(2).unwrap();
+        assert_eq!(snap.graph.num_nodes(), 4039);
+        assert_eq!(snap.graph.num_groups(), 5);
+        let insta = Dataset::InstagramActivities.build(2).unwrap();
+        assert!(insta.graph.num_nodes() > 50_000);
+        assert_eq!(insta.defaults.candidate_pool, Some(5000));
+        assert_eq!(Dataset::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! The time-critical deadline `τ`.
+
+use std::fmt;
+
+/// Deadline `τ` of the time-critical influence model of Chen et al. (2012):
+/// a node only yields utility if it is activated at a time step `t ≤ τ`.
+///
+/// `Deadline::unbounded()` recovers the classical (non-time-critical)
+/// influence maximization objective `f_∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deadline(Option<u32>);
+
+impl Deadline {
+    /// A finite deadline of `tau` time steps. Seeds activate at `t = 0`, so a
+    /// deadline of 0 only counts the seeds themselves.
+    pub const fn finite(tau: u32) -> Self {
+        Deadline(Some(tau))
+    }
+
+    /// No deadline (`τ = ∞`).
+    pub const fn unbounded() -> Self {
+        Deadline(None)
+    }
+
+    /// Returns `true` when an activation at time step `t` still counts.
+    #[inline]
+    pub fn allows(&self, t: u32) -> bool {
+        match self.0 {
+            Some(tau) => t <= tau,
+            None => true,
+        }
+    }
+
+    /// Returns the finite horizon if there is one.
+    #[inline]
+    pub fn horizon(&self) -> Option<u32> {
+        self.0
+    }
+
+    /// Returns `true` for the unbounded deadline.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::unbounded()
+    }
+}
+
+impl fmt::Display for Deadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(tau) => write!(f, "{tau}"),
+            None => write!(f, "inf"),
+        }
+    }
+}
+
+impl From<u32> for Deadline {
+    fn from(tau: u32) -> Self {
+        Deadline::finite(tau)
+    }
+}
+
+impl From<Option<u32>> for Deadline {
+    fn from(tau: Option<u32>) -> Self {
+        Deadline(tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_deadline_cuts_off_after_tau() {
+        let d = Deadline::finite(2);
+        assert!(d.allows(0));
+        assert!(d.allows(2));
+        assert!(!d.allows(3));
+        assert_eq!(d.horizon(), Some(2));
+        assert!(!d.is_unbounded());
+    }
+
+    #[test]
+    fn unbounded_deadline_allows_everything() {
+        let d = Deadline::unbounded();
+        assert!(d.allows(0));
+        assert!(d.allows(u32::MAX));
+        assert!(d.is_unbounded());
+        assert_eq!(d.horizon(), None);
+        assert_eq!(Deadline::default(), d);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Deadline::from(5u32), Deadline::finite(5));
+        assert_eq!(Deadline::from(None), Deadline::unbounded());
+        assert_eq!(Deadline::finite(4).to_string(), "4");
+        assert_eq!(Deadline::unbounded().to_string(), "inf");
+    }
+}

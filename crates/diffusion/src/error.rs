@@ -1,0 +1,79 @@
+//! Error types for diffusion simulation and influence estimation.
+
+use std::fmt;
+
+/// Errors produced by the diffusion layer.
+#[derive(Debug)]
+pub enum DiffusionError {
+    /// A seed node does not exist in the graph.
+    SeedOutOfBounds {
+        /// Offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An estimator was configured with zero Monte-Carlo samples / worlds.
+    NoSamples,
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(tcim_graph::GraphError),
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::SeedOutOfBounds { node, num_nodes } => {
+                write!(f, "seed node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            DiffusionError::NoSamples => {
+                write!(f, "influence estimation requires at least one sample")
+            }
+            DiffusionError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            DiffusionError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffusionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffusionError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<tcim_graph::GraphError> for DiffusionError {
+    fn from(err: tcim_graph::GraphError) -> Self {
+        DiffusionError::Graph(err)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, DiffusionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_values() {
+        let err = DiffusionError::SeedOutOfBounds { node: 3, num_nodes: 2 };
+        assert!(err.to_string().contains("seed node 3"));
+        assert!(DiffusionError::NoSamples.to_string().contains("at least one sample"));
+    }
+
+    #[test]
+    fn graph_errors_are_wrapped() {
+        let graph_err = tcim_graph::GraphError::InvalidProbability { value: 2.0 };
+        let err: DiffusionError = graph_err.into();
+        assert!(matches!(err, DiffusionError::Graph(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,460 @@
+//! Live-edge worlds: pre-sampled realisations of the independent-cascade
+//! coin flips.
+//!
+//! Kempe et al.'s live-edge interpretation of the IC model flips every edge's
+//! coin once up front: an edge is *live* with its activation probability and
+//! *blocked* otherwise. A node `u` is activated at time `t` iff the shortest
+//! live-edge path from the seed set to `u` has `t` hops, so the time-critical
+//! utility of a seed set in one world is simply the number of nodes within
+//! `τ` live-edge hops of the seeds.
+//!
+//! Sampling a fixed collection of worlds once and evaluating every candidate
+//! seed set on the same collection ("common random numbers") has two crucial
+//! properties the solvers rely on:
+//!
+//! 1. the sampled objective is an *exactly* monotone submodular function of
+//!    the seed set (an average of bounded-radius coverage functions), so the
+//!    greedy/CELF guarantees hold exactly on the sample;
+//! 2. comparisons between solvers (fair vs unfair) are not polluted by
+//!    independent sampling noise.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tcim_graph::{Graph, NodeId};
+
+use crate::bitset::BitSet;
+use crate::deadline::Deadline;
+use crate::error::{DiffusionError, Result};
+
+/// One sampled live-edge world: the subgraph of live edges in CSR form.
+#[derive(Debug, Clone)]
+pub struct LiveEdgeWorld {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl LiveEdgeWorld {
+    /// Builds a world from an explicit list of live directed edges.
+    ///
+    /// Used by the linear-threshold sampler, which selects edges per *target*
+    /// node and therefore cannot stream them in CSR source order.
+    pub fn from_edges(num_nodes: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut targets = Vec::with_capacity(edges.len());
+        offsets.push(0u32);
+        let mut cursor = 0usize;
+        for v in 0..num_nodes as u32 {
+            while cursor < edges.len() && edges[cursor].0 == v {
+                targets.push(edges[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(targets.len() as u32);
+        }
+        LiveEdgeWorld { offsets, targets }
+    }
+
+    /// Samples a live-edge world under the **linear threshold** model: every
+    /// node independently selects at most one of its incoming edges, picking
+    /// in-neighbour `u` with probability equal to its normalised LT weight
+    /// (and no edge with the remaining probability). Kempe et al.'s coupling
+    /// shows cascades in this world have the same distribution as LT
+    /// cascades, and the activation time of a node equals its live-edge hop
+    /// distance from the seed set — so the same τ-bounded BFS machinery
+    /// estimates the time-critical LT utility.
+    pub fn sample_lt<R: RngExt + ?Sized>(
+        graph: &Graph,
+        weights: &crate::lt::LtWeights,
+        rng: &mut R,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let in_edges = weights.in_edges(v);
+            if in_edges.is_empty() {
+                continue;
+            }
+            let mut pick = rng.random::<f64>();
+            for &(u, w) in in_edges {
+                if pick < w {
+                    edges.push((u.0, v.0));
+                    break;
+                }
+                pick -= w;
+            }
+        }
+        LiveEdgeWorld::from_edges(n, edges)
+    }
+
+    /// Samples a world from `graph` using `rng` (each edge kept independently
+    /// with its activation probability).
+    pub fn sample<R: RngExt + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            for (w, p) in graph.out_edges(v) {
+                if p > 0.0 && (p >= 1.0 || rng.random_bool(p)) {
+                    targets.push(w.0);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        LiveEdgeWorld { offsets, targets }
+    }
+
+    /// Number of nodes the world covers.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of live edges in this world.
+    pub fn num_live_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Live out-neighbours of `node`.
+    #[inline]
+    pub fn out_neighbors(&self, node: NodeId) -> &[u32] {
+        let v = node.index();
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Runs a breadth-first search from `sources` bounded by `deadline` hops
+    /// and calls `visit(node, hops)` for every newly reached node (including
+    /// the sources at hop 0). `scratch` must have one entry per node and is
+    /// used to mark visited nodes; it is reset lazily via the `epoch` value,
+    /// so repeated calls can reuse the same buffer without clearing it.
+    pub fn bounded_bfs<F: FnMut(NodeId, u32)>(
+        &self,
+        sources: &[NodeId],
+        deadline: Deadline,
+        scratch: &mut VisitScratch,
+        mut visit: F,
+    ) {
+        scratch.begin(self.num_nodes());
+        let mut frontier: Vec<u32> = Vec::with_capacity(sources.len());
+        for &s in sources {
+            if s.index() < self.num_nodes() && scratch.mark(s.index()) {
+                visit(s, 0);
+                frontier.push(s.0);
+            }
+        }
+        let mut next: Vec<u32> = Vec::new();
+        let mut hops = 0u32;
+        while !frontier.is_empty() {
+            hops += 1;
+            if !deadline.allows(hops) {
+                break;
+            }
+            next.clear();
+            for &v in &frontier {
+                for &w in self.out_neighbors(NodeId(v)) {
+                    if scratch.mark(w as usize) {
+                        visit(NodeId(w), hops);
+                        next.push(w);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+    }
+
+    /// Returns the set of nodes within `deadline` live-edge hops of `sources`.
+    pub fn coverage(&self, sources: &[NodeId], deadline: Deadline) -> BitSet {
+        let mut covered = BitSet::new(self.num_nodes());
+        let mut scratch = VisitScratch::new(self.num_nodes());
+        self.bounded_bfs(sources, deadline, &mut scratch, |node, _| {
+            covered.insert(node.index());
+        });
+        covered
+    }
+}
+
+/// Reusable visited-marker buffer for [`LiveEdgeWorld::bounded_bfs`].
+///
+/// Uses an epoch counter so that consecutive BFS runs do not need to clear the
+/// whole buffer, which matters when the estimator runs hundreds of thousands
+/// of bounded searches.
+#[derive(Debug, Clone)]
+pub struct VisitScratch {
+    epoch: u32,
+    marks: Vec<u32>,
+}
+
+impl VisitScratch {
+    /// Creates a scratch buffer for graphs with up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        VisitScratch { epoch: 0, marks: vec![0; n] }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, index: usize) -> bool {
+        if self.marks[index] == self.epoch {
+            false
+        } else {
+            self.marks[index] = self.epoch;
+            true
+        }
+    }
+}
+
+/// Configuration for sampling a [`WorldCollection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldsConfig {
+    /// Number of live-edge worlds (Monte-Carlo samples).
+    pub num_worlds: usize,
+    /// RNG seed; world `i` is sampled from `seed + i` so collections can be
+    /// extended deterministically.
+    pub seed: u64,
+}
+
+impl Default for WorldsConfig {
+    fn default() -> Self {
+        // 200 samples is the paper's default for the synthetic experiments.
+        WorldsConfig { num_worlds: 200, seed: 0 }
+    }
+}
+
+/// A fixed collection of live-edge worlds sampled from one graph.
+#[derive(Debug, Clone)]
+pub struct WorldCollection {
+    worlds: Vec<LiveEdgeWorld>,
+    num_nodes: usize,
+}
+
+impl WorldCollection {
+    /// Samples `config.num_worlds` worlds from `graph` under the independent
+    /// cascade model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NoSamples`] when `num_worlds` is zero.
+    pub fn sample(graph: &Graph, config: &WorldsConfig) -> Result<Self> {
+        if config.num_worlds == 0 {
+            return Err(DiffusionError::NoSamples);
+        }
+        let worlds = (0..config.num_worlds)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+                LiveEdgeWorld::sample(graph, &mut rng)
+            })
+            .collect();
+        Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
+    }
+
+    /// Samples `config.num_worlds` worlds from `graph` under the linear
+    /// threshold model (each node keeps at most one incoming live edge,
+    /// chosen with probability proportional to its normalised LT weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NoSamples`] when `num_worlds` is zero.
+    pub fn sample_lt(
+        graph: &Graph,
+        weights: &crate::lt::LtWeights,
+        config: &WorldsConfig,
+    ) -> Result<Self> {
+        if config.num_worlds == 0 {
+            return Err(DiffusionError::NoSamples);
+        }
+        let worlds = (0..config.num_worlds)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+                LiveEdgeWorld::sample_lt(graph, weights, &mut rng)
+            })
+            .collect();
+        Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
+    }
+
+    /// Number of worlds in the collection.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Returns `true` if there are no worlds (never the case for sampled
+    /// collections).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The individual worlds.
+    pub fn worlds(&self) -> &[LiveEdgeWorld] {
+        &self.worlds
+    }
+
+    /// Mean number of live edges per world.
+    pub fn mean_live_edges(&self) -> f64 {
+        if self.worlds.is_empty() {
+            return 0.0;
+        }
+        self.worlds.iter().map(|w| w.num_live_edges() as f64).sum::<f64>() / self.worlds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::{GraphBuilder, GroupId};
+
+    fn path(p: f64) -> Graph {
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes(4, GroupId(0));
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1], p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn probability_one_world_keeps_every_edge() {
+        let g = path(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let world = LiveEdgeWorld::sample(&g, &mut rng);
+        assert_eq!(world.num_live_edges(), 3);
+        assert_eq!(world.num_nodes(), 4);
+        assert_eq!(world.out_neighbors(NodeId(0)), &[1]);
+    }
+
+    #[test]
+    fn probability_zero_world_keeps_no_edge() {
+        let g = path(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let world = LiveEdgeWorld::sample(&g, &mut rng);
+        assert_eq!(world.num_live_edges(), 0);
+    }
+
+    #[test]
+    fn bounded_bfs_respects_the_deadline() {
+        let g = path(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let world = LiveEdgeWorld::sample(&g, &mut rng);
+        let cov2 = world.coverage(&[NodeId(0)], Deadline::finite(2));
+        assert_eq!(cov2.count(), 3);
+        let cov_all = world.coverage(&[NodeId(0)], Deadline::unbounded());
+        assert_eq!(cov_all.count(), 4);
+        let cov0 = world.coverage(&[NodeId(0)], Deadline::finite(0));
+        assert_eq!(cov0.count(), 1);
+    }
+
+    #[test]
+    fn bfs_reports_hop_counts() {
+        let g = path(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let world = LiveEdgeWorld::sample(&g, &mut rng);
+        let mut scratch = VisitScratch::new(world.num_nodes());
+        let mut hops = vec![u32::MAX; 4];
+        world.bounded_bfs(&[NodeId(0)], Deadline::unbounded(), &mut scratch, |n, h| {
+            hops[n.index()] = h;
+        });
+        assert_eq!(hops, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_epochs_avoid_stale_marks() {
+        let g = path(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let world = LiveEdgeWorld::sample(&g, &mut rng);
+        let mut scratch = VisitScratch::new(world.num_nodes());
+        let mut first = 0;
+        world.bounded_bfs(&[NodeId(0)], Deadline::unbounded(), &mut scratch, |_, _| first += 1);
+        let mut second = 0;
+        world.bounded_bfs(&[NodeId(0)], Deadline::unbounded(), &mut scratch, |_, _| second += 1);
+        assert_eq!(first, 4);
+        assert_eq!(second, 4);
+    }
+
+    #[test]
+    fn from_edges_builds_a_valid_csr_view() {
+        let world = LiveEdgeWorld::from_edges(4, vec![(2, 0), (0, 1), (0, 3)]);
+        assert_eq!(world.num_nodes(), 4);
+        assert_eq!(world.num_live_edges(), 3);
+        assert_eq!(world.out_neighbors(NodeId(0)), &[1, 3]);
+        assert_eq!(world.out_neighbors(NodeId(1)), &[] as &[u32]);
+        assert_eq!(world.out_neighbors(NodeId(2)), &[0]);
+    }
+
+    #[test]
+    fn lt_worlds_keep_at_most_one_in_edge_per_node() {
+        // Node 2 has two incoming edges with weight 0.5 each after
+        // normalisation; each LT world must keep at most one of them.
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes(3, GroupId(0));
+        b.add_edge(nodes[0], nodes[2], 0.9).unwrap();
+        b.add_edge(nodes[1], nodes[2], 0.9).unwrap();
+        let g = b.build().unwrap();
+        let weights = crate::lt::LtWeights::from_graph(&g);
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let world = LiveEdgeWorld::sample_lt(&g, &weights, &mut rng);
+            let in_degree_of_2 = world.out_neighbors(NodeId(0)).contains(&2) as usize
+                + world.out_neighbors(NodeId(1)).contains(&2) as usize;
+            assert!(in_degree_of_2 <= 1);
+        }
+    }
+
+    #[test]
+    fn lt_world_collections_are_deterministic() {
+        let g = path(0.8);
+        let weights = crate::lt::LtWeights::from_graph(&g);
+        let cfg = WorldsConfig { num_worlds: 12, seed: 5 };
+        let a = WorldCollection::sample_lt(&g, &weights, &cfg).unwrap();
+        let b = WorldCollection::sample_lt(&g, &weights, &cfg).unwrap();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.mean_live_edges(), b.mean_live_edges());
+        assert!(WorldCollection::sample_lt(&g, &weights, &WorldsConfig { num_worlds: 0, seed: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn world_collection_is_deterministic_and_validates_size() {
+        let g = path(0.5);
+        let cfg = WorldsConfig { num_worlds: 16, seed: 9 };
+        let a = WorldCollection::sample(&g, &cfg).unwrap();
+        let b = WorldCollection::sample(&g, &cfg).unwrap();
+        assert_eq!(a.len(), 16);
+        assert_eq!(a.num_nodes(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.worlds()[3].num_live_edges(),
+            b.worlds()[3].num_live_edges()
+        );
+        assert!(a.mean_live_edges() >= 0.0 && a.mean_live_edges() <= 3.0);
+        assert!(matches!(
+            WorldCollection::sample(&g, &WorldsConfig { num_worlds: 0, seed: 0 }),
+            Err(DiffusionError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn live_edge_fraction_tracks_probability() {
+        // 200-edge star with p = 0.3: each world keeps ~60 edges.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(GroupId(0));
+        let leaves = b.add_nodes(200, GroupId(0));
+        for &leaf in &leaves {
+            b.add_edge(hub, leaf, 0.3).unwrap();
+        }
+        let g = b.build().unwrap();
+        let worlds = WorldCollection::sample(&g, &WorldsConfig { num_worlds: 100, seed: 4 }).unwrap();
+        let mean = worlds.mean_live_edges();
+        assert!((mean - 60.0).abs() < 6.0, "mean live edges {mean}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::{GroupId, NodeId};
+
+/// Builder assembling a [`Graph`] edge by edge before freezing it into CSR
+/// form.
+///
+/// Duplicate directed edges between the same ordered pair of nodes are
+/// collapsed at [`build`](GraphBuilder::build) time, keeping the edge with the
+/// **highest** activation probability (the most optimistic tie). This mirrors
+/// the usual treatment of multi-edges in influence-maximization datasets.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::{GraphBuilder, GroupId};
+///
+/// let mut builder = GraphBuilder::new();
+/// let a = builder.add_node(GroupId(0));
+/// let b = builder.add_node(GroupId(1));
+/// builder.add_undirected_edge(a, b, 0.3).unwrap();
+/// let graph = builder.build().unwrap();
+/// assert_eq!(graph.num_nodes(), 2);
+/// assert_eq!(graph.num_edges(), 2); // undirected tie = two directed edges
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    groups: Vec<GroupId>,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-allocated for roughly `nodes` nodes and `edges`
+    /// directed edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            groups: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of directed edge records added so far (before deduplication).
+    pub fn num_edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node belonging to `group` and returns its id.
+    pub fn add_node(&mut self, group: GroupId) -> NodeId {
+        let id = NodeId::from_index(self.groups.len());
+        self.groups.push(group);
+        id
+    }
+
+    /// Adds `count` nodes all belonging to `group`, returning their ids.
+    pub fn add_nodes(&mut self, count: usize, group: GroupId) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node(group)).collect()
+    }
+
+    /// Adds a directed edge `source -> target` with activation probability
+    /// `probability`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint has not been added or the
+    /// probability is outside `[0, 1]`.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, probability: f64) -> Result<()> {
+        let n = self.groups.len();
+        for endpoint in [source, target] {
+            if endpoint.index() >= n {
+                return Err(GraphError::NodeOutOfBounds { node: endpoint.0, num_nodes: n });
+            }
+        }
+        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+            return Err(GraphError::InvalidProbability { value: probability });
+        }
+        self.edges.push((source.0, target.0, probability));
+        Ok(())
+    }
+
+    /// Adds an undirected social tie as two directed edges with the same
+    /// activation probability, matching the paper's convention ("an undirected
+    /// link ... can be represented by simply considering two directed edges").
+    ///
+    /// Self-loops are stored once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`add_edge`](GraphBuilder::add_edge).
+    pub fn add_undirected_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        probability: f64,
+    ) -> Result<()> {
+        self.add_edge(a, b, probability)?;
+        if a != b {
+            self.add_edge(b, a, probability)?;
+        }
+        Ok(())
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node count exceeds the `u32` limit (the edges
+    /// were already validated on insertion).
+    pub fn build(mut self) -> Result<Graph> {
+        let num_nodes = self.groups.len();
+        if num_nodes > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { requested: num_nodes });
+        }
+
+        // Sort by (source, target, descending probability) so duplicates are
+        // adjacent and the kept edge is the one with the highest probability.
+        self.edges.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        self.edges.dedup_by_key(|e| (e.0, e.1));
+
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for &(s, _, _) in &self.edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..num_nodes {
+            offsets[v + 1] += offsets[v];
+        }
+
+        let targets: Vec<u32> = self.edges.iter().map(|e| e.1).collect();
+        let probabilities: Vec<f64> = self.edges.iter().map(|e| e.2).collect();
+
+        Graph::from_csr(offsets, targets, probabilities, self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_graph() {
+        let mut b = GraphBuilder::with_capacity(3, 4);
+        let v0 = b.add_node(GroupId(0));
+        let v1 = b.add_node(GroupId(0));
+        let v2 = b.add_node(GroupId(1));
+        b.add_edge(v0, v1, 0.2).unwrap();
+        b.add_edge(v1, v2, 0.4).unwrap();
+        b.add_undirected_edge(v0, v2, 0.6).unwrap();
+        assert_eq!(b.num_nodes(), 3);
+        assert_eq!(b.num_edge_records(), 4);
+
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(v0), 2);
+        assert_eq!(g.out_degree(v2), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints_and_bad_probabilities() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(GroupId(0));
+        assert!(b.add_edge(v0, NodeId(7), 0.5).is_err());
+        assert!(b.add_edge(v0, v0, -0.1).is_err());
+        assert!(b.add_edge(v0, v0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn duplicate_edges_keep_highest_probability() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(GroupId(0));
+        let v1 = b.add_node(GroupId(0));
+        b.add_edge(v0, v1, 0.2).unwrap();
+        b.add_edge(v0, v1, 0.9).unwrap();
+        b.add_edge(v0, v1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        let (_, p) = g.out_edges(v0).next().unwrap();
+        assert!((p - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_in_undirected_edges_are_stored_once() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(GroupId(0));
+        b.add_undirected_edge(v0, v0, 0.3).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn add_nodes_assigns_sequential_ids() {
+        let mut b = GraphBuilder::new();
+        let ids = b.add_nodes(4, GroupId(2));
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.group_size(GroupId(2)), 4);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert!(g.is_empty());
+    }
+}

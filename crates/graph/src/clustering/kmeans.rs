@@ -1,0 +1,227 @@
+//! Plain Lloyd's k-means on dense row vectors, used as the final step of
+//! spectral clustering.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::{GraphError, Result};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for centroid initialisation (k-means++ style sampling).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 2, max_iterations: 100, seed: 0 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster label of each input point.
+    pub labels: Vec<usize>,
+    /// Final centroids, `k` rows of dimension `dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's algorithm with k-means++ initialisation on `points`
+/// (each point a row of equal dimension).
+///
+/// # Errors
+///
+/// Returns an error if `k` is zero, there are fewer points than clusters, or
+/// the rows have inconsistent dimensions.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
+    if config.k == 0 {
+        return Err(GraphError::InvalidParameter { message: "k must be at least 1".into() });
+    }
+    if points.len() < config.k {
+        return Err(GraphError::InvalidParameter {
+            message: format!("cannot split {} points into {} clusters", points.len(), config.k),
+        });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(GraphError::InvalidParameter {
+            message: "all points must have the same dimension".into(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = init_plus_plus(points, config.k, &mut rng);
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = nearest_centroid(p, &centroids);
+            if labels[i] != nearest {
+                labels[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the farthest point from its centroid.
+                let far = farthest_point(points, &centroids, &labels);
+                centroids[c] = points[far].clone();
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| squared_distance(p, &centroids[l]))
+        .sum();
+
+    Ok(KMeansResult { labels, centroids, inertia, iterations })
+}
+
+fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.random_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = squared_distance(point, centroid);
+        if d < best_dist {
+            best_dist = d;
+            best = c;
+        }
+    }
+    best
+}
+
+fn farthest_point(points: &[Vec<f64>], centroids: &[Vec<f64>], labels: &[usize]) -> usize {
+    let mut best = 0;
+    let mut best_dist = -1.0;
+    for (i, p) in points.iter().enumerate() {
+        let d = squared_distance(p, &centroids[labels[i]]);
+        if d > best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![5.0 + (i as f64) * 0.01, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let pts = two_blobs();
+        let result = kmeans(&pts, &KMeansConfig { k: 2, max_iterations: 50, seed: 1 }).unwrap();
+        // All even indices in one cluster, odd in the other.
+        let first = result.labels[0];
+        let second = result.labels[1];
+        assert_ne!(first, second);
+        for (i, &l) in result.labels.iter().enumerate() {
+            assert_eq!(l, if i % 2 == 0 { first } else { second });
+        }
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        let pts = two_blobs();
+        assert!(kmeans(&pts, &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(&pts[..1], &KMeansConfig { k: 2, ..Default::default() }).is_err());
+        let ragged = vec![vec![0.0], vec![0.0, 1.0]];
+        assert!(kmeans(&ragged, &KMeansConfig { k: 1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig { k: 2, max_iterations: 50, seed: 9 };
+        let a = kmeans(&pts, &cfg).unwrap();
+        let b = kmeans(&pts, &cfg).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let pts = vec![vec![1.0, 1.0]; 6];
+        let result = kmeans(&pts, &KMeansConfig { k: 3, max_iterations: 20, seed: 2 }).unwrap();
+        assert_eq!(result.labels.len(), 6);
+        assert!(result.inertia <= 1e-9);
+    }
+}

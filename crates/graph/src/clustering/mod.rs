@@ -1,0 +1,58 @@
+//! Node clustering used to derive *topological* groups.
+//!
+//! Appendix C of the paper groups the Facebook-SNAP graph into five groups by
+//! spectral clustering and then studies influence disparity across those
+//! clusters. [`spectral`] implements that pipeline from scratch (subspace
+//! power iteration on the symmetrically normalized adjacency matrix followed
+//! by k-means on the embedding); [`label_propagation`] offers a cheaper
+//! alternative used in tests and the fairness-audit example.
+
+mod kmeans;
+mod label_propagation;
+mod spectral;
+
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use label_propagation::{label_propagation, LabelPropagationConfig};
+pub use spectral::{spectral_clustering, SpectralConfig};
+
+use crate::ids::GroupId;
+
+/// Converts raw cluster labels into dense [`GroupId`]s ordered by decreasing
+/// cluster size (cluster 0 is the largest), so that "majority group" always
+/// means group 0 regardless of label order produced by the algorithm.
+pub fn labels_to_groups(labels: &[usize]) -> Vec<GroupId> {
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(sizes[c]));
+    let mut remap = vec![0usize; k];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old] = new;
+    }
+    labels
+        .iter()
+        .map(|&l| GroupId::from_index(remap[l]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_remapped_by_cluster_size() {
+        // Cluster 2 is largest (3 nodes), then 0 (2), then 1 (1).
+        let labels = vec![0, 2, 2, 1, 2, 0];
+        let groups = labels_to_groups(&labels);
+        assert_eq!(groups[1], GroupId(0));
+        assert_eq!(groups[0], GroupId(1));
+        assert_eq!(groups[3], GroupId(2));
+        assert_eq!(labels_to_groups(&[]), Vec::<GroupId>::new());
+    }
+}

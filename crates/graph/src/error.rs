@@ -1,0 +1,116 @@
+//! Error types for graph construction, IO and analysis.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced by an edge or query does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A group id referenced by a query does not exist in the graph.
+    GroupOutOfBounds {
+        /// The offending group index.
+        group: u32,
+        /// Number of groups in the graph.
+        num_groups: usize,
+    },
+    /// An edge probability was outside the `[0, 1]` interval.
+    InvalidProbability {
+        /// The offending probability value.
+        value: f64,
+    },
+    /// The graph would exceed the `u32::MAX` node-count limit.
+    TooManyNodes {
+        /// Requested node count.
+        requested: usize,
+    },
+    /// A generator or algorithm received an invalid parameter.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        message: String,
+    },
+    /// A parse error while reading a graph from a text format.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying IO error while reading or writing a graph file.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::GroupOutOfBounds { group, num_groups } => {
+                write!(f, "group {group} out of bounds for graph with {num_groups} groups")
+            }
+            GraphError::InvalidProbability { value } => {
+                write!(f, "edge probability {value} is not in [0, 1]")
+            }
+            GraphError::TooManyNodes { requested } => {
+                write!(f, "requested {requested} nodes which exceeds the u32 node limit")
+            }
+            GraphError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(err) => write!(f, "io error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(err: io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_values() {
+        let err = GraphError::NodeOutOfBounds { node: 9, num_nodes: 5 };
+        assert!(err.to_string().contains("node 9"));
+        assert!(err.to_string().contains("5 nodes"));
+
+        let err = GraphError::InvalidProbability { value: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+
+        let err = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let err: GraphError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,141 @@
+//! Erdős–Rényi `G(n, p)` generator.
+//!
+//! Used as a homogeneous (single effective group or randomly grouped)
+//! control case: on an ER graph with random group labels the standard TCIM
+//! solution exhibits little disparity, which makes it a useful negative
+//! control for the fairness experiments and tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::{GroupId, NodeId};
+
+/// Configuration for the Erdős–Rényi generator.
+#[derive(Debug, Clone)]
+pub struct ErdosRenyiConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Probability of an undirected tie between any pair of nodes.
+    pub connection_probability: f64,
+    /// Activation probability assigned to every edge.
+    pub edge_probability: f64,
+    /// Number of groups; nodes are assigned to groups uniformly at random.
+    pub num_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Samples an undirected Erdős–Rényi graph with uniformly random group labels.
+///
+/// # Errors
+///
+/// Returns an error if a probability is outside `[0, 1]` or `num_groups` is 0.
+pub fn erdos_renyi(config: &ErdosRenyiConfig) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&config.connection_probability)
+        || config.connection_probability.is_nan()
+    {
+        return Err(GraphError::InvalidParameter {
+            message: format!(
+                "connection probability {} is not in [0, 1]",
+                config.connection_probability
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.edge_probability) || config.edge_probability.is_nan() {
+        return Err(GraphError::InvalidProbability { value: config.edge_probability });
+    }
+    if config.num_groups == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "num_groups must be at least 1".to_string(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(config.num_nodes, config.num_nodes * 4);
+    for _ in 0..config.num_nodes {
+        let group = GroupId::from_index(rng.random_range(0..config.num_groups));
+        builder.add_node(group);
+    }
+    for u in 0..config.num_nodes {
+        for v in (u + 1)..config.num_nodes {
+            if config.connection_probability > 0.0 && rng.random_bool(config.connection_probability)
+            {
+                builder.add_undirected_edge(
+                    NodeId::from_index(u),
+                    NodeId::from_index(v),
+                    config.edge_probability,
+                )?;
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_expected_density() {
+        let cfg = ErdosRenyiConfig {
+            num_nodes: 200,
+            connection_probability: 0.05,
+            edge_probability: 0.1,
+            num_groups: 2,
+            seed: 11,
+        };
+        let g = erdos_renyi(&cfg).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        // Expected undirected edges: C(200,2) * 0.05 = 995; directed = 1990.
+        let m = g.num_edges();
+        assert!(m > 1500 && m < 2500, "unexpected edge count {m}");
+        assert_eq!(g.num_groups(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = ErdosRenyiConfig {
+            num_nodes: 60,
+            connection_probability: 0.1,
+            edge_probability: 0.2,
+            num_groups: 3,
+            seed: 5,
+        };
+        assert_eq!(erdos_renyi(&cfg).unwrap(), erdos_renyi(&cfg).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut cfg = ErdosRenyiConfig {
+            num_nodes: 10,
+            connection_probability: 2.0,
+            edge_probability: 0.1,
+            num_groups: 1,
+            seed: 0,
+        };
+        assert!(erdos_renyi(&cfg).is_err());
+        cfg.connection_probability = 0.5;
+        cfg.num_groups = 0;
+        assert!(erdos_renyi(&cfg).is_err());
+        cfg.num_groups = 1;
+        cfg.edge_probability = f64::NAN;
+        assert!(erdos_renyi(&cfg).is_err());
+    }
+
+    #[test]
+    fn zero_connection_probability_yields_isolated_nodes() {
+        let cfg = ErdosRenyiConfig {
+            num_nodes: 25,
+            connection_probability: 0.0,
+            edge_probability: 0.5,
+            num_groups: 2,
+            seed: 1,
+        };
+        let g = erdos_renyi(&cfg).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 25);
+    }
+}

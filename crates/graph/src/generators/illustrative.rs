@@ -1,0 +1,173 @@
+//! The planted illustrative graph of Figure 1.
+//!
+//! The paper's motivating example is a 38-node graph with two groups: 26
+//! "blue dot" nodes (group `V1`) and 12 "red triangle" nodes (group `V2`).
+//! Group `V1` contains the most central, highest-connectivity nodes (`a` and
+//! `b`), while the minority group `V2` hangs off a longer bridge so that a
+//! tight deadline `τ` cuts it off entirely. The exact adjacency of the
+//! original figure is not published; this construction reproduces its three
+//! characteristic properties, which are what the disparity argument rests on:
+//!
+//! 1. `V2` is in minority (12 vs 26 nodes),
+//! 2. `V1` has the most central nodes (`a`, `b` are high-degree hubs),
+//! 3. `V1` nodes have higher connectivity than `V2` nodes, and the minority
+//!    group is only reachable from the hubs through a multi-hop bridge.
+//!
+//! The named nodes `a`–`e` play the same roles as in the figure: `a`, `b` are
+//! the majority hubs the unfair solution picks; `c` is the hub of the minority
+//! group; `d`, `e` are bridge nodes between the two groups.
+
+use crate::builder::GraphBuilder;
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::ids::{GroupId, NodeId};
+
+/// Configuration of the illustrative example graph.
+#[derive(Debug, Clone)]
+pub struct IllustrativeConfig {
+    /// Activation probability shared by all edges (the paper uses 0.7).
+    pub edge_probability: f64,
+}
+
+impl Default for IllustrativeConfig {
+    fn default() -> Self {
+        IllustrativeConfig { edge_probability: 0.7 }
+    }
+}
+
+/// Named landmark nodes of the illustrative graph, mirroring Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllustrativeNodes {
+    /// Majority hub `a` (highest degree, group `V1`).
+    pub a: NodeId,
+    /// Majority hub `b` (second hub, group `V1`).
+    pub b: NodeId,
+    /// Minority hub `c` (most central node of group `V2`).
+    pub c: NodeId,
+    /// Bridge node `d` (group `V1`), first hop on the path from `a` towards
+    /// the minority group.
+    pub d: NodeId,
+    /// Secondary minority hub `e` (group `V2`).
+    pub e: NodeId,
+}
+
+/// Group id of the majority ("blue dots") group `V1`.
+pub const MAJORITY_GROUP: GroupId = GroupId(0);
+/// Group id of the minority ("red triangles") group `V2`.
+pub const MINORITY_GROUP: GroupId = GroupId(1);
+
+/// Builds the 38-node illustrative graph and returns it together with the
+/// named landmark nodes.
+///
+/// # Errors
+///
+/// Returns an error if `edge_probability` is outside `[0, 1]`.
+pub fn illustrative_example(config: &IllustrativeConfig) -> Result<(Graph, IllustrativeNodes)> {
+    let p = config.edge_probability;
+    let mut b = GraphBuilder::with_capacity(38, 100);
+
+    // --- Majority group V1 (26 blue nodes) -------------------------------
+    let a = b.add_node(MAJORITY_GROUP); // hub a
+    let hub_b = b.add_node(MAJORITY_GROUP); // hub b
+    let d = b.add_node(MAJORITY_GROUP); // bridge d
+    let d2 = b.add_node(MAJORITY_GROUP); // second bridge hop
+    let a_leaves = b.add_nodes(12, MAJORITY_GROUP); // a's star
+    let b_leaves = b.add_nodes(10, MAJORITY_GROUP); // b's star
+
+    // --- Minority group V2 (12 red nodes) --------------------------------
+    let c = b.add_node(MINORITY_GROUP); // minority hub c
+    let e = b.add_node(MINORITY_GROUP); // secondary minority hub e
+    let c_leaves = b.add_nodes(5, MINORITY_GROUP);
+    let e_leaves = b.add_nodes(5, MINORITY_GROUP);
+
+    // Majority structure: two dense stars. The hubs are joined only through a
+    // two-leaf corridor (a — a_leaves[0] — b_leaves[0] — b), so that within a
+    // tight deadline the two stars do not overlap and the unfair optimum
+    // genuinely needs both hubs.
+    for &leaf in &a_leaves {
+        b.add_undirected_edge(a, leaf, p)?;
+    }
+    for &leaf in &b_leaves {
+        b.add_undirected_edge(hub_b, leaf, p)?;
+    }
+    b.add_undirected_edge(a_leaves[0], b_leaves[0], p)?;
+    // A couple of intra-star ties so V1 is not a pure tree.
+    b.add_undirected_edge(a_leaves[0], a_leaves[1], p)?;
+    b.add_undirected_edge(b_leaves[0], b_leaves[1], p)?;
+
+    // Bridge from the majority hub towards the minority group: a - d - d2 - c.
+    // The minority group therefore sits ≥ 3 hops from hub `a`, which is what
+    // makes a deadline of τ = 2 starve it completely under the unfair seeds.
+    b.add_undirected_edge(a, d, p)?;
+    b.add_undirected_edge(d, d2, p)?;
+    b.add_undirected_edge(d2, c, p)?;
+
+    // Minority structure: hub c and secondary hub e with their leaves. The
+    // two halves are connected only through one of c's leaves, keeping the
+    // minority group sparse and poorly connected compared to the majority —
+    // the paper's third characteristic property.
+    for &leaf in &c_leaves {
+        b.add_undirected_edge(c, leaf, p)?;
+    }
+    for &leaf in &e_leaves {
+        b.add_undirected_edge(e, leaf, p)?;
+    }
+    b.add_undirected_edge(c_leaves[0], e, p)?;
+
+    let graph = b.build()?;
+    Ok((graph, IllustrativeNodes { a, b: hub_b, c, d, e }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centrality::degree_centrality;
+    use crate::stats::graph_stats;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn has_the_published_group_sizes() {
+        let (g, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 38);
+        assert_eq!(g.group_size(MAJORITY_GROUP), 26);
+        assert_eq!(g.group_size(MINORITY_GROUP), 12);
+        assert_eq!(g.num_groups(), 2);
+    }
+
+    #[test]
+    fn majority_hubs_are_the_most_central_nodes() {
+        let (g, nodes) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        let deg = degree_centrality(&g);
+        let ranked = crate::centrality::rank_by_score(&deg);
+        assert_eq!(ranked[0], nodes.a);
+        assert_eq!(ranked[1], nodes.b);
+        assert_eq!(g.group_of(nodes.c), MINORITY_GROUP);
+        assert_eq!(g.group_of(nodes.d), MAJORITY_GROUP);
+        assert_eq!(g.group_of(nodes.e), MINORITY_GROUP);
+    }
+
+    #[test]
+    fn minority_group_is_beyond_two_hops_from_the_hubs() {
+        let (g, nodes) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        let dist = bfs_distances(&g, nodes.a);
+        for member in g.group_members(MINORITY_GROUP).unwrap() {
+            assert!(dist[member.index()] >= 3, "minority node {member} too close to hub a");
+        }
+    }
+
+    #[test]
+    fn graph_is_homophilous_and_connected() {
+        let (g, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
+        let stats = graph_stats(&g);
+        assert!(stats.assortativity > 0.5);
+        assert_eq!(crate::traversal::largest_component_size(&g), 38);
+    }
+
+    #[test]
+    fn edge_probability_is_configurable_and_validated() {
+        let (g, _) =
+            illustrative_example(&IllustrativeConfig { edge_probability: 0.3 }).unwrap();
+        assert!(g.edges().all(|(_, _, p)| (p - 0.3).abs() < 1e-12));
+        assert!(illustrative_example(&IllustrativeConfig { edge_probability: 1.3 }).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Random and planted graph generators.
+//!
+//! The paper's synthetic evaluation (Section 6) uses a two-block stochastic
+//! block model; Figure 1 uses a small hand-designed graph; the real-world
+//! surrogates in `tcim-datasets` are built from the degree-corrected SBM. All
+//! generators are deterministic given an explicit `u64` seed.
+
+mod barabasi_albert;
+mod erdos_renyi;
+mod illustrative;
+mod sbm;
+
+pub use barabasi_albert::{barabasi_albert, BarabasiAlbertConfig};
+pub use erdos_renyi::{erdos_renyi, ErdosRenyiConfig};
+pub use illustrative::{illustrative_example, IllustrativeConfig};
+pub use sbm::{stochastic_block_model, SbmConfig};

@@ -1,0 +1,435 @@
+//! Compressed sparse row (CSR) directed graph with node groups and per-edge
+//! activation probabilities.
+//!
+//! The influence-propagation hot loops (Monte-Carlo cascades, live-edge BFS)
+//! only ever need "iterate over the out-neighbours of `v` together with the
+//! activation probability of each edge". A CSR layout keeps that access
+//! pattern contiguous in memory: `offsets[v]..offsets[v + 1]` indexes into the
+//! parallel `targets` / `probabilities` arrays.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{GroupId, NodeId};
+
+/// A directed edge during graph assembly: `(source, target, probability)`.
+pub type EdgeRecord = (NodeId, NodeId, f64);
+
+/// A directed graph in CSR form with disjoint node groups and per-edge
+/// influence (activation) probabilities, as used by the independent-cascade
+/// model of Kempe et al. and the time-critical variant of Chen et al.
+///
+/// Construct via [`GraphBuilder`](crate::GraphBuilder) or one of the
+/// generators in [`crate::generators`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` is the out-edge range of node `v`.
+    offsets: Vec<u32>,
+    /// Edge targets, grouped by source node.
+    targets: Vec<u32>,
+    /// Activation probability of each edge, parallel to `targets`.
+    probabilities: Vec<f64>,
+    /// Group membership of each node.
+    groups: Vec<GroupId>,
+    /// Number of distinct groups (`max(groups) + 1`, or 1 for an empty graph).
+    num_groups: usize,
+    /// Cached member lists per group.
+    group_members: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// This is the low-level constructor used by [`GraphBuilder`]; prefer the
+    /// builder in application code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are inconsistent, a probability is
+    /// outside `[0, 1]`, or an edge target is out of bounds.
+    ///
+    /// [`GraphBuilder`]: crate::GraphBuilder
+    pub fn from_csr(
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        probabilities: Vec<f64>,
+        groups: Vec<GroupId>,
+    ) -> Result<Self> {
+        let num_nodes = groups.len();
+        if num_nodes > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { requested: num_nodes });
+        }
+        if offsets.len() != num_nodes + 1 {
+            return Err(GraphError::InvalidParameter {
+                message: format!(
+                    "offsets length {} does not match node count {} + 1",
+                    offsets.len(),
+                    num_nodes
+                ),
+            });
+        }
+        if targets.len() != probabilities.len() {
+            return Err(GraphError::InvalidParameter {
+                message: format!(
+                    "targets length {} does not match probabilities length {}",
+                    targets.len(),
+                    probabilities.len()
+                ),
+            });
+        }
+        if offsets.first().copied().unwrap_or(0) != 0
+            || offsets.last().copied().unwrap_or(0) as usize != targets.len()
+        {
+            return Err(GraphError::InvalidParameter {
+                message: "offsets must start at 0 and end at the edge count".to_string(),
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidParameter {
+                message: "offsets must be non-decreasing".to_string(),
+            });
+        }
+        for &t in &targets {
+            if t as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: t, num_nodes });
+            }
+        }
+        for &p in &probabilities {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(GraphError::InvalidProbability { value: p });
+            }
+        }
+
+        let num_groups = groups.iter().map(|g| g.index() + 1).max().unwrap_or(1);
+        let mut group_members: Vec<Vec<NodeId>> = vec![Vec::new(); num_groups];
+        for (idx, group) in groups.iter().enumerate() {
+            group_members[group.index()].push(NodeId::from_index(idx));
+        }
+
+        Ok(Graph {
+            offsets,
+            targets,
+            probabilities,
+            groups,
+            num_groups,
+            group_members,
+        })
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of directed edges in the graph.
+    ///
+    /// An undirected social tie added via
+    /// [`GraphBuilder::add_undirected_edge`](crate::GraphBuilder::add_undirected_edge)
+    /// counts as two directed edges, matching the paper's modelling convention.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of socially salient groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all group ids `0..k`.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        (0..self.num_groups as u32).map(GroupId)
+    }
+
+    /// Group membership of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds; use [`Graph::try_group_of`] for a
+    /// fallible variant.
+    #[inline]
+    pub fn group_of(&self, node: NodeId) -> GroupId {
+        self.groups[node.index()]
+    }
+
+    /// Fallible variant of [`Graph::group_of`].
+    pub fn try_group_of(&self, node: NodeId) -> Result<GroupId> {
+        self.groups
+            .get(node.index())
+            .copied()
+            .ok_or(GraphError::NodeOutOfBounds { node: node.0, num_nodes: self.num_nodes() })
+    }
+
+    /// All nodes belonging to `group`.
+    pub fn group_members(&self, group: GroupId) -> Result<&[NodeId]> {
+        self.group_members
+            .get(group.index())
+            .map(|v| v.as_slice())
+            .ok_or(GraphError::GroupOutOfBounds { group: group.0, num_groups: self.num_groups })
+    }
+
+    /// Number of nodes in `group` (0 for unknown groups).
+    pub fn group_size(&self, group: GroupId) -> usize {
+        self.group_members
+            .get(group.index())
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Sizes of every group, indexed by group id.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.group_members.iter().map(|v| v.len()).collect()
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        let v = node.index();
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Iterator over `(target, probability)` pairs of the out-edges of `node`.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let v = node.index();
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        self.targets[start..end]
+            .iter()
+            .zip(&self.probabilities[start..end])
+            .map(|(&t, &p)| (NodeId(t), p))
+    }
+
+    /// Iterator over the out-neighbour ids of `node` (without probabilities).
+    #[inline]
+    pub fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let v = node.index();
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        self.targets[start..end].iter().map(|&t| NodeId(t))
+    }
+
+    /// Global edge index range for the out-edges of `node`.
+    ///
+    /// The returned range indexes the flat edge arrays and is stable for the
+    /// lifetime of the graph; the live-edge world sampler uses it to address
+    /// per-edge coin flips by flat edge index.
+    #[inline]
+    pub fn out_edge_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let v = node.index();
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Target of the edge with flat index `edge_index`.
+    #[inline]
+    pub fn edge_target(&self, edge_index: usize) -> NodeId {
+        NodeId(self.targets[edge_index])
+    }
+
+    /// Activation probability of the edge with flat index `edge_index`.
+    #[inline]
+    pub fn edge_probability(&self, edge_index: usize) -> f64 {
+        self.probabilities[edge_index]
+    }
+
+    /// Iterator over all edges as `(source, target, probability)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRecord> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.out_edges(v).map(move |(t, p)| (v, t, p))
+        })
+    }
+
+    /// Returns a copy of this graph with every edge probability replaced by
+    /// `probability`.
+    ///
+    /// The paper's experiments use a single activation probability `p_e`
+    /// shared by all edges; sweeping it (Fig. 5a) is a common operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `probability` is outside `[0, 1]`.
+    pub fn with_uniform_probability(&self, probability: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+            return Err(GraphError::InvalidProbability { value: probability });
+        }
+        let mut clone = self.clone();
+        for p in &mut clone.probabilities {
+            *p = probability;
+        }
+        Ok(clone)
+    }
+
+    /// Returns a copy of this graph with the group assignment replaced.
+    ///
+    /// Used when re-grouping a graph by a clustering algorithm (Appendix C of
+    /// the paper groups Facebook-SNAP by spectral clustering) or when loading
+    /// node attributes from a separate file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `groups.len()` differs from the node count.
+    pub fn with_groups(&self, groups: Vec<GroupId>) -> Result<Self> {
+        if groups.len() != self.num_nodes() {
+            return Err(GraphError::InvalidParameter {
+                message: format!(
+                    "group assignment has {} entries for {} nodes",
+                    groups.len(),
+                    self.num_nodes()
+                ),
+            });
+        }
+        Graph::from_csr(
+            self.offsets.clone(),
+            self.targets.clone(),
+            self.probabilities.clone(),
+            groups,
+        )
+    }
+
+    /// Total number of directed edges whose endpoints are both in `group`.
+    pub fn within_group_edges(&self, group: GroupId) -> usize {
+        self.edges()
+            .filter(|(s, t, _)| self.group_of(*s) == group && self.group_of(*t) == group)
+            .count()
+    }
+
+    /// Total number of directed edges whose endpoints are in different groups.
+    pub fn across_group_edges(&self) -> usize {
+        self.edges()
+            .filter(|(s, t, _)| self.group_of(*s) != self.group_of(*t))
+            .count()
+    }
+
+    /// Sum of all edge probabilities (expected number of live edges).
+    pub fn expected_live_edges(&self) -> f64 {
+        self.probabilities.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(GroupId(0));
+        let c = b.add_node(GroupId(0));
+        let d = b.add_node(GroupId(1));
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(c, d, 0.25).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csr_counts_are_consistent() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_groups(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn out_edges_report_targets_and_probabilities() {
+        let g = triangle();
+        let edges: Vec<_> = g.out_edges(NodeId(0)).collect();
+        assert_eq!(edges, vec![(NodeId(1), 0.5)]);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.out_degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn group_membership_queries() {
+        let g = triangle();
+        assert_eq!(g.group_of(NodeId(0)), GroupId(0));
+        assert_eq!(g.group_of(NodeId(2)), GroupId(1));
+        assert_eq!(g.group_members(GroupId(0)).unwrap(), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.group_size(GroupId(1)), 1);
+        assert_eq!(g.group_sizes(), vec![2, 1]);
+        assert!(g.group_members(GroupId(9)).is_err());
+    }
+
+    #[test]
+    fn edge_iteration_covers_every_edge_once() {
+        let g = triangle();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(NodeId(2), NodeId(0), 1.0)));
+    }
+
+    #[test]
+    fn flat_edge_indexing_matches_out_edges() {
+        let g = triangle();
+        for v in g.nodes() {
+            let range = g.out_edge_range(v);
+            let from_flat: Vec<_> = range
+                .map(|i| (g.edge_target(i), g.edge_probability(i)))
+                .collect();
+            let from_iter: Vec<_> = g.out_edges(v).collect();
+            assert_eq!(from_flat, from_iter);
+        }
+    }
+
+    #[test]
+    fn uniform_probability_rewrites_all_edges() {
+        let g = triangle().with_uniform_probability(0.1).unwrap();
+        assert!(g.edges().all(|(_, _, p)| (p - 0.1).abs() < 1e-12));
+        assert!(triangle().with_uniform_probability(1.5).is_err());
+    }
+
+    #[test]
+    fn regrouping_validates_length() {
+        let g = triangle();
+        let regrouped = g
+            .with_groups(vec![GroupId(1), GroupId(1), GroupId(0)])
+            .unwrap();
+        assert_eq!(regrouped.group_size(GroupId(1)), 2);
+        assert!(g.with_groups(vec![GroupId(0)]).is_err());
+    }
+
+    #[test]
+    fn from_csr_rejects_inconsistent_arrays() {
+        // offsets wrong length
+        assert!(Graph::from_csr(vec![0, 1], vec![0], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+        // target out of bounds
+        assert!(Graph::from_csr(vec![0, 1, 1], vec![5], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+        // bad probability
+        assert!(Graph::from_csr(vec![0, 1, 1], vec![1], vec![1.5], vec![GroupId(0), GroupId(0)]).is_err());
+        // decreasing offsets
+        assert!(Graph::from_csr(vec![0, 1, 0], vec![1], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Graph::from_csr(vec![0], vec![], vec![], vec![]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn within_and_across_group_edge_counts() {
+        let g = triangle();
+        assert_eq!(g.within_group_edges(GroupId(0)), 1); // a -> c
+        assert_eq!(g.across_group_edges(), 2); // c -> d, d -> a
+    }
+
+    #[test]
+    fn expected_live_edges_sums_probabilities() {
+        let g = triangle();
+        assert!((g.expected_live_edges() - 1.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers for nodes and groups.
+//!
+//! Influence-maximization workloads touch millions of node references during
+//! Monte-Carlo estimation, so identifiers are compact `u32` newtypes rather
+//! than `usize`. The newtypes prevent accidentally mixing node indices with
+//! group indices or plain counters.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`. Graphs in this crate are
+    /// bounded to `u32::MAX` nodes, which is enforced at construction time.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// Identifier of a socially salient group (e.g. an age bracket or gender).
+///
+/// Group ids are dense: a graph with `k` groups uses ids `0..k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the id as a `usize` index, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a group id from a `usize` index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "group index overflows u32");
+        GroupId(index as u32)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(value: u32) -> Self {
+        GroupId(value)
+    }
+}
+
+impl From<GroupId> for u32 {
+    fn from(value: GroupId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn group_id_round_trips_through_index() {
+        let id = GroupId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(u32::from(id), 3);
+        assert_eq!(GroupId::from(3u32), id);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+        assert_eq!(GroupId(1).to_string(), "g1");
+    }
+
+    #[test]
+    fn ordering_follows_underlying_integer() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(GroupId(0) < GroupId(5));
+    }
+}

@@ -1,0 +1,219 @@
+//! Descriptive statistics about a grouped graph.
+//!
+//! The paper's analysis of when disparity arises (Section 4.2) is in terms of
+//! group sizes, within/across-group connectivity (homophily) and degree
+//! imbalance. [`GroupStats`] collects exactly those quantities so datasets and
+//! experiment logs can report them.
+
+use crate::graph::Graph;
+use crate::ids::GroupId;
+
+/// Per-group structural statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Group this record describes.
+    pub group: GroupId,
+    /// Number of member nodes.
+    pub size: usize,
+    /// Fraction of all nodes belonging to this group.
+    pub size_fraction: f64,
+    /// Directed edges with both endpoints inside the group.
+    pub within_edges: usize,
+    /// Directed edges leaving the group (source inside, target outside).
+    pub outgoing_across_edges: usize,
+    /// Mean out-degree of member nodes.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree of member nodes.
+    pub max_out_degree: usize,
+}
+
+/// Whole-graph structural summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Mean out-degree over all nodes.
+    pub mean_out_degree: f64,
+    /// Directed edges whose endpoints are in different groups.
+    pub across_group_edges: usize,
+    /// Newman-style homophily index in `[-1, 1]`: fraction of within-group
+    /// edges minus the value expected if edges ignored groups, normalized.
+    pub assortativity: f64,
+    /// Per-group breakdown.
+    pub groups: Vec<GroupStats>,
+}
+
+/// Computes structural statistics for `graph`.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let k = graph.num_groups();
+
+    let mut within = vec![0usize; k];
+    let mut outgoing_across = vec![0usize; k];
+    let mut degree_sum = vec![0usize; k];
+    let mut degree_max = vec![0usize; k];
+    let mut across_total = 0usize;
+
+    // e[i] = fraction of edges with source in group i and target in group i;
+    // a[i] = fraction of edges with source in group i, b[i] = with target in i.
+    let mut a = vec![0usize; k];
+    let mut b = vec![0usize; k];
+
+    for v in graph.nodes() {
+        let gv = graph.group_of(v).index();
+        let deg = graph.out_degree(v);
+        degree_sum[gv] += deg;
+        degree_max[gv] = degree_max[gv].max(deg);
+        for w in graph.out_neighbors(v) {
+            let gw = graph.group_of(w).index();
+            a[gv] += 1;
+            b[gw] += 1;
+            if gv == gw {
+                within[gv] += 1;
+            } else {
+                outgoing_across[gv] += 1;
+                across_total += 1;
+            }
+        }
+    }
+
+    let assortativity = if m == 0 {
+        0.0
+    } else {
+        let mf = m as f64;
+        let trace: f64 = within.iter().map(|&x| x as f64 / mf).sum();
+        let expected: f64 = (0..k)
+            .map(|i| (a[i] as f64 / mf) * (b[i] as f64 / mf))
+            .sum();
+        if (1.0 - expected).abs() < 1e-12 {
+            // Single effective group: perfectly assortative by convention.
+            1.0
+        } else {
+            (trace - expected) / (1.0 - expected)
+        }
+    };
+
+    let groups = (0..k)
+        .map(|i| {
+            let size = graph.group_size(GroupId::from_index(i));
+            GroupStats {
+                group: GroupId::from_index(i),
+                size,
+                size_fraction: if n == 0 { 0.0 } else { size as f64 / n as f64 },
+                within_edges: within[i],
+                outgoing_across_edges: outgoing_across[i],
+                mean_out_degree: if size == 0 { 0.0 } else { degree_sum[i] as f64 / size as f64 },
+                max_out_degree: degree_max[i],
+            }
+        })
+        .collect();
+
+    GraphStats {
+        num_nodes: n,
+        num_edges: m,
+        num_groups: k,
+        mean_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        across_group_edges: across_total,
+        assortativity,
+        groups,
+    }
+}
+
+impl GraphStats {
+    /// Ratio `|V_largest| / |V_smallest|` over non-empty groups (1.0 when
+    /// there are fewer than two non-empty groups).
+    pub fn group_imbalance(&self) -> f64 {
+        let sizes: Vec<usize> = self
+            .groups
+            .iter()
+            .map(|g| g.size)
+            .filter(|&s| s > 0)
+            .collect();
+        match (sizes.iter().max(), sizes.iter().min()) {
+            (Some(&max), Some(&min)) if sizes.len() >= 2 && min > 0 => max as f64 / min as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Fraction of edges that stay within their source's group.
+    pub fn within_group_edge_fraction(&self) -> f64 {
+        if self.num_edges == 0 {
+            return 0.0;
+        }
+        1.0 - self.across_group_edges as f64 / self.num_edges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::GroupId;
+
+    /// Two groups of 3 and 2 nodes; dense within group 0, one across edge.
+    fn grouped() -> Graph {
+        let mut b = GraphBuilder::new();
+        let g0 = b.add_nodes(3, GroupId(0));
+        let g1 = b.add_nodes(2, GroupId(1));
+        b.add_undirected_edge(g0[0], g0[1], 0.5).unwrap();
+        b.add_undirected_edge(g0[1], g0[2], 0.5).unwrap();
+        b.add_undirected_edge(g0[0], g0[2], 0.5).unwrap();
+        b.add_undirected_edge(g1[0], g1[1], 0.5).unwrap();
+        b.add_undirected_edge(g0[0], g1[0], 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let s = graph_stats(&grouped());
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.num_groups, 2);
+        assert_eq!(s.across_group_edges, 2);
+        assert_eq!(s.groups[0].size, 3);
+        assert_eq!(s.groups[1].size, 2);
+        assert_eq!(s.groups[0].within_edges, 6);
+        assert_eq!(s.groups[1].within_edges, 2);
+        assert_eq!(s.groups[0].outgoing_across_edges, 1);
+        assert_eq!(s.groups[1].outgoing_across_edges, 1);
+    }
+
+    #[test]
+    fn fractions_and_imbalance() {
+        let s = graph_stats(&grouped());
+        assert!((s.groups[0].size_fraction - 0.6).abs() < 1e-12);
+        assert!((s.within_group_edge_fraction() - 0.8).abs() < 1e-12);
+        assert!((s.group_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_positive_for_homophilous_graph() {
+        let s = graph_stats(&grouped());
+        assert!(s.assortativity > 0.0);
+        assert!(s.assortativity <= 1.0);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zeroed() {
+        let g = GraphBuilder::new().build().unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.assortativity, 0.0);
+        assert_eq!(s.group_imbalance(), 1.0);
+        assert_eq!(s.within_group_edge_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_group_graph_is_fully_assortative() {
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes(3, GroupId(0));
+        b.add_undirected_edge(nodes[0], nodes[1], 1.0).unwrap();
+        let s = graph_stats(&b.build().unwrap());
+        assert_eq!(s.assortativity, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Greedy submodular cover: select the smallest set whose objective value
+//! reaches a target.
+//!
+//! This is the solver behind the TCIM-COVER (P2) and FAIRTCIM-COVER (P6)
+//! problems: the objective is the (truncated, possibly per-group) coverage
+//! potential, and the target is `Q` (resp. `k · Q`). Wolsey's analysis gives
+//! the `ln(1 + |V|)`-style multiplicative bound on the selected set size
+//! quoted in Section 3.4 and Theorem 2 of the paper.
+
+use crate::error::{Result, SubmodularError};
+use crate::function::IncrementalObjective;
+use crate::trace::{CoverResult, SelectionTrace};
+
+/// Configuration of the greedy cover solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverConfig {
+    /// Target objective value to reach.
+    pub target: f64,
+    /// Numerical slack: the run stops once `value ≥ target − tolerance`.
+    /// Useful because Monte-Carlo objectives only approximate the true value.
+    pub tolerance: f64,
+    /// Hard cap on the number of selected items (defaults to the ground-set
+    /// size when `None`).
+    pub max_items: Option<usize>,
+}
+
+impl CoverConfig {
+    /// Creates a configuration with the given target, zero tolerance and no
+    /// item cap.
+    pub fn new(target: f64) -> Self {
+        CoverConfig { target, tolerance: 0.0, max_items: None }
+    }
+}
+
+/// Greedily selects items from `ground` until the objective value reaches the
+/// target (within tolerance), the ground set is exhausted, the item cap is
+/// hit, or no remaining item has positive gain.
+///
+/// The returned [`CoverResult::reached`] flag records whether the target was
+/// met; an unreachable target is *not* an error because the experiment
+/// harness deliberately probes infeasible quotas.
+///
+/// # Errors
+///
+/// Returns an error if `ground` is empty or the target is negative / NaN.
+pub fn cover_greedy<O: IncrementalObjective>(
+    objective: &mut O,
+    ground: &[usize],
+    config: &CoverConfig,
+) -> Result<CoverResult> {
+    if ground.is_empty() {
+        return Err(SubmodularError::EmptyGroundSet);
+    }
+    if config.target < 0.0 || config.target.is_nan() {
+        return Err(SubmodularError::InvalidParameter {
+            message: format!("cover target {} must be non-negative", config.target),
+        });
+    }
+    if config.tolerance < 0.0 || config.tolerance.is_nan() {
+        return Err(SubmodularError::InvalidParameter {
+            message: format!("tolerance {} must be non-negative", config.tolerance),
+        });
+    }
+
+    let mut remaining: Vec<usize> = ground.to_vec();
+    remaining.sort_unstable();
+    remaining.dedup();
+    let max_items = config.max_items.unwrap_or(remaining.len());
+
+    let mut trace = SelectionTrace::default();
+    let threshold = config.target - config.tolerance;
+
+    while objective.current_value() < threshold && trace.len() < max_items && !remaining.is_empty()
+    {
+        let mut best: Option<(usize, f64)> = None; // (position, gain)
+        for (pos, &item) in remaining.iter().enumerate() {
+            let gain = objective.gain(item);
+            trace.gain_evaluations += 1;
+            // Ties break towards the smallest item id, matching the greedy and
+            // lazy-greedy maximizers.
+            let better = match best {
+                None => true,
+                Some((best_pos, best_gain)) => {
+                    gain > best_gain || (gain == best_gain && item < remaining[best_pos])
+                }
+            };
+            if better {
+                best = Some((pos, gain));
+            }
+        }
+        match best {
+            Some((pos, gain)) if gain > 0.0 => {
+                let item = remaining.swap_remove(pos);
+                objective.insert(item);
+                trace.push(item, gain, objective.current_value());
+            }
+            _ => break,
+        }
+    }
+
+    let reached = objective.current_value() >= threshold;
+    Ok(CoverResult { trace, reached, target: config.target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{ModularFunction, WeightedCoverage};
+
+    #[test]
+    fn covers_the_target_with_a_small_set() {
+        let mut f = WeightedCoverage::uniform(
+            vec![vec![0, 1, 2, 3], vec![4, 5], vec![6], vec![0, 4, 6]],
+            7,
+        );
+        let result = cover_greedy(&mut f, &[0, 1, 2, 3], &CoverConfig::new(6.0)).unwrap();
+        assert!(result.reached);
+        assert!(result.achieved() >= 6.0);
+        assert!(result.seed_count() <= 3);
+    }
+
+    #[test]
+    fn reports_unreachable_targets_without_erroring() {
+        let mut f = WeightedCoverage::uniform(vec![vec![0], vec![1]], 5);
+        let result = cover_greedy(&mut f, &[0, 1], &CoverConfig::new(4.0)).unwrap();
+        assert!(!result.reached);
+        assert_eq!(result.achieved(), 2.0);
+        assert_eq!(result.seed_count(), 2);
+        assert_eq!(result.target, 4.0);
+    }
+
+    #[test]
+    fn zero_target_selects_nothing() {
+        let mut f = ModularFunction::new(vec![1.0, 1.0]);
+        let result = cover_greedy(&mut f, &[0, 1], &CoverConfig::new(0.0)).unwrap();
+        assert!(result.reached);
+        assert_eq!(result.seed_count(), 0);
+    }
+
+    #[test]
+    fn tolerance_allows_stopping_slightly_early() {
+        let mut f = ModularFunction::new(vec![1.0, 1.0, 1.0]);
+        let config = CoverConfig { target: 2.05, tolerance: 0.1, max_items: None };
+        let result = cover_greedy(&mut f, &[0, 1, 2], &config).unwrap();
+        assert!(result.reached);
+        assert_eq!(result.seed_count(), 2);
+    }
+
+    #[test]
+    fn max_items_caps_the_selection() {
+        let mut f = ModularFunction::new(vec![1.0; 10]);
+        let config = CoverConfig { target: 10.0, tolerance: 0.0, max_items: Some(3) };
+        let result = cover_greedy(&mut f, &(0..10).collect::<Vec<_>>(), &config).unwrap();
+        assert!(!result.reached);
+        assert_eq!(result.seed_count(), 3);
+    }
+
+    #[test]
+    fn wolsey_style_bound_holds_on_coverage_instances() {
+        // Universe of 12 elements; optimal cover of the 0.9 * 12 target needs
+        // 2 sets; greedy must stay within ln(1 + 12) * 2 ≈ 5.1 sets.
+        let covers = vec![
+            vec![0, 1, 2, 3, 4, 5],
+            vec![6, 7, 8, 9, 10, 11],
+            vec![0, 6],
+            vec![1, 7],
+            vec![2, 8],
+            vec![3, 9],
+        ];
+        let mut f = WeightedCoverage::uniform(covers, 12);
+        let result = cover_greedy(&mut f, &[0, 1, 2, 3, 4, 5], &CoverConfig::new(11.0)).unwrap();
+        assert!(result.reached);
+        let bound = ((1.0 + 12.0f64).ln() * 2.0).ceil() as usize;
+        assert!(result.seed_count() <= bound);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let mut f = ModularFunction::new(vec![1.0]);
+        assert!(cover_greedy(&mut f, &[], &CoverConfig::new(1.0)).is_err());
+        assert!(cover_greedy(&mut f, &[0], &CoverConfig::new(-1.0)).is_err());
+        let bad_tol = CoverConfig { target: 1.0, tolerance: -0.5, max_items: None };
+        assert!(cover_greedy(&mut f, &[0], &bad_tol).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the submodular-optimization solvers.
+
+use std::fmt;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmodularError {
+    /// The ground set handed to a solver was empty.
+    EmptyGroundSet,
+    /// A budget / cardinality constraint of zero items was requested.
+    ZeroBudget,
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SubmodularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmodularError::EmptyGroundSet => write!(f, "ground set is empty"),
+            SubmodularError::ZeroBudget => write!(f, "budget must be at least 1"),
+            SubmodularError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmodularError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SubmodularError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SubmodularError::EmptyGroundSet.to_string().contains("empty"));
+        assert!(SubmodularError::ZeroBudget.to_string().contains("at least 1"));
+        let err = SubmodularError::InvalidParameter { message: "epsilon".into() };
+        assert!(err.to_string().contains("epsilon"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Reference set functions and property checkers used in tests and
+//! documentation examples.
+//!
+//! These are genuine (if small) submodular objectives, useful for validating
+//! the solvers independently of the influence-estimation stack and for
+//! property-based testing of the greedy guarantees.
+
+use crate::function::IncrementalObjective;
+
+/// A modular (additive) function `F(S) = Σ_{i ∈ S} w_i`.
+///
+/// Modular functions are the degenerate case of submodularity (equality in
+/// the diminishing-returns inequality); greedy is exactly optimal on them.
+#[derive(Debug, Clone)]
+pub struct ModularFunction {
+    weights: Vec<f64>,
+    selected: Vec<bool>,
+    value: f64,
+}
+
+impl ModularFunction {
+    /// Creates a modular function with the given item weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        ModularFunction { weights, selected: vec![false; n], value: 0.0 }
+    }
+
+    /// Number of ground-set items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` for an empty ground set.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+impl IncrementalObjective for ModularFunction {
+    fn current_value(&self) -> f64 {
+        self.value
+    }
+
+    fn gain(&mut self, item: usize) -> f64 {
+        if self.selected[item] {
+            0.0
+        } else {
+            self.weights[item]
+        }
+    }
+
+    fn insert(&mut self, item: usize) {
+        if !self.selected[item] {
+            self.selected[item] = true;
+            self.value += self.weights[item];
+        }
+    }
+}
+
+/// A weighted coverage function: every item covers a subset of elements, each
+/// element has a weight, and `F(S)` is the total weight of elements covered
+/// by at least one selected item. The canonical monotone submodular function.
+#[derive(Debug, Clone)]
+pub struct WeightedCoverage {
+    /// `covers[item]` lists the element indices the item covers.
+    covers: Vec<Vec<usize>>,
+    element_weights: Vec<f64>,
+    covered: Vec<bool>,
+    value: f64,
+}
+
+impl WeightedCoverage {
+    /// Creates a coverage function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item references an element outside `element_weights`.
+    pub fn new(covers: Vec<Vec<usize>>, element_weights: Vec<f64>) -> Self {
+        for set in &covers {
+            for &e in set {
+                assert!(e < element_weights.len(), "element index {e} out of range");
+            }
+        }
+        let covered = vec![false; element_weights.len()];
+        WeightedCoverage { covers, element_weights, covered, value: 0.0 }
+    }
+
+    /// Uniform-weight convenience constructor.
+    pub fn uniform(covers: Vec<Vec<usize>>, num_elements: usize) -> Self {
+        WeightedCoverage::new(covers, vec![1.0; num_elements])
+    }
+
+    /// Number of ground-set items.
+    pub fn num_items(&self) -> usize {
+        self.covers.len()
+    }
+
+    /// Maximum achievable value (total element weight reachable by any item).
+    pub fn max_coverage(&self) -> f64 {
+        let mut reachable = vec![false; self.element_weights.len()];
+        for set in &self.covers {
+            for &e in set {
+                reachable[e] = true;
+            }
+        }
+        reachable
+            .iter()
+            .zip(&self.element_weights)
+            .filter(|(r, _)| **r)
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+impl IncrementalObjective for WeightedCoverage {
+    fn current_value(&self) -> f64 {
+        self.value
+    }
+
+    fn gain(&mut self, item: usize) -> f64 {
+        self.covers[item]
+            .iter()
+            .filter(|&&e| !self.covered[e])
+            .map(|&e| self.element_weights[e])
+            .sum()
+    }
+
+    fn insert(&mut self, item: usize) {
+        for &e in &self.covers[item] {
+            if !self.covered[e] {
+                self.covered[e] = true;
+                self.value += self.element_weights[e];
+            }
+        }
+    }
+}
+
+/// Empirically checks monotonicity and submodularity of `objective` on every
+/// pair of nested sets drawn from `ground` up to `max_set_size`, via
+/// exhaustive enumeration. Returns an error message describing the first
+/// violated inequality, if any.
+///
+/// Intended for small ground sets (the check is exponential).
+pub fn verify_submodular<O>(
+    objective: &O,
+    ground: &[usize],
+    max_set_size: usize,
+    tolerance: f64,
+) -> Result<(), String>
+where
+    O: IncrementalObjective + Clone,
+{
+    let evaluate = |items: &[usize]| -> f64 {
+        let mut copy = objective.clone();
+        for &i in items {
+            copy.insert(i);
+        }
+        copy.current_value()
+    };
+
+    let subsets = enumerate_subsets(ground, max_set_size);
+    for small in &subsets {
+        for large in &subsets {
+            if !is_subset(small, large) {
+                continue;
+            }
+            let f_small = evaluate(small);
+            let f_large = evaluate(large);
+            if f_large + tolerance < f_small {
+                return Err(format!(
+                    "monotonicity violated: F({large:?}) = {f_large} < F({small:?}) = {f_small}"
+                ));
+            }
+            for &a in ground {
+                if large.contains(&a) {
+                    continue;
+                }
+                let mut small_plus = small.clone();
+                small_plus.push(a);
+                let mut large_plus = large.clone();
+                large_plus.push(a);
+                let gain_small = evaluate(&small_plus) - f_small;
+                let gain_large = evaluate(&large_plus) - f_large;
+                if gain_small + tolerance < gain_large {
+                    return Err(format!(
+                        "submodularity violated at item {a}: gain on {small:?} = {gain_small} < gain on {large:?} = {gain_large}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn enumerate_subsets(ground: &[usize], max_size: usize) -> Vec<Vec<usize>> {
+    assert!(ground.len() <= 20, "subset enumeration is limited to 20 ground items");
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << ground.len()) {
+        if (mask.count_ones() as usize) > max_size {
+            continue;
+        }
+        let subset: Vec<usize> = ground
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &item)| item)
+            .collect();
+        out.push(subset);
+    }
+    out
+}
+
+fn is_subset(small: &[usize], large: &[usize]) -> bool {
+    small.iter().all(|x| large.contains(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modular_function_behaves_additively() {
+        let mut f = ModularFunction::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(f.gain(2), 4.0);
+        f.insert(2);
+        assert_eq!(f.current_value(), 4.0);
+        assert_eq!(f.gain(2), 0.0);
+        f.insert(0);
+        assert_eq!(f.current_value(), 5.0);
+    }
+
+    #[test]
+    fn coverage_function_has_diminishing_returns() {
+        let mut f = WeightedCoverage::uniform(vec![vec![0, 1, 2], vec![1, 2, 3], vec![3]], 4);
+        assert_eq!(f.num_items(), 3);
+        assert_eq!(f.max_coverage(), 4.0);
+        assert_eq!(f.gain(1), 3.0);
+        f.insert(0);
+        assert_eq!(f.gain(1), 1.0); // only element 3 is new now
+        f.insert(1);
+        assert_eq!(f.gain(2), 0.0);
+        assert_eq!(f.current_value(), 4.0);
+    }
+
+    #[test]
+    fn verify_submodular_accepts_coverage_functions() {
+        let f = WeightedCoverage::new(
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        verify_submodular(&f, &[0, 1, 2, 3], 3, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn verify_submodular_rejects_a_supermodular_function() {
+        /// F(S) = |S|^2 — strictly supermodular for |S| >= 1.
+        #[derive(Clone)]
+        struct Quadratic {
+            count: usize,
+        }
+        impl IncrementalObjective for Quadratic {
+            fn current_value(&self) -> f64 {
+                (self.count * self.count) as f64
+            }
+            fn gain(&mut self, _item: usize) -> f64 {
+                ((self.count + 1) * (self.count + 1) - self.count * self.count) as f64
+            }
+            fn insert(&mut self, _item: usize) {
+                self.count += 1;
+            }
+        }
+        let err = verify_submodular(&Quadratic { count: 0 }, &[0, 1, 2], 2, 1e-9).unwrap_err();
+        assert!(err.contains("submodularity violated"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coverage_rejects_out_of_range_elements() {
+        WeightedCoverage::uniform(vec![vec![5]], 2);
+    }
+}

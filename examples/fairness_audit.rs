@@ -1,0 +1,98 @@
+//! Fairness audit of an arbitrary social network.
+//!
+//! Given any edge-list file (and optionally a node-attribute file), this
+//! example quantifies how unfair a *standard* time-critical influence
+//! campaign would be on that network, across a range of deadlines, and how
+//! much of that disparity the fair surrogate removes. When no attribute file
+//! is available, topological groups are derived by label propagation — the
+//! same idea as the paper's Facebook-SNAP appendix, where groups come from
+//! spectral clustering.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fairness_audit -- [edge_file] [group_file]
+//! ```
+//!
+//! Without arguments the audit runs on the built-in Facebook-SNAP surrogate.
+
+use std::sync::Arc;
+
+use fairtcim::datasets::fbsnap::{fbsnap_spectral_groups, fbsnap_surrogate};
+use fairtcim::datasets::loader::{load_dataset, LoadOptions};
+use fairtcim::graph::clustering::{label_propagation, labels_to_groups, LabelPropagationConfig};
+use fairtcim::graph::stats::graph_stats;
+use fairtcim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let edge_file = args.next();
+    let group_file = args.next();
+
+    let graph = match edge_file {
+        Some(path) => {
+            println!("auditing {path}");
+            let graph = load_dataset(
+                std::path::PathBuf::from(&path),
+                group_file.map(std::path::PathBuf::from),
+                &LoadOptions { edge_probability: 0.05, undirected: true },
+            )?;
+            if graph.num_groups() <= 1 {
+                println!("no group attribute supplied: deriving topological groups by label propagation");
+                let labels = label_propagation(&graph, &LabelPropagationConfig::default());
+                graph.with_groups(labels_to_groups(&labels))?
+            } else {
+                graph
+            }
+        }
+        None => {
+            println!("no input file given: auditing the built-in Facebook-SNAP surrogate");
+            let base = fbsnap_surrogate(3)?;
+            fbsnap_spectral_groups(&base, 4)?
+        }
+    };
+
+    let stats = graph_stats(&graph);
+    println!(
+        "network: {} nodes, {} directed edges, {} groups (sizes {:?}), assortativity {:.2}",
+        stats.num_nodes,
+        stats.num_edges,
+        stats.num_groups,
+        graph.group_sizes(),
+        stats.assortativity
+    );
+
+    let graph = Arc::new(graph);
+    let budget = 30.min(graph.num_nodes() / 10).max(1);
+    println!("auditing a budget-{budget} campaign across deadlines\n");
+
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>14}",
+        "deadline", "P1 reach", "P1 disparity", "P4 reach", "P4 disparity"
+    );
+    for deadline in [Deadline::finite(2), Deadline::finite(5), Deadline::finite(20), Deadline::unbounded()] {
+        let oracle = WorldEstimator::new(
+            Arc::clone(&graph),
+            deadline,
+            &WorldsConfig { num_worlds: 100, seed: 17 },
+        )?;
+        let config = BudgetConfig::new(budget);
+        let unfair = solve_tcim_budget(&oracle, &config)?;
+        let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None)?;
+        println!(
+            "{:>9} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            deadline.to_string(),
+            unfair.total_fraction(),
+            unfair.disparity(),
+            fair.total_fraction(),
+            fair.disparity()
+        );
+    }
+
+    println!(
+        "\nReading the table: if the P1 disparity column grows as the deadline shrinks, the \
+         network exhibits the time-critical unfairness the paper describes; the P4 columns show \
+         what enforcing the fair surrogate would cost in reach."
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # fairtcim
+//!
+//! Fairness-aware **time-critical influence maximization** in social
+//! networks — a from-scratch Rust reproduction of
+//! *"On the Fairness of Time-Critical Influence Maximization in Social
+//! Networks"* (Ali, Babaei, Chakraborty, Mirzasoleiman, Gummadi, Singla;
+//! ICDE 2022, arXiv:1905.06618).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`graph`] (`tcim-graph`) — CSR social graphs with groups, generators,
+//!   centrality, clustering and IO,
+//! * [`diffusion`] (`tcim-diffusion`) — independent-cascade / linear-threshold
+//!   simulation and time-critical influence estimators,
+//! * [`submodular`] (`tcim-submodular`) — greedy / CELF / stochastic greedy /
+//!   greedy cover,
+//! * [`core`] (`tcim-core`) — the TCIM-BUDGET, TCIM-COVER, FAIRTCIM-BUDGET and
+//!   FAIRTCIM-COVER solvers, the disparity measure and the Theorem 1/2
+//!   checks,
+//! * [`datasets`] (`tcim-datasets`) — the paper's synthetic suite and
+//!   surrogates for its three real-world datasets.
+//!
+//! The [`prelude`] pulls in the handful of types most applications need; the
+//! `examples/` directory shows end-to-end usage and `crates/bench` regenerates
+//! every figure of the paper.
+//!
+//! ```
+//! use fairtcim::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Build the paper's synthetic network and compare the unfair and fair
+//! // budget solvers under a tight deadline.
+//! let graph = Arc::new(SyntheticConfig::default().build().unwrap());
+//! let oracle = WorldEstimator::new(
+//!     Arc::clone(&graph),
+//!     Deadline::finite(5),
+//!     &WorldsConfig { num_worlds: 50, seed: 0 },
+//! )
+//! .unwrap();
+//!
+//! let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+//! let fair =
+//!     solve_fair_tcim_budget(&oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None).unwrap();
+//! assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tcim_core as core;
+pub use tcim_datasets as datasets;
+pub use tcim_diffusion as diffusion;
+pub use tcim_graph as graph;
+pub use tcim_submodular as submodular;
+
+/// The most commonly used types and functions, re-exported flat.
+pub mod prelude {
+    pub use tcim_core::{
+        disparity, solve_budget_exhaustive, solve_constrained_budget, solve_constrained_cover,
+        solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget,
+        solve_tcim_cover, BudgetConfig, ConcaveWrapper, ConstrainedBudgetReport,
+        ConstrainedCoverReport, CoverProblemConfig, CoverReport, ExhaustiveObjective,
+        FairnessReport, GreedyAlgorithm, SolverReport,
+    };
+    pub use tcim_core::baselines::{
+        evaluate_seed_set, group_proportional_degree_seeds, random_seeds, top_degree_seeds,
+        top_pagerank_seeds,
+    };
+    pub use tcim_datasets::registry::{Dataset, DatasetBundle};
+    pub use tcim_datasets::SyntheticConfig;
+    pub use tcim_diffusion::{
+        Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, RisConfig, RisEstimator,
+        WorldEstimator, WorldsConfig,
+    };
+    pub use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
+}

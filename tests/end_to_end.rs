@@ -1,0 +1,227 @@
+//! End-to-end integration tests exercising the whole stack through the
+//! public facade: dataset generation → influence estimation → solving →
+//! fairness reporting.
+
+use std::sync::Arc;
+
+use fairtcim::prelude::*;
+
+/// Shared small oracle over the synthetic SBM with a tight deadline.
+fn synthetic_oracle(deadline: Deadline, worlds: usize) -> (Arc<Graph>, WorldEstimator) {
+    let config = SyntheticConfig {
+        num_nodes: 200,
+        samples: worlds,
+        ..SyntheticConfig::default()
+    };
+    let graph = Arc::new(config.build().unwrap());
+    let oracle = WorldEstimator::new(
+        Arc::clone(&graph),
+        deadline,
+        &WorldsConfig { num_worlds: worlds, seed: 3 },
+    )
+    .unwrap();
+    (graph, oracle)
+}
+
+#[test]
+fn unfair_budget_solution_exhibits_disparity_and_fair_solution_reduces_it() {
+    let (_graph, oracle) = synthetic_oracle(Deadline::finite(5), 100);
+    let config = BudgetConfig::new(10);
+    let unfair = solve_tcim_budget(&oracle, &config).unwrap();
+    let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None).unwrap();
+
+    // The headline qualitative claims of the paper.
+    assert!(unfair.disparity() > 0.02, "expected visible disparity, got {}", unfair.disparity());
+    assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+    assert!(fair.influence.total() <= unfair.influence.total() + 1e-9);
+    assert!(fair.influence.total() >= 0.5 * unfair.influence.total());
+    assert_eq!(unfair.num_seeds(), 10);
+    assert_eq!(fair.num_seeds(), 10);
+}
+
+#[test]
+fn tighter_deadlines_do_not_decrease_unfairness_of_the_standard_solver() {
+    let config = SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() };
+    let graph = Arc::new(config.build().unwrap());
+    let mut disparities = Vec::new();
+    for deadline in [Deadline::finite(2), Deadline::unbounded()] {
+        let oracle = WorldEstimator::new(
+            Arc::clone(&graph),
+            deadline,
+            &WorldsConfig { num_worlds: 100, seed: 9 },
+        )
+        .unwrap();
+        let report = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+        disparities.push(report.disparity());
+    }
+    // With p_e = 0.05 and a homophilous majority, the τ = 2 disparity is at
+    // least as large as the τ = ∞ disparity (Fig. 4c trend, allowing noise).
+    assert!(disparities[0] + 0.05 >= disparities[1]);
+}
+
+#[test]
+fn fair_cover_reaches_the_quota_in_every_group() {
+    let (_graph, oracle) = synthetic_oracle(Deadline::finite(20), 100);
+    let quota = 0.15;
+    let unfair = solve_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
+    let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
+
+    assert!(unfair.reached && fair.reached);
+    let fair_report = fair.fairness();
+    for (group, fraction) in fair_report.normalized_utilities.iter().enumerate() {
+        assert!(
+            *fraction + 1e-6 >= quota,
+            "group {group} below quota: {fraction} < {quota}"
+        );
+    }
+    // The disparity of a feasible fair solution is bounded by 1 - Q.
+    assert!(fair_report.disparity <= 1.0 - quota + 1e-6);
+    // The fair solution may need more seeds, but not absurdly many.
+    assert!(fair.seed_count() >= unfair.seed_count());
+    assert!(fair.seed_count() <= unfair.seed_count() + 30);
+}
+
+#[test]
+fn exhaustive_optimum_dominates_greedy_and_certifies_theorem_1() {
+    use fairtcim::core::theory::theorem1_check;
+
+    // Small graph so exhaustive search stays cheap.
+    let config = SyntheticConfig { num_nodes: 60, ..SyntheticConfig::default() }
+        .with_edge_probability(0.2);
+    let graph = Arc::new(config.build().unwrap());
+    let oracle = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(3),
+        &WorldsConfig { num_worlds: 64, seed: 5 },
+    )
+    .unwrap();
+
+    let optimal = solve_budget_exhaustive(&oracle, 2, None, ExhaustiveObjective::Total).unwrap();
+    let greedy = solve_tcim_budget(&oracle, &BudgetConfig::new(2)).unwrap();
+    assert!(optimal.influence.total() + 1e-9 >= greedy.influence.total());
+    assert!(
+        greedy.influence.total()
+            >= (1.0 - 1.0 / std::f64::consts::E) * optimal.influence.total() - 1e-9
+    );
+
+    let fair = solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), ConcaveWrapper::Log, None)
+        .unwrap();
+    let check = theorem1_check(fair.influence.total(), optimal.influence.total(), ConcaveWrapper::Log);
+    assert!(check.satisfied, "Theorem 1 violated: {check:?}");
+}
+
+#[test]
+fn baselines_are_comparable_and_weaker_than_greedy() {
+    let (graph, oracle) = synthetic_oracle(Deadline::finite(5), 80);
+    let budget = 10;
+    let greedy = solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).unwrap();
+    let degree = evaluate_seed_set(&oracle, &top_degree_seeds(&graph, budget), "degree").unwrap();
+    let pagerank =
+        evaluate_seed_set(&oracle, &top_pagerank_seeds(&graph, budget), "pagerank").unwrap();
+    let random = evaluate_seed_set(&oracle, &random_seeds(&graph, budget, 1), "random").unwrap();
+    let proportional = evaluate_seed_set(
+        &oracle,
+        &group_proportional_degree_seeds(&graph, budget),
+        "proportional",
+    )
+    .unwrap();
+
+    for baseline in [&degree, &pagerank, &random, &proportional] {
+        assert!(
+            greedy.influence.total() + 1e-9 >= baseline.influence.total(),
+            "{} beat greedy: {} > {}",
+            baseline.label,
+            baseline.influence.total(),
+            greedy.influence.total()
+        );
+    }
+    // Random seeding should be clearly weaker than greedy on this graph.
+    assert!(random.influence.total() < greedy.influence.total());
+}
+
+#[test]
+fn estimators_agree_on_the_selected_seed_sets() {
+    let (graph, oracle) = synthetic_oracle(Deadline::finite(5), 150);
+    let report = solve_tcim_budget(&oracle, &BudgetConfig::new(5)).unwrap();
+
+    // Re-score the chosen seeds with an independent Monte-Carlo estimator and
+    // with reverse-reachable sketches; all three should agree within noise.
+    let mc = MonteCarloEstimator::new(Arc::clone(&graph), Deadline::finite(5), 400, 99).unwrap();
+    let mc_influence = mc.evaluate(&report.seeds).unwrap();
+    let ris = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &RisConfig { num_sets: 30_000, seed: 7 },
+    )
+    .unwrap();
+    let ris_influence = ris.evaluate(&report.seeds).unwrap();
+
+    let world_total = report.influence.total();
+    for (label, total) in [("monte-carlo", mc_influence.total()), ("ris", ris_influence.total())] {
+        let rel = (total - world_total).abs() / world_total.max(1.0);
+        assert!(rel < 0.2, "{label} disagrees: {total} vs {world_total}");
+    }
+}
+
+#[test]
+fn linear_threshold_estimator_supports_the_same_solvers() {
+    // The LT extension the paper mentions: the fair surrogate still reduces
+    // disparity when cascades follow the linear threshold model.
+    let config = SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() }
+        .with_edge_probability(0.3);
+    let graph = Arc::new(config.build().unwrap());
+    let oracle = fairtcim::diffusion::WorldEstimator::new_lt(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &WorldsConfig { num_worlds: 100, seed: 21 },
+    )
+    .unwrap();
+    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+    let fair =
+        solve_fair_tcim_budget(&oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None).unwrap();
+    assert!(unfair.influence.total() >= 10.0);
+    assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+}
+
+#[test]
+fn constrained_solvers_enforce_a_disparity_cap() {
+    let (_graph, oracle) = synthetic_oracle(Deadline::finite(5), 80);
+    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+    let cap = unfair.disparity() / 2.0;
+    let constrained = solve_constrained_budget(&oracle, &BudgetConfig::new(10), cap).unwrap();
+    if constrained.feasible {
+        assert!(constrained.report.disparity() <= cap + 1e-9);
+    } else {
+        // Fallback must still be the least disparate thing we found.
+        assert!(constrained.report.disparity() <= unfair.disparity() + 1e-9);
+    }
+
+    let cover = solve_constrained_cover(&oracle, &CoverProblemConfig::new(0.1), 0.5).unwrap();
+    assert!((cover.effective_quota - 0.5).abs() < 1e-12);
+    if cover.feasible {
+        assert!(cover.cover.fairness().disparity <= 0.5 + 1e-6);
+        assert!(cover.cover.fairness().total_fraction >= 0.1);
+    }
+}
+
+#[test]
+fn dataset_registry_feeds_directly_into_the_solvers() {
+    let bundle = Dataset::Illustrative.build(0).unwrap();
+    let graph = Arc::new(bundle.graph);
+    let oracle = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(2),
+        &WorldsConfig { num_worlds: 200, seed: 0 },
+    )
+    .unwrap();
+    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(bundle.defaults.budget)).unwrap();
+    let fair = solve_fair_tcim_budget(
+        &oracle,
+        &BudgetConfig::new(bundle.defaults.budget),
+        ConcaveWrapper::Log,
+        None,
+    )
+    .unwrap();
+    assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+    assert!(unfair.disparity() > 0.3, "illustrative example should be very unfair under τ = 2");
+}
