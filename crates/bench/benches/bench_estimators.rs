@@ -7,10 +7,55 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use tcim_datasets::SyntheticConfig;
 use tcim_diffusion::{
-    Deadline, InfluenceOracle, MonteCarloEstimator, RisConfig, RisEstimator, WorldEstimator,
-    WorldsConfig,
+    Deadline, InfluenceOracle, MonteCarloEstimator, ParallelismConfig, RisConfig, RisEstimator,
+    WorldEstimator, WorldsConfig,
 };
 use tcim_graph::NodeId;
+
+/// Serial vs parallel Monte-Carlo estimation on a workload big enough for
+/// threading to pay off. Results are bitwise identical across the variants
+/// (see `crates/diffusion/tests/determinism.rs`); only throughput differs.
+fn bench_parallel_estimation(c: &mut Criterion) {
+    let graph = Arc::new(
+        SyntheticConfig { num_nodes: 1000, ..SyntheticConfig::default() }.build().unwrap(),
+    );
+    let deadline = Deadline::finite(20);
+    let seeds: Vec<NodeId> = (0..30u32).map(NodeId).collect();
+    let worlds = WorldsConfig { num_worlds: 400, seed: 1, ..Default::default() };
+
+    let serial = WorldEstimator::new(Arc::clone(&graph), deadline, &worlds)
+        .unwrap()
+        .with_parallelism(ParallelismConfig::serial());
+    let parallel = serial.with_parallelism(ParallelismConfig::auto());
+    let mc_serial = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 400, 2)
+        .unwrap()
+        .with_parallelism(ParallelismConfig::serial());
+    let mc_parallel = mc_serial.with_parallelism(ParallelismConfig::auto());
+
+    let mut group = c.benchmark_group("parallel_estimation");
+    group.sample_size(10);
+    group.bench_function("world_eval_400_serial", |b| {
+        b.iter(|| black_box(serial.evaluate(&seeds).unwrap()))
+    });
+    group.bench_function("world_eval_400_auto", |b| {
+        b.iter(|| black_box(parallel.evaluate(&seeds).unwrap()))
+    });
+    group.bench_function("monte_carlo_400_serial", |b| {
+        b.iter(|| black_box(mc_serial.evaluate(&seeds).unwrap()))
+    });
+    group.bench_function("monte_carlo_400_auto", |b| {
+        b.iter(|| black_box(mc_parallel.evaluate(&seeds).unwrap()))
+    });
+    group.bench_function("world_sample_400_serial", |b| {
+        let config = WorldsConfig { parallelism: ParallelismConfig::serial(), ..worlds };
+        b.iter(|| black_box(tcim_diffusion::WorldCollection::sample(&graph, &config).unwrap()))
+    });
+    group.bench_function("world_sample_400_auto", |b| {
+        let config = WorldsConfig { parallelism: ParallelismConfig::auto(), ..worlds };
+        b.iter(|| black_box(tcim_diffusion::WorldCollection::sample(&graph, &config).unwrap()))
+    });
+    group.finish();
+}
 
 fn bench_estimators(c: &mut Criterion) {
     let graph = Arc::new(SyntheticConfig::default().build().unwrap());
@@ -20,28 +65,19 @@ fn bench_estimators(c: &mut Criterion) {
     let world = WorldEstimator::new(
         Arc::clone(&graph),
         deadline,
-        &WorldsConfig { num_worlds: 100, seed: 1 },
+        &WorldsConfig { num_worlds: 100, seed: 1, ..Default::default() },
     )
     .unwrap();
     let mc = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 100, 2).unwrap();
-    let ris = RisEstimator::new(
-        Arc::clone(&graph),
-        deadline,
-        &RisConfig { num_sets: 10_000, seed: 3 },
-    )
-    .unwrap();
+    let ris =
+        RisEstimator::new(Arc::clone(&graph), deadline, &RisConfig { num_sets: 10_000, seed: 3 })
+            .unwrap();
 
     let mut group = c.benchmark_group("estimator_evaluate");
     group.sample_size(20);
-    group.bench_function("world_100", |b| {
-        b.iter(|| black_box(world.evaluate(&seeds).unwrap()))
-    });
-    group.bench_function("monte_carlo_100", |b| {
-        b.iter(|| black_box(mc.evaluate(&seeds).unwrap()))
-    });
-    group.bench_function("ris_10000", |b| {
-        b.iter(|| black_box(ris.evaluate(&seeds).unwrap()))
-    });
+    group.bench_function("world_100", |b| b.iter(|| black_box(world.evaluate(&seeds).unwrap())));
+    group.bench_function("monte_carlo_100", |b| b.iter(|| black_box(mc.evaluate(&seeds).unwrap())));
+    group.bench_function("ris_10000", |b| b.iter(|| black_box(ris.evaluate(&seeds).unwrap())));
     group.finish();
 
     let mut build = c.benchmark_group("estimator_build");
@@ -52,7 +88,7 @@ fn bench_estimators(c: &mut Criterion) {
                 WorldEstimator::new(
                     Arc::clone(&graph),
                     deadline,
-                    &WorldsConfig { num_worlds: 100, seed: 7 },
+                    &WorldsConfig { num_worlds: 100, seed: 7, ..Default::default() },
                 )
                 .unwrap(),
             )
@@ -73,5 +109,5 @@ fn bench_estimators(c: &mut Criterion) {
     build.finish();
 }
 
-criterion_group!(benches, bench_estimators);
+criterion_group!(benches, bench_estimators, bench_parallel_estimation);
 criterion_main!(benches);

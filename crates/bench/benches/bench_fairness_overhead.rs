@@ -27,7 +27,7 @@ fn bench_fairness_overhead(c: &mut Criterion) {
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(10),
-        &WorldsConfig { num_worlds: 50, seed: 1 },
+        &WorldsConfig { num_worlds: 50, seed: 1, ..Default::default() },
     )
     .unwrap();
 
@@ -39,9 +39,7 @@ fn bench_fairness_overhead(c: &mut Criterion) {
     });
     for wrapper in [ConcaveWrapper::Log, ConcaveWrapper::Sqrt, ConcaveWrapper::Power(0.25)] {
         budget.bench_function(format!("p4_{wrapper}"), |b| {
-            b.iter(|| {
-                black_box(solve_fair_tcim_budget(&oracle, &config, wrapper, None).unwrap())
-            })
+            b.iter(|| black_box(solve_fair_tcim_budget(&oracle, &config, wrapper, None).unwrap()))
         });
     }
     budget.finish();

@@ -43,7 +43,9 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| black_box(rice_facebook_surrogate(1).unwrap()))
     });
     group.bench_function("instagram_surrogate_2pct", |b| {
-        b.iter(|| black_box(instagram_surrogate(&InstagramConfig { scale: 0.02, seed: 1 }).unwrap()))
+        b.iter(|| {
+            black_box(instagram_surrogate(&InstagramConfig { scale: 0.02, seed: 1 }).unwrap())
+        })
     });
     group.finish();
 

@@ -14,9 +14,7 @@ fn bench_ic(c: &mut Criterion) {
     group.sample_size(20);
     for &nodes in &[200usize, 500] {
         let graph = Arc::new(
-            SyntheticConfig { num_nodes: nodes, ..SyntheticConfig::default() }
-                .build()
-                .unwrap(),
+            SyntheticConfig { num_nodes: nodes, ..SyntheticConfig::default() }.build().unwrap(),
         );
         let seeds: Vec<NodeId> = (0..10u32).map(NodeId).collect();
         group.bench_with_input(BenchmarkId::new("single_cascade", nodes), &nodes, |b, _| {

@@ -2,9 +2,12 @@
 //! under `target/experiments/`. Pass `--full` for the paper's full sample
 //! counts (slower) or `--samples N` to override globally.
 
+/// One figure generator: a label plus the function that produces its CSVs.
+type FigureJob = (&'static str, fn(&tcim_bench::Args) -> tcim_bench::FigureOutput);
+
 fn main() {
     let args = tcim_bench::Args::parse();
-    let figures: Vec<(&str, fn(&tcim_bench::Args) -> tcim_bench::FigureOutput)> = vec![
+    let figures: Vec<FigureJob> = vec![
         ("fig1", tcim_bench::figures::fig1::run),
         ("fig4", tcim_bench::figures::fig4::run),
         ("fig5", tcim_bench::figures::fig5::run),

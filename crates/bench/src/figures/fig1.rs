@@ -49,9 +49,8 @@ pub fn run(args: &Args) -> FigureOutput {
 
     for deadline in [Deadline::unbounded(), Deadline::finite(4), Deadline::finite(2)] {
         let oracle = build_oracle(Arc::clone(&graph), deadline, samples, args.seed);
-        let unfair =
-            solve_budget_exhaustive(&oracle, budget, None, ExhaustiveObjective::Total)
-                .expect("exhaustive P1 failed");
+        let unfair = solve_budget_exhaustive(&oracle, budget, None, ExhaustiveObjective::Total)
+            .expect("exhaustive P1 failed");
         let fair = solve_budget_exhaustive(
             &oracle,
             budget,

@@ -25,12 +25,8 @@ pub fn run(args: &Args) -> FigureOutput {
 
     if args.runs_part("a") {
         let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
-        let reports = run_budget_suite(
-            &oracle,
-            budget,
-            None,
-            &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt],
-        );
+        let reports =
+            run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt]);
         let mut table = Table::new(
             "Fig. 4a — total and group influence (synthetic, B = 30, tau = 20)",
             &["algorithm", "total", "group1", "group2", "disparity"],
@@ -52,15 +48,7 @@ pub fn run(args: &Args) -> FigureOutput {
         let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
         let mut table = Table::new(
             "Fig. 4b — influence vs seed budget B (synthetic, tau = 20)",
-            &[
-                "B",
-                "P1 total",
-                "P1 group1",
-                "P1 group2",
-                "P4 total",
-                "P4 group1",
-                "P4 group2",
-            ],
+            &["B", "P1 total", "P1 group1", "P1 group2", "P4 total", "P4 group1", "P4 group2"],
         );
         for &b in &BUDGET_SWEEP {
             let reports = run_budget_suite(&oracle, b, None, &[ConcaveWrapper::Log]);

@@ -56,12 +56,8 @@ pub(crate) fn run_multigroup_budget_figure(
 
     if args.runs_part("a") {
         let oracle = build_oracle(Arc::clone(&graph), default_deadline, samples, args.seed);
-        let reports = run_budget_suite(
-            &oracle,
-            budget,
-            None,
-            &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt],
-        );
+        let reports =
+            run_budget_suite(&oracle, budget, None, &[ConcaveWrapper::Log, ConcaveWrapper::Sqrt]);
         // The "most disparate pair" is determined by the unfair solution and
         // then held fixed across algorithms so the columns are comparable.
         let (hi, lo) = most_disparate_pair(&reports[0]);
@@ -91,12 +87,7 @@ pub(crate) fn run_multigroup_budget_figure(
         for b in [5usize, 10, 15, 20, 25, 30] {
             let reports = run_budget_suite(&oracle, b, None, &[ConcaveWrapper::Log]);
             let worst = |report: &tcim_core::SolverReport| {
-                report
-                    .fairness()
-                    .normalized_utilities
-                    .iter()
-                    .cloned()
-                    .fold(f64::MAX, f64::min)
+                report.fairness().normalized_utilities.iter().cloned().fold(f64::MAX, f64::min)
             };
             table.push_row(vec![
                 b.to_string(),

@@ -13,9 +13,8 @@ use std::sync::Arc;
 
 use tcim_core::theory::{theorem1_check, theorem2_check};
 use tcim_core::{
-    solve_budget_exhaustive, solve_fair_tcim_budget, solve_fair_tcim_cover,
-    solve_group_tcim_cover, BudgetConfig, ConcaveWrapper, CoverProblemConfig,
-    ExhaustiveObjective,
+    solve_budget_exhaustive, solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover,
+    BudgetConfig, ConcaveWrapper, CoverProblemConfig, ExhaustiveObjective,
 };
 use tcim_diffusion::Deadline;
 use tcim_graph::generators::{illustrative_example, IllustrativeConfig};
@@ -88,9 +87,8 @@ pub fn run(args: &Args) -> FigureOutput {
         // Per-group greedy cover sizes: certified upper bounds on |S*_i|.
         let mut per_group_sizes = Vec::new();
         for group in graph.group_ids() {
-            let report =
-                solve_group_tcim_cover(&oracle, group, &CoverProblemConfig::new(quota))
-                    .expect("per-group cover solve failed");
+            let report = solve_group_tcim_cover(&oracle, group, &CoverProblemConfig::new(quota))
+                .expect("per-group cover solve failed");
             per_group_sizes.push(report.seed_count());
         }
 

@@ -98,7 +98,7 @@ impl Args {
 
     /// Returns `true` if the given panel should run (no `--part` = run all).
     pub fn runs_part(&self, part: &str) -> bool {
-        self.part.as_deref().map_or(true, |p| p.eq_ignore_ascii_case(part))
+        self.part.as_deref().is_none_or(|p| p.eq_ignore_ascii_case(part))
     }
 
     /// Chooses a sample count: explicit `--samples` wins, then the paper's
@@ -238,8 +238,12 @@ pub fn build_oracle(
     samples: usize,
     seed: u64,
 ) -> WorldEstimator {
-    WorldEstimator::new(graph, deadline, &WorldsConfig { num_worlds: samples, seed })
-        .expect("world estimator construction cannot fail for positive sample counts")
+    WorldEstimator::new(
+        graph,
+        deadline,
+        &WorldsConfig { num_worlds: samples, seed, ..Default::default() },
+    )
+    .expect("world estimator construction cannot fail for positive sample counts")
 }
 
 /// Solves P1 and P4 (with the given wrappers) under one budget and returns
@@ -253,9 +257,8 @@ pub fn run_budget_suite(
     let config = BudgetConfig { budget, algorithm: Default::default(), candidates };
     let mut reports = vec![solve_tcim_budget(oracle, &config).expect("P1 solve failed")];
     for &wrapper in wrappers {
-        reports.push(
-            solve_fair_tcim_budget(oracle, &config, wrapper, None).expect("P4 solve failed"),
-        );
+        reports
+            .push(solve_fair_tcim_budget(oracle, &config, wrapper, None).expect("P4 solve failed"));
     }
     reports
 }
@@ -284,11 +287,7 @@ pub fn budget_summary(report: &SolverReport) -> (f64, Vec<f64>, f64) {
 /// (the paper reports only the most disparate pair on the 4/5-group
 /// datasets). Falls back to (0, 1) when fewer than two non-empty groups.
 pub fn most_disparate_pair(report: &SolverReport) -> (usize, usize) {
-    report
-        .fairness()
-        .most_disparate_pair()
-        .map(|(a, b)| (a.index(), b.index()))
-        .unwrap_or((0, 1))
+    report.fairness().most_disparate_pair().map(|(a, b)| (a.index(), b.index())).unwrap_or((0, 1))
 }
 
 #[cfg(test)]
@@ -299,8 +298,21 @@ mod tests {
     fn args_parse_all_flags_and_ignore_unknown_ones() {
         let args = Args::parse_from(
             [
-                "--samples", "50", "--seed", "9", "--part", "B", "--budget", "12", "--scale",
-                "0.05", "--out", "/tmp/exp", "--full", "--bogus", "x",
+                "--samples",
+                "50",
+                "--seed",
+                "9",
+                "--part",
+                "B",
+                "--budget",
+                "12",
+                "--scale",
+                "0.05",
+                "--out",
+                "/tmp/exp",
+                "--full",
+                "--bogus",
+                "x",
             ]
             .iter()
             .map(|s| s.to_string()),

@@ -83,10 +83,8 @@ pub fn group_proportional_degree_seeds(graph: &Graph, budget: usize) -> Vec<Node
         if count == 0 {
             continue;
         }
-        let mut members: Vec<NodeId> = graph
-            .group_members(GroupId::from_index(g))
-            .map(|m| m.to_vec())
-            .unwrap_or_default();
+        let mut members: Vec<NodeId> =
+            graph.group_members(GroupId::from_index(g)).map(|m| m.to_vec()).unwrap_or_default();
         members.sort_by(|a, b| {
             degrees[b.index()]
                 .partial_cmp(&degrees[a.index()])
@@ -197,7 +195,7 @@ mod tests {
         let est = WorldEstimator::new(
             Arc::clone(&g),
             Deadline::finite(5),
-            &WorldsConfig { num_worlds: 32, seed: 0 },
+            &WorldsConfig { num_worlds: 32, seed: 0, ..Default::default() },
         )
         .unwrap();
         let seeds = top_degree_seeds(&g, 5);

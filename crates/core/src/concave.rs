@@ -14,7 +14,7 @@
 use std::fmt;
 
 /// A non-negative, non-decreasing concave function `H : ℝ≥0 → ℝ≥0`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ConcaveWrapper {
     /// `H(z) = z` — no fairness pressure; P4 degenerates to P1.
     Identity,
@@ -23,6 +23,7 @@ pub enum ConcaveWrapper {
     /// The paper writes `log(z)`, which is undefined at `z = 0` (the empty
     /// seed set); `ln(1 + z)` is the standard smoothed variant with the same
     /// curvature behaviour and keeps the function non-negative.
+    #[default]
     Log,
     /// `H(z) = √z`.
     Sqrt,
@@ -63,12 +64,6 @@ impl ConcaveWrapper {
             ConcaveWrapper::Sqrt => "sqrt".to_string(),
             ConcaveWrapper::Power(p) => format!("pow{p:.2}"),
         }
-    }
-}
-
-impl Default for ConcaveWrapper {
-    fn default() -> Self {
-        ConcaveWrapper::Log
     }
 }
 
@@ -130,9 +125,8 @@ mod tests {
     fn curvature_ordering_log_sharper_than_sqrt() {
         // Relative reward for helping a group at 1.0 vs a group at 100.0:
         // the ratio is larger for the higher-curvature wrapper.
-        let reward_ratio = |h: ConcaveWrapper| {
-            (h.apply(2.0) - h.apply(1.0)) / (h.apply(101.0) - h.apply(100.0))
-        };
+        let reward_ratio =
+            |h: ConcaveWrapper| (h.apply(2.0) - h.apply(1.0)) / (h.apply(101.0) - h.apply(100.0));
         assert!(reward_ratio(ConcaveWrapper::Log) > reward_ratio(ConcaveWrapper::Sqrt));
         assert!(reward_ratio(ConcaveWrapper::Sqrt) > reward_ratio(ConcaveWrapper::Identity));
     }

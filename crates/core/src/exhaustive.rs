@@ -181,7 +181,7 @@ mod tests {
         WorldEstimator::new(
             Arc::new(b.build().unwrap()),
             Deadline::unbounded(),
-            &WorldsConfig { num_worlds: 2, seed: 0 },
+            &WorldsConfig { num_worlds: 2, seed: 0, ..Default::default() },
         )
         .unwrap()
     }
@@ -189,8 +189,7 @@ mod tests {
     #[test]
     fn exhaustive_total_finds_the_true_optimum() {
         let est = oracle();
-        let report =
-            solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Total).unwrap();
+        let report = solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Total).unwrap();
         let mut seeds = report.seeds.clone();
         seeds.sort();
         assert_eq!(seeds, vec![NodeId(0), NodeId(6)]);
@@ -201,18 +200,11 @@ mod tests {
     #[test]
     fn exhaustive_fair_still_prefers_covering_both_groups() {
         let est = oracle();
-        let report = solve_budget_exhaustive(
-            &est,
-            2,
-            None,
-            ExhaustiveObjective::Fair(ConcaveWrapper::Log),
-        )
-        .unwrap();
-        let groups: std::collections::HashSet<u32> = report
-            .seeds
-            .iter()
-            .map(|s| est.graph().group_of(*s).0)
-            .collect();
+        let report =
+            solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Fair(ConcaveWrapper::Log))
+                .unwrap();
+        let groups: std::collections::HashSet<u32> =
+            report.seeds.iter().map(|s| est.graph().group_of(*s).0).collect();
         assert_eq!(groups.len(), 2, "fair optimum should span both groups");
         assert!(report.label.contains("optimal"));
     }
@@ -230,17 +222,10 @@ mod tests {
         assert_eq!(restricted.seeds, vec![NodeId(10)]);
 
         assert!(solve_budget_exhaustive(&est, 0, None, ExhaustiveObjective::Total).is_err());
-        assert!(
-            solve_budget_exhaustive(&est, 3, Some(&[NodeId(0)]), ExhaustiveObjective::Total)
-                .is_err()
-        );
-        assert!(solve_budget_exhaustive(
-            &est,
-            1,
-            Some(&[NodeId(999)]),
-            ExhaustiveObjective::Total
-        )
-        .is_err());
+        assert!(solve_budget_exhaustive(&est, 3, Some(&[NodeId(0)]), ExhaustiveObjective::Total)
+            .is_err());
+        assert!(solve_budget_exhaustive(&est, 1, Some(&[NodeId(999)]), ExhaustiveObjective::Total)
+            .is_err());
         assert!(solve_budget_exhaustive(
             &est,
             1,
@@ -253,8 +238,7 @@ mod tests {
     #[test]
     fn greedy_respects_the_one_minus_one_over_e_bound_against_the_optimum() {
         let est = oracle();
-        let optimal =
-            solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Total).unwrap();
+        let optimal = solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Total).unwrap();
         let greedy = crate::problems::budget::solve_tcim_budget(
             &est,
             &crate::problems::budget::BudgetConfig::new(2),

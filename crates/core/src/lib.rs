@@ -32,7 +32,7 @@
 //! let oracle = WorldEstimator::new(
 //!     Arc::clone(&graph),
 //!     Deadline::finite(3),
-//!     &WorldsConfig { num_worlds: 64, seed: 0 },
+//!     &WorldsConfig { num_worlds: 64, seed: 0, ..Default::default() },
 //! )
 //! .unwrap();
 //!
@@ -61,6 +61,9 @@ pub mod theory;
 
 pub use concave::ConcaveWrapper;
 pub use error::{CoreError, Result};
+// The estimation-parallelism knob rides with the influence oracle
+// (`WorldsConfig.parallelism`); re-exported here so solver users can set it
+// without importing tcim-diffusion directly.
 pub use exhaustive::{solve_budget_exhaustive, ExhaustiveObjective, MAX_EXHAUSTIVE_SETS};
 pub use fairness::{disparity, FairnessReport};
 pub use objective::{InfluenceObjective, Scalarization};
@@ -74,3 +77,4 @@ pub use problems::cover::{
 };
 pub use problems::GreedyAlgorithm;
 pub use report::{CoverReport, IterationRecord, SolverReport};
+pub use tcim_diffusion::ParallelismConfig;

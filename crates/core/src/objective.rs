@@ -72,13 +72,7 @@ impl Scalarization {
             Scalarization::TruncatedQuota { quota, group_sizes } => influence
                 .iter()
                 .zip(group_sizes)
-                .map(|(&f, &size)| {
-                    if size == 0 {
-                        0.0
-                    } else {
-                        (f / size as f64).min(*quota)
-                    }
-                })
+                .map(|(&f, &size)| if size == 0 { 0.0 } else { (f / size as f64).min(*quota) })
                 .sum(),
         }
     }
@@ -131,9 +125,8 @@ impl IncrementalObjective for InfluenceObjective<'_> {
     fn gain(&mut self, item: usize) -> f64 {
         let candidate = NodeId::from_index(item);
         let gain = self.cursor.gain(candidate);
-        let new_value = self
-            .scalarization
-            .value_with_gain(self.cursor.current().values(), gain.values());
+        let new_value =
+            self.scalarization.value_with_gain(self.cursor.current().values(), gain.values());
         (new_value - self.cached_value).max(0.0)
     }
 
@@ -164,17 +157,19 @@ mod tests {
         b.add_edge(hub, bridge, 1.0).unwrap();
         b.add_edge(bridge, far, 1.0).unwrap();
         let g = Arc::new(b.build().unwrap());
-        WorldEstimator::new(g, Deadline::unbounded(), &WorldsConfig { num_worlds: 4, seed: 0 }).unwrap()
+        WorldEstimator::new(
+            g,
+            Deadline::unbounded(),
+            &WorldsConfig { num_worlds: 4, seed: 0, ..Default::default() },
+        )
+        .unwrap()
     }
 
     #[test]
     fn scalarizations_compute_expected_values() {
         let influence = vec![4.0, 1.0];
         assert_eq!(Scalarization::Total.value(&influence), 5.0);
-        assert_eq!(
-            Scalarization::NormalizedTotal { population: 10 }.value(&influence),
-            0.5
-        );
+        assert_eq!(Scalarization::NormalizedTotal { population: 10 }.value(&influence), 0.5);
         let concave = Scalarization::Concave { wrapper: ConcaveWrapper::Sqrt, weights: None };
         assert!((concave.value(&influence) - 3.0).abs() < 1e-12);
         let weighted = Scalarization::Concave {

@@ -173,7 +173,7 @@ mod tests {
         WorldEstimator::new(
             Arc::new(graph),
             deadline,
-            &WorldsConfig { num_worlds: worlds, seed: 7 },
+            &WorldsConfig { num_worlds: worlds, seed: 7, ..Default::default() },
         )
         .unwrap()
     }
@@ -219,13 +219,8 @@ mod tests {
     #[test]
     fn p4_with_budget_one_is_identical_but_with_budget_two_equalizes() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let fair = solve_fair_tcim_budget(
-            &est,
-            &BudgetConfig::new(2),
-            ConcaveWrapper::Log,
-            None,
-        )
-        .unwrap();
+        let fair =
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
         // With two seeds the fair solution covers both groups completely.
         assert!(fair.disparity() < 1e-9);
         assert!((fair.influence.total() - 16.0).abs() < 1e-9);
@@ -279,11 +274,8 @@ mod tests {
             candidates: Some(vec![NodeId(999)]),
         };
         assert!(solve_tcim_budget(&est, &bad_candidate).is_err());
-        let empty_candidates = BudgetConfig {
-            budget: 1,
-            algorithm: GreedyAlgorithm::Lazy,
-            candidates: Some(vec![]),
-        };
+        let empty_candidates =
+            BudgetConfig { budget: 1, algorithm: GreedyAlgorithm::Lazy, candidates: Some(vec![]) };
         assert!(solve_tcim_budget(&est, &empty_candidates).is_err());
         let bad_epsilon = BudgetConfig {
             budget: 1,
@@ -347,8 +339,6 @@ mod tests {
         )
         .unwrap();
         let minority = GroupId(1);
-        assert!(
-            weighted.influence.group(minority) >= unweighted.influence.group(minority) - 1e-9
-        );
+        assert!(weighted.influence.group(minority) >= unweighted.influence.group(minority) - 1e-9);
     }
 }

@@ -154,9 +154,7 @@ pub fn solve_constrained_budget(
         }
     }
 
-    Ok(best_feasible
-        .or(least_disparate)
-        .expect("at least one ladder rung was evaluated"))
+    Ok(best_feasible.or(least_disparate).expect("at least one ladder rung was evaluated"))
 }
 
 /// Result of a disparity-constrained cover solve (problem P5 surrogate).
@@ -233,7 +231,7 @@ mod tests {
         WorldEstimator::new(
             Arc::new(two_star_graph()),
             Deadline::unbounded(),
-            &WorldsConfig { num_worlds: 4, seed: 0 },
+            &WorldsConfig { num_worlds: 4, seed: 0, ..Default::default() },
         )
         .unwrap()
     }

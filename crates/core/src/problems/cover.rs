@@ -91,8 +91,7 @@ pub fn solve_fair_tcim_cover(
     config.validate()?;
     let group_sizes = oracle.graph().group_sizes();
     let non_empty = group_sizes.iter().filter(|&&s| s > 0).count();
-    let scalarization =
-        Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
+    let scalarization = Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
     let target = config.quota * non_empty as f64;
     solve_cover_with(oracle, config, scalarization, target, "P6".to_string())
 }
@@ -144,11 +143,7 @@ fn solve_cover_with(
     let result = cover_greedy(
         &mut objective,
         &ground,
-        &SubmodularCoverConfig {
-            target,
-            tolerance: config.tolerance,
-            max_items: config.max_seeds,
-        },
+        &SubmodularCoverConfig { target, tolerance: config.tolerance, max_items: config.max_seeds },
     )?;
     let report = build_report(oracle, &result.trace, label)?;
     Ok(CoverReport { report, quota: config.quota, reached: result.reached })
@@ -166,7 +161,7 @@ mod tests {
         WorldEstimator::new(
             Arc::new(graph),
             deadline,
-            &WorldsConfig { num_worlds: worlds, seed: 11 },
+            &WorldsConfig { num_worlds: worlds, seed: 11, ..Default::default() },
         )
         .unwrap()
     }
@@ -240,12 +235,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_nodes(10, GroupId(0));
         let est = estimator(b.build().unwrap(), Deadline::unbounded(), 2);
-        let config = CoverProblemConfig {
-            quota: 0.9,
-            tolerance: 0.0,
-            max_seeds: Some(2),
-            candidates: None,
-        };
+        let config =
+            CoverProblemConfig { quota: 0.9, tolerance: 0.0, max_seeds: Some(2), candidates: None };
         let report = solve_tcim_cover(&est, &config).unwrap();
         assert!(!report.reached);
         assert_eq!(report.seed_count(), 2);
@@ -267,12 +258,8 @@ mod tests {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
         assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(1.5)).is_err());
         assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(f64::NAN)).is_err());
-        let bad_tolerance = CoverProblemConfig {
-            quota: 0.2,
-            tolerance: -1.0,
-            max_seeds: None,
-            candidates: None,
-        };
+        let bad_tolerance =
+            CoverProblemConfig { quota: 0.2, tolerance: -1.0, max_seeds: None, candidates: None };
         assert!(solve_fair_tcim_cover(&est, &bad_tolerance).is_err());
         let bad_candidates = CoverProblemConfig {
             quota: 0.2,
@@ -286,8 +273,8 @@ mod tests {
     #[test]
     fn per_group_cover_targets_a_single_group() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let minority = solve_group_tcim_cover(&est, GroupId(1), &CoverProblemConfig::new(0.5))
-            .unwrap();
+        let minority =
+            solve_group_tcim_cover(&est, GroupId(1), &CoverProblemConfig::new(0.5)).unwrap();
         assert!(minority.reached);
         // One seed (the minority hub) suffices, and the majority group can be
         // ignored entirely.
@@ -307,12 +294,7 @@ mod tests {
         let strict = solve_tcim_cover(&est, &CoverProblemConfig::new(0.85)).unwrap();
         let loose = solve_tcim_cover(
             &est,
-            &CoverProblemConfig {
-                quota: 0.85,
-                tolerance: 0.1,
-                max_seeds: None,
-                candidates: None,
-            },
+            &CoverProblemConfig { quota: 0.85, tolerance: 0.1, max_seeds: None, candidates: None },
         )
         .unwrap();
         assert!(strict.seed_count() > loose.seed_count());

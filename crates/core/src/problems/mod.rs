@@ -14,12 +14,13 @@ use crate::error::{CoreError, Result};
 use crate::report::IterationRecord;
 
 /// Which greedy strategy drives the seed selection.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GreedyAlgorithm {
     /// Plain greedy: scan every candidate at every step.
     Greedy,
     /// CELF lazy greedy (default): identical selection, far fewer
     /// marginal-gain evaluations.
+    #[default]
     Lazy,
     /// Stochastic greedy with accuracy parameter `epsilon` and subsample RNG
     /// seed; used for very large candidate pools.
@@ -29,12 +30,6 @@ pub enum GreedyAlgorithm {
         /// RNG seed of the per-step subsampling.
         seed: u64,
     },
-}
-
-impl Default for GreedyAlgorithm {
-    fn default() -> Self {
-        GreedyAlgorithm::Lazy
-    }
 }
 
 /// Resolves the candidate (ground-set) node indices: the explicit candidate

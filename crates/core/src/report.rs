@@ -60,9 +60,7 @@ impl SolverReport {
     /// Fairness summary after `i + 1` seeds (for iteration plots like
     /// Fig. 6a / 8a). Returns `None` past the end.
     pub fn fairness_at(&self, i: usize) -> Option<FairnessReport> {
-        self.iterations
-            .get(i)
-            .map(|rec| FairnessReport::new(&rec.influence, &self.group_sizes))
+        self.iterations.get(i).map(|rec| FairnessReport::new(&rec.influence, &self.group_sizes))
     }
 }
 

@@ -1,0 +1,69 @@
+//! Solver-level determinism: running the full TCIM / FairTCIM pipeline on a
+//! parallel estimator must select the same seeds and report bitwise-identical
+//! influence, whatever the thread count. This is the end-to-end counterpart
+//! of the estimator-level checks in `tcim-diffusion`.
+
+use std::sync::Arc;
+
+use tcim_core::{
+    solve_fair_tcim_budget, solve_tcim_budget, solve_tcim_cover, BudgetConfig, ConcaveWrapper,
+    CoverProblemConfig, ParallelismConfig,
+};
+use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
+use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+
+fn oracle(threads: ParallelismConfig) -> WorldEstimator {
+    let graph = Arc::new(
+        stochastic_block_model(&SbmConfig::two_group(120, 0.7, 0.04, 0.005, 0.1, 13)).unwrap(),
+    );
+    WorldEstimator::new(
+        graph,
+        Deadline::finite(4),
+        &WorldsConfig { num_worlds: 48, seed: 5, parallelism: threads },
+    )
+    .unwrap()
+}
+
+#[test]
+fn budget_solvers_agree_across_thread_counts() {
+    let reference = {
+        let est = oracle(ParallelismConfig::serial());
+        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(5)).unwrap();
+        let fair =
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
+        (unfair, fair)
+    };
+
+    for threads in [2usize, 8] {
+        let est = oracle(ParallelismConfig::fixed(threads));
+        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(5)).unwrap();
+        let fair =
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
+        assert_eq!(reference.0.seeds, unfair.seeds, "unfair seeds differ at {threads} threads");
+        assert_eq!(reference.1.seeds, fair.seeds, "fair seeds differ at {threads} threads");
+        for (a, b) in [(&reference.0, &unfair), (&reference.1, &fair)] {
+            for (x, y) in a.influence.values().iter().zip(b.influence.values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "influence differs at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn cover_solver_agrees_across_thread_counts() {
+    let reference =
+        solve_tcim_cover(&oracle(ParallelismConfig::serial()), &CoverProblemConfig::new(0.2))
+            .unwrap();
+    for threads in [2usize, 8] {
+        let result = solve_tcim_cover(
+            &oracle(ParallelismConfig::fixed(threads)),
+            &CoverProblemConfig::new(0.2),
+        )
+        .unwrap();
+        assert_eq!(
+            reference.report.seeds, result.report.seeds,
+            "cover seeds differ at {threads} threads"
+        );
+        assert_eq!(reference.reached, result.reached);
+    }
+}

@@ -16,15 +16,7 @@ use tcim_graph::GroupId;
 
 /// Strategy: a small random two-group SBM plus estimation parameters.
 fn sbm_oracle() -> impl Strategy<Value = (Arc<tcim_graph::Graph>, WorldEstimator)> {
-    (
-        30usize..80,
-        0.5f64..0.85,
-        0.03f64..0.15,
-        0.0f64..0.02,
-        0.05f64..0.4,
-        1u32..6,
-        0u64..1000,
-    )
+    (30usize..80, 0.5f64..0.85, 0.03f64..0.15, 0.0f64..0.02, 0.05f64..0.4, 1u32..6, 0u64..1000)
         .prop_map(|(n, majority, p_within, p_across, pe, tau, seed)| {
             let graph = Arc::new(
                 stochastic_block_model(&SbmConfig::two_group(
@@ -35,7 +27,7 @@ fn sbm_oracle() -> impl Strategy<Value = (Arc<tcim_graph::Graph>, WorldEstimator
             let oracle = WorldEstimator::new(
                 Arc::clone(&graph),
                 Deadline::finite(tau),
-                &WorldsConfig { num_worlds: 32, seed: seed ^ 0xabcd },
+                &WorldsConfig { num_worlds: 32, seed: seed ^ 0xabcd, ..Default::default() },
             )
             .unwrap();
             (graph, oracle)

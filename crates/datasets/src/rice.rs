@@ -132,8 +132,8 @@ mod tests {
         // Total edge count within 1% of the published number (the sampler
         // can drop a handful of duplicate collisions).
         let undirected = stats.num_edges / 2;
-        let error = (undirected as f64 - RICE_STATS.num_edges as f64).abs()
-            / RICE_STATS.num_edges as f64;
+        let error =
+            (undirected as f64 - RICE_STATS.num_edges as f64).abs() / RICE_STATS.num_edges as f64;
         assert!(error < 0.01, "undirected edges {undirected}");
     }
 

@@ -105,8 +105,7 @@ pub const CONNECTIVITY_SWEEP: [(&str, f64); 4] =
 pub const ACTIVATION_SWEEP: [f64; 8] = [0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0];
 
 /// The deadlines swept in Fig. 4c (`None` encodes `τ = ∞`).
-pub const DEADLINE_SWEEP: [Option<u32>; 6] =
-    [Some(1), Some(2), Some(5), Some(10), Some(20), None];
+pub const DEADLINE_SWEEP: [Option<u32>; 6] = [Some(1), Some(2), Some(5), Some(10), Some(20), None];
 
 /// The seed budgets swept in Fig. 4b.
 pub const BUDGET_SWEEP: [usize; 6] = [5, 10, 15, 20, 25, 30];

@@ -6,12 +6,14 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use tcim_graph::{Graph, GroupId, NodeId};
 
 use crate::bitset::BitSet;
 use crate::deadline::Deadline;
 use crate::error::Result;
 use crate::ic::simulate_ic;
+use crate::parallel::ParallelismConfig;
 use crate::worlds::{VisitScratch, WorldCollection, WorldsConfig};
 
 /// Expected number of influenced nodes per group before the deadline — the
@@ -139,6 +141,7 @@ pub struct WorldEstimator {
     deadline: Deadline,
     group_of: Vec<u32>,
     group_sizes: Vec<usize>,
+    parallelism: ParallelismConfig,
 }
 
 impl WorldEstimator {
@@ -150,7 +153,7 @@ impl WorldEstimator {
     /// Returns an error when `config.num_worlds` is zero.
     pub fn new(graph: Arc<Graph>, deadline: Deadline, config: &WorldsConfig) -> Result<Self> {
         let worlds = Arc::new(WorldCollection::sample(&graph, config)?);
-        Ok(Self::from_worlds(graph, worlds, deadline))
+        Ok(Self::from_worlds(graph, worlds, deadline).with_parallelism(config.parallelism))
     }
 
     /// Samples `config.num_worlds` **linear-threshold** live-edge worlds from
@@ -163,21 +166,44 @@ impl WorldEstimator {
     pub fn new_lt(graph: Arc<Graph>, deadline: Deadline, config: &WorldsConfig) -> Result<Self> {
         let weights = crate::lt::LtWeights::from_graph(&graph);
         let worlds = Arc::new(WorldCollection::sample_lt(&graph, &weights, config)?);
-        Ok(Self::from_worlds(graph, worlds, deadline))
+        Ok(Self::from_worlds(graph, worlds, deadline).with_parallelism(config.parallelism))
     }
 
     /// Builds an estimator over an existing world collection (so several
     /// deadlines can share the same sampled worlds).
-    pub fn from_worlds(graph: Arc<Graph>, worlds: Arc<WorldCollection>, deadline: Deadline) -> Self {
+    pub fn from_worlds(
+        graph: Arc<Graph>,
+        worlds: Arc<WorldCollection>,
+        deadline: Deadline,
+    ) -> Self {
         let group_of: Vec<u32> = graph.nodes().map(|v| graph.group_of(v).0).collect();
         let group_sizes = graph.group_sizes();
-        WorldEstimator { graph, worlds, deadline, group_of, group_sizes }
+        WorldEstimator {
+            graph,
+            worlds,
+            deadline,
+            group_of,
+            group_sizes,
+            parallelism: ParallelismConfig::auto(),
+        }
     }
 
     /// Returns a copy of this estimator that evaluates against a different
     /// deadline but shares the same sampled worlds.
     pub fn with_deadline(&self, deadline: Deadline) -> Self {
         WorldEstimator { deadline, ..self.clone() }
+    }
+
+    /// Returns a copy of this estimator with a different parallelism setting.
+    /// Estimates are bitwise identical at every thread count; this only
+    /// changes throughput.
+    pub fn with_parallelism(&self, parallelism: ParallelismConfig) -> Self {
+        WorldEstimator { parallelism, ..self.clone() }
+    }
+
+    /// The parallelism setting evaluation runs with.
+    pub fn parallelism(&self) -> ParallelismConfig {
+        self.parallelism
     }
 
     /// Number of sampled worlds.
@@ -197,55 +223,36 @@ impl WorldEstimator {
 
     fn evaluate_worlds(&self, seeds: &[NodeId]) -> GroupInfluence {
         let k = self.group_sizes.len();
-        let num_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(self.worlds.len())
-            .max(1);
-
-        let worlds = self.worlds.worlds();
-        let chunk_size = worlds.len().div_ceil(num_threads);
-        let mut totals = vec![0.0f64; k];
-
-        if num_threads <= 1 {
-            let mut scratch = VisitScratch::new(self.graph.num_nodes());
-            let mut counts = vec![0u64; k];
-            for world in worlds {
-                world.bounded_bfs(seeds, self.deadline, &mut scratch, |node, _| {
-                    counts[self.group_of[node.index()] as usize] += 1;
-                });
-            }
-            for (t, c) in totals.iter_mut().zip(&counts) {
-                *t = *c as f64;
-            }
-        } else {
-            let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = worlds
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut scratch = VisitScratch::new(self.graph.num_nodes());
-                            let mut counts = vec![0u64; k];
-                            for world in chunk {
-                                world.bounded_bfs(seeds, self.deadline, &mut scratch, |node, _| {
-                                    counts[self.group_of[node.index()] as usize] += 1;
-                                });
-                            }
-                            counts
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("world evaluation thread panicked")).collect()
-            });
-            for partial in partials {
-                for (t, c) in totals.iter_mut().zip(&partial) {
-                    *t += *c as f64;
-                }
-            }
-        }
+        // Per-group activations are counted in u64 and only converted to f64
+        // once at the end: integer addition is associative, so chunk
+        // boundaries (and hence the thread count) cannot change the result.
+        let counts: Vec<u64> = self.parallelism.run(|| {
+            self.worlds
+                .worlds()
+                .par_iter()
+                .fold(
+                    || (vec![0u64; k], VisitScratch::new(self.graph.num_nodes())),
+                    |(mut counts, mut scratch), world| {
+                        world.bounded_bfs(seeds, self.deadline, &mut scratch, |node, _| {
+                            counts[self.group_of[node.index()] as usize] += 1;
+                        });
+                        (counts, scratch)
+                    },
+                )
+                .reduce(
+                    || (vec![0u64; k], VisitScratch::new(0)),
+                    |(mut acc, scratch), (partial, _)| {
+                        for (a, p) in acc.iter_mut().zip(&partial) {
+                            *a += p;
+                        }
+                        (acc, scratch)
+                    },
+                )
+                .0
+        });
 
         let scale = 1.0 / self.worlds.len() as f64;
-        GroupInfluence::from_values(totals.into_iter().map(|t| t * scale).collect())
+        GroupInfluence::from_values(counts.into_iter().map(|c| c as f64 * scale).collect())
     }
 }
 
@@ -277,12 +284,26 @@ pub struct WorldCursor<'a> {
     current: GroupInfluence,
     seeds: Vec<NodeId>,
     scratch: VisitScratch,
+    /// Whether `gain` queries should fan out. Decided once at construction:
+    /// it re-checks neither the environment (env-var read per query) nor the
+    /// workload, and stays `false` when `worlds × nodes` is too small for
+    /// per-query thread spawning to pay for itself. Either path returns
+    /// bitwise-identical results, so this is purely a throughput heuristic.
+    parallel_gain: bool,
 }
+
+/// Below this many node-visits upper bound (`num_worlds × num_nodes`) a
+/// marginal-gain query runs serially even under a parallel
+/// [`ParallelismConfig`]: spawning scoped threads costs tens of microseconds,
+/// which dwarfs the BFS work on small instances.
+const PARALLEL_GAIN_MIN_WORK: usize = 50_000;
 
 impl<'a> WorldCursor<'a> {
     fn new(estimator: &'a WorldEstimator) -> Self {
         let n = estimator.graph.num_nodes();
         let k = estimator.group_sizes.len();
+        let parallel_gain = !estimator.parallelism.is_serial()
+            && estimator.worlds.len().saturating_mul(n) >= PARALLEL_GAIN_MIN_WORK;
         WorldCursor {
             estimator,
             covered: vec![BitSet::new(n); estimator.worlds.len()],
@@ -290,6 +311,7 @@ impl<'a> WorldCursor<'a> {
             current: GroupInfluence::zeros(k),
             seeds: Vec::new(),
             scratch: VisitScratch::new(n),
+            parallel_gain,
         }
     }
 }
@@ -304,19 +326,63 @@ impl InfluenceCursor for WorldCursor<'_> {
     }
 
     fn gain(&mut self, candidate: NodeId) -> GroupInfluence {
+        // Marginal-gain queries dominate every greedy/CELF solve (they run
+        // once per candidate per round, `add_seed` once per round), so this
+        // is the hot path the parallelism knob must reach. Counts accumulate
+        // as u64 exactly like `evaluate_worlds`, so serial and parallel
+        // queries agree bitwise.
         let k = self.estimator.group_sizes.len();
-        let mut gains = vec![0.0f64; k];
         let group_of = &self.estimator.group_of;
         let deadline = self.estimator.deadline;
-        for (world, covered) in self.estimator.worlds.worlds().iter().zip(&self.covered) {
-            world.bounded_bfs(&[candidate], deadline, &mut self.scratch, |node, _| {
-                if !covered.contains(node.index()) {
-                    gains[group_of[node.index()] as usize] += 1.0;
-                }
-            });
-        }
-        let scale = 1.0 / self.estimator.worlds.len() as f64;
-        GroupInfluence::from_values(gains.into_iter().map(|g| g * scale).collect())
+        let worlds = self.estimator.worlds.worlds();
+        let counts: Vec<u64> = if !self.parallel_gain {
+            // Serial fast path: reuse the cursor's epoch scratch instead of
+            // zeroing a fresh visited buffer per query.
+            let mut counts = vec![0u64; k];
+            for (world, covered) in worlds.iter().zip(&self.covered) {
+                world.bounded_bfs(&[candidate], deadline, &mut self.scratch, |node, _| {
+                    if !covered.contains(node.index()) {
+                        counts[group_of[node.index()] as usize] += 1;
+                    }
+                });
+            }
+            counts
+        } else {
+            let covered = &self.covered;
+            let n = self.estimator.graph.num_nodes();
+            self.estimator.parallelism.run(|| {
+                (0..worlds.len())
+                    .into_par_iter()
+                    .fold(
+                        || (vec![0u64; k], VisitScratch::new(n)),
+                        |(mut counts, mut scratch), i| {
+                            worlds[i].bounded_bfs(
+                                &[candidate],
+                                deadline,
+                                &mut scratch,
+                                |node, _| {
+                                    if !covered[i].contains(node.index()) {
+                                        counts[group_of[node.index()] as usize] += 1;
+                                    }
+                                },
+                            );
+                            (counts, scratch)
+                        },
+                    )
+                    .reduce(
+                        || (vec![0u64; k], VisitScratch::new(0)),
+                        |(mut acc, scratch), (partial, _)| {
+                            for (a, p) in acc.iter_mut().zip(&partial) {
+                                *a += p;
+                            }
+                            (acc, scratch)
+                        },
+                    )
+                    .0
+            })
+        };
+        let scale = 1.0 / worlds.len() as f64;
+        GroupInfluence::from_values(counts.into_iter().map(|c| c as f64 * scale).collect())
     }
 
     fn add_seed(&mut self, candidate: NodeId) {
@@ -330,9 +396,8 @@ impl InfluenceCursor for WorldCursor<'_> {
             });
         }
         let scale = 1.0 / self.estimator.worlds.len() as f64;
-        self.current = GroupInfluence::from_values(
-            self.group_totals.iter().map(|t| t * scale).collect(),
-        );
+        self.current =
+            GroupInfluence::from_values(self.group_totals.iter().map(|t| t * scale).collect());
         self.seeds.push(candidate);
     }
 }
@@ -356,6 +421,7 @@ pub struct MonteCarloEstimator {
     deadline: Deadline,
     samples: usize,
     seed: u64,
+    parallelism: ParallelismConfig,
 }
 
 impl MonteCarloEstimator {
@@ -368,12 +434,30 @@ impl MonteCarloEstimator {
         if samples == 0 {
             return Err(crate::error::DiffusionError::NoSamples);
         }
-        Ok(MonteCarloEstimator { graph, deadline, samples, seed })
+        Ok(MonteCarloEstimator {
+            graph,
+            deadline,
+            samples,
+            seed,
+            parallelism: ParallelismConfig::auto(),
+        })
     }
 
     /// Number of cascades per query.
     pub fn samples(&self) -> usize {
         self.samples
+    }
+
+    /// Returns a copy of this estimator with a different parallelism setting.
+    /// Cascade `i` is always driven by `StdRng::seed_from_u64(seed + i)`, so
+    /// estimates are bitwise identical at every thread count.
+    pub fn with_parallelism(&self, parallelism: ParallelismConfig) -> Self {
+        MonteCarloEstimator { parallelism, ..self.clone() }
+    }
+
+    /// The parallelism setting evaluation runs with.
+    pub fn parallelism(&self) -> ParallelismConfig {
+        self.parallelism
     }
 }
 
@@ -387,17 +471,39 @@ impl InfluenceOracle for MonteCarloEstimator {
     }
 
     fn evaluate(&self, seeds: &[NodeId]) -> Result<GroupInfluence> {
+        crate::ic::validate_seeds(&self.graph, seeds)?;
         let k = self.graph.num_groups();
-        let mut totals = vec![0.0f64; k];
-        for i in 0..self.samples {
-            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
-            let trace = simulate_ic(&self.graph, seeds, &mut rng)?;
-            for (g, count) in trace.group_activations(&self.graph, self.deadline).into_iter().enumerate() {
-                totals[g] += count as f64;
-            }
-        }
+        // Cascade `i` is seeded from `seed + i` and activation counts are
+        // accumulated as integers, so the thread count cannot change the
+        // estimate (see `ParallelismConfig`).
+        let counts: Vec<u64> = self.parallelism.run(|| {
+            (0..self.samples)
+                .into_par_iter()
+                .fold(
+                    || vec![0u64; k],
+                    |mut counts, i| {
+                        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+                        let trace = simulate_ic(&self.graph, seeds, &mut rng)
+                            .expect("seeds validated before the parallel region");
+                        let activations = trace.group_activations(&self.graph, self.deadline);
+                        for (c, a) in counts.iter_mut().zip(activations) {
+                            *c += a as u64;
+                        }
+                        counts
+                    },
+                )
+                .reduce(
+                    || vec![0u64; k],
+                    |mut acc, partial| {
+                        for (a, p) in acc.iter_mut().zip(&partial) {
+                            *a += p;
+                        }
+                        acc
+                    },
+                )
+        });
         let scale = 1.0 / self.samples as f64;
-        Ok(GroupInfluence::from_values(totals.into_iter().map(|t| t * scale).collect()))
+        Ok(GroupInfluence::from_values(counts.into_iter().map(|c| c as f64 * scale).collect()))
     }
 
     fn cursor(&self) -> Box<dyn InfluenceCursor + '_> {
@@ -487,7 +593,7 @@ mod tests {
         let est = WorldEstimator::new(
             Arc::clone(&g),
             Deadline::unbounded(),
-            &WorldsConfig { num_worlds: 8, seed: 0 },
+            &WorldsConfig { num_worlds: 8, seed: 0, ..Default::default() },
         )
         .unwrap();
         let inf = est.evaluate(&[NodeId(0)]).unwrap();
@@ -505,7 +611,12 @@ mod tests {
     fn monte_carlo_matches_world_estimator_on_deterministic_graphs() {
         let g = deterministic_graph();
         let deadline = Deadline::finite(1);
-        let world = WorldEstimator::new(Arc::clone(&g), deadline, &WorldsConfig { num_worlds: 4, seed: 1 }).unwrap();
+        let world = WorldEstimator::new(
+            Arc::clone(&g),
+            deadline,
+            &WorldsConfig { num_worlds: 4, seed: 1, ..Default::default() },
+        )
+        .unwrap();
         let mc = MonteCarloEstimator::new(Arc::clone(&g), deadline, 16, 3).unwrap();
         let a = world.evaluate(&[NodeId(0)]).unwrap();
         let b = mc.evaluate(&[NodeId(0)]).unwrap();
@@ -519,7 +630,7 @@ mod tests {
         let est = WorldEstimator::new(
             Arc::clone(&g),
             Deadline::finite(1),
-            &WorldsConfig { num_worlds: 8, seed: 2 },
+            &WorldsConfig { num_worlds: 8, seed: 2, ..Default::default() },
         )
         .unwrap();
         let mut cursor = est.cursor();
@@ -541,7 +652,12 @@ mod tests {
     #[test]
     fn empty_seed_set_has_zero_influence() {
         let g = deterministic_graph();
-        let est = WorldEstimator::new(Arc::clone(&g), Deadline::unbounded(), &WorldsConfig { num_worlds: 4, seed: 5 }).unwrap();
+        let est = WorldEstimator::new(
+            Arc::clone(&g),
+            Deadline::unbounded(),
+            &WorldsConfig { num_worlds: 4, seed: 5, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(est.evaluate(&[]).unwrap().total(), 0.0);
         let mc = MonteCarloEstimator::new(g, Deadline::unbounded(), 4, 0).unwrap();
         assert_eq!(mc.evaluate(&[]).unwrap().total(), 0.0);
@@ -550,7 +666,12 @@ mod tests {
     #[test]
     fn out_of_bounds_seeds_are_rejected() {
         let g = deterministic_graph();
-        let est = WorldEstimator::new(Arc::clone(&g), Deadline::unbounded(), &WorldsConfig { num_worlds: 2, seed: 0 }).unwrap();
+        let est = WorldEstimator::new(
+            Arc::clone(&g),
+            Deadline::unbounded(),
+            &WorldsConfig { num_worlds: 2, seed: 0, ..Default::default() },
+        )
+        .unwrap();
         assert!(est.evaluate(&[NodeId(99)]).is_err());
         let mc = MonteCarloEstimator::new(g, Deadline::unbounded(), 2, 0).unwrap();
         assert!(mc.evaluate(&[NodeId(99)]).is_err());
@@ -596,7 +717,7 @@ mod tests {
         let est = WorldEstimator::new_lt(
             Arc::clone(&g),
             Deadline::finite(1),
-            &WorldsConfig { num_worlds: 8, seed: 3 },
+            &WorldsConfig { num_worlds: 8, seed: 3, ..Default::default() },
         )
         .unwrap();
         let inf = est.evaluate(&[NodeId(0)]).unwrap();
@@ -624,7 +745,7 @@ mod tests {
         let est = WorldEstimator::new_lt(
             Arc::clone(&g),
             Deadline::unbounded(),
-            &WorldsConfig { num_worlds: 500, seed: 9 },
+            &WorldsConfig { num_worlds: 500, seed: 9, ..Default::default() },
         )
         .unwrap();
         let estimate = est.evaluate(&[NodeId(0)]).unwrap().total();
@@ -650,7 +771,12 @@ mod tests {
         b.add_edge(a, c, 0.4).unwrap();
         let g = Arc::new(b.build().unwrap());
 
-        let est = WorldEstimator::new(Arc::clone(&g), Deadline::unbounded(), &WorldsConfig { num_worlds: 4000, seed: 11 }).unwrap();
+        let est = WorldEstimator::new(
+            Arc::clone(&g),
+            Deadline::unbounded(),
+            &WorldsConfig { num_worlds: 4000, seed: 11, ..Default::default() },
+        )
+        .unwrap();
         let inf = est.evaluate(&[a]).unwrap();
         assert!((inf.total() - 1.4).abs() < 0.05, "estimate {}", inf.total());
 

@@ -32,7 +32,7 @@
 //! let estimator = WorldEstimator::new(
 //!     Arc::clone(&graph),
 //!     Deadline::finite(5),
-//!     &WorldsConfig { num_worlds: 50, seed: 0 },
+//!     &WorldsConfig { num_worlds: 50, seed: 0, ..Default::default() },
 //! )
 //! .unwrap();
 //! let influence = estimator.evaluate(&[NodeId(0), NodeId(1)]).unwrap();
@@ -48,6 +48,7 @@ mod error;
 mod estimator;
 mod ic;
 mod lt;
+mod parallel;
 mod ris;
 mod trace;
 mod worlds;
@@ -61,6 +62,7 @@ pub use estimator::{
 };
 pub use ic::{simulate_ic, simulate_ic_seeded};
 pub use lt::{simulate_lt, simulate_lt_seeded, LtWeights};
+pub use parallel::ParallelismConfig;
 pub use ris::{RisConfig, RisEstimator, RrSet};
 pub use trace::{ActivationTrace, NOT_ACTIVATED};
 pub use worlds::{LiveEdgeWorld, VisitScratch, WorldCollection, WorldsConfig};

@@ -203,7 +203,7 @@ impl InfluenceOracle for RisEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{WorldEstimator, InfluenceOracle};
+    use crate::estimator::{InfluenceOracle, WorldEstimator};
     use crate::worlds::WorldsConfig;
     use tcim_graph::generators::{stochastic_block_model, SbmConfig};
     use tcim_graph::{GraphBuilder, GroupId};
@@ -219,8 +219,15 @@ mod tests {
         let deadline = Deadline::finite(3);
         let seeds = [NodeId(0), NodeId(5), NodeId(80)];
 
-        let world = WorldEstimator::new(Arc::clone(&g), deadline, &WorldsConfig { num_worlds: 2000, seed: 1 }).unwrap();
-        let ris = RisEstimator::new(Arc::clone(&g), deadline, &RisConfig { num_sets: 40_000, seed: 2 }).unwrap();
+        let world = WorldEstimator::new(
+            Arc::clone(&g),
+            deadline,
+            &WorldsConfig { num_worlds: 2000, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let ris =
+            RisEstimator::new(Arc::clone(&g), deadline, &RisConfig { num_sets: 40_000, seed: 2 })
+                .unwrap();
 
         let a = world.evaluate(&seeds).unwrap();
         let b = ris.evaluate(&seeds).unwrap();
@@ -236,7 +243,12 @@ mod tests {
         b.add_edge(nodes[0], nodes[1], 1.0).unwrap();
         b.add_edge(nodes[1], nodes[2], 1.0).unwrap();
         let g = Arc::new(b.build().unwrap());
-        let ris = RisEstimator::new(Arc::clone(&g), Deadline::finite(1), &RisConfig { num_sets: 3000, seed: 7 }).unwrap();
+        let ris = RisEstimator::new(
+            Arc::clone(&g),
+            Deadline::finite(1),
+            &RisConfig { num_sets: 3000, seed: 7 },
+        )
+        .unwrap();
         let inf = ris.evaluate(&[NodeId(0)]).unwrap();
         // Exactly nodes {0, 1} are within one hop; estimate ≈ 2.
         assert!((inf.total() - 2.0).abs() < 0.15, "estimate {}", inf.total());
@@ -245,9 +257,19 @@ mod tests {
     #[test]
     fn rejects_empty_inputs() {
         let g = two_group_sbm();
-        assert!(RisEstimator::new(Arc::clone(&g), Deadline::unbounded(), &RisConfig { num_sets: 0, seed: 0 }).is_err());
+        assert!(RisEstimator::new(
+            Arc::clone(&g),
+            Deadline::unbounded(),
+            &RisConfig { num_sets: 0, seed: 0 }
+        )
+        .is_err());
         let empty = Arc::new(GraphBuilder::new().build().unwrap());
-        assert!(RisEstimator::new(empty, Deadline::unbounded(), &RisConfig { num_sets: 10, seed: 0 }).is_err());
+        assert!(RisEstimator::new(
+            empty,
+            Deadline::unbounded(),
+            &RisConfig { num_sets: 10, seed: 0 }
+        )
+        .is_err());
         assert!(RisEstimator::new(g, Deadline::unbounded(), &RisConfig { num_sets: 10, seed: 0 })
             .unwrap()
             .evaluate(&[NodeId(9999)])
@@ -264,7 +286,8 @@ mod tests {
             b.add_undirected_edge(hub, leaf, 1.0).unwrap();
         }
         let g = Arc::new(b.build().unwrap());
-        let ris = RisEstimator::new(g, Deadline::finite(1), &RisConfig { num_sets: 2000, seed: 5 }).unwrap();
+        let ris = RisEstimator::new(g, Deadline::finite(1), &RisConfig { num_sets: 2000, seed: 5 })
+            .unwrap();
         assert_eq!(ris.coverage_ranking()[0], hub);
         assert!(ris.num_sets() == 2000);
         assert!(!ris.sets().is_empty());

@@ -48,10 +48,7 @@ impl ActivationTrace {
 
     /// Number of nodes activated no later than `deadline`.
     pub fn num_activated_by(&self, deadline: Deadline) -> usize {
-        self.times
-            .iter()
-            .filter(|&&t| t != NOT_ACTIVATED && deadline.allows(t))
-            .count()
+        self.times.iter().filter(|&&t| t != NOT_ACTIVATED && deadline.allows(t)).count()
     }
 
     /// Number of nodes of each group of `graph` that were activated no later
@@ -70,11 +67,7 @@ impl ActivationTrace {
 
     /// Largest activation time observed (`None` when nothing was activated).
     pub fn horizon(&self) -> Option<u32> {
-        self.times
-            .iter()
-            .filter(|&&t| t != NOT_ACTIVATED)
-            .max()
-            .copied()
+        self.times.iter().filter(|&&t| t != NOT_ACTIVATED).max().copied()
     }
 
     /// Raw activation times slice.

@@ -20,11 +20,13 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use tcim_graph::{Graph, NodeId};
 
 use crate::bitset::BitSet;
 use crate::deadline::Deadline;
 use crate::error::{DiffusionError, Result};
+use crate::parallel::ParallelismConfig;
 
 /// One sampled live-edge world: the subgraph of live edges in CSR form.
 #[derive(Debug, Clone)]
@@ -217,14 +219,17 @@ pub struct WorldsConfig {
     /// Number of live-edge worlds (Monte-Carlo samples).
     pub num_worlds: usize,
     /// RNG seed; world `i` is sampled from `seed + i` so collections can be
-    /// extended deterministically.
+    /// extended deterministically and parallel sampling is order-independent.
     pub seed: u64,
+    /// Worker threads for sampling and estimation. Purely a throughput knob:
+    /// results are bitwise identical at every thread count.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for WorldsConfig {
     fn default() -> Self {
         // 200 samples is the paper's default for the synthetic experiments.
-        WorldsConfig { num_worlds: 200, seed: 0 }
+        WorldsConfig { num_worlds: 200, seed: 0, parallelism: ParallelismConfig::auto() }
     }
 }
 
@@ -246,12 +251,17 @@ impl WorldCollection {
         if config.num_worlds == 0 {
             return Err(DiffusionError::NoSamples);
         }
-        let worlds = (0..config.num_worlds)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
-                LiveEdgeWorld::sample(graph, &mut rng)
-            })
-            .collect();
+        // World `i` depends only on `seed + i`, so the parallel map is
+        // trivially identical to the serial loop (collect preserves order).
+        let worlds = config.parallelism.run(|| {
+            (0..config.num_worlds)
+                .into_par_iter()
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+                    LiveEdgeWorld::sample(graph, &mut rng)
+                })
+                .collect()
+        });
         Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
     }
 
@@ -270,12 +280,15 @@ impl WorldCollection {
         if config.num_worlds == 0 {
             return Err(DiffusionError::NoSamples);
         }
-        let worlds = (0..config.num_worlds)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
-                LiveEdgeWorld::sample_lt(graph, weights, &mut rng)
-            })
-            .collect();
+        let worlds = config.parallelism.run(|| {
+            (0..config.num_worlds)
+                .into_par_iter()
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+                    LiveEdgeWorld::sample_lt(graph, weights, &mut rng)
+                })
+                .collect()
+        });
         Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
     }
 
@@ -305,7 +318,8 @@ impl WorldCollection {
         if self.worlds.is_empty() {
             return 0.0;
         }
-        self.worlds.iter().map(|w| w.num_live_edges() as f64).sum::<f64>() / self.worlds.len() as f64
+        self.worlds.iter().map(|w| w.num_live_edges() as f64).sum::<f64>()
+            / self.worlds.len() as f64
     }
 }
 
@@ -414,31 +428,35 @@ mod tests {
     fn lt_world_collections_are_deterministic() {
         let g = path(0.8);
         let weights = crate::lt::LtWeights::from_graph(&g);
-        let cfg = WorldsConfig { num_worlds: 12, seed: 5 };
+        let cfg = WorldsConfig { num_worlds: 12, seed: 5, ..Default::default() };
         let a = WorldCollection::sample_lt(&g, &weights, &cfg).unwrap();
         let b = WorldCollection::sample_lt(&g, &weights, &cfg).unwrap();
         assert_eq!(a.len(), 12);
         assert_eq!(a.mean_live_edges(), b.mean_live_edges());
-        assert!(WorldCollection::sample_lt(&g, &weights, &WorldsConfig { num_worlds: 0, seed: 0 })
-            .is_err());
+        assert!(WorldCollection::sample_lt(
+            &g,
+            &weights,
+            &WorldsConfig { num_worlds: 0, seed: 0, ..Default::default() }
+        )
+        .is_err());
     }
 
     #[test]
     fn world_collection_is_deterministic_and_validates_size() {
         let g = path(0.5);
-        let cfg = WorldsConfig { num_worlds: 16, seed: 9 };
+        let cfg = WorldsConfig { num_worlds: 16, seed: 9, ..Default::default() };
         let a = WorldCollection::sample(&g, &cfg).unwrap();
         let b = WorldCollection::sample(&g, &cfg).unwrap();
         assert_eq!(a.len(), 16);
         assert_eq!(a.num_nodes(), 4);
         assert!(!a.is_empty());
-        assert_eq!(
-            a.worlds()[3].num_live_edges(),
-            b.worlds()[3].num_live_edges()
-        );
+        assert_eq!(a.worlds()[3].num_live_edges(), b.worlds()[3].num_live_edges());
         assert!(a.mean_live_edges() >= 0.0 && a.mean_live_edges() <= 3.0);
         assert!(matches!(
-            WorldCollection::sample(&g, &WorldsConfig { num_worlds: 0, seed: 0 }),
+            WorldCollection::sample(
+                &g,
+                &WorldsConfig { num_worlds: 0, seed: 0, ..Default::default() }
+            ),
             Err(DiffusionError::NoSamples)
         ));
     }
@@ -453,7 +471,11 @@ mod tests {
             b.add_edge(hub, leaf, 0.3).unwrap();
         }
         let g = b.build().unwrap();
-        let worlds = WorldCollection::sample(&g, &WorldsConfig { num_worlds: 100, seed: 4 }).unwrap();
+        let worlds = WorldCollection::sample(
+            &g,
+            &WorldsConfig { num_worlds: 100, seed: 4, ..Default::default() },
+        )
+        .unwrap();
         let mean = worlds.mean_live_edges();
         assert!((mean - 60.0).abs() < 6.0, "mean live edges {mean}");
     }

@@ -1,0 +1,198 @@
+//! Regression tests: the parallel Monte-Carlo estimation engine must return
+//! **bitwise-identical** `GroupInfluence` vectors at every thread count.
+//!
+//! The guarantee rests on two implementation choices (see
+//! `ParallelismConfig`): world/cascade `i` derives its RNG from
+//! `base_seed + i` independent of scheduling, and per-group activation
+//! counts accumulate as integers before the single final conversion to
+//! `f64`.
+
+use std::sync::Arc;
+
+use tcim_diffusion::{
+    Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig,
+    WorldCollection, WorldEstimator, WorldsConfig,
+};
+use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+use tcim_graph::{Graph, NodeId};
+
+/// The paper's synthetic setting scaled down: two homophilous groups.
+fn sbm() -> Arc<Graph> {
+    let config = SbmConfig::two_group(300, 0.7, 0.03, 0.005, 0.1, 42);
+    Arc::new(stochastic_block_model(&config).unwrap())
+}
+
+fn seeds() -> Vec<NodeId> {
+    (0..12u32).map(NodeId).collect()
+}
+
+/// Exact (bitwise) equality of influence vectors; `==` on `f64` would accept
+/// `-0.0 == 0.0`, bitwise comparison does not.
+fn assert_bitwise_equal(a: &GroupInfluence, b: &GroupInfluence, context: &str) {
+    assert_eq!(a.values().len(), b.values().len(), "{context}: group count differs");
+    for (i, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: group {i} differs ({x} vs {y})");
+    }
+}
+
+#[test]
+fn world_estimator_is_bitwise_identical_across_thread_counts() {
+    let graph = sbm();
+    let seeds = seeds();
+    let serial = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &WorldsConfig { num_worlds: 64, seed: 7, parallelism: ParallelismConfig::serial() },
+    )
+    .unwrap();
+    let reference = serial.evaluate(&seeds).unwrap();
+    assert!(reference.total() > 0.0, "degenerate reference estimate");
+
+    for threads in [1usize, 2, 8] {
+        let parallel = WorldEstimator::new(
+            Arc::clone(&graph),
+            Deadline::finite(5),
+            &WorldsConfig {
+                num_worlds: 64,
+                seed: 7,
+                parallelism: ParallelismConfig::fixed(threads),
+            },
+        )
+        .unwrap();
+        let estimate = parallel.evaluate(&seeds).unwrap();
+        assert_bitwise_equal(&reference, &estimate, &format!("world estimator, {threads} threads"));
+    }
+}
+
+#[test]
+fn monte_carlo_estimator_is_bitwise_identical_across_thread_counts() {
+    let graph = sbm();
+    let seeds = seeds();
+    let serial = MonteCarloEstimator::new(Arc::clone(&graph), Deadline::finite(4), 96, 3)
+        .unwrap()
+        .with_parallelism(ParallelismConfig::serial());
+    let reference = serial.evaluate(&seeds).unwrap();
+    assert!(reference.total() > 0.0, "degenerate reference estimate");
+
+    for threads in [1usize, 2, 8] {
+        let parallel = serial.with_parallelism(ParallelismConfig::fixed(threads));
+        let estimate = parallel.evaluate(&seeds).unwrap();
+        assert_bitwise_equal(&reference, &estimate, &format!("monte carlo, {threads} threads"));
+    }
+}
+
+/// `auto()` resolves the thread count from the environment
+/// (`RAYON_NUM_THREADS` / available cores), so this case — unlike the
+/// `fixed(n)` ones — changes behaviour under CI's capped re-run
+/// (`RAYON_NUM_THREADS=2 cargo test …`) and covers the oversubscribed path.
+#[test]
+fn auto_parallelism_matches_serial() {
+    let graph = sbm();
+    let seeds = seeds();
+    let serial = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &WorldsConfig { num_worlds: 64, seed: 7, parallelism: ParallelismConfig::serial() },
+    )
+    .unwrap();
+    let auto = serial.with_parallelism(ParallelismConfig::auto());
+    assert_bitwise_equal(
+        &serial.evaluate(&seeds).unwrap(),
+        &auto.evaluate(&seeds).unwrap(),
+        "world estimator, auto threads",
+    );
+
+    // The greedy-driving cursor must agree with the serial cursor too: its
+    // marginal-gain path is the solver hot loop. 256 worlds × 300 nodes
+    // clears the cursor's PARALLEL_GAIN_MIN_WORK threshold, so the parallel
+    // fan-out really runs (smaller workloads fall back to the serial path).
+    let big_serial = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &WorldsConfig { num_worlds: 256, seed: 7, parallelism: ParallelismConfig::serial() },
+    )
+    .unwrap();
+    let big_auto = big_serial.with_parallelism(ParallelismConfig::auto());
+    let mut serial_cursor = big_serial.cursor();
+    let mut auto_cursor = big_auto.cursor();
+    for &candidate in seeds.iter().take(4) {
+        assert_bitwise_equal(
+            &serial_cursor.gain(candidate),
+            &auto_cursor.gain(candidate),
+            "cursor gain, auto threads",
+        );
+        serial_cursor.add_seed(candidate);
+        auto_cursor.add_seed(candidate);
+        assert_bitwise_equal(
+            serial_cursor.current(),
+            auto_cursor.current(),
+            "cursor state, auto threads",
+        );
+    }
+}
+
+#[test]
+fn world_sampling_is_identical_across_thread_counts() {
+    let graph = sbm();
+    let serial = WorldCollection::sample(
+        &graph,
+        &WorldsConfig { num_worlds: 32, seed: 11, parallelism: ParallelismConfig::serial() },
+    )
+    .unwrap();
+    for threads in [2usize, 8] {
+        let parallel = WorldCollection::sample(
+            &graph,
+            &WorldsConfig {
+                num_worlds: 32,
+                seed: 11,
+                parallelism: ParallelismConfig::fixed(threads),
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.worlds().iter().zip(parallel.worlds()).enumerate() {
+            assert_eq!(
+                a.num_live_edges(),
+                b.num_live_edges(),
+                "world {i} live-edge count differs at {threads} threads"
+            );
+            for v in graph.nodes() {
+                assert_eq!(
+                    a.out_neighbors(v),
+                    b.out_neighbors(v),
+                    "world {i} adjacency of node {v:?} differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lt_estimation_is_bitwise_identical_across_thread_counts() {
+    let graph = sbm();
+    let seeds = seeds();
+    let reference = WorldEstimator::new_lt(
+        Arc::clone(&graph),
+        Deadline::finite(6),
+        &WorldsConfig { num_worlds: 48, seed: 19, parallelism: ParallelismConfig::serial() },
+    )
+    .unwrap()
+    .evaluate(&seeds)
+    .unwrap();
+
+    for threads in [2usize, 8] {
+        let estimate = WorldEstimator::new_lt(
+            Arc::clone(&graph),
+            Deadline::finite(6),
+            &WorldsConfig {
+                num_worlds: 48,
+                seed: 19,
+                parallelism: ParallelismConfig::fixed(threads),
+            },
+        )
+        .unwrap()
+        .evaluate(&seeds)
+        .unwrap();
+        assert_bitwise_equal(&reference, &estimate, &format!("LT estimator, {threads} threads"));
+    }
+}

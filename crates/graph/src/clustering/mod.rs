@@ -35,10 +35,7 @@ pub fn labels_to_groups(labels: &[usize]) -> Vec<GroupId> {
     for (new, &old) in order.iter().enumerate() {
         remap[old] = new;
     }
-    labels
-        .iter()
-        .map(|&l| GroupId::from_index(remap[l]))
-        .collect()
+    labels.iter().map(|&l| GroupId::from_index(remap[l])).collect()
 }
 
 #[cfg(test)]

@@ -65,10 +65,8 @@ pub fn spectral_clustering(graph: &Graph, config: &SpectralConfig) -> Result<Vec
         degree[s.index()] += 1.0;
         degree[t.index()] += 1.0;
     }
-    let inv_sqrt: Vec<f64> = degree
-        .iter()
-        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
-        .collect();
+    let inv_sqrt: Vec<f64> =
+        degree.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
 
     // y = A_sym x, where A_sym treats each directed edge as half an
     // undirected edge (so genuinely undirected graphs get weight 1).
@@ -85,9 +83,8 @@ pub fn spectral_clustering(graph: &Graph, config: &SpectralConfig) -> Result<Vec
 
     // Subspace iteration for the k leading eigenvectors.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut basis: Vec<Vec<f64>> = (0..config.k)
-        .map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect())
-        .collect();
+    let mut basis: Vec<Vec<f64>> =
+        (0..config.k).map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect()).collect();
     orthonormalize(&mut basis);
 
     let mut scratch = vec![0.0f64; n];
@@ -100,9 +97,8 @@ pub fn spectral_clustering(graph: &Graph, config: &SpectralConfig) -> Result<Vec
     }
 
     // Row-normalised n x k embedding.
-    let mut rows: Vec<Vec<f64>> = (0..n)
-        .map(|i| basis.iter().map(|v| v[i]).collect::<Vec<f64>>())
-        .collect();
+    let mut rows: Vec<Vec<f64>> =
+        (0..n).map(|i| basis.iter().map(|v| v[i]).collect::<Vec<f64>>()).collect();
     for row in rows.iter_mut() {
         let norm: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm > 1e-12 {
@@ -199,9 +195,6 @@ mod tests {
         let cfg = SbmConfig::two_group(60, 0.6, 0.3, 0.02, 0.1, 2);
         let g = stochastic_block_model(&cfg).unwrap();
         let sc = SpectralConfig { k: 2, seed: 17, ..Default::default() };
-        assert_eq!(
-            spectral_clustering(&g, &sc).unwrap(),
-            spectral_clustering(&g, &sc).unwrap()
-        );
+        assert_eq!(spectral_clustering(&g, &sc).unwrap(), spectral_clustering(&g, &sc).unwrap());
     }
 }

@@ -74,13 +74,7 @@ pub fn barabasi_albert(config: &BarabasiAlbertConfig) -> Result<Graph> {
 
     // Assign groups up front so attachment can be group-biased.
     let groups: Vec<GroupId> = (0..n)
-        .map(|_| {
-            if rng.random_bool(config.minority_fraction) {
-                GroupId(1)
-            } else {
-                GroupId(0)
-            }
-        })
+        .map(|_| if rng.random_bool(config.minority_fraction) { GroupId(1) } else { GroupId(0) })
         .collect();
 
     let mut builder = GraphBuilder::with_capacity(n, 2 * n * m);
@@ -96,7 +90,11 @@ pub fn barabasi_albert(config: &BarabasiAlbertConfig) -> Result<Graph> {
     // Seed clique over the first m + 1 nodes.
     for u in 0..=m {
         for v in (u + 1)..=m {
-            builder.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v), config.edge_probability)?;
+            builder.add_undirected_edge(
+                NodeId::from_index(u),
+                NodeId::from_index(v),
+                config.edge_probability,
+            )?;
             degree[u] += 1;
             degree[v] += 1;
         }
@@ -107,7 +105,9 @@ pub fn barabasi_albert(config: &BarabasiAlbertConfig) -> Result<Graph> {
         for _ in 0..m {
             let total: f64 = (0..new)
                 .filter(|t| !chosen.contains(t))
-                .map(|t| attachment_weight(degree[t], groups[new] == groups[t], config.homophily_bias))
+                .map(|t| {
+                    attachment_weight(degree[t], groups[new] == groups[t], config.homophily_bias)
+                })
                 .sum();
             if total <= 0.0 {
                 break;
@@ -118,7 +118,8 @@ pub fn barabasi_albert(config: &BarabasiAlbertConfig) -> Result<Graph> {
                 if chosen.contains(&t) {
                     continue;
                 }
-                pick -= attachment_weight(degree[t], groups[new] == groups[t], config.homophily_bias);
+                pick -=
+                    attachment_weight(degree[t], groups[new] == groups[t], config.homophily_bias);
                 if pick <= 0.0 {
                     selected = Some(t);
                     break;

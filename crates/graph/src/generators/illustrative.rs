@@ -165,8 +165,7 @@ mod tests {
 
     #[test]
     fn edge_probability_is_configurable_and_validated() {
-        let (g, _) =
-            illustrative_example(&IllustrativeConfig { edge_probability: 0.3 }).unwrap();
+        let (g, _) = illustrative_example(&IllustrativeConfig { edge_probability: 0.3 }).unwrap();
         assert!(g.edges().all(|(_, _, p)| (p - 0.3).abs() < 1e-12));
         assert!(illustrative_example(&IllustrativeConfig { edge_probability: 1.3 }).is_err());
     }

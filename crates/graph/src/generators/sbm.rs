@@ -87,7 +87,9 @@ impl SbmConfig {
             for &((i, j), _) in pairs {
                 if i >= k || j >= k || i > j {
                     return Err(GraphError::InvalidParameter {
-                        message: format!("expected_edges pair ({i}, {j}) is not a valid i <= j block pair"),
+                        message: format!(
+                            "expected_edges pair ({i}, {j}) is not a valid i <= j block pair"
+                        ),
                     });
                 }
             }
@@ -175,10 +177,7 @@ pub fn stochastic_block_model(config: &SbmConfig) -> Result<Graph> {
 }
 
 fn group_of_index(ranges: &[std::ops::Range<usize>], index: usize) -> usize {
-    ranges
-        .iter()
-        .position(|r| r.contains(&index))
-        .expect("node index must fall into a group range")
+    ranges.iter().position(|r| r.contains(&index)).expect("node index must fall into a group range")
 }
 
 #[cfg(test)]

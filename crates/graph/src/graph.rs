@@ -104,14 +104,7 @@ impl Graph {
             group_members[group.index()].push(NodeId::from_index(idx));
         }
 
-        Ok(Graph {
-            offsets,
-            targets,
-            probabilities,
-            groups,
-            num_groups,
-            group_members,
-        })
+        Ok(Graph { offsets, targets, probabilities, groups, num_groups, group_members })
     }
 
     /// Number of nodes in the graph.
@@ -181,10 +174,7 @@ impl Graph {
 
     /// Number of nodes in `group` (0 for unknown groups).
     pub fn group_size(&self, group: GroupId) -> usize {
-        self.group_members
-            .get(group.index())
-            .map(|v| v.len())
-            .unwrap_or(0)
+        self.group_members.get(group.index()).map(|v| v.len()).unwrap_or(0)
     }
 
     /// Sizes of every group, indexed by group id.
@@ -245,9 +235,7 @@ impl Graph {
 
     /// Iterator over all edges as `(source, target, probability)` triples.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRecord> + '_ {
-        self.nodes().flat_map(move |v| {
-            self.out_edges(v).map(move |(t, p)| (v, t, p))
-        })
+        self.nodes().flat_map(move |v| self.out_edges(v).map(move |(t, p)| (v, t, p)))
     }
 
     /// Returns a copy of this graph with every edge probability replaced by
@@ -306,9 +294,7 @@ impl Graph {
 
     /// Total number of directed edges whose endpoints are in different groups.
     pub fn across_group_edges(&self) -> usize {
-        self.edges()
-            .filter(|(s, t, _)| self.group_of(*s) != self.group_of(*t))
-            .count()
+        self.edges().filter(|(s, t, _)| self.group_of(*s) != self.group_of(*t)).count()
     }
 
     /// Sum of all edge probabilities (expected number of live edges).
@@ -375,9 +361,8 @@ mod tests {
         let g = triangle();
         for v in g.nodes() {
             let range = g.out_edge_range(v);
-            let from_flat: Vec<_> = range
-                .map(|i| (g.edge_target(i), g.edge_probability(i)))
-                .collect();
+            let from_flat: Vec<_> =
+                range.map(|i| (g.edge_target(i), g.edge_probability(i))).collect();
             let from_iter: Vec<_> = g.out_edges(v).collect();
             assert_eq!(from_flat, from_iter);
         }
@@ -393,9 +378,7 @@ mod tests {
     #[test]
     fn regrouping_validates_length() {
         let g = triangle();
-        let regrouped = g
-            .with_groups(vec![GroupId(1), GroupId(1), GroupId(0)])
-            .unwrap();
+        let regrouped = g.with_groups(vec![GroupId(1), GroupId(1), GroupId(0)]).unwrap();
         assert_eq!(regrouped.group_size(GroupId(1)), 2);
         assert!(g.with_groups(vec![GroupId(0)]).is_err());
     }
@@ -403,13 +386,18 @@ mod tests {
     #[test]
     fn from_csr_rejects_inconsistent_arrays() {
         // offsets wrong length
-        assert!(Graph::from_csr(vec![0, 1], vec![0], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+        assert!(
+            Graph::from_csr(vec![0, 1], vec![0], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err()
+        );
         // target out of bounds
-        assert!(Graph::from_csr(vec![0, 1, 1], vec![5], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+        assert!(Graph::from_csr(vec![0, 1, 1], vec![5], vec![0.5], vec![GroupId(0), GroupId(0)])
+            .is_err());
         // bad probability
-        assert!(Graph::from_csr(vec![0, 1, 1], vec![1], vec![1.5], vec![GroupId(0), GroupId(0)]).is_err());
+        assert!(Graph::from_csr(vec![0, 1, 1], vec![1], vec![1.5], vec![GroupId(0), GroupId(0)])
+            .is_err());
         // decreasing offsets
-        assert!(Graph::from_csr(vec![0, 1, 0], vec![1], vec![0.5], vec![GroupId(0), GroupId(0)]).is_err());
+        assert!(Graph::from_csr(vec![0, 1, 0], vec![1], vec![0.5], vec![GroupId(0), GroupId(0)])
+            .is_err());
     }
 
     #[test]

@@ -83,14 +83,11 @@ pub fn read_edge_list<R: Read>(reader: R, options: &EdgeListOptions) -> Result<L
 }
 
 fn parse_field(token: Option<&str>, line: usize, what: &str) -> Result<u64> {
-    let token = token.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what} column"),
-    })?;
-    token.parse::<u64>().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} '{token}'"),
-    })
+    let token = token
+        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what} column") })?;
+    token
+        .parse::<u64>()
+        .map_err(|_| GraphError::Parse { line, message: format!("invalid {what} '{token}'") })
 }
 
 /// Reads an edge list from a file path.
@@ -122,9 +119,7 @@ pub fn read_group_file<R: Read>(reader: R, loaded: &LoadedGraph) -> Result<Vec<G
         let raw_node: u64 = parse_field(parts.next(), line_no + 1, "node")?;
         let raw_group: u64 = parse_field(parts.next(), line_no + 1, "group")?;
         let next_id = label_map.len();
-        let group = *label_map
-            .entry(raw_group)
-            .or_insert_with(|| GroupId::from_index(next_id));
+        let group = *label_map.entry(raw_group).or_insert_with(|| GroupId::from_index(next_id));
         if let Some(node) = loaded.id_map.get(&raw_node) {
             groups[node.index()] = group;
         }
@@ -134,7 +129,12 @@ pub fn read_group_file<R: Read>(reader: R, loaded: &LoadedGraph) -> Result<Vec<G
 
 /// Writes `graph` as an edge list (`source target probability` per line).
 pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
-    writeln!(writer, "# fairtcim edge list: {} nodes, {} directed edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# fairtcim edge list: {} nodes, {} directed edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (s, t, p) in graph.edges() {
         writeln!(writer, "{} {} {}", s.0, t.0, p)?;
     }

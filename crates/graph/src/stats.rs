@@ -87,9 +87,7 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
     } else {
         let mf = m as f64;
         let trace: f64 = within.iter().map(|&x| x as f64 / mf).sum();
-        let expected: f64 = (0..k)
-            .map(|i| (a[i] as f64 / mf) * (b[i] as f64 / mf))
-            .sum();
+        let expected: f64 = (0..k).map(|i| (a[i] as f64 / mf) * (b[i] as f64 / mf)).sum();
         if (1.0 - expected).abs() < 1e-12 {
             // Single effective group: perfectly assortative by convention.
             1.0
@@ -128,12 +126,7 @@ impl GraphStats {
     /// Ratio `|V_largest| / |V_smallest|` over non-empty groups (1.0 when
     /// there are fewer than two non-empty groups).
     pub fn group_imbalance(&self) -> f64 {
-        let sizes: Vec<usize> = self
-            .groups
-            .iter()
-            .map(|g| g.size)
-            .filter(|&s| s > 0)
-            .collect();
+        let sizes: Vec<usize> = self.groups.iter().map(|g| g.size).filter(|&s| s > 0).collect();
         match (sizes.iter().max(), sizes.iter().min()) {
             (Some(&max), Some(&min)) if sizes.len() >= 2 && min > 0 => max as f64 / min as f64,
             _ => 1.0,

@@ -51,7 +51,7 @@ pub fn bounded_reachable(graph: &Graph, sources: &[NodeId], max_hops: Option<u32
     let dist = bfs_distances_multi(graph, sources);
     dist.iter()
         .enumerate()
-        .filter(|(_, &d)| d != UNREACHABLE && max_hops.map_or(true, |h| d <= h))
+        .filter(|(_, &d)| d != UNREACHABLE && max_hops.is_none_or(|h| d <= h))
         .map(|(i, _)| NodeId::from_index(i))
         .collect()
 }

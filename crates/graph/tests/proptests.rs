@@ -7,12 +7,13 @@ use tcim_graph::traversal::{bfs_distances, bfs_distances_multi, UNREACHABLE};
 use tcim_graph::{GraphBuilder, GroupId, NodeId};
 
 /// Strategy producing a small random edge list over `n` nodes.
-fn edge_list(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+fn edge_list(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2..=max_nodes).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.0f64..=1.0f64),
-            0..=max_edges,
-        );
+        let edges =
+            proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..=1.0f64), 0..=max_edges);
         (Just(n), edges)
     })
 }

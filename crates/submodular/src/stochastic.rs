@@ -59,7 +59,8 @@ pub fn maximize_stochastic<O: IncrementalObjective>(
     remaining.dedup();
 
     let n = remaining.len();
-    let sample_size = (((n as f64) / (budget as f64)) * (1.0 / config.epsilon).ln()).ceil() as usize;
+    let sample_size =
+        (((n as f64) / (budget as f64)) * (1.0 / config.epsilon).ln()).ceil() as usize;
     let sample_size = sample_size.clamp(1, n);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -73,10 +74,10 @@ pub fn maximize_stochastic<O: IncrementalObjective>(
         remaining.shuffle(&mut rng);
         let window = sample_size.min(remaining.len());
         let mut best: Option<(usize, f64)> = None; // (position, gain)
-        for pos in 0..window {
-            let gain = objective.gain(remaining[pos]);
+        for (pos, &item) in remaining.iter().enumerate().take(window) {
+            let gain = objective.gain(item);
             trace.gain_evaluations += 1;
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((pos, gain));
             }
         }
@@ -94,7 +95,7 @@ pub fn maximize_stochastic<O: IncrementalObjective>(
                 for (pos, &item) in remaining.iter().enumerate() {
                     let gain = objective.gain(item);
                     trace.gain_evaluations += 1;
-                    if fallback.map_or(true, |(_, g)| gain > g) {
+                    if fallback.is_none_or(|(_, g)| gain > g) {
                         fallback = Some((pos, gain));
                     }
                 }
@@ -119,9 +120,8 @@ mod tests {
     use crate::testing::{ModularFunction, WeightedCoverage};
 
     fn coverage() -> WeightedCoverage {
-        let covers: Vec<Vec<usize>> = (0..40)
-            .map(|i| (0..5).map(|j| (i * 3 + j * 7) % 60).collect())
-            .collect();
+        let covers: Vec<Vec<usize>> =
+            (0..40).map(|i| (0..5).map(|j| (i * 3 + j * 7) % 60).collect()).collect();
         WeightedCoverage::uniform(covers, 60)
     }
 

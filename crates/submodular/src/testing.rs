@@ -72,14 +72,21 @@ pub struct WeightedCoverage {
 impl WeightedCoverage {
     /// Creates a coverage function.
     ///
+    /// Duplicate element indices within one item's cover list are
+    /// deduplicated; otherwise [`IncrementalObjective::gain`] would count a
+    /// repeated uncovered element twice while `insert` (correctly) credits it
+    /// once, and an inconsistent gain oracle voids the greedy guarantee.
+    ///
     /// # Panics
     ///
     /// Panics if an item references an element outside `element_weights`.
-    pub fn new(covers: Vec<Vec<usize>>, element_weights: Vec<f64>) -> Self {
-        for set in &covers {
-            for &e in set {
+    pub fn new(mut covers: Vec<Vec<usize>>, element_weights: Vec<f64>) -> Self {
+        for set in &mut covers {
+            for &e in set.iter() {
                 assert!(e < element_weights.len(), "element index {e} out of range");
             }
+            set.sort_unstable();
+            set.dedup();
         }
         let covered = vec![false; element_weights.len()];
         WeightedCoverage { covers, element_weights, covered, value: 0.0 }
@@ -103,12 +110,7 @@ impl WeightedCoverage {
                 reachable[e] = true;
             }
         }
-        reachable
-            .iter()
-            .zip(&self.element_weights)
-            .filter(|(r, _)| **r)
-            .map(|(_, w)| w)
-            .sum()
+        reachable.iter().zip(&self.element_weights).filter(|(r, _)| **r).map(|(_, w)| w).sum()
     }
 }
 

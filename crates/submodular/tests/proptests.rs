@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use tcim_submodular::testing::{verify_submodular, WeightedCoverage};
 use tcim_submodular::{
-    cover_greedy, maximize_greedy, maximize_lazy, maximize_stochastic, CoverConfig,
-    EvaluateSet, StochasticGreedyConfig,
+    cover_greedy, maximize_greedy, maximize_lazy, maximize_stochastic, CoverConfig, EvaluateSet,
+    StochasticGreedyConfig,
 };
 
 /// Strategy: a random coverage instance with `items` sets over `elements`

@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &LoadOptions { edge_probability: 0.05, undirected: true },
             )?;
             if graph.num_groups() <= 1 {
-                println!("no group attribute supplied: deriving topological groups by label propagation");
+                println!(
+                    "no group attribute supplied: deriving topological groups by label propagation"
+                );
                 let labels = label_propagation(&graph, &LabelPropagationConfig::default());
                 graph.with_groups(labels_to_groups(&labels))?
             } else {
@@ -70,11 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>9} {:>14} {:>14} {:>14} {:>14}",
         "deadline", "P1 reach", "P1 disparity", "P4 reach", "P4 disparity"
     );
-    for deadline in [Deadline::finite(2), Deadline::finite(5), Deadline::finite(20), Deadline::unbounded()] {
+    for deadline in
+        [Deadline::finite(2), Deadline::finite(5), Deadline::finite(20), Deadline::unbounded()]
+    {
         let oracle = WorldEstimator::new(
             Arc::clone(&graph),
             deadline,
-            &WorldsConfig { num_worlds: 100, seed: 17 },
+            &WorldsConfig { num_worlds: 100, seed: 17, ..Default::default() },
         )?;
         let config = BudgetConfig::new(budget);
         let unfair = solve_tcim_budget(&oracle, &config)?;

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(deadline),
-        &WorldsConfig { num_worlds: config.samples, seed: 5 },
+        &WorldsConfig { num_worlds: config.samples, seed: 5, ..Default::default() },
     )?;
 
     let problem = CoverProblemConfig::new(quota);
@@ -71,11 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfair plan trajectory (workers -> community coverage):");
     for (i, _) in fair.report.iterations.iter().enumerate() {
         if let Some(snapshot) = fair.report.fairness_at(i) {
-            let per_group: Vec<String> = snapshot
-                .normalized_utilities
-                .iter()
-                .map(|f| format!("{f:.3}"))
-                .collect();
+            let per_group: Vec<String> =
+                snapshot.normalized_utilities.iter().map(|f| format!("{f:.3}")).collect();
             println!("  {:>3} workers: [{}]", i + 1, per_group.join(", "));
         }
     }

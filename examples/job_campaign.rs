@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(deadline),
-        &WorldsConfig { num_worlds: RICE_SAMPLES.min(200), seed: 3 },
+        &WorldsConfig { num_worlds: RICE_SAMPLES.min(200), seed: 3, ..Default::default() },
     )?;
 
     // Baselines the campaign team might try first.
@@ -56,16 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for report in [&random, &degree, &unfair, &fair] {
         let fairness = report.fairness();
-        let best = fairness
-            .normalized_utilities
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
-        let worst = fairness
-            .normalized_utilities
-            .iter()
-            .cloned()
-            .fold(f64::MAX, f64::min);
+        let best = fairness.normalized_utilities.iter().cloned().fold(f64::MIN, f64::max);
+        let worst = fairness.normalized_utilities.iter().cloned().fold(f64::MAX, f64::min);
         println!(
             "{:<14} {:>9.3} {:>12.3} {:>12.3} {:>12.3}",
             report.label, fairness.total_fraction, best, worst, fairness.disparity

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(5),
-        &WorldsConfig { num_worlds: config.samples, seed: 1 },
+        &WorldsConfig { num_worlds: config.samples, seed: 1, ..Default::default() },
     )?;
 
     // 3. Pick 20 seeds with the classical objective (P1) and with the fair
@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n[{}] seeds: {:?}", report.label, report.seeds.len());
         println!("  total influenced fraction: {:.3}", fairness.total_fraction);
         for (group, fraction) in fairness.normalized_utilities.iter().enumerate() {
-            println!(
-                "  group {group} ({} nodes): {:.3}",
-                fairness.group_sizes[group], fraction
-            );
+            println!("  group {group} ({} nodes): {:.3}", fairness.group_sizes[group], fraction);
         }
         println!("  disparity (Eq. 2): {:.3}", fairness.disparity);
     }

@@ -34,7 +34,7 @@
 //! let oracle = WorldEstimator::new(
 //!     Arc::clone(&graph),
 //!     Deadline::finite(5),
-//!     &WorldsConfig { num_worlds: 50, seed: 0 },
+//!     &WorldsConfig { num_worlds: 50, seed: 0, ..Default::default() },
 //! )
 //! .unwrap();
 //!
@@ -55,6 +55,10 @@ pub use tcim_submodular as submodular;
 
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
+    pub use tcim_core::baselines::{
+        evaluate_seed_set, group_proportional_degree_seeds, random_seeds, top_degree_seeds,
+        top_pagerank_seeds,
+    };
     pub use tcim_core::{
         disparity, solve_budget_exhaustive, solve_constrained_budget, solve_constrained_cover,
         solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget,
@@ -62,15 +66,11 @@ pub mod prelude {
         ConstrainedCoverReport, CoverProblemConfig, CoverReport, ExhaustiveObjective,
         FairnessReport, GreedyAlgorithm, SolverReport,
     };
-    pub use tcim_core::baselines::{
-        evaluate_seed_set, group_proportional_degree_seeds, random_seeds, top_degree_seeds,
-        top_pagerank_seeds,
-    };
     pub use tcim_datasets::registry::{Dataset, DatasetBundle};
     pub use tcim_datasets::SyntheticConfig;
     pub use tcim_diffusion::{
-        Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, RisConfig, RisEstimator,
-        WorldEstimator, WorldsConfig,
+        Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig,
+        RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
     };
     pub use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
 }

@@ -8,16 +8,12 @@ use fairtcim::prelude::*;
 
 /// Shared small oracle over the synthetic SBM with a tight deadline.
 fn synthetic_oracle(deadline: Deadline, worlds: usize) -> (Arc<Graph>, WorldEstimator) {
-    let config = SyntheticConfig {
-        num_nodes: 200,
-        samples: worlds,
-        ..SyntheticConfig::default()
-    };
+    let config = SyntheticConfig { num_nodes: 200, samples: worlds, ..SyntheticConfig::default() };
     let graph = Arc::new(config.build().unwrap());
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         deadline,
-        &WorldsConfig { num_worlds: worlds, seed: 3 },
+        &WorldsConfig { num_worlds: worlds, seed: 3, ..Default::default() },
     )
     .unwrap();
     (graph, oracle)
@@ -48,7 +44,7 @@ fn tighter_deadlines_do_not_decrease_unfairness_of_the_standard_solver() {
         let oracle = WorldEstimator::new(
             Arc::clone(&graph),
             deadline,
-            &WorldsConfig { num_worlds: 100, seed: 9 },
+            &WorldsConfig { num_worlds: 100, seed: 9, ..Default::default() },
         )
         .unwrap();
         let report = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
@@ -69,10 +65,7 @@ fn fair_cover_reaches_the_quota_in_every_group() {
     assert!(unfair.reached && fair.reached);
     let fair_report = fair.fairness();
     for (group, fraction) in fair_report.normalized_utilities.iter().enumerate() {
-        assert!(
-            *fraction + 1e-6 >= quota,
-            "group {group} below quota: {fraction} < {quota}"
-        );
+        assert!(*fraction + 1e-6 >= quota, "group {group} below quota: {fraction} < {quota}");
     }
     // The disparity of a feasible fair solution is bounded by 1 - Q.
     assert!(fair_report.disparity <= 1.0 - quota + 1e-6);
@@ -86,13 +79,13 @@ fn exhaustive_optimum_dominates_greedy_and_certifies_theorem_1() {
     use fairtcim::core::theory::theorem1_check;
 
     // Small graph so exhaustive search stays cheap.
-    let config = SyntheticConfig { num_nodes: 60, ..SyntheticConfig::default() }
-        .with_edge_probability(0.2);
+    let config =
+        SyntheticConfig { num_nodes: 60, ..SyntheticConfig::default() }.with_edge_probability(0.2);
     let graph = Arc::new(config.build().unwrap());
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(3),
-        &WorldsConfig { num_worlds: 64, seed: 5 },
+        &WorldsConfig { num_worlds: 64, seed: 5, ..Default::default() },
     )
     .unwrap();
 
@@ -104,9 +97,10 @@ fn exhaustive_optimum_dominates_greedy_and_certifies_theorem_1() {
             >= (1.0 - 1.0 / std::f64::consts::E) * optimal.influence.total() - 1e-9
     );
 
-    let fair = solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), ConcaveWrapper::Log, None)
-        .unwrap();
-    let check = theorem1_check(fair.influence.total(), optimal.influence.total(), ConcaveWrapper::Log);
+    let fair =
+        solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
+    let check =
+        theorem1_check(fair.influence.total(), optimal.influence.total(), ConcaveWrapper::Log);
     assert!(check.satisfied, "Theorem 1 violated: {check:?}");
 }
 
@@ -167,13 +161,13 @@ fn estimators_agree_on_the_selected_seed_sets() {
 fn linear_threshold_estimator_supports_the_same_solvers() {
     // The LT extension the paper mentions: the fair surrogate still reduces
     // disparity when cascades follow the linear threshold model.
-    let config = SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() }
-        .with_edge_probability(0.3);
+    let config =
+        SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() }.with_edge_probability(0.3);
     let graph = Arc::new(config.build().unwrap());
     let oracle = fairtcim::diffusion::WorldEstimator::new_lt(
         Arc::clone(&graph),
         Deadline::finite(5),
-        &WorldsConfig { num_worlds: 100, seed: 21 },
+        &WorldsConfig { num_worlds: 100, seed: 21, ..Default::default() },
     )
     .unwrap();
     let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
@@ -211,7 +205,7 @@ fn dataset_registry_feeds_directly_into_the_solvers() {
     let oracle = WorldEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(2),
-        &WorldsConfig { num_worlds: 200, seed: 0 },
+        &WorldsConfig { num_worlds: 200, seed: 0, ..Default::default() },
     )
     .unwrap();
     let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(bundle.defaults.budget)).unwrap();

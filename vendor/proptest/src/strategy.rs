@@ -1,0 +1,199 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] here is simply "something that can sample a value from a
+//! [`TestRng`]"; there is no shrink tree.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from it
+    /// (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Filters generated values; cases where `f` returns `false` are
+    /// resampled (up to an attempt cap, after which generation panics).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, whence, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.base.sample(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive samples", self.whence);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..10).sample(&mut r);
+            assert!((3..10).contains(&v));
+            let w = (5u32..=6).sample(&mut r);
+            assert!((5..=6).contains(&w));
+            let f = (0.25f64..0.75).sample(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_tuples_compose() {
+        let mut r = rng();
+        let strategy =
+            (1usize..5).prop_flat_map(|n| ((0u32..n as u32), Just(n)).prop_map(|(x, n)| (x, n)));
+        for _ in 0..200 {
+            let (x, n) = strategy.sample(&mut r);
+            assert!((x as usize) < n);
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let mut r = rng();
+        let even = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.sample(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic case runner for the [`crate::proptest!`] macro.
+
+use rand::SeedableRng;
+
+/// RNG used to sample strategies (the vendored deterministic `StdRng`).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for a property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of [`TestCaseError::Reject`] outcomes tolerated before
+    /// the test fails as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Outcome of one failed or discarded test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Base seed for case generation; override with `PROPTEST_RNG_SEED` to
+/// explore a different deterministic stream.
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_0001)
+}
+
+/// Runs `case` until `config.cases` successes are recorded.
+///
+/// Every case gets its own deterministically derived RNG, so a failure report
+/// (`test`, `case index`, `seed`) reproduces exactly.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failed case or when
+/// the rejection budget is exhausted.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = base_seed();
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected}), last: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest '{name}' failed at case {passed} (attempt {attempt}, seed \
+                     {seed:#x}): {message}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut count = 0u32;
+        run(ProptestConfig::with_cases(17), "counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_are_retried_without_counting() {
+        let mut attempts = 0u32;
+        let mut passes = 0u32;
+        run(ProptestConfig::with_cases(5), "rejects", |_| {
+            attempts += 1;
+            if attempts.is_multiple_of(2) {
+                passes += 1;
+                Ok(())
+            } else {
+                Err(TestCaseError::reject("odd attempt"))
+            }
+        });
+        assert_eq!(passes, 5);
+        assert_eq!(attempts, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_the_message() {
+        run(ProptestConfig::with_cases(3), "failing", |_| Err(TestCaseError::fail("boom")));
+    }
+}

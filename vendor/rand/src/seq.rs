@@ -1,0 +1,49 @@
+//! Sequence helpers (`shuffle`), mirroring `rand::seq`.
+
+use crate::{RngCore, SampleRange};
+
+/// Extension trait adding random-order operations to slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place with the Fisher–Yates algorithm.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffling_an_empty_or_singleton_slice_is_a_no_op() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_in_the_seed() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(5));
+        b.shuffle(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

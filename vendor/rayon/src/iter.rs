@@ -1,0 +1,291 @@
+//! Indexed parallel iterators.
+//!
+//! Everything here models a *random-access* source: a length plus an
+//! `item(index)` producer. Consumers split `0..len` into one contiguous chunk
+//! per thread, run the chunks under `std::thread::scope`, and recombine chunk
+//! results in chunk order — which is what makes `collect` order-preserving
+//! and integer reductions independent of the thread count.
+
+use crate::current_num_threads;
+
+/// A data-parallel iterator over a random-access source.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index` (called concurrently from worker threads).
+    fn par_item(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f`.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Chunk-local fold: every worker folds its chunk of items into an
+    /// accumulator created by `identity`. Combine the per-chunk accumulators
+    /// with [`Fold::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        Fold { base: self, identity, fold_op }
+    }
+
+    /// Reduces all items with `op`, starting each chunk from `identity()` and
+    /// combining chunk results left-to-right in chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let chunks = run_chunked(&self, |iter, start, end| {
+            let mut acc = identity();
+            for i in start..end {
+                acc = op(acc, iter.par_item(i));
+            }
+            acc
+        });
+        chunks.into_iter().fold(identity(), &op)
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunked(&self, |iter, start, end| {
+            for i in start..end {
+                f(iter.par_item(i));
+            }
+        });
+    }
+
+    /// Collects all items, preserving index order at any thread count.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Splits `0..len` into per-thread ranges and runs `work` on each, returning
+/// the chunk results in chunk order.
+fn run_chunked<P, T, W>(iter: &P, work: W) -> Vec<T>
+where
+    P: ParallelIterator,
+    T: Send,
+    W: Fn(&P, usize, usize) -> T + Sync,
+{
+    let len = iter.par_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, len);
+    if threads == 1 {
+        return vec![work(iter, 0, len)];
+    }
+    let chunk = len.div_ceil(threads);
+    // When `chunk` rounds up, fewer than `threads` workers are needed;
+    // spawning the full count would hand trailing workers a `start` past the
+    // end of the input (e.g. len 10, threads 8 → chunk 2 → worker 6 would
+    // start at 12).
+    let workers = len.div_ceil(chunk);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(len);
+                let work = &work;
+                scope.spawn(move || work(iter, start, end))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Types constructible from a parallel iterator (`collect` targets).
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from `iter`.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let chunks = run_chunked(&iter, |it, start, end| {
+            let mut out = Vec::with_capacity(end - start);
+            for i in start..end {
+                out.push(it.par_item(i));
+            }
+            out
+        });
+        let mut result = Vec::with_capacity(iter.par_len());
+        for chunk in chunks {
+            result.extend(chunk);
+        }
+        result
+    }
+}
+
+/// Map adapter; see [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_item(&self, index: usize) -> U {
+        (self.f)(self.base.par_item(index))
+    }
+}
+
+/// Pending chunk-local fold; see [`ParallelIterator::fold`].
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, A, ID, F> Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, B::Item) -> A + Sync,
+{
+    /// Folds every chunk, then combines the per-chunk accumulators
+    /// left-to-right in chunk order with `op`, starting from `identity()`.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A + Sync,
+        OP: Fn(A, A) -> A + Sync,
+    {
+        let chunks = run_chunked(&self.base, |iter, start, end| {
+            let mut acc = (self.identity)();
+            for i in start..end {
+                acc = (self.fold_op)(acc, iter.par_item(i));
+            }
+            acc
+        });
+        chunks.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on references, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a reference).
+    type Item: Send + 'data;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Iter = RangeParIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn par_len(&self) -> usize {
+                self.len
+            }
+
+            fn par_item(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Parallel iterator over slice elements.
+pub struct SliceParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self.as_slice() }
+    }
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_item(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline, vendored mini-`rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the rayon API the `fairtcim` workspace uses, implemented with
+//! `std::thread::scope` and contiguous index chunking instead of work
+//! stealing.
+//!
+//! Two properties the diffusion layer depends on:
+//!
+//! 1. **Order preservation** — `collect::<Vec<_>>()` always yields items in
+//!    index order, regardless of thread count, because every chunk writes its
+//!    results into its own pre-assigned region.
+//! 2. **Deterministic reduction order** — `reduce` combines per-chunk
+//!    accumulators left-to-right in chunk order. Chunk *boundaries* still
+//!    depend on the thread count, so reductions are bitwise-stable across
+//!    thread counts only for associative+commutative-exact operations
+//!    (integer adds); the estimators accumulate `u64` counts for exactly this
+//!    reason.
+//!
+//! Thread count resolution: [`ThreadPool::install`] > `RAYON_NUM_THREADS` >
+//! [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+};
+
+/// The commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations started from this thread will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads; `0` means "use the environment default".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this vendored implementation; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let requested = self.num_threads.unwrap_or(0);
+        let num_threads = if requested == 0 { current_num_threads() } else { requested };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// Error building a thread pool (never produced here; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical thread pool: in this vendored implementation it only pins the
+/// thread count used by parallel operations run under [`ThreadPool::install`]
+/// (threads themselves are scoped, created per operation).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of threads this pool runs with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count as the ambient parallelism for
+    /// every parallel iterator the closure executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_overrides_thread_count_and_restores_it() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn collect_preserves_order_at_every_thread_count() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 8, 17] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..1000usize).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_sums_integers_identically_across_thread_counts() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expected: u64 = data.iter().sum();
+        for threads in [1usize, 2, 5, 16] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool.install(|| data.par_iter().map(|&x| x).reduce(|| 0u64, |a, b| a + b));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_serial_fold() {
+        let data: Vec<u64> = (1..=5_000).collect();
+        let expected: u64 = data.iter().sum();
+        for threads in [1usize, 4, 9] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool.install(|| {
+                data.par_iter().fold(|| 0u64, |acc, &x| acc + x).reduce(|| 0u64, |a, b| a + b)
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn more_threads_than_items_does_not_overrun_the_input() {
+        // Regression: with len 10 and 8 threads, chunk = ceil(10/8) = 2, so
+        // only 5 workers are needed; worker 6 of 8 would have started past
+        // the end of the input and panicked on `end - start` underflow.
+        for (len, threads) in [(10usize, 8usize), (5, 4), (3, 8), (1, 16), (7, 3)] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<usize> = pool.install(|| (0..len).into_par_iter().map(|i| i).collect());
+            assert_eq!(got, (0..len).collect::<Vec<_>>(), "len {len}, threads {threads}");
+            let sum = pool
+                .install(|| (0..len).into_par_iter().map(|i| i as u64).reduce(|| 0, |a, b| a + b));
+            assert_eq!(sum, (0..len as u64).sum::<u64>(), "len {len}, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let v: Vec<u32> = (0..0u32).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let sum = (0..0usize).into_par_iter().map(|_| 1u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 0);
+    }
+}
