@@ -69,9 +69,12 @@ fn bench_estimators(c: &mut Criterion) {
     )
     .unwrap();
     let mc = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 100, 2).unwrap();
-    let ris =
-        RisEstimator::new(Arc::clone(&graph), deadline, &RisConfig { num_sets: 10_000, seed: 3 })
-            .unwrap();
+    let ris = RisEstimator::new(
+        Arc::clone(&graph),
+        deadline,
+        &RisConfig { num_sets: 10_000, seed: 3, ..Default::default() },
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("estimator_evaluate");
     group.sample_size(20);
@@ -100,7 +103,7 @@ fn bench_estimators(c: &mut Criterion) {
                 RisEstimator::new(
                     Arc::clone(&graph),
                     deadline,
-                    &RisConfig { num_sets: 10_000, seed: 9 },
+                    &RisConfig { num_sets: 10_000, seed: 9, ..Default::default() },
                 )
                 .unwrap(),
             )

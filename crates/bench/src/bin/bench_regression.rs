@@ -1,0 +1,156 @@
+//! CI bench-regression gate: measures solve wall-time, estimator throughput
+//! and held-out seed-set quality for the MC (live-edge worlds) and RIS
+//! engines on a quick synthetic instance, writes a machine-readable
+//! `BENCH_<sha>.json`, and — with `--check <baseline.json>` — exits non-zero
+//! when any metric regresses more than 25% against the checked-in baseline.
+//!
+//! ```text
+//! bench_regression [--out PATH] [--check BASELINE] [--sha SHA]
+//! ```
+//!
+//! `--sha` defaults to `$GITHUB_SHA`, then "local". Quality metrics are
+//! fully deterministic (fixed seeds); wall-times vary with the runner, which
+//! is why the checked-in baseline carries generous headroom on top of the
+//! 25% gate.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tcim_bench::regression::{compare, BenchRecord, REGRESSION_TOLERANCE};
+use tcim_core::{solve_tcim_budget, BudgetConfig, EstimatorConfig, RisConfig, WorldsConfig};
+use tcim_datasets::SyntheticConfig;
+use tcim_diffusion::{Deadline, InfluenceOracle, MonteCarloEstimator};
+use tcim_graph::NodeId;
+
+struct Cli {
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    sha: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        out: None,
+        check: None,
+        sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => cli.out = args.next().map(PathBuf::from),
+            "--check" => cli.check = args.next().map(PathBuf::from),
+            "--sha" => {
+                if let Some(sha) = args.next() {
+                    cli.sha = sha;
+                }
+            }
+            other => eprintln!("warning: ignoring unknown flag '{other}'"),
+        }
+    }
+    cli
+}
+
+/// Times `op` and returns (milliseconds, result).
+fn timed<R>(op: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = op();
+    (start.elapsed().as_secs_f64() * 1e3, result)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut record = BenchRecord::new(&cli.sha);
+
+    // Quick instance: big enough that estimator costs dominate, small enough
+    // for a CI smoke job.
+    let graph =
+        Arc::new(SyntheticConfig { num_nodes: 600, ..SyntheticConfig::default() }.build().unwrap());
+    let deadline = Deadline::finite(5);
+    let budget = 10;
+
+    // --- MC (live-edge worlds) engine: build + greedy/CELF solve ----------
+    let (mc_solve_ms, mc_report) = timed(|| {
+        let oracle = EstimatorConfig::Worlds(WorldsConfig {
+            num_worlds: 200,
+            seed: 1,
+            ..Default::default()
+        })
+        .build(Arc::clone(&graph), deadline)
+        .expect("world oracle");
+        solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).expect("world solve")
+    });
+    record.push("mc_solve_ms", mc_solve_ms);
+
+    // --- RIS engine: build + greedy/CELF solve ----------------------------
+    let ris_config = RisConfig { num_sets: 20_000, seed: 2, ..Default::default() };
+    let (ris_solve_ms, ris_report) = timed(|| {
+        let oracle = EstimatorConfig::Ris(ris_config)
+            .build(Arc::clone(&graph), deadline)
+            .expect("ris oracle");
+        solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).expect("ris solve")
+    });
+    record.push("ris_solve_ms", ris_solve_ms);
+
+    // --- Estimator throughput: evaluations per second ---------------------
+    let eval_seeds: Vec<NodeId> = mc_report.seeds.clone();
+    let world_oracle =
+        EstimatorConfig::Worlds(WorldsConfig { num_worlds: 200, seed: 1, ..Default::default() })
+            .build(Arc::clone(&graph), deadline)
+            .expect("world oracle");
+    let (mc_eval_ms, _) = timed(|| {
+        for _ in 0..50 {
+            world_oracle.evaluate(&eval_seeds).expect("world evaluate");
+        }
+    });
+    record.push("mc_eval_per_s", 50.0 / (mc_eval_ms / 1e3));
+
+    let ris_oracle =
+        EstimatorConfig::Ris(ris_config).build(Arc::clone(&graph), deadline).expect("ris oracle");
+    let (ris_eval_ms, _) = timed(|| {
+        for _ in 0..50 {
+            ris_oracle.evaluate(&eval_seeds).expect("ris evaluate");
+        }
+    });
+    record.push("ris_eval_per_s", 50.0 / (ris_eval_ms / 1e3));
+
+    // --- Seed-set quality under a common held-out estimator ---------------
+    // Deterministic (fixed seeds), so the 25% gate also catches correctness
+    // regressions that silently degrade selection quality.
+    let held_out = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 400, 99).unwrap();
+    let mc_quality = held_out.evaluate(&mc_report.seeds).unwrap().total();
+    let ris_quality = held_out.evaluate(&ris_report.seeds).unwrap().total();
+    record.push("mc_quality", mc_quality);
+    record.push("ris_quality", ris_quality);
+
+    print!("{}", record.to_json());
+
+    if let Some(out) = &cli.out {
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+        std::fs::write(out, record.to_json()).expect("write bench record");
+        eprintln!("wrote {}", out.display());
+    }
+
+    if let Some(baseline_path) = &cli.check {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|err| panic!("cannot read {}: {err}", baseline_path.display()));
+        let baseline = BenchRecord::parse_json(&text)
+            .unwrap_or_else(|err| panic!("cannot parse {}: {err}", baseline_path.display()));
+        let violations = compare(&record, &baseline, REGRESSION_TOLERANCE);
+        if violations.is_empty() {
+            eprintln!(
+                "bench-regression: clean against baseline {} ({})",
+                baseline_path.display(),
+                baseline.sha
+            );
+        } else {
+            eprintln!("bench-regression: {} violation(s):", violations.len());
+            for violation in &violations {
+                eprintln!("  {violation}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -198,6 +198,7 @@ impl Table {
 }
 
 pub mod figures;
+pub mod regression;
 
 /// Output of one figure run: `(csv_name, table)` pairs.
 pub type FigureOutput = Vec<(String, Table)>;

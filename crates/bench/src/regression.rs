@@ -1,0 +1,206 @@
+//! Machine-readable bench records for the CI bench-regression gate.
+//!
+//! The `bench_regression` binary measures solve wall-time and estimator
+//! throughput for the MC (live-edge worlds) and RIS engines, emits a
+//! `BENCH_<sha>.json` record, and — given a checked-in baseline — fails on a
+//! regression beyond the tolerance. The JSON is written and parsed by hand
+//! (the workspace is fully offline, no serde), so the format is deliberately
+//! flat: a schema tag, the commit sha, and one numeric metric per key.
+//!
+//! Metric direction is encoded in the name: `*_ms` is lower-is-better,
+//! everything else (throughput `*_per_s`, quality) is higher-is-better.
+
+use std::fmt::Write as _;
+
+/// One bench run: the commit it measured and its named metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Commit sha (or "local") the record was measured at.
+    pub sha: String,
+    /// Named metrics in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Schema version stamped into every record.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// The CI gate's tolerance: fail on more than 25% regression.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+impl BenchRecord {
+    /// Creates an empty record for `sha`.
+    pub fn new(sha: &str) -> Self {
+        BenchRecord { sha: sha.to_string(), metrics: Vec::new() }
+    }
+
+    /// Appends a metric.
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the record as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
+        let _ = writeln!(out, "  \"sha\": \"{}\",", self.sha);
+        let _ = writeln!(out, "  \"metrics\": {{");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{name}\": {value:.3}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a record produced by [`BenchRecord::to_json`] (tolerant of
+    /// whitespace and key order; not a general JSON parser).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a metric value is not a number or no
+    /// metrics are present.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let mut sha = String::new();
+        let mut metrics = Vec::new();
+        let mut rest = text;
+        while let Some(start) = rest.find('"') {
+            let after_key = &rest[start + 1..];
+            let Some(end) = after_key.find('"') else { break };
+            let key = after_key[..end].to_string();
+            let tail = after_key[end + 1..].trim_start();
+            let Some(tail) = tail.strip_prefix(':') else {
+                rest = &after_key[end + 1..];
+                continue;
+            };
+            let tail = tail.trim_start();
+            if let Some(string_value) = tail.strip_prefix('"') {
+                let Some(value_end) = string_value.find('"') else { break };
+                if key == "sha" {
+                    sha = string_value[..value_end].to_string();
+                }
+                rest = &string_value[value_end + 1..];
+            } else if let Some(object) = tail.strip_prefix('{') {
+                // Descend into the "metrics" object; its keys are plain
+                // numeric entries handled by the branch below.
+                rest = object;
+            } else {
+                let value_end = tail
+                    .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+                    .unwrap_or(tail.len());
+                let raw = &tail[..value_end];
+                if key != "schema" {
+                    let value: f64 =
+                        raw.parse().map_err(|_| format!("bad number for {key}: '{raw}'"))?;
+                    metrics.push((key, value));
+                }
+                rest = &tail[value_end..];
+            }
+        }
+        if metrics.is_empty() {
+            return Err("no metrics found in bench record".to_string());
+        }
+        Ok(BenchRecord { sha, metrics })
+    }
+}
+
+/// Whether a metric regresses by growing (wall-times) rather than shrinking
+/// (throughputs, quality scores).
+fn lower_is_better(name: &str) -> bool {
+    name.ends_with("_ms")
+}
+
+/// Compares `current` against `baseline` and returns one human-readable
+/// violation per metric regressed beyond `tolerance` (0.25 = 25%). Metrics
+/// present in the baseline but missing from the current record are
+/// violations too; extra current metrics are ignored so baselines can lag
+/// behind new measurements.
+pub fn compare(current: &BenchRecord, baseline: &BenchRecord, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, base) in &baseline.metrics {
+        let Some(cur) = current.get(name) else {
+            violations.push(format!("metric '{name}' missing from current record"));
+            continue;
+        };
+        let pct = tolerance * 100.0;
+        if lower_is_better(name) {
+            if cur > base * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{name}: {cur:.3} is more than {pct:.0}% above baseline {base:.3}"
+                ));
+            }
+        } else if cur < base * (1.0 - tolerance) {
+            violations
+                .push(format!("{name}: {cur:.3} is more than {pct:.0}% below baseline {base:.3}"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        let mut r = BenchRecord::new("abc123");
+        r.push("mc_solve_ms", 120.5);
+        r.push("ris_solve_ms", 40.25);
+        r.push("ris_eval_per_s", 15000.0);
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = record();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"sha\": \"abc123\""));
+        let parsed = BenchRecord::parse_json(&json).unwrap();
+        assert_eq!(parsed.sha, "abc123");
+        assert_eq!(parsed.metrics.len(), 3);
+        assert!((parsed.get("mc_solve_ms").unwrap() - 120.5).abs() < 1e-9);
+        assert!((parsed.get("ris_eval_per_s").unwrap() - 15000.0).abs() < 1e-9);
+        assert_eq!(parsed.get("bogus"), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchRecord::parse_json("").is_err());
+        assert!(BenchRecord::parse_json("{\"metrics\": {}}").is_err());
+        assert!(BenchRecord::parse_json("{\"metrics\": {\"a\": oops}}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_in_the_right_direction() {
+        let baseline = record();
+        // Identical record: clean.
+        assert!(compare(&record(), &baseline, REGRESSION_TOLERANCE).is_empty());
+
+        // Slower wall-time and lower throughput beyond 25%: both flagged.
+        let mut slow = BenchRecord::new("def");
+        slow.push("mc_solve_ms", 120.5 * 1.5);
+        slow.push("ris_solve_ms", 40.25);
+        slow.push("ris_eval_per_s", 15000.0 / 2.0);
+        let violations = compare(&slow, &baseline, REGRESSION_TOLERANCE);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("mc_solve_ms"));
+        assert!(violations[1].contains("ris_eval_per_s"));
+
+        // Faster wall-time and higher throughput: improvements are fine.
+        let mut fast = BenchRecord::new("ghi");
+        fast.push("mc_solve_ms", 1.0);
+        fast.push("ris_solve_ms", 1.0);
+        fast.push("ris_eval_per_s", 1e9);
+        assert!(compare(&fast, &baseline, REGRESSION_TOLERANCE).is_empty());
+
+        // Missing metric is a violation.
+        let mut partial = BenchRecord::new("jkl");
+        partial.push("mc_solve_ms", 100.0);
+        let violations = compare(&partial, &baseline, REGRESSION_TOLERANCE);
+        assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+}

@@ -10,8 +10,10 @@
 //! Normalizing by group size makes the measure capture "average utility per
 //! node in a group" and hence agnostic to group sizes.
 
-use tcim_diffusion::GroupInfluence;
-use tcim_graph::GroupId;
+use tcim_diffusion::{GroupInfluence, InfluenceOracle};
+use tcim_graph::{GroupId, NodeId};
+
+use crate::error::Result;
 
 /// Maximum pairwise disparity in normalized group utilities (Eq. 2).
 ///
@@ -37,6 +39,22 @@ pub fn max_pairwise_gap(values: &[f64]) -> f64 {
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     max - min
+}
+
+/// Audits a seed set under any influence oracle: evaluates the per-group
+/// influence and assembles the full [`FairnessReport`] (disparity, maximin
+/// worst-off group, normalized utilities).
+///
+/// The oracle is taken as a trait object, so the audit paths accept every
+/// estimator — live-edge worlds, fresh Monte-Carlo, or RIS sketches (e.g.
+/// built via [`crate::EstimatorConfig`]) — interchangeably.
+///
+/// # Errors
+///
+/// Returns an error if a seed is out of bounds for the oracle's graph.
+pub fn audit_seed_set(oracle: &dyn InfluenceOracle, seeds: &[NodeId]) -> Result<FairnessReport> {
+    let influence = oracle.evaluate(seeds)?;
+    Ok(FairnessReport::new(&influence, &oracle.graph().group_sizes()))
 }
 
 /// A per-group fairness summary for one solution, convenient for experiment

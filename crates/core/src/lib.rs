@@ -52,6 +52,7 @@ mod concave;
 mod error;
 mod exhaustive;
 mod objective;
+mod oracle;
 mod report;
 
 pub mod baselines;
@@ -65,8 +66,9 @@ pub use error::{CoreError, Result};
 // (`WorldsConfig.parallelism`); re-exported here so solver users can set it
 // without importing tcim-diffusion directly.
 pub use exhaustive::{solve_budget_exhaustive, ExhaustiveObjective, MAX_EXHAUSTIVE_SETS};
-pub use fairness::{disparity, FairnessReport};
+pub use fairness::{audit_seed_set, disparity, FairnessReport};
 pub use objective::{InfluenceObjective, Scalarization};
+pub use oracle::{Estimator, EstimatorConfig};
 pub use problems::budget::{solve_fair_tcim_budget, solve_tcim_budget, BudgetConfig};
 pub use problems::constrained::{
     solve_constrained_budget, solve_constrained_cover, ConstrainedBudgetReport,
@@ -78,3 +80,7 @@ pub use problems::cover::{
 pub use problems::GreedyAlgorithm;
 pub use report::{CoverReport, IterationRecord, SolverReport};
 pub use tcim_diffusion::ParallelismConfig;
+// The estimator knobs ride with the oracle configs; re-exported here so
+// solver users can select and tune an estimator (including the RIS engine)
+// without importing tcim-diffusion directly.
+pub use tcim_diffusion::{AdaptiveRis, RisConfig, WorldsConfig};

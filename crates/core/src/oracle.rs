@@ -1,0 +1,192 @@
+//! Config-driven estimator selection: one enum that builds and wraps any of
+//! the three influence oracles, so applications (and the figure binaries)
+//! choose the estimator with data instead of code.
+//!
+//! The live-edge [`WorldEstimator`] is the default — its cursor is exact on
+//! the sampled worlds. The RIS backend ([`RisEstimator`]) wins on large
+//! sparse graphs where forward world sampling touches far more edges than
+//! the reverse sketches do; its [`tcim_diffusion::RisCursor`] drives
+//! greedy/CELF just as incrementally. The Monte-Carlo backend re-samples per
+//! query and serves as an unbiased held-out cross-check.
+
+use std::sync::Arc;
+
+use tcim_diffusion::{
+    Deadline, GroupInfluence, InfluenceCursor, InfluenceOracle, MonteCarloEstimator, RisConfig,
+    RisEstimator, WorldEstimator, WorldsConfig,
+};
+use tcim_graph::{Graph, NodeId};
+
+use crate::error::Result;
+
+/// Which estimator backs the influence oracle, with its knobs.
+///
+/// All three backends satisfy [`InfluenceOracle`], so every solver and every
+/// fairness-audit path ([`crate::fairness::audit_seed_set`], the disparity
+/// and maximin reports) accepts any of them interchangeably.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorConfig {
+    /// Pre-sampled live-edge worlds (common random numbers); the default.
+    Worlds(WorldsConfig),
+    /// Fresh independent-cascade simulations per query.
+    MonteCarlo {
+        /// Cascades per query.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Reverse-reachable sketches with the incremental coverage cursor.
+    Ris(RisConfig),
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig::Worlds(WorldsConfig::default())
+    }
+}
+
+impl EstimatorConfig {
+    /// Builds the configured estimator over `graph` for `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's construction errors (zero samples, empty
+    /// graph, invalid adaptive parameters).
+    pub fn build(&self, graph: Arc<Graph>, deadline: Deadline) -> Result<Estimator> {
+        Ok(match self {
+            EstimatorConfig::Worlds(config) => {
+                Estimator::Worlds(WorldEstimator::new(graph, deadline, config)?)
+            }
+            EstimatorConfig::MonteCarlo { samples, seed } => {
+                Estimator::MonteCarlo(MonteCarloEstimator::new(graph, deadline, *samples, *seed)?)
+            }
+            EstimatorConfig::Ris(config) => {
+                Estimator::Ris(RisEstimator::new(graph, deadline, config)?)
+            }
+        })
+    }
+}
+
+/// A concrete influence oracle built from an [`EstimatorConfig`]; delegates
+/// every [`InfluenceOracle`] method to the wrapped backend, so it plugs
+/// directly into `solve_tcim_budget` and friends.
+#[derive(Debug, Clone)]
+pub enum Estimator {
+    /// Live-edge world backend.
+    Worlds(WorldEstimator),
+    /// Fresh Monte-Carlo backend.
+    MonteCarlo(MonteCarloEstimator),
+    /// Reverse-reachable sketch backend.
+    Ris(RisEstimator),
+}
+
+impl Estimator {
+    /// Short label for reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Estimator::Worlds(_) => "worlds",
+            Estimator::MonteCarlo(_) => "monte-carlo",
+            Estimator::Ris(_) => "ris",
+        }
+    }
+}
+
+impl InfluenceOracle for Estimator {
+    fn graph(&self) -> &Graph {
+        match self {
+            Estimator::Worlds(e) => e.graph(),
+            Estimator::MonteCarlo(e) => e.graph(),
+            Estimator::Ris(e) => e.graph(),
+        }
+    }
+
+    fn deadline(&self) -> Deadline {
+        match self {
+            Estimator::Worlds(e) => e.deadline(),
+            Estimator::MonteCarlo(e) => e.deadline(),
+            Estimator::Ris(e) => e.deadline(),
+        }
+    }
+
+    fn evaluate(&self, seeds: &[NodeId]) -> tcim_diffusion::Result<GroupInfluence> {
+        match self {
+            Estimator::Worlds(e) => e.evaluate(seeds),
+            Estimator::MonteCarlo(e) => e.evaluate(seeds),
+            Estimator::Ris(e) => e.evaluate(seeds),
+        }
+    }
+
+    fn cursor(&self) -> Box<dyn InfluenceCursor + '_> {
+        match self {
+            Estimator::Worlds(e) => e.cursor(),
+            Estimator::MonteCarlo(e) => e.cursor(),
+            Estimator::Ris(e) => e.cursor(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_tcim_budget, BudgetConfig};
+    use tcim_diffusion::ParallelismConfig;
+    use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+
+    fn sbm() -> Arc<Graph> {
+        Arc::new(
+            stochastic_block_model(&SbmConfig::two_group(120, 0.7, 0.08, 0.01, 0.2, 3)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn every_backend_builds_and_solves() {
+        let graph = sbm();
+        let deadline = Deadline::finite(3);
+        let configs = [
+            EstimatorConfig::default(),
+            EstimatorConfig::MonteCarlo { samples: 60, seed: 1 },
+            EstimatorConfig::Ris(RisConfig { num_sets: 4000, seed: 2, ..Default::default() }),
+        ];
+        for config in configs {
+            let oracle = config.build(Arc::clone(&graph), deadline).unwrap();
+            let report = solve_tcim_budget(&oracle, &BudgetConfig::new(3)).unwrap();
+            assert_eq!(report.num_seeds(), 3, "{} backend", oracle.label());
+            assert!(report.influence.total() > 0.0, "{} backend", oracle.label());
+            assert_eq!(oracle.deadline(), deadline);
+            assert_eq!(oracle.graph().num_nodes(), 120);
+        }
+    }
+
+    #[test]
+    fn labels_name_the_backend() {
+        let graph = sbm();
+        let deadline = Deadline::finite(2);
+        let worlds = EstimatorConfig::Worlds(WorldsConfig {
+            num_worlds: 4,
+            seed: 0,
+            parallelism: ParallelismConfig::serial(),
+        })
+        .build(Arc::clone(&graph), deadline)
+        .unwrap();
+        assert_eq!(worlds.label(), "worlds");
+        let mc = EstimatorConfig::MonteCarlo { samples: 4, seed: 0 }
+            .build(Arc::clone(&graph), deadline)
+            .unwrap();
+        assert_eq!(mc.label(), "monte-carlo");
+        let ris = EstimatorConfig::Ris(RisConfig { num_sets: 4, ..Default::default() })
+            .build(graph, deadline)
+            .unwrap();
+        assert_eq!(ris.label(), "ris");
+    }
+
+    #[test]
+    fn construction_errors_propagate() {
+        let graph = sbm();
+        assert!(EstimatorConfig::MonteCarlo { samples: 0, seed: 0 }
+            .build(Arc::clone(&graph), Deadline::unbounded())
+            .is_err());
+        assert!(EstimatorConfig::Ris(RisConfig { num_sets: 0, ..Default::default() })
+            .build(graph, Deadline::unbounded())
+            .is_err());
+    }
+}

@@ -16,7 +16,8 @@
 //! * [`WorldEstimator`], [`MonteCarloEstimator`], [`RisEstimator`] — three
 //!   interchangeable implementations of the [`InfluenceOracle`] trait,
 //! * [`InfluenceCursor`] — the incremental marginal-gain interface the greedy
-//!   solvers in `tcim-core` drive.
+//!   solvers in `tcim-core` drive; both [`WorldEstimator`] (via `WorldCursor`)
+//!   and [`RisEstimator`] (via [`RisCursor`]) serve it incrementally.
 //!
 //! ## Example
 //!
@@ -63,6 +64,6 @@ pub use estimator::{
 pub use ic::{simulate_ic, simulate_ic_seeded};
 pub use lt::{simulate_lt, simulate_lt_seeded, LtWeights};
 pub use parallel::ParallelismConfig;
-pub use ris::{RisConfig, RisEstimator, RrSet};
+pub use ris::{AdaptiveRis, RisConfig, RisCursor, RisEstimator, RrSet};
 pub use trace::{ActivationTrace, NOT_ACTIVATED};
 pub use worlds::{LiveEdgeWorld, VisitScratch, WorldCollection, WorldsConfig};

@@ -13,67 +13,395 @@
 //! Group-aware estimation follows by conditioning on the target's group:
 //! `f_τ(S; V_i) ≈ |V_i| · (hit sets with target in V_i) / (sets with target in V_i)`.
 //!
-//! This estimator is used for the big sparse Instagram surrogate (where
-//! forward live-edge worlds would be wasteful) and for the scalability
-//! benchmarks; the solver-facing default remains [`WorldEstimator`]
-//! because its cursor supports exact incremental marginal gains.
+//! The engine is **solver-grade**:
+//!
+//! * sketch `i` is always generated from `StdRng::seed_from_u64(seed + i)`,
+//!   so sketch collections are bitwise-identical at every thread count and
+//!   can be *extended* deterministically ([`RisEstimator::extend_to`]),
+//! * marginal gains are served by [`RisCursor`], an incremental inverted-index
+//!   cursor whose per-query cost is `O(#sketches containing the candidate)`
+//!   instead of a full re-scan, so greedy/CELF run directly on sketches,
+//! * sample sizes can be chosen adaptively with an IMM-style doubling rule
+//!   ([`AdaptiveRis`]): double the sketch count until a greedy solution
+//!   certifies a lower bound on `OPT`, then extend to the `(ε, δ)` budget
+//!   `θ = λ*(ε, δ) / LB`.
+//!
+//! On the fixed sketch sample the estimate `|V_i| · hits_i / count_i` is an
+//! exactly monotone submodular function of the seed set (a weighted coverage
+//! function over sketches), so the classical greedy guarantees hold on the
+//! sample just as they do for [`WorldEstimator`]. RIS wins on large sparse
+//! graphs where forward live-edge worlds would be wasteful: building `θ` RR
+//! sets costs `O(θ · E[sketch size])` independent of `|V|`.
 //!
 //! [`WorldEstimator`]: crate::WorldEstimator
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use tcim_graph::{Graph, GroupId, NodeId};
 
+use crate::bitset::BitSet;
 use crate::deadline::Deadline;
 use crate::error::{DiffusionError, Result};
-use crate::estimator::{GroupInfluence, InfluenceCursor, InfluenceOracle, NaiveCursor};
+use crate::estimator::{GroupInfluence, InfluenceCursor, InfluenceOracle};
+use crate::parallel::ParallelismConfig;
 
 /// One reverse-reachable set: the nodes that reach the target within the
 /// deadline in one sampled world, plus the target's group.
-#[derive(Debug, Clone)]
+///
+/// # Invariant
+///
+/// `nodes` is sorted ascending and duplicate-free. [`RrSet::new`] enforces
+/// this at construction, so the inverted index of [`RisEstimator`] can never
+/// double-count a node that appeared twice in one reverse BFS frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RrSet {
     /// Group of the randomly chosen target node.
     pub target_group: GroupId,
     /// Nodes that would activate the target before the deadline if seeded.
-    pub nodes: Vec<NodeId>,
+    /// Sorted ascending, no duplicates.
+    nodes: Vec<NodeId>,
+}
+
+impl RrSet {
+    /// Builds a sketch, sorting and de-duplicating `nodes` to establish the
+    /// invariant documented on the type.
+    pub fn new(target_group: GroupId, mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable_by_key(|n| n.0);
+        nodes.dedup();
+        RrSet { target_group, nodes }
+    }
+
+    /// The nodes of the sketch, sorted ascending and duplicate-free.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes in the sketch (at least 1: the target itself).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the sketch is empty (never the case for sampled sketches).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` can activate the target before the deadline.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search_by_key(&node.0, |n| n.0).is_ok()
+    }
+}
+
+/// IMM-style adaptive sample sizing for [`RisEstimator`].
+///
+/// Instead of fixing the sketch count up front, the estimator doubles it
+/// until a greedy size-`budget` solution on the current sketches certifies a
+/// lower bound `LB ≤ OPT`, then extends the collection to
+/// `θ = λ*(ε, δ) / LB` sketches (Tang et al.'s IMM sampling phase, with
+/// `ln C(n, k)` computed exactly).
+///
+/// The sizing rule is IMM-*flavoured* but heuristic: phase 2 extends the
+/// phase-1 sketches instead of resampling them, so the lower bound is not
+/// independent of the final sample and the classical `(ε, δ)` concentration
+/// guarantee does not strictly carry over. Treat `epsilon` and `delta` as
+/// knobs trading sketch count against estimation accuracy.
+///
+/// Adaptivity is **deterministic**: sketch `i` depends only on `seed + i`,
+/// so the doubling trajectory — and therefore the final sketch count — is
+/// identical at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveRis {
+    /// Relative estimation error target `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+    /// Seed-set size `k` the `(ε, δ)` guarantee targets.
+    pub budget: usize,
+    /// Hard cap on the sketch count, so adversarial parameters cannot
+    /// exhaust memory.
+    pub max_sets: usize,
+}
+
+impl Default for AdaptiveRis {
+    fn default() -> Self {
+        AdaptiveRis { epsilon: 0.1, delta: 0.01, budget: 10, max_sets: 2_000_000 }
+    }
+}
+
+impl AdaptiveRis {
+    fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) || self.epsilon.is_nan() {
+            return Err(DiffusionError::InvalidParameter {
+                message: format!("adaptive RIS epsilon {} must be in (0, 1)", self.epsilon),
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) || self.delta.is_nan() {
+            return Err(DiffusionError::InvalidParameter {
+                message: format!("adaptive RIS delta {} must be in (0, 1)", self.delta),
+            });
+        }
+        if self.budget == 0 {
+            return Err(DiffusionError::InvalidParameter {
+                message: "adaptive RIS budget must be at least 1".to_string(),
+            });
+        }
+        if self.max_sets == 0 {
+            return Err(DiffusionError::InvalidParameter {
+                message: "adaptive RIS max_sets must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Configuration for [`RisEstimator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RisConfig {
-    /// Number of RR sets to sample.
+    /// Number of RR sets to sample. Under [`RisConfig::adaptive`] this is the
+    /// *initial* (and minimum) sketch count the doubling starts from.
     pub num_sets: usize,
-    /// RNG seed.
+    /// RNG seed; sketch `i` is generated from `seed + i` so collections are
+    /// thread-count independent and can be extended deterministically.
     pub seed: u64,
+    /// Worker threads for sketch generation. Purely a throughput knob:
+    /// sketches are bitwise identical at every thread count.
+    pub parallelism: ParallelismConfig,
+    /// Optional IMM-style adaptive sample sizing; `None` keeps the fixed
+    /// `num_sets` count.
+    pub adaptive: Option<AdaptiveRis>,
 }
 
 impl Default for RisConfig {
     fn default() -> Self {
-        RisConfig { num_sets: 10_000, seed: 0 }
+        RisConfig {
+            num_sets: 10_000,
+            seed: 0,
+            parallelism: ParallelismConfig::auto(),
+            adaptive: None,
+        }
     }
 }
 
+/// Reverse adjacency (in-edges) of a graph in CSR form, shared by every
+/// sketch so repeated sampling and incremental extension never rebuild it.
+#[derive(Debug, Clone)]
+struct InEdges {
+    offsets: Vec<u32>,
+    sources: Vec<u32>,
+    probs: Vec<f64>,
+}
+
+impl InEdges {
+    fn build(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut counts = vec![0u32; n + 1];
+        for (_, t, _) in graph.edges() {
+            counts[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let num_edges = counts[n] as usize;
+        let mut sources = vec![0u32; num_edges];
+        let mut probs = vec![0.0f64; num_edges];
+        let mut cursor = counts.clone();
+        for (s, t, p) in graph.edges() {
+            let slot = cursor[t.index()] as usize;
+            sources[slot] = s.0;
+            probs[slot] = p;
+            cursor[t.index()] += 1;
+        }
+        InEdges { offsets: counts, sources, probs }
+    }
+
+    #[inline]
+    fn of(&self, v: usize) -> (&[u32], &[f64]) {
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+        (&self.sources[range.clone()], &self.probs[range])
+    }
+}
+
+/// Reusable per-thread buffers for sketch generation: an epoch-marked visited
+/// array plus the BFS frontier queues.
+struct SketchScratch {
+    epoch: u32,
+    marks: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl SketchScratch {
+    fn new(n: usize) -> Self {
+        SketchScratch { epoch: 0, marks: vec![0; n], frontier: Vec::new(), next: Vec::new() }
+    }
+
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, index: usize) -> bool {
+        if self.marks[index] == self.epoch {
+            false
+        } else {
+            self.marks[index] = self.epoch;
+            true
+        }
+    }
+}
+
+/// Sketches are generated in chunks so a worker can amortize one scratch
+/// buffer (an `O(|V|)` zeroed marks array) over many sketches. The chunk
+/// size grows with the graph so the per-sketch share of scratch
+/// initialization stays bounded on large sparse graphs, and shrinks with the
+/// request so small batches still fan out; it depends only on `(n, count)` —
+/// never on the thread count — and sketch `i` derives from `seed + i`
+/// regardless of chunking, so the output is identical at any parallelism.
+fn sketch_chunk_size(n: usize, count: usize) -> usize {
+    (n / 64).clamp(64, count.div_ceil(16).max(64))
+}
+
+/// Generates the sketches `range` (global indices) of the collection seeded
+/// by `base_seed`. Sketch `i` depends only on `base_seed + i`.
+fn sample_sketches(
+    graph: &Graph,
+    in_edges: &InEdges,
+    deadline: Deadline,
+    base_seed: u64,
+    range: Range<usize>,
+    parallelism: ParallelismConfig,
+) -> Vec<RrSet> {
+    let count = range.len();
+    if count == 0 {
+        return Vec::new();
+    }
+    let start = range.start;
+    let chunk_size = sketch_chunk_size(graph.num_nodes(), count);
+    let num_chunks = count.div_ceil(chunk_size);
+    let chunks: Vec<Vec<RrSet>> = parallelism.run(|| {
+        (0..num_chunks)
+            .into_par_iter()
+            .map(|chunk| {
+                let lo = start + chunk * chunk_size;
+                let hi = (lo + chunk_size).min(start + count);
+                let mut scratch = SketchScratch::new(graph.num_nodes());
+                (lo..hi)
+                    .map(|i| {
+                        sample_one_sketch(
+                            graph,
+                            in_edges,
+                            deadline,
+                            base_seed.wrapping_add(i as u64),
+                            &mut scratch,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Samples one RR sketch: pick a uniform target, then run a reverse BFS
+/// bounded by the deadline, flipping each in-edge coin lazily exactly once
+/// (each edge is encountered at most once in a BFS, so lazy flipping matches
+/// the live-edge distribution).
+fn sample_one_sketch(
+    graph: &Graph,
+    in_edges: &InEdges,
+    deadline: Deadline,
+    sketch_seed: u64,
+    scratch: &mut SketchScratch,
+) -> RrSet {
+    let n = graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(sketch_seed);
+    let target = NodeId::from_index(rng.random_range(0..n));
+
+    scratch.begin();
+    let mut nodes = Vec::new();
+    scratch.mark(target.index());
+    nodes.push(target);
+    let mut frontier = std::mem::take(&mut scratch.frontier);
+    let mut next = std::mem::take(&mut scratch.next);
+    frontier.push(target.0);
+    let mut hops = 0u32;
+    while !frontier.is_empty() {
+        hops += 1;
+        if !deadline.allows(hops) {
+            break;
+        }
+        next.clear();
+        for &v in &frontier {
+            let (sources, probs) = in_edges.of(v as usize);
+            for (&u, &p) in sources.iter().zip(probs) {
+                // Visited check first so edges into visited nodes never flip
+                // a coin (lazy flipping); the final `mark` records the visit.
+                if scratch.marks[u as usize] != scratch.epoch
+                    && p > 0.0
+                    && (p >= 1.0 || rng.random_bool(p))
+                    && scratch.mark(u as usize)
+                {
+                    next.push(u);
+                    nodes.push(NodeId(u));
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    // Hand the queues back so the next sketch in the chunk reuses them.
+    scratch.frontier = frontier;
+    scratch.next = next;
+    RrSet::new(graph.group_of(target), nodes)
+}
+
 /// Influence oracle backed by reverse-reachable sketches.
+///
+/// Construction samples the sketches (in parallel, deterministically — see
+/// [`RisConfig`]); [`RisEstimator::cursor`] returns the incremental
+/// [`RisCursor`] the greedy/CELF solvers drive, so RIS is a drop-in
+/// solver-facing alternative to the live-edge [`WorldEstimator`].
+///
+/// [`WorldEstimator`]: crate::WorldEstimator
 #[derive(Debug, Clone)]
 pub struct RisEstimator {
     graph: Arc<Graph>,
     deadline: Deadline,
-    /// RR sets grouped by nothing; each remembers its target group.
+    base_seed: u64,
+    parallelism: ParallelismConfig,
+    in_edges: InEdges,
+    /// All sampled sketches; sketch `i` derives from `base_seed + i`.
     sets: Vec<RrSet>,
     /// Number of RR sets whose target lies in each group.
     sets_per_group: Vec<usize>,
-    /// For every node, the indices of the RR sets containing it.
+    /// Inverted index: for every node, the ids of the RR sets containing it.
     node_to_sets: Vec<Vec<u32>>,
+    /// Cached group sizes of the graph.
+    group_sizes: Vec<usize>,
 }
 
+/// Sketch ids are stored as `u32` in the inverted index; collections larger
+/// than this are rejected.
+const MAX_SKETCHES: usize = u32::MAX as usize;
+
 impl RisEstimator {
-    /// Samples `config.num_sets` reverse-reachable sets from `graph`.
+    /// Samples reverse-reachable sketches from `graph` according to `config`
+    /// (a fixed `num_sets` count, or adaptively sized when
+    /// `config.adaptive` is set).
     ///
     /// # Errors
     ///
-    /// Returns an error if the graph is empty or `num_sets` is zero.
+    /// Returns an error if the graph is empty, `num_sets` is zero, or the
+    /// adaptive parameters are out of range.
     pub fn new(graph: Arc<Graph>, deadline: Deadline, config: &RisConfig) -> Result<Self> {
         if config.num_sets == 0 {
             return Err(DiffusionError::NoSamples);
@@ -83,61 +411,157 @@ impl RisEstimator {
                 message: "cannot build RR sets on an empty graph".to_string(),
             });
         }
-
-        // Reverse adjacency with probabilities: in-edges of every node.
-        let n = graph.num_nodes();
-        let mut in_edges: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-        for (s, t, p) in graph.edges() {
-            in_edges[t.index()].push((s.0, p));
+        if let Some(adaptive) = &config.adaptive {
+            adaptive.validate()?;
         }
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut sets = Vec::with_capacity(config.num_sets);
-        let mut sets_per_group = vec![0usize; graph.num_groups()];
-        let mut node_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut visited = vec![u32::MAX; n];
+        let in_edges = InEdges::build(&graph);
+        let n = graph.num_nodes();
+        let mut estimator = RisEstimator {
+            sets_per_group: vec![0; graph.num_groups()],
+            node_to_sets: vec![Vec::new(); n],
+            group_sizes: graph.group_sizes(),
+            graph,
+            deadline,
+            base_seed: config.seed,
+            parallelism: config.parallelism,
+            in_edges,
+            sets: Vec::new(),
+        };
+        match config.adaptive {
+            None => estimator.extend_to(config.num_sets),
+            Some(adaptive) => estimator.sample_adaptively(config.num_sets, &adaptive),
+        }
+        Ok(estimator)
+    }
 
-        for set_index in 0..config.num_sets {
-            let target = NodeId::from_index(rng.random_range(0..n));
-            let target_group = graph.group_of(target);
-            sets_per_group[target_group.index()] += 1;
+    /// Extends the collection to `target` sketches (no-op if it already has
+    /// at least that many). Sketch `i` always derives from `seed + i`, so
+    /// extending is deterministic: the first `len` sketches are unchanged and
+    /// the result is identical to sampling `target` sketches up front.
+    pub fn extend_to(&mut self, target: usize) {
+        let target = target.min(MAX_SKETCHES);
+        let current = self.sets.len();
+        if target <= current {
+            return;
+        }
+        let fresh = sample_sketches(
+            &self.graph,
+            &self.in_edges,
+            self.deadline,
+            self.base_seed,
+            current..target,
+            self.parallelism,
+        );
+        for (offset, set) in fresh.iter().enumerate() {
+            let id = (current + offset) as u32;
+            self.sets_per_group[set.target_group.index()] += 1;
+            for &node in set.nodes() {
+                self.node_to_sets[node.index()].push(id);
+            }
+        }
+        self.sets.extend(fresh);
+    }
 
-            // Reverse BFS bounded by the deadline, flipping each in-edge coin
-            // lazily exactly once (each edge is encountered at most once in a
-            // BFS, so lazy flipping matches the live-edge distribution).
-            let mut nodes = Vec::new();
-            let mut frontier = vec![target.0];
-            visited[target.index()] = set_index as u32;
-            nodes.push(target);
-            let mut hops = 0u32;
-            while !frontier.is_empty() {
-                hops += 1;
-                if !deadline.allows(hops) {
-                    break;
+    /// The IMM sampling phase: double the sketch count until the greedy
+    /// size-`k` coverage certifies `LB ≤ OPT`, then extend to `λ*/LB`.
+    fn sample_adaptively(&mut self, min_sets: usize, adaptive: &AdaptiveRis) {
+        let n = self.graph.num_nodes() as f64;
+        let k = adaptive.budget.min(self.graph.num_nodes());
+        let cap = adaptive.max_sets.max(min_sets);
+        if self.graph.num_nodes() < 2 {
+            // ln(n) degenerates; a single-node graph needs no adaptivity.
+            self.extend_to(min_sets.min(cap));
+            return;
+        }
+
+        let ln_n = n.ln();
+        let logcnk = ln_binomial(self.graph.num_nodes(), k);
+        // δ = n^{-ℓ}  ⇔  ℓ = ln(1/δ) / ln(n).
+        let ell = (1.0 / adaptive.delta).ln() / ln_n;
+        let eps_prime = std::f64::consts::SQRT_2 * adaptive.epsilon;
+        let lambda_prime =
+            (2.0 + 2.0 * eps_prime / 3.0) * (logcnk + ell * ln_n + n.log2().max(1.0).ln()) * n
+                / (eps_prime * eps_prime);
+
+        // Phase 1: geometric search for a lower bound on OPT.
+        let mut lower_bound = 1.0;
+        let max_rounds = (n.log2().ceil() as usize).max(1);
+        for round in 1..=max_rounds {
+            let x = n / 2f64.powi(round as i32);
+            let theta = ((lambda_prime / x).ceil() as usize).max(min_sets).min(cap);
+            self.extend_to(theta);
+            let covered = self.greedy_cover_count(k);
+            let fraction = covered as f64 / self.sets.len() as f64;
+            if n * fraction >= (1.0 + eps_prime) * x {
+                lower_bound = n * fraction / (1.0 + eps_prime);
+                break;
+            }
+            if self.sets.len() >= cap {
+                return;
+            }
+        }
+
+        // Phase 2: the (ε, δ) sample budget against the certified bound.
+        let e = std::f64::consts::E;
+        let alpha = (ell * ln_n + 2f64.ln()).sqrt();
+        let beta = ((1.0 - 1.0 / e) * (logcnk + ell * ln_n + 2f64.ln())).sqrt();
+        let lambda_star =
+            2.0 * n * ((1.0 - 1.0 / e) * alpha + beta).powi(2) / (adaptive.epsilon.powi(2));
+        let theta = (lambda_star / lower_bound).ceil() as usize;
+        self.extend_to(theta.max(min_sets).min(cap));
+    }
+
+    /// Greedy max-coverage over the current sketches: picks `k` nodes (ties
+    /// towards the smallest id) and returns how many sketches they cover.
+    /// Used by the adaptive stopping rule; deterministic.
+    fn greedy_cover_count(&self, k: usize) -> usize {
+        let mut gain: Vec<u64> = self.node_to_sets.iter().map(|s| s.len() as u64).collect();
+        let mut covered = BitSet::new(self.sets.len());
+        let mut total = 0usize;
+        for _ in 0..k {
+            let mut best = usize::MAX;
+            let mut best_gain = 0u64;
+            for (v, &g) in gain.iter().enumerate() {
+                if g > best_gain {
+                    best = v;
+                    best_gain = g;
                 }
-                let mut next = Vec::new();
-                for &v in &frontier {
-                    for &(u, p) in &in_edges[v as usize] {
-                        if visited[u as usize] != set_index as u32
-                            && p > 0.0
-                            && (p >= 1.0 || rng.random_bool(p))
-                        {
-                            visited[u as usize] = set_index as u32;
-                            next.push(u);
-                            nodes.push(NodeId(u));
-                        }
+            }
+            if best_gain == 0 {
+                break;
+            }
+            for &set_id in &self.node_to_sets[best] {
+                if covered.insert(set_id as usize) {
+                    total += 1;
+                    for &node in self.sets[set_id as usize].nodes() {
+                        gain[node.index()] -= 1;
                     }
                 }
-                frontier = next;
             }
-
-            for &node in &nodes {
-                node_to_sets[node.index()].push(set_index as u32);
-            }
-            sets.push(RrSet { target_group, nodes });
         }
+        total
+    }
 
-        Ok(RisEstimator { graph, deadline, sets, sets_per_group, node_to_sets })
+    /// Converts per-group hit counts into the influence estimate
+    /// `|V_i| · hits_i / count_i`. Counts stay integral until this single
+    /// conversion, so serial and parallel runs agree bitwise.
+    fn influence_from_hits(&self, hits: &[u64]) -> GroupInfluence {
+        let values = hits
+            .iter()
+            .zip(&self.sets_per_group)
+            .zip(&self.group_sizes)
+            .map(
+                |((&h, &count), &size)| {
+                    if count == 0 {
+                        0.0
+                    } else {
+                        size as f64 * h as f64 / count as f64
+                    }
+                },
+            )
+            .collect();
+        GroupInfluence::from_values(values)
     }
 
     /// Number of sampled RR sets.
@@ -148,6 +572,16 @@ impl RisEstimator {
     /// The raw RR sets.
     pub fn sets(&self) -> &[RrSet] {
         &self.sets
+    }
+
+    /// Number of RR sets whose target lies in each group.
+    pub fn sets_per_group(&self) -> &[usize] {
+        &self.sets_per_group
+    }
+
+    /// The parallelism setting sketch generation runs with.
+    pub fn parallelism(&self) -> ParallelismConfig {
+        self.parallelism
     }
 
     /// Nodes ranked by RR-set coverage (a fast stand-alone seed heuristic).
@@ -168,42 +602,102 @@ impl InfluenceOracle for RisEstimator {
 
     fn evaluate(&self, seeds: &[NodeId]) -> Result<GroupInfluence> {
         crate::ic::validate_seeds(&self.graph, seeds)?;
-        let k = self.graph.num_groups();
         // Mark which RR sets are hit by any seed.
-        let mut hit = vec![false; self.sets.len()];
+        let mut hit = BitSet::new(self.sets.len());
+        let mut hits_per_group = vec![0u64; self.graph.num_groups()];
         for &s in seeds {
-            for &set_index in &self.node_to_sets[s.index()] {
-                hit[set_index as usize] = true;
-            }
-        }
-        let mut hits_per_group = vec![0usize; k];
-        for (set, &is_hit) in self.sets.iter().zip(&hit) {
-            if is_hit {
-                hits_per_group[set.target_group.index()] += 1;
-            }
-        }
-        let group_sizes = self.graph.group_sizes();
-        let values = (0..k)
-            .map(|g| {
-                if self.sets_per_group[g] == 0 {
-                    0.0
-                } else {
-                    group_sizes[g] as f64 * hits_per_group[g] as f64 / self.sets_per_group[g] as f64
+            for &set_id in &self.node_to_sets[s.index()] {
+                if hit.insert(set_id as usize) {
+                    hits_per_group[self.sets[set_id as usize].target_group.index()] += 1;
                 }
-            })
-            .collect();
-        Ok(GroupInfluence::from_values(values))
+            }
+        }
+        Ok(self.influence_from_hits(&hits_per_group))
     }
 
     fn cursor(&self) -> Box<dyn InfluenceCursor + '_> {
-        Box::new(NaiveCursor::new(self))
+        Box::new(RisCursor::new(self))
     }
+}
+
+/// Incremental coverage cursor over the sketches of a [`RisEstimator`].
+///
+/// Tracks which sketches the committed seed set already covers in a bitset;
+/// a marginal-gain query for candidate `v` walks only the inverted-index
+/// entry of `v` (`O(#sketches containing v)`) and counts the *uncovered*
+/// sketches per target group — no re-scan of the whole collection. This is
+/// what makes greedy/CELF on RIS asymptotically cheaper than re-evaluating
+/// the estimator per candidate.
+pub struct RisCursor<'a> {
+    estimator: &'a RisEstimator,
+    /// Sketches covered by the committed seed set.
+    covered: BitSet,
+    /// Covered sketches per target group (integral until converted).
+    hits_per_group: Vec<u64>,
+    current: GroupInfluence,
+    seeds: Vec<NodeId>,
+}
+
+impl<'a> RisCursor<'a> {
+    fn new(estimator: &'a RisEstimator) -> Self {
+        let k = estimator.graph.num_groups();
+        RisCursor {
+            covered: BitSet::new(estimator.sets.len()),
+            hits_per_group: vec![0; k],
+            current: GroupInfluence::zeros(k),
+            seeds: Vec::new(),
+            estimator,
+        }
+    }
+}
+
+impl InfluenceCursor for RisCursor<'_> {
+    fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    fn current(&self) -> &GroupInfluence {
+        &self.current
+    }
+
+    fn gain(&mut self, candidate: NodeId) -> GroupInfluence {
+        if candidate.index() >= self.estimator.graph.num_nodes() {
+            // Out-of-bounds candidates gain nothing (mirrors NaiveCursor).
+            return GroupInfluence::zeros(self.hits_per_group.len());
+        }
+        let mut marginal = vec![0u64; self.hits_per_group.len()];
+        for &set_id in &self.estimator.node_to_sets[candidate.index()] {
+            if !self.covered.contains(set_id as usize) {
+                marginal[self.estimator.sets[set_id as usize].target_group.index()] += 1;
+            }
+        }
+        self.estimator.influence_from_hits(&marginal)
+    }
+
+    fn add_seed(&mut self, candidate: NodeId) {
+        if candidate.index() < self.estimator.graph.num_nodes() {
+            for &set_id in &self.estimator.node_to_sets[candidate.index()] {
+                if self.covered.insert(set_id as usize) {
+                    self.hits_per_group
+                        [self.estimator.sets[set_id as usize].target_group.index()] += 1;
+                }
+            }
+            self.current = self.estimator.influence_from_hits(&self.hits_per_group);
+        }
+        self.seeds.push(candidate);
+    }
+}
+
+/// `ln C(n, k)` computed exactly as a sum of logs (no overflow for any n).
+fn ln_binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k.min(n));
+    (0..k).map(|i| (((n - i) as f64) / ((k - i) as f64)).ln()).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{InfluenceOracle, WorldEstimator};
+    use crate::estimator::{InfluenceOracle, NaiveCursor, WorldEstimator};
     use crate::worlds::WorldsConfig;
     use tcim_graph::generators::{stochastic_block_model, SbmConfig};
     use tcim_graph::{GraphBuilder, GroupId};
@@ -225,9 +719,12 @@ mod tests {
             &WorldsConfig { num_worlds: 2000, seed: 1, ..Default::default() },
         )
         .unwrap();
-        let ris =
-            RisEstimator::new(Arc::clone(&g), deadline, &RisConfig { num_sets: 40_000, seed: 2 })
-                .unwrap();
+        let ris = RisEstimator::new(
+            Arc::clone(&g),
+            deadline,
+            &RisConfig { num_sets: 40_000, seed: 2, ..Default::default() },
+        )
+        .unwrap();
 
         let a = world.evaluate(&seeds).unwrap();
         let b = ris.evaluate(&seeds).unwrap();
@@ -246,7 +743,7 @@ mod tests {
         let ris = RisEstimator::new(
             Arc::clone(&g),
             Deadline::finite(1),
-            &RisConfig { num_sets: 3000, seed: 7 },
+            &RisConfig { num_sets: 3000, seed: 7, ..Default::default() },
         )
         .unwrap();
         let inf = ris.evaluate(&[NodeId(0)]).unwrap();
@@ -255,25 +752,47 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_inputs() {
+    fn rejects_empty_and_invalid_inputs() {
         let g = two_group_sbm();
         assert!(RisEstimator::new(
             Arc::clone(&g),
             Deadline::unbounded(),
-            &RisConfig { num_sets: 0, seed: 0 }
+            &RisConfig { num_sets: 0, ..Default::default() }
         )
         .is_err());
         let empty = Arc::new(GraphBuilder::new().build().unwrap());
         assert!(RisEstimator::new(
             empty,
             Deadline::unbounded(),
-            &RisConfig { num_sets: 10, seed: 0 }
+            &RisConfig { num_sets: 10, ..Default::default() }
         )
         .is_err());
-        assert!(RisEstimator::new(g, Deadline::unbounded(), &RisConfig { num_sets: 10, seed: 0 })
-            .unwrap()
-            .evaluate(&[NodeId(9999)])
-            .is_err());
+        for bad in [
+            AdaptiveRis { epsilon: 0.0, ..Default::default() },
+            AdaptiveRis { epsilon: 1.5, ..Default::default() },
+            AdaptiveRis { delta: 0.0, ..Default::default() },
+            AdaptiveRis { delta: 2.0, ..Default::default() },
+            AdaptiveRis { budget: 0, ..Default::default() },
+            AdaptiveRis { max_sets: 0, ..Default::default() },
+        ] {
+            assert!(
+                RisEstimator::new(
+                    Arc::clone(&g),
+                    Deadline::unbounded(),
+                    &RisConfig { num_sets: 10, adaptive: Some(bad), ..Default::default() }
+                )
+                .is_err(),
+                "accepted invalid adaptive config {bad:?}"
+            );
+        }
+        assert!(RisEstimator::new(
+            g,
+            Deadline::unbounded(),
+            &RisConfig { num_sets: 10, ..Default::default() }
+        )
+        .unwrap()
+        .evaluate(&[NodeId(9999)])
+        .is_err());
     }
 
     #[test]
@@ -286,10 +805,148 @@ mod tests {
             b.add_undirected_edge(hub, leaf, 1.0).unwrap();
         }
         let g = Arc::new(b.build().unwrap());
-        let ris = RisEstimator::new(g, Deadline::finite(1), &RisConfig { num_sets: 2000, seed: 5 })
-            .unwrap();
+        let ris = RisEstimator::new(
+            g,
+            Deadline::finite(1),
+            &RisConfig { num_sets: 2000, seed: 5, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(ris.coverage_ranking()[0], hub);
         assert!(ris.num_sets() == 2000);
         assert!(!ris.sets().is_empty());
+        assert_eq!(ris.sets_per_group(), &[2000]);
+    }
+
+    #[test]
+    fn rr_set_constructor_sorts_and_dedups() {
+        let set = RrSet::new(GroupId(0), vec![NodeId(5), NodeId(1), NodeId(5), NodeId(3)]);
+        assert_eq!(set.nodes(), &[NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(set.contains(NodeId(3)));
+        assert!(!set.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn sampled_sketches_are_sorted_and_unique() {
+        let g = two_group_sbm();
+        let ris = RisEstimator::new(
+            g,
+            Deadline::finite(4),
+            &RisConfig { num_sets: 200, seed: 11, ..Default::default() },
+        )
+        .unwrap();
+        for set in ris.sets() {
+            let nodes = set.nodes();
+            assert!(nodes.windows(2).all(|w| w[0].0 < w[1].0), "unsorted sketch {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn extend_to_matches_sampling_up_front() {
+        let g = two_group_sbm();
+        let deadline = Deadline::finite(3);
+        let config = RisConfig { num_sets: 300, seed: 13, ..Default::default() };
+        let full = RisEstimator::new(Arc::clone(&g), deadline, &config).unwrap();
+        let mut grown =
+            RisEstimator::new(Arc::clone(&g), deadline, &RisConfig { num_sets: 100, ..config })
+                .unwrap();
+        grown.extend_to(300);
+        assert_eq!(grown.num_sets(), 300);
+        assert_eq!(grown.sets(), full.sets());
+        let seeds = [NodeId(0), NodeId(60)];
+        let a = full.evaluate(&seeds).unwrap();
+        let b = grown.evaluate(&seeds).unwrap();
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Shrinking is a no-op.
+        grown.extend_to(10);
+        assert_eq!(grown.num_sets(), 300);
+    }
+
+    #[test]
+    fn cursor_gains_match_naive_rescan() {
+        let g = two_group_sbm();
+        let ris = RisEstimator::new(
+            g,
+            Deadline::finite(3),
+            &RisConfig { num_sets: 800, seed: 17, ..Default::default() },
+        )
+        .unwrap();
+        let mut fast = ris.cursor();
+        let mut naive = NaiveCursor::new(&ris);
+        for candidate in [NodeId(3), NodeId(40), NodeId(90), NodeId(3)] {
+            let a = fast.gain(candidate);
+            let b = naive.gain(candidate);
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!((x - y).abs() < 1e-9, "gain mismatch at {candidate:?}: {x} vs {y}");
+            }
+            fast.add_seed(candidate);
+            naive.add_seed(candidate);
+            for (x, y) in fast.current().values().iter().zip(naive.current().values()) {
+                assert!((x - y).abs() < 1e-9, "state mismatch after {candidate:?}: {x} vs {y}");
+            }
+        }
+        assert_eq!(fast.seeds().len(), 4);
+        // The committed state must equal a fresh evaluation bitwise.
+        let direct = ris.evaluate(fast.seeds()).unwrap();
+        for (x, y) in fast.current().values().iter().zip(direct.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn cursor_ignores_out_of_bounds_candidates() {
+        let g = two_group_sbm();
+        let ris = RisEstimator::new(
+            g,
+            Deadline::finite(2),
+            &RisConfig { num_sets: 50, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let mut cursor = ris.cursor();
+        assert_eq!(cursor.gain(NodeId(100_000)).total(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_sizing_grows_the_collection_and_stays_deterministic() {
+        let g = two_group_sbm();
+        let adaptive = AdaptiveRis { epsilon: 0.3, delta: 0.1, budget: 5, max_sets: 50_000 };
+        let config =
+            RisConfig { num_sets: 64, seed: 23, adaptive: Some(adaptive), ..Default::default() };
+        let a = RisEstimator::new(Arc::clone(&g), Deadline::finite(3), &config).unwrap();
+        let b = RisEstimator::new(Arc::clone(&g), Deadline::finite(3), &config).unwrap();
+        assert!(a.num_sets() > 64, "adaptive sizing never grew past the floor");
+        assert!(a.num_sets() <= 50_000);
+        assert_eq!(a.num_sets(), b.num_sets());
+        let x = a.evaluate(&[NodeId(0)]).unwrap();
+        let y = b.evaluate(&[NodeId(0)]).unwrap();
+        for (p, q) in x.values().iter().zip(y.values()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // The cap is honored even when the budget formula asks for more.
+        let capped = RisEstimator::new(
+            g,
+            Deadline::finite(3),
+            &RisConfig {
+                num_sets: 64,
+                seed: 23,
+                adaptive: Some(AdaptiveRis { max_sets: 500, ..adaptive }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(capped.num_sets() <= 500);
+    }
+
+    #[test]
+    fn ln_binomial_matches_direct_computation() {
+        // C(10, 3) = 120.
+        assert!((ln_binomial(10, 3) - 120f64.ln()).abs() < 1e-9);
+        // Symmetry: C(10, 7) = C(10, 3).
+        assert!((ln_binomial(10, 7) - 120f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
     }
 }

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use tcim_diffusion::{
-    Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig,
-    WorldCollection, WorldEstimator, WorldsConfig,
+    AdaptiveRis, Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig,
+    RisConfig, RisEstimator, WorldCollection, WorldEstimator, WorldsConfig,
 };
 use tcim_graph::generators::{stochastic_block_model, SbmConfig};
 use tcim_graph::{Graph, NodeId};
@@ -194,5 +194,134 @@ fn lt_estimation_is_bitwise_identical_across_thread_counts() {
         .evaluate(&seeds)
         .unwrap();
         assert_bitwise_equal(&reference, &estimate, &format!("LT estimator, {threads} threads"));
+    }
+}
+
+/// RR sketch `i` derives from `seed + i`, so the sketch *collection* — not
+/// just the estimate — must be identical at every thread count.
+#[test]
+fn ris_sketches_are_identical_across_thread_counts() {
+    let graph = sbm();
+    let serial = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(4),
+        &RisConfig {
+            num_sets: 600,
+            seed: 31,
+            parallelism: ParallelismConfig::serial(),
+            adaptive: None,
+        },
+    )
+    .unwrap();
+    for threads in [1usize, 2, 8] {
+        let parallel = RisEstimator::new(
+            Arc::clone(&graph),
+            Deadline::finite(4),
+            &RisConfig {
+                num_sets: 600,
+                seed: 31,
+                parallelism: ParallelismConfig::fixed(threads),
+                adaptive: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.num_sets(), parallel.num_sets());
+        for (i, (a, b)) in serial.sets().iter().zip(parallel.sets()).enumerate() {
+            assert_eq!(a, b, "sketch {i} differs at {threads} threads");
+        }
+    }
+}
+
+/// RIS estimates and the solver-driving cursor must agree bitwise with the
+/// serial reference at any thread count (the estimate is a deterministic
+/// function of the sketches, which the previous test pins down).
+#[test]
+fn ris_estimates_and_cursor_are_bitwise_identical_across_thread_counts() {
+    let graph = sbm();
+    let seeds = seeds();
+    let serial = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(5),
+        &RisConfig {
+            num_sets: 900,
+            seed: 37,
+            parallelism: ParallelismConfig::serial(),
+            adaptive: None,
+        },
+    )
+    .unwrap();
+    let reference = serial.evaluate(&seeds).unwrap();
+    assert!(reference.total() > 0.0, "degenerate reference estimate");
+
+    for threads in [2usize, 8] {
+        let parallel = RisEstimator::new(
+            Arc::clone(&graph),
+            Deadline::finite(5),
+            &RisConfig {
+                num_sets: 900,
+                seed: 37,
+                parallelism: ParallelismConfig::fixed(threads),
+                adaptive: None,
+            },
+        )
+        .unwrap();
+        let estimate = parallel.evaluate(&seeds).unwrap();
+        assert_bitwise_equal(&reference, &estimate, &format!("ris estimator, {threads} threads"));
+
+        let mut serial_cursor = serial.cursor();
+        let mut parallel_cursor = parallel.cursor();
+        for &candidate in seeds.iter().take(4) {
+            assert_bitwise_equal(
+                &serial_cursor.gain(candidate),
+                &parallel_cursor.gain(candidate),
+                &format!("ris cursor gain, {threads} threads"),
+            );
+            serial_cursor.add_seed(candidate);
+            parallel_cursor.add_seed(candidate);
+            assert_bitwise_equal(
+                serial_cursor.current(),
+                parallel_cursor.current(),
+                &format!("ris cursor state, {threads} threads"),
+            );
+        }
+    }
+}
+
+/// The adaptive doubling trajectory depends only on the sketches, which are
+/// thread-count independent — so the final sketch count and estimate must be
+/// identical at 1, 2 and 8 threads (and under `auto()`, which CI re-runs with
+/// `RAYON_NUM_THREADS` capped).
+#[test]
+fn adaptive_ris_sizing_is_identical_across_thread_counts() {
+    let graph = sbm();
+    let seeds = seeds();
+    let adaptive = Some(AdaptiveRis { epsilon: 0.3, delta: 0.1, budget: 8, max_sets: 60_000 });
+    let serial = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(4),
+        &RisConfig { num_sets: 128, seed: 41, parallelism: ParallelismConfig::serial(), adaptive },
+    )
+    .unwrap();
+    let reference = serial.evaluate(&seeds).unwrap();
+
+    for parallelism in
+        [ParallelismConfig::fixed(2), ParallelismConfig::fixed(8), ParallelismConfig::auto()]
+    {
+        let parallel = RisEstimator::new(
+            Arc::clone(&graph),
+            Deadline::finite(4),
+            &RisConfig { num_sets: 128, seed: 41, parallelism, adaptive },
+        )
+        .unwrap();
+        assert_eq!(
+            serial.num_sets(),
+            parallel.num_sets(),
+            "adaptive sketch count differs under {parallelism:?}"
+        );
+        assert_bitwise_equal(
+            &reference,
+            &parallel.evaluate(&seeds).unwrap(),
+            &format!("adaptive ris, {parallelism:?}"),
+        );
     }
 }

@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use tcim_diffusion::{
-    Deadline, InfluenceOracle, MonteCarloEstimator, WorldEstimator, WorldsConfig,
+    Deadline, InfluenceCursor, InfluenceOracle, MonteCarloEstimator, NaiveCursor, RisConfig,
+    RisEstimator, WorldEstimator, WorldsConfig,
 };
 use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
 
@@ -145,5 +146,98 @@ proptest! {
         let estimate = est.evaluate(&seeds).unwrap().total();
         let exact = tcim_graph::traversal::bounded_reachable(&deterministic, &seeds, Some(3)).len();
         prop_assert!((estimate - exact as f64).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental RIS cursor serves exactly the same marginal gains as a
+    /// naive full re-scan of the sketches, per group, for any random graph
+    /// and any insertion sequence.
+    #[test]
+    fn ris_cursor_gains_match_naive_rescan(graph in random_graph(14, 50), seed in 0u64..100) {
+        let ris = RisEstimator::new(
+            Arc::new(graph.clone()),
+            Deadline::finite(3),
+            &RisConfig { num_sets: 400, seed, ..Default::default() },
+        )
+        .unwrap();
+        let mut fast = ris.cursor();
+        let mut naive = NaiveCursor::new(&ris);
+        for node in graph.nodes().take(4) {
+            let a = fast.gain(node);
+            let b = naive.gain(node);
+            for (x, y) in a.values().iter().zip(b.values()) {
+                prop_assert!((x - y).abs() < 1e-9,
+                    "cursor gain {x} vs naive re-scan gain {y} at {node:?}");
+            }
+            fast.add_seed(node);
+            naive.add_seed(node);
+            for (x, y) in fast.current().values().iter().zip(naive.current().values()) {
+                prop_assert!((x - y).abs() < 1e-9,
+                    "cursor state {x} vs naive state {y} after {node:?}");
+            }
+        }
+    }
+
+    /// RIS estimates respect the same hard bounds as the forward estimators:
+    /// at least the distinct seeds, at most the node count.
+    #[test]
+    fn ris_influence_is_bounded(graph in random_graph(16, 60), seed in 0u64..100) {
+        let seeds: Vec<NodeId> = graph.nodes().step_by(3).collect();
+        let ris = RisEstimator::new(
+            Arc::new(graph.clone()),
+            Deadline::finite(2),
+            &RisConfig { num_sets: 500, seed, ..Default::default() },
+        )
+        .unwrap();
+        let total = ris.evaluate(&seeds).unwrap().total();
+        prop_assert!(total <= graph.num_nodes() as f64 + 1e-9);
+        prop_assert!(total >= 0.0);
+    }
+}
+
+/// MC and RIS are unbiased estimators of the same expectation, so on a fixed
+/// seed they must agree within three combined standard deviations. The σ
+/// bounds are Hoeffding-style and conservative: one cascade contributes a
+/// value in `[0, n]` (σ ≤ n/2), one sketch a Bernoulli scaled by `n`
+/// (σ ≤ n/2), so the means have σ ≤ n / (2√samples).
+#[test]
+fn mc_and_ris_estimates_agree_within_three_sigma() {
+    let config = SbmLike::build();
+    let graph = Arc::new(config);
+    let n = graph.num_nodes() as f64;
+    let deadline = Deadline::finite(3);
+    let seeds: Vec<NodeId> = (0..8u32).map(NodeId).collect();
+
+    let mc_samples = 4000usize;
+    let ris_sets = 40_000usize;
+    let mc = MonteCarloEstimator::new(Arc::clone(&graph), deadline, mc_samples, 5).unwrap();
+    let ris = RisEstimator::new(
+        Arc::clone(&graph),
+        deadline,
+        &RisConfig { num_sets: ris_sets, seed: 6, ..Default::default() },
+    )
+    .unwrap();
+
+    let a = mc.evaluate(&seeds).unwrap().total();
+    let b = ris.evaluate(&seeds).unwrap().total();
+    let sigma_mc = n / (2.0 * (mc_samples as f64).sqrt());
+    let sigma_ris = n / (2.0 * (ris_sets as f64).sqrt());
+    let three_sigma = 3.0 * (sigma_mc * sigma_mc + sigma_ris * sigma_ris).sqrt();
+    assert!(
+        (a - b).abs() <= three_sigma,
+        "mc {a} vs ris {b} differ by more than 3σ = {three_sigma}"
+    );
+}
+
+/// Fixed two-group SBM used by the 3σ agreement test.
+struct SbmLike;
+
+impl SbmLike {
+    fn build() -> Graph {
+        use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+        stochastic_block_model(&SbmConfig::two_group(150, 0.7, 0.06, 0.01, 0.15, 9)).unwrap()
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! Appendix C of the paper groups the Facebook-SNAP graph into five groups by
 //! spectral clustering and then studies influence disparity across those
-//! clusters. [`spectral`] implements that pipeline from scratch (subspace
-//! power iteration on the symmetrically normalized adjacency matrix followed
-//! by k-means on the embedding); [`label_propagation`] offers a cheaper
-//! alternative used in tests and the fairness-audit example.
+//! clusters. [`spectral_clustering`] implements that pipeline from scratch
+//! (subspace power iteration on the symmetrically normalized adjacency
+//! matrix followed by k-means on the embedding); [`label_propagation`]
+//! offers a cheaper alternative used in tests and the fairness-audit
+//! example.
 
 mod kmeans;
 mod label_propagation;

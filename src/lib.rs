@@ -60,17 +60,18 @@ pub mod prelude {
         top_pagerank_seeds,
     };
     pub use tcim_core::{
-        disparity, solve_budget_exhaustive, solve_constrained_budget, solve_constrained_cover,
-        solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget,
-        solve_tcim_cover, BudgetConfig, ConcaveWrapper, ConstrainedBudgetReport,
-        ConstrainedCoverReport, CoverProblemConfig, CoverReport, ExhaustiveObjective,
-        FairnessReport, GreedyAlgorithm, SolverReport,
+        audit_seed_set, disparity, solve_budget_exhaustive, solve_constrained_budget,
+        solve_constrained_cover, solve_fair_tcim_budget, solve_fair_tcim_cover,
+        solve_group_tcim_cover, solve_tcim_budget, solve_tcim_cover, BudgetConfig, ConcaveWrapper,
+        ConstrainedBudgetReport, ConstrainedCoverReport, CoverProblemConfig, CoverReport,
+        Estimator, EstimatorConfig, ExhaustiveObjective, FairnessReport, GreedyAlgorithm,
+        SolverReport,
     };
     pub use tcim_datasets::registry::{Dataset, DatasetBundle};
     pub use tcim_datasets::SyntheticConfig;
     pub use tcim_diffusion::{
-        Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig,
-        RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
+        AdaptiveRis, Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator,
+        ParallelismConfig, RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
     };
     pub use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
 }

@@ -145,7 +145,7 @@ fn estimators_agree_on_the_selected_seed_sets() {
     let ris = RisEstimator::new(
         Arc::clone(&graph),
         Deadline::finite(5),
-        &RisConfig { num_sets: 30_000, seed: 7 },
+        &RisConfig { num_sets: 30_000, seed: 7, ..Default::default() },
     )
     .unwrap();
     let ris_influence = ris.evaluate(&report.seeds).unwrap();
@@ -218,4 +218,99 @@ fn dataset_registry_feeds_directly_into_the_solvers() {
     .unwrap();
     assert!(fair.disparity() <= unfair.disparity() + 1e-9);
     assert!(unfair.disparity() > 0.3, "illustrative example should be very unfair under τ = 2");
+}
+
+#[test]
+fn ris_estimator_selected_via_config_drives_greedy_and_celf() {
+    // The RIS engine is solver-facing: select it purely through
+    // `EstimatorConfig`, run both greedy variants, and check the solution
+    // quality against the default live-edge-world solve.
+    let config = SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() };
+    let graph = Arc::new(config.build().unwrap());
+    let deadline = Deadline::finite(5);
+
+    let ris_oracle =
+        EstimatorConfig::Ris(RisConfig { num_sets: 20_000, seed: 11, ..Default::default() })
+            .build(Arc::clone(&graph), deadline)
+            .unwrap();
+    let celf = solve_tcim_budget(&ris_oracle, &BudgetConfig::new(10)).unwrap();
+    let plain = solve_tcim_budget(
+        &ris_oracle,
+        &BudgetConfig { budget: 10, algorithm: GreedyAlgorithm::Greedy, candidates: None },
+    )
+    .unwrap();
+    // CELF must reproduce plain greedy's selection with fewer oracle calls.
+    assert_eq!(celf.seeds, plain.seeds);
+    assert!(celf.gain_evaluations <= plain.gain_evaluations);
+    assert_eq!(celf.num_seeds(), 10);
+
+    // The RIS-chosen seeds must be competitive with the world-chosen seeds
+    // when both are re-scored by a common held-out Monte-Carlo estimator.
+    let world_oracle =
+        EstimatorConfig::Worlds(WorldsConfig { num_worlds: 150, seed: 3, ..Default::default() })
+            .build(Arc::clone(&graph), deadline)
+            .unwrap();
+    let world_solve = solve_tcim_budget(&world_oracle, &BudgetConfig::new(10)).unwrap();
+    let held_out = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 600, 77).unwrap();
+    let ris_quality = held_out.evaluate(&celf.seeds).unwrap().total();
+    let world_quality = held_out.evaluate(&world_solve.seeds).unwrap().total();
+    assert!(
+        ris_quality >= 0.85 * world_quality,
+        "RIS seeds score {ris_quality} vs world seeds {world_quality}"
+    );
+
+    // The fairness audit paths accept the RIS oracle through the trait.
+    let audit = audit_seed_set(&ris_oracle, &celf.seeds).unwrap();
+    assert!(audit.total > 0.0);
+    assert!(audit.disparity >= 0.0 && audit.disparity <= 1.0);
+    let fair =
+        solve_fair_tcim_budget(&ris_oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None)
+            .unwrap();
+    assert!(fair.disparity() <= celf.disparity() + 1e-9);
+}
+
+#[test]
+fn ris_solves_are_bitwise_identical_across_thread_counts() {
+    let config = SyntheticConfig { num_nodes: 200, ..SyntheticConfig::default() };
+    let graph = Arc::new(config.build().unwrap());
+    let deadline = Deadline::finite(5);
+    let solve = |threads: usize| {
+        let oracle = EstimatorConfig::Ris(RisConfig {
+            num_sets: 8000,
+            seed: 13,
+            parallelism: ParallelismConfig::fixed(threads),
+            adaptive: None,
+        })
+        .build(Arc::clone(&graph), deadline)
+        .unwrap();
+        solve_tcim_budget(&oracle, &BudgetConfig::new(8)).unwrap()
+    };
+    let one = solve(1);
+    let eight = solve(8);
+    assert_eq!(one.seeds, eight.seeds, "seed selection differs across thread counts");
+    for (a, b) in one.influence.values().iter().zip(eight.influence.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "influence differs across thread counts");
+    }
+}
+
+#[test]
+fn adaptive_ris_supports_the_full_solve_path() {
+    let config = SyntheticConfig { num_nodes: 150, ..SyntheticConfig::default() };
+    let graph = Arc::new(config.build().unwrap());
+    let oracle = EstimatorConfig::Ris(RisConfig {
+        num_sets: 256,
+        seed: 17,
+        adaptive: Some(AdaptiveRis { epsilon: 0.3, delta: 0.1, budget: 8, max_sets: 60_000 }),
+        ..Default::default()
+    })
+    .build(Arc::clone(&graph), Deadline::finite(4))
+    .unwrap();
+    let report = solve_tcim_budget(&oracle, &BudgetConfig::new(8)).unwrap();
+    assert_eq!(report.num_seeds(), 8);
+    // The adaptive estimate of the chosen seeds must agree with a held-out
+    // Monte-Carlo re-score within the configured error (generous margin).
+    let held_out = MonteCarloEstimator::new(graph, Deadline::finite(4), 600, 99).unwrap();
+    let fresh = held_out.evaluate(&report.seeds).unwrap().total();
+    let rel = (report.influence.total() - fresh).abs() / fresh.max(1.0);
+    assert!(rel < 0.3, "adaptive RIS estimate {} vs held-out {fresh}", report.influence.total());
 }
