@@ -1,8 +1,9 @@
-//! CI bench-regression gate: measures solve wall-time, estimator throughput
-//! and held-out seed-set quality for the MC (live-edge worlds) and RIS
-//! engines on a quick synthetic instance, writes a machine-readable
-//! `BENCH_<sha>.json`, and — with `--check <baseline.json>` — exits non-zero
-//! when any metric regresses more than 25% against the checked-in baseline.
+//! CI bench-regression gate: measures solve wall-time, estimator throughput,
+//! held-out seed-set quality for the MC (live-edge worlds) and RIS engines,
+//! and the campaign-serving cache speedup, on a quick synthetic instance.
+//! Writes a machine-readable `BENCH_<sha>.json`, and — with `--check
+//! <baseline.json>` — exits non-zero when any metric regresses more than 25%
+//! against the checked-in baseline.
 //!
 //! ```text
 //! bench_regression [--out PATH] [--check BASELINE] [--sha SHA]
@@ -11,17 +12,22 @@
 //! `--sha` defaults to `$GITHUB_SHA`, then "local". Quality metrics are
 //! fully deterministic (fixed seeds); wall-times vary with the runner, which
 //! is why the checked-in baseline carries generous headroom on top of the
-//! 25% gate.
+//! 25% gate. The `service_cache_speedup` ratio divides two wall-times
+//! measured in the same process, so runner speed largely cancels out — its
+//! baseline enforces the "cached serving amortizes estimator construction"
+//! contract (>= 5x on the 20-query grid).
 
 use std::path::PathBuf;
+use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_bench::regression::{compare, BenchRecord, REGRESSION_TOLERANCE};
 use tcim_core::{solve_tcim_budget, BudgetConfig, EstimatorConfig, RisConfig, WorldsConfig};
 use tcim_datasets::SyntheticConfig;
-use tcim_diffusion::{Deadline, InfluenceOracle, MonteCarloEstimator};
+use tcim_diffusion::{Deadline, InfluenceOracle, MonteCarloEstimator, ParallelismConfig};
 use tcim_graph::NodeId;
+use tcim_service::{Request, ServiceEngine};
 
 struct Cli {
     out: Option<PathBuf>,
@@ -29,7 +35,7 @@ struct Cli {
     sha: String,
 }
 
-fn parse_cli() -> Cli {
+fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         out: None,
         check: None,
@@ -37,18 +43,15 @@ fn parse_cli() -> Cli {
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
-            "--out" => cli.out = args.next().map(PathBuf::from),
-            "--check" => cli.check = args.next().map(PathBuf::from),
-            "--sha" => {
-                if let Some(sha) = args.next() {
-                    cli.sha = sha;
-                }
-            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--check" => cli.check = Some(PathBuf::from(value("--check")?)),
+            "--sha" => cli.sha = value("--sha")?,
             other => eprintln!("warning: ignoring unknown flag '{other}'"),
         }
     }
-    cli
+    Ok(cli)
 }
 
 /// Times `op` and returns (milliseconds, result).
@@ -58,8 +61,36 @@ fn timed<R>(op: impl FnOnce() -> R) -> (f64, R) {
     (start.elapsed().as_secs_f64() * 1e3, result)
 }
 
+/// The repeated-query serving workload: 20 budget solves over a τ × B grid
+/// against one dataset — the access pattern the paper's figures imply
+/// (every panel re-solves the same graph under varying deadline / budget).
+fn service_grid() -> Vec<Request> {
+    // A fixed 24-node candidate pool, like the paper's Instagram experiment:
+    // campaign serving picks from a vetted pool, and the pool keeps the
+    // greedy's candidate scan proportionate to the query instead of the
+    // whole graph.
+    let candidates: Vec<String> = (0..24).map(|n| n.to_string()).collect();
+    let candidates = candidates.join(",");
+    let mut requests = Vec::new();
+    for tau in [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+        for budget in [1usize, 2] {
+            let line = format!(
+                r#"{{"id":"tau{tau}-b{budget}","op":"solve_budget","dataset":"synthetic","deadline":{tau},"samples":600,"estimator_seed":7,"budget":{budget},"candidates":[{candidates}]}}"#
+            );
+            requests.push(Request::parse_line(&line).expect("static request line"));
+        }
+    }
+    requests
+}
+
 fn main() {
-    let cli = parse_cli();
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}");
+            exit(2);
+        }
+    };
     let mut record = BenchRecord::new(&cli.sha);
 
     // Quick instance: big enough that estimator costs dominate, small enough
@@ -123,21 +154,66 @@ fn main() {
     record.push("mc_quality", mc_quality);
     record.push("ris_quality", ris_quality);
 
+    // --- Campaign serving: 20-query grid, cold vs cached ------------------
+    // Cold: a throwaway engine per request, so every solve re-samples its
+    // world collection — what the fig binaries do today. Cached: one engine,
+    // one batch; the deadline-independent world pool samples once and every
+    // (τ, B) query shares it. Same requests, byte-identical responses.
+    let requests = service_grid();
+    let (service_cold_ms, cold_responses) = timed(|| {
+        requests
+            .iter()
+            .map(|request| ServiceEngine::new(ParallelismConfig::auto()).serve(request).to_string())
+            .collect::<Vec<String>>()
+    });
+    let cached_engine = ServiceEngine::new(ParallelismConfig::auto());
+    let (service_cached_ms, cached_responses) = timed(|| {
+        cached_engine
+            .serve_batch(&requests)
+            .into_iter()
+            .map(|response| response.to_string())
+            .collect::<Vec<String>>()
+    });
+    if cold_responses != cached_responses {
+        eprintln!("bench-regression: FATAL: cached responses differ from cold responses");
+        exit(1);
+    }
+    let stats = cached_engine.cache().stats();
+    eprintln!(
+        "service grid: {} requests, world pool {} miss(es) / {} hit(s)",
+        requests.len(),
+        stats.world_misses,
+        stats.world_hits
+    );
+    record.push("service_cold20_ms", service_cold_ms);
+    record.push("service_cached20_ms", service_cached_ms);
+    record.push("service_cache_speedup", service_cold_ms / service_cached_ms);
+
     print!("{}", record.to_json());
 
     if let Some(out) = &cli.out {
         if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent).expect("create output directory");
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create --out directory '{}': {err}", parent.display());
+                exit(2);
+            }
         }
-        std::fs::write(out, record.to_json()).expect("write bench record");
+        if let Err(err) = std::fs::write(out, record.to_json()) {
+            eprintln!("error: cannot write --out file '{}': {err}", out.display());
+            exit(2);
+        }
         eprintln!("wrote {}", out.display());
     }
 
     if let Some(baseline_path) = &cli.check {
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|err| panic!("cannot read {}: {err}", baseline_path.display()));
-        let baseline = BenchRecord::parse_json(&text)
-            .unwrap_or_else(|err| panic!("cannot parse {}: {err}", baseline_path.display()));
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|err| {
+            eprintln!("error: cannot read --check baseline '{}': {err}", baseline_path.display());
+            exit(2);
+        });
+        let baseline = BenchRecord::parse_json(&text).unwrap_or_else(|err| {
+            eprintln!("error: cannot parse --check baseline '{}': {err}", baseline_path.display());
+            exit(2);
+        });
         let violations = compare(&record, &baseline, REGRESSION_TOLERANCE);
         if violations.is_empty() {
             eprintln!(
@@ -150,7 +226,7 @@ fn main() {
             for violation in &violations {
                 eprintln!("  {violation}");
             }
-            std::process::exit(1);
+            exit(1);
         }
     }
 }

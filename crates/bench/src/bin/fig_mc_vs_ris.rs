@@ -43,8 +43,10 @@ fn main() {
     );
     let scale = args.scale.unwrap_or(if args.full { 0.1 } else { 0.02 });
     let instagram = Arc::new(
-        instagram_surrogate(&InstagramConfig { scale, seed: args.seed })
-            .expect("instagram surrogate failed"),
+        instagram_surrogate(&InstagramConfig { scale, seed: args.seed }).unwrap_or_else(|err| {
+            eprintln!("error: cannot build the instagram surrogate at --scale {scale}: {err}");
+            std::process::exit(2);
+        }),
     );
     println!(
         "[fig_mc_vs_ris] instagram surrogate at scale {scale}: {} nodes, {} directed edges",
@@ -120,7 +122,13 @@ fn main() {
                     candidates: instance.candidates.clone(),
                 },
             )
-            .expect("solve");
+            .unwrap_or_else(|err| {
+                eprintln!(
+                    "error: {label} solve failed on '{}' with --budget {}: {err}",
+                    instance.name, instance.budget
+                );
+                std::process::exit(2);
+            });
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             let audit = audit_seed_set(&held_out, &report.seeds).unwrap();
             table.push_row(vec![

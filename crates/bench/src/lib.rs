@@ -63,37 +63,61 @@ impl Default for Args {
 }
 
 impl Args {
-    /// Parses `std::env::args()`; unknown flags are ignored with a warning so
-    /// the binaries stay forgiving in scripts.
+    /// Parses `std::env::args()`. Unknown flags are ignored with a warning so
+    /// the binaries stay forgiving in scripts, but a *malformed value* for a
+    /// known flag exits with a message naming the bad input (it used to be
+    /// silently dropped, so `--samples 10k` would quietly run the default).
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parses an explicit iterator of arguments (used in tests).
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Parses an explicit iterator of arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag and the offending value when a
+    /// value is missing or fails to parse.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        fn value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("missing value for {flag}"))
+        }
+        fn parsed_value<T: std::str::FromStr, I: Iterator<Item = String>>(
+            iter: &mut I,
+            flag: &str,
+            expected: &str,
+        ) -> Result<T, String> {
+            let raw = value(iter, flag)?;
+            raw.parse()
+                .map_err(|_| format!("invalid value '{raw}' for {flag} (expected {expected})"))
+        }
+
         let mut parsed = Args::default();
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             match flag.as_str() {
-                "--samples" => parsed.samples = iter.next().and_then(|v| v.parse().ok()),
-                "--seed" => {
-                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
-                        parsed.seed = v;
-                    }
+                "--samples" => {
+                    parsed.samples =
+                        Some(parsed_value(&mut iter, "--samples", "a positive integer")?);
                 }
-                "--part" => parsed.part = iter.next(),
-                "--budget" => parsed.budget = iter.next().and_then(|v| v.parse().ok()),
-                "--scale" => parsed.scale = iter.next().and_then(|v| v.parse().ok()),
-                "--out" => {
-                    if let Some(v) = iter.next() {
-                        parsed.out_dir = PathBuf::from(v);
-                    }
+                "--seed" => parsed.seed = parsed_value(&mut iter, "--seed", "an integer")?,
+                "--part" => parsed.part = Some(value(&mut iter, "--part")?),
+                "--budget" => {
+                    parsed.budget =
+                        Some(parsed_value(&mut iter, "--budget", "a positive integer")?);
                 }
+                "--scale" => parsed.scale = Some(parsed_value(&mut iter, "--scale", "a number")?),
+                "--out" => parsed.out_dir = PathBuf::from(value(&mut iter, "--out")?),
                 "--full" => parsed.full = true,
                 other => eprintln!("warning: ignoring unknown flag '{other}'"),
             }
         }
-        parsed
+        Ok(parsed)
     }
 
     /// Returns `true` if the given panel should run (no `--part` = run all).
@@ -317,7 +341,8 @@ mod tests {
             ]
             .iter()
             .map(|s| s.to_string()),
-        );
+        )
+        .unwrap();
         assert_eq!(args.samples, Some(50));
         assert_eq!(args.seed, 9);
         assert!(args.runs_part("b"));
@@ -328,11 +353,24 @@ mod tests {
         assert!(args.full);
         assert_eq!(args.sample_count(10, 100), 50);
 
-        let defaults = Args::parse_from(std::iter::empty::<String>());
+        let defaults = Args::parse_from(std::iter::empty::<String>()).unwrap();
         assert!(defaults.runs_part("a"));
         assert_eq!(defaults.sample_count(10, 100), 10);
         let full = Args { full: true, ..Args::default() };
         assert_eq!(full.sample_count(10, 100), 100);
+    }
+
+    #[test]
+    fn malformed_flag_values_error_naming_the_input() {
+        let args = |list: &[&str]| Args::parse_from(list.iter().map(|s| s.to_string()));
+        let err = args(&["--samples", "10k"]).unwrap_err();
+        assert!(err.contains("--samples") && err.contains("10k"), "got: {err}");
+        let err = args(&["--seed"]).unwrap_err();
+        assert!(err.contains("missing value for --seed"), "got: {err}");
+        let err = args(&["--scale", "big"]).unwrap_err();
+        assert!(err.contains("'big'"), "got: {err}");
+        let err = args(&["--budget", "-3"]).unwrap_err();
+        assert!(err.contains("-3"), "got: {err}");
     }
 
     #[test]

@@ -1,16 +1,20 @@
 //! Machine-readable bench records for the CI bench-regression gate.
 //!
-//! The `bench_regression` binary measures solve wall-time and estimator
-//! throughput for the MC (live-edge worlds) and RIS engines, emits a
+//! The `bench_regression` binary measures solve wall-time, estimator
+//! throughput and the campaign-serving cache speedup, emits a
 //! `BENCH_<sha>.json` record, and — given a checked-in baseline — fails on a
-//! regression beyond the tolerance. The JSON is written and parsed by hand
-//! (the workspace is fully offline, no serde), so the format is deliberately
-//! flat: a schema tag, the commit sha, and one numeric metric per key.
+//! regression beyond the tolerance. The JSON layer is the workspace-shared
+//! [`tcim_service::minijson`] (the build is fully offline, no serde); the
+//! format is deliberately flat: a schema tag, the commit sha, and one
+//! numeric metric per key.
 //!
 //! Metric direction is encoded in the name: `*_ms` is lower-is-better,
-//! everything else (throughput `*_per_s`, quality) is higher-is-better.
+//! everything else (throughput `*_per_s`, speedups, quality) is
+//! higher-is-better.
 
 use std::fmt::Write as _;
+
+use tcim_service::minijson::Json;
 
 /// One bench run: the commit it measured and its named metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,62 +47,39 @@ impl BenchRecord {
         self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
-    /// Renders the record as JSON.
+    /// Renders the record as pretty-printed JSON (one metric per line, so
+    /// the checked-in baseline diffs cleanly). Values are rounded to three
+    /// decimals and written through the shared [`Json`] number writer.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
-        let _ = writeln!(out, "  \"sha\": \"{}\",", self.sha);
+        let _ = writeln!(out, "  \"sha\": {},", Json::from(self.sha.as_str()));
         let _ = writeln!(out, "  \"metrics\": {{");
         for (i, (name, value)) in self.metrics.iter().enumerate() {
             let comma = if i + 1 == self.metrics.len() { "" } else { "," };
-            let _ = writeln!(out, "    \"{name}\": {value:.3}{comma}");
+            let rounded = Json::Num((value * 1000.0).round() / 1000.0);
+            let _ = writeln!(out, "    {}: {rounded}{comma}", Json::from(name.as_str()));
         }
         out.push_str("  }\n}\n");
         out
     }
 
-    /// Parses a record produced by [`BenchRecord::to_json`] (tolerant of
-    /// whitespace and key order; not a general JSON parser).
+    /// Parses a record produced by [`BenchRecord::to_json`] via the shared
+    /// [`Json`] parser (whitespace- and key-order-agnostic).
     ///
     /// # Errors
     ///
-    /// Returns a description when a metric value is not a number or no
-    /// metrics are present.
+    /// Returns a description when the text is not valid JSON, a metric value
+    /// is not a number, or no metrics are present.
     pub fn parse_json(text: &str) -> Result<Self, String> {
-        let mut sha = String::new();
+        let value = Json::parse(text)?;
+        let sha = value.get("sha").and_then(Json::as_str).unwrap_or_default().to_string();
         let mut metrics = Vec::new();
-        let mut rest = text;
-        while let Some(start) = rest.find('"') {
-            let after_key = &rest[start + 1..];
-            let Some(end) = after_key.find('"') else { break };
-            let key = after_key[..end].to_string();
-            let tail = after_key[end + 1..].trim_start();
-            let Some(tail) = tail.strip_prefix(':') else {
-                rest = &after_key[end + 1..];
-                continue;
-            };
-            let tail = tail.trim_start();
-            if let Some(string_value) = tail.strip_prefix('"') {
-                let Some(value_end) = string_value.find('"') else { break };
-                if key == "sha" {
-                    sha = string_value[..value_end].to_string();
-                }
-                rest = &string_value[value_end + 1..];
-            } else if let Some(object) = tail.strip_prefix('{') {
-                // Descend into the "metrics" object; its keys are plain
-                // numeric entries handled by the branch below.
-                rest = object;
-            } else {
-                let value_end = tail
-                    .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
-                    .unwrap_or(tail.len());
-                let raw = &tail[..value_end];
-                if key != "schema" {
-                    let value: f64 =
-                        raw.parse().map_err(|_| format!("bad number for {key}: '{raw}'"))?;
-                    metrics.push((key, value));
-                }
-                rest = &tail[value_end..];
+        if let Some(members) = value.get("metrics").and_then(Json::as_obj) {
+            for (name, metric) in members {
+                let number =
+                    metric.as_f64().ok_or_else(|| format!("bad number for {name}: '{metric}'"))?;
+                metrics.push((name.clone(), number));
             }
         }
         if metrics.is_empty() {

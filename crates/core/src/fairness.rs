@@ -13,13 +13,30 @@
 use tcim_diffusion::{GroupInfluence, InfluenceOracle};
 use tcim_graph::{GroupId, NodeId};
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 
 /// Maximum pairwise disparity in normalized group utilities (Eq. 2).
 ///
 /// Groups with zero members are ignored (they carry no utility and would
 /// otherwise force the disparity to the maximum trivially).
-pub fn disparity(influence: &GroupInfluence, group_sizes: &[usize]) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when `influence` and `group_sizes`
+/// disagree on the number of groups (a silent `zip` would truncate to the
+/// shorter side and report a too-small disparity), or when a non-empty
+/// group's utility is NaN (a NaN disparity would pass every `<= cap` check
+/// as false and report an unfair solution as fair).
+pub fn disparity(influence: &GroupInfluence, group_sizes: &[usize]) -> Result<f64> {
+    if influence.values().len() != group_sizes.len() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "influence vector has {} groups but {} group sizes were supplied",
+                influence.values().len(),
+                group_sizes.len()
+            ),
+        });
+    }
     let normalized: Vec<f64> = influence
         .values()
         .iter()
@@ -32,13 +49,24 @@ pub fn disparity(influence: &GroupInfluence, group_sizes: &[usize]) -> f64 {
 
 /// Maximum pairwise absolute difference of a slice (0 for fewer than two
 /// entries).
-pub fn max_pairwise_gap(values: &[f64]) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when any entry is NaN: NaN compares
+/// false against every cap, so propagating it would let an unmeasurable
+/// utility masquerade as a feasible (zero-ish) disparity.
+pub fn max_pairwise_gap(values: &[f64]) -> Result<f64> {
+    if let Some(position) = values.iter().position(|v| v.is_nan()) {
+        return Err(CoreError::InvalidConfig {
+            message: format!("group utility at index {position} is NaN"),
+        });
+    }
     if values.len() < 2 {
-        return 0.0;
+        return Ok(0.0);
     }
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    max - min
+    Ok(max - min)
 }
 
 /// Audits a seed set under any influence oracle: evaluates the per-group
@@ -54,7 +82,7 @@ pub fn max_pairwise_gap(values: &[f64]) -> f64 {
 /// Returns an error if a seed is out of bounds for the oracle's graph.
 pub fn audit_seed_set(oracle: &dyn InfluenceOracle, seeds: &[NodeId]) -> Result<FairnessReport> {
     let influence = oracle.evaluate(seeds)?;
-    Ok(FairnessReport::new(&influence, &oracle.graph().group_sizes()))
+    FairnessReport::new(&influence, &oracle.graph().group_sizes())
 }
 
 /// A per-group fairness summary for one solution, convenient for experiment
@@ -77,19 +105,26 @@ pub struct FairnessReport {
 
 impl FairnessReport {
     /// Builds a report from an influence vector and group sizes.
-    pub fn new(influence: &GroupInfluence, group_sizes: &[usize]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] under the same conditions as
+    /// [`disparity`]: mismatched group counts or a NaN utility in a
+    /// non-empty group.
+    pub fn new(influence: &GroupInfluence, group_sizes: &[usize]) -> Result<Self> {
+        let disparity = disparity(influence, group_sizes)?;
         let raw_utilities = influence.values().to_vec();
         let normalized_utilities = influence.normalized(group_sizes);
         let total = influence.total();
         let population: usize = group_sizes.iter().sum();
-        FairnessReport {
-            disparity: disparity(influence, group_sizes),
+        Ok(FairnessReport {
+            disparity,
             normalized_utilities,
             raw_utilities,
             group_sizes: group_sizes.to_vec(),
             total,
             total_fraction: if population == 0 { 0.0 } else { total / population as f64 },
-        }
+        })
     }
 
     /// Normalized utility of one group (0 for unknown groups).
@@ -138,30 +173,57 @@ mod tests {
     fn disparity_is_the_max_normalized_gap() {
         let influence = GroupInfluence::from_values(vec![30.0, 2.0]);
         // Normalized: 30/100 = 0.3 vs 2/50 = 0.04 -> disparity 0.26.
-        let d = disparity(&influence, &[100, 50]);
+        let d = disparity(&influence, &[100, 50]).unwrap();
         assert!((d - 0.26).abs() < 1e-12);
     }
 
     #[test]
     fn disparity_is_zero_for_single_or_empty_groups() {
         let influence = GroupInfluence::from_values(vec![10.0]);
-        assert_eq!(disparity(&influence, &[100]), 0.0);
+        assert_eq!(disparity(&influence, &[100]).unwrap(), 0.0);
         let influence = GroupInfluence::from_values(vec![10.0, 0.0]);
-        assert_eq!(disparity(&influence, &[100, 0]), 0.0);
-        assert_eq!(max_pairwise_gap(&[]), 0.0);
+        assert_eq!(disparity(&influence, &[100, 0]).unwrap(), 0.0);
+        assert_eq!(max_pairwise_gap(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_group_counts_are_rejected() {
+        // Regression: `zip` used to truncate to the shorter side, so a
+        // 3-group influence vector audited against 2 sizes reported the
+        // 2-group disparity instead of erroring.
+        let influence = GroupInfluence::from_values(vec![30.0, 2.0, 50.0]);
+        let err = disparity(&influence, &[100, 50]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }), "got {err}");
+        assert!(err.to_string().contains("3 groups"), "got {err}");
+        assert!(FairnessReport::new(&influence, &[100, 50]).is_err());
+        let err = disparity(&influence, &[100, 50, 10, 10]).unwrap_err();
+        assert!(err.to_string().contains("4 group sizes"), "got {err}");
+    }
+
+    #[test]
+    fn nan_utilities_are_rejected() {
+        // Regression: a NaN utility used to propagate into a NaN disparity,
+        // which compares false against every cap and so looked "feasible".
+        assert!(max_pairwise_gap(&[0.1, f64::NAN]).is_err());
+        let influence = GroupInfluence::from_values(vec![30.0, f64::NAN]);
+        assert!(disparity(&influence, &[100, 50]).is_err());
+        assert!(FairnessReport::new(&influence, &[100, 50]).is_err());
+        // ... but a NaN confined to an *empty* group is ignorable: the group
+        // carries no utility and is excluded from the measure.
+        assert_eq!(disparity(&influence, &[100, 0]).unwrap(), 0.0);
     }
 
     #[test]
     fn disparity_is_group_size_agnostic() {
         // Same per-capita utility in very different group sizes -> 0 disparity.
         let influence = GroupInfluence::from_values(vec![50.0, 5.0]);
-        assert!(disparity(&influence, &[500, 50]).abs() < 1e-12);
+        assert!(disparity(&influence, &[500, 50]).unwrap().abs() < 1e-12);
     }
 
     #[test]
     fn report_summarizes_everything() {
         let influence = GroupInfluence::from_values(vec![30.0, 2.0, 0.0]);
-        let report = FairnessReport::new(&influence, &[100, 50, 0]);
+        let report = FairnessReport::new(&influence, &[100, 50, 0]).unwrap();
         assert_eq!(report.raw_utilities, vec![30.0, 2.0, 0.0]);
         assert!((report.group_fraction(GroupId(0)) - 0.3).abs() < 1e-12);
         assert!((report.total - 32.0).abs() < 1e-12);
@@ -175,7 +237,7 @@ mod tests {
     #[test]
     fn report_handles_empty_population() {
         let influence = GroupInfluence::from_values(vec![]);
-        let report = FairnessReport::new(&influence, &[]);
+        let report = FairnessReport::new(&influence, &[]).unwrap();
         assert_eq!(report.total_fraction, 0.0);
         assert_eq!(report.worst_off_group(), None);
         assert_eq!(report.most_disparate_pair(), None);

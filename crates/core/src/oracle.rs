@@ -13,11 +13,11 @@ use std::sync::Arc;
 
 use tcim_diffusion::{
     Deadline, GroupInfluence, InfluenceCursor, InfluenceOracle, MonteCarloEstimator, RisConfig,
-    RisEstimator, WorldEstimator, WorldsConfig,
+    RisEstimator, WorldCollection, WorldEstimator, WorldsConfig,
 };
 use tcim_graph::{Graph, NodeId};
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 
 /// Which estimator backs the influence oracle, with its knobs.
 ///
@@ -64,6 +64,55 @@ impl EstimatorConfig {
                 Estimator::Ris(RisEstimator::new(graph, deadline, config)?)
             }
         })
+    }
+
+    /// Builds a worlds-backed estimator from an already-sampled live-edge
+    /// collection instead of re-sampling — the serving path: one cached
+    /// [`WorldCollection`] (which is deadline-independent) can back oracles
+    /// for any number of deadlines. The result is bitwise-identical to
+    /// [`EstimatorConfig::build`] with the same config, because the
+    /// collection itself is a deterministic function of `(graph, num_worlds,
+    /// seed)` regardless of who sampled it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `self` is not a
+    /// [`EstimatorConfig::Worlds`] config, or when `worlds` does not match
+    /// the config's world count or the graph's node count (a mismatched
+    /// collection would silently estimate on the wrong sample).
+    pub fn build_with_worlds(
+        &self,
+        graph: Arc<Graph>,
+        worlds: Arc<WorldCollection>,
+        deadline: Deadline,
+    ) -> Result<Estimator> {
+        let EstimatorConfig::Worlds(config) = self else {
+            return Err(CoreError::InvalidConfig {
+                message: "build_with_worlds requires a Worlds estimator config".to_string(),
+            });
+        };
+        if worlds.len() != config.num_worlds {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "cached collection has {} worlds but the config asks for {}",
+                    worlds.len(),
+                    config.num_worlds
+                ),
+            });
+        }
+        if worlds.num_nodes() != graph.num_nodes() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "cached collection covers {} nodes but the graph has {}",
+                    worlds.num_nodes(),
+                    graph.num_nodes()
+                ),
+            });
+        }
+        Ok(Estimator::Worlds(
+            WorldEstimator::from_worlds(graph, worlds, deadline)
+                .with_parallelism(config.parallelism),
+        ))
     }
 }
 
@@ -177,6 +226,40 @@ mod tests {
             .build(graph, deadline)
             .unwrap();
         assert_eq!(ris.label(), "ris");
+    }
+
+    #[test]
+    fn build_with_worlds_reuses_the_collection_bitwise() {
+        let graph = sbm();
+        let config =
+            EstimatorConfig::Worlds(WorldsConfig { num_worlds: 24, seed: 9, ..Default::default() });
+        let cold = config.build(Arc::clone(&graph), Deadline::finite(3)).unwrap();
+        let Estimator::Worlds(world_est) = &cold else { panic!("worlds config") };
+        let shared = world_est.worlds_arc();
+
+        // The same collection serves a *different* deadline without
+        // re-sampling, and the answers match a cold build bitwise.
+        for deadline in [Deadline::finite(3), Deadline::finite(1)] {
+            let cached = config
+                .build_with_worlds(Arc::clone(&graph), Arc::clone(&shared), deadline)
+                .unwrap();
+            let fresh = config.build(Arc::clone(&graph), deadline).unwrap();
+            let a = cached.evaluate(&[NodeId(0), NodeId(60)]).unwrap();
+            let b = fresh.evaluate(&[NodeId(0), NodeId(60)]).unwrap();
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cached vs cold at {deadline}");
+            }
+        }
+
+        // Mismatches are rejected instead of silently estimating wrong.
+        let wrong_count =
+            EstimatorConfig::Worlds(WorldsConfig { num_worlds: 25, seed: 9, ..Default::default() });
+        assert!(wrong_count
+            .build_with_worlds(Arc::clone(&graph), Arc::clone(&shared), Deadline::finite(3))
+            .is_err());
+        assert!(EstimatorConfig::MonteCarlo { samples: 4, seed: 0 }
+            .build_with_worlds(graph, shared, Deadline::finite(3))
+            .is_err());
     }
 
     #[test]

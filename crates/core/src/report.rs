@@ -38,8 +38,16 @@ pub struct SolverReport {
 
 impl SolverReport {
     /// Fairness summary of the final seed set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report was hand-assembled with an `influence` vector
+    /// whose group count differs from `group_sizes`, or with NaN utilities.
+    /// Solver-produced reports always derive both from the same oracle, so
+    /// the invariant holds by construction.
     pub fn fairness(&self) -> FairnessReport {
         FairnessReport::new(&self.influence, &self.group_sizes)
+            .expect("solver reports pair influence and group sizes from the same oracle")
     }
 
     /// Normalized total influence `f_τ(S; V) / |V|`.
@@ -59,8 +67,15 @@ impl SolverReport {
 
     /// Fairness summary after `i + 1` seeds (for iteration plots like
     /// Fig. 6a / 8a). Returns `None` past the end.
+    ///
+    /// # Panics
+    ///
+    /// Same invariant as [`SolverReport::fairness`].
     pub fn fairness_at(&self, i: usize) -> Option<FairnessReport> {
-        self.iterations.get(i).map(|rec| FairnessReport::new(&rec.influence, &self.group_sizes))
+        self.iterations.get(i).map(|rec| {
+            FairnessReport::new(&rec.influence, &self.group_sizes)
+                .expect("solver reports pair influence and group sizes from the same oracle")
+        })
     }
 }
 

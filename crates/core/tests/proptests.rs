@@ -51,7 +51,7 @@ proptest! {
             .zip(&fractions[..k])
             .map(|(&s, &f)| s as f64 * f)
             .collect();
-        let d = disparity(&GroupInfluence::from_values(influence), sizes);
+        let d = disparity(&GroupInfluence::from_values(influence), sizes).unwrap();
         prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
     }
 

@@ -216,6 +216,13 @@ impl WorldEstimator {
         &self.worlds
     }
 
+    /// A shared handle to the world collection, for caches that reuse one
+    /// sampled collection across many deadlines and queries (cloning the
+    /// handle shares, never copies; see [`WorldEstimator::from_worlds`]).
+    pub fn worlds_arc(&self) -> Arc<WorldCollection> {
+        Arc::clone(&self.worlds)
+    }
+
     /// The shared graph handle.
     pub fn graph_arc(&self) -> Arc<Graph> {
         Arc::clone(&self.graph)

@@ -64,6 +64,6 @@ pub use estimator::{
 pub use ic::{simulate_ic, simulate_ic_seeded};
 pub use lt::{simulate_lt, simulate_lt_seeded, LtWeights};
 pub use parallel::ParallelismConfig;
-pub use ris::{AdaptiveRis, RisConfig, RisCursor, RisEstimator, RrSet};
+pub use ris::{AdaptiveRis, RisConfig, RisCursor, RisEstimator, RrSet, RrSketches};
 pub use trace::{ActivationTrace, NOT_ACTIVATED};
 pub use worlds::{LiveEdgeWorld, VisitScratch, WorldCollection, WorldsConfig};

@@ -29,13 +29,32 @@ impl LtWeights {
     /// Edge weight `w(u, v) = p(u, v) / Σ_u' p(u', v)` when the weighted
     /// in-degree exceeds 1, otherwise the raw probability is kept, so the
     /// total incoming weight never exceeds 1.
+    ///
+    /// Self-loops are dropped: in the LT model a node cannot contribute to
+    /// its own threshold, so a loop would only dilute the weights of real
+    /// in-neighbours (and make a live-edge sampler waste the node's single
+    /// incoming pick on itself). Duplicate parallel edges — possible for
+    /// graphs assembled via [`Graph::from_csr`], which does not dedup —
+    /// collapse to the highest-probability copy, matching what
+    /// `GraphBuilder::build` does for builder-made graphs.
     pub fn from_graph(graph: &Graph) -> Self {
         let n = graph.num_nodes();
         let mut in_edges: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
         for (s, t, p) in graph.edges() {
+            if s == t {
+                continue;
+            }
             in_edges[t.index()].push((s, p));
         }
         for edges in in_edges.iter_mut() {
+            // Coalesce parallel duplicates: keep the max-probability copy per
+            // source. CSR iteration already delivers sources in ascending
+            // order, but sort anyway so hand-built CSR inputs cannot break
+            // the adjacency invariant dedup relies on.
+            edges.sort_by(|a, b| {
+                a.0.cmp(&b.0).then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            edges.dedup_by_key(|(s, _)| *s);
             let total: f64 = edges.iter().map(|(_, w)| *w).sum();
             if total > 1.0 {
                 for (_, w) in edges.iter_mut() {
@@ -188,6 +207,47 @@ mod tests {
         let w = LtWeights::from_graph(&g);
         let trace = simulate_lt_seeded(&g, &w, &[NodeId(0)], 4).unwrap();
         assert_eq!(trace.num_activated_by(Deadline::unbounded()), 1);
+    }
+
+    #[test]
+    fn self_loops_are_dropped_at_construction() {
+        // 0 -> 1 plus a self-loop 1 -> 1. Before the fix the loop counted
+        // towards node 1's weighted in-degree, diluting the real edge from
+        // 0.6 to 0.6/1.6 — and a live-edge sampler could waste node 1's
+        // single incoming pick on itself.
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes(2, GroupId(0));
+        b.add_edge(nodes[0], nodes[1], 0.6).unwrap();
+        b.add_undirected_edge(nodes[1], nodes[1], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let w = LtWeights::from_graph(&g);
+        assert_eq!(w.in_edges(NodeId(1)), &[(NodeId(0), 0.6)]);
+    }
+
+    #[test]
+    fn duplicate_parallel_edges_collapse_to_the_strongest_copy() {
+        // A multigraph assembled directly in CSR form (GraphBuilder dedups,
+        // Graph::from_csr does not): node 0 has two parallel edges to node 2
+        // (0.3 and 0.5) plus a self-loop, node 1 one edge (0.4).
+        let g = Graph::from_csr(
+            vec![0, 3, 4, 4],
+            vec![2, 2, 0, 2],
+            vec![0.3, 0.5, 0.9, 0.4],
+            vec![GroupId(0); 3],
+        )
+        .unwrap();
+        let w = LtWeights::from_graph(&g);
+        // The duplicate collapses to the 0.5 copy and the self-loop 0 -> 0
+        // vanishes; 0.5 + 0.4 <= 1 so no normalisation kicks in.
+        assert_eq!(w.in_edges(NodeId(2)), &[(NodeId(0), 0.5), (NodeId(1), 0.4)]);
+        assert!(w.in_edges(NodeId(0)).is_empty());
+        // A node with a surviving weighted in-degree over 1 still normalises.
+        let heavy =
+            Graph::from_csr(vec![0, 1, 2, 2], vec![2, 2], vec![0.8, 0.8], vec![GroupId(0); 3])
+                .unwrap();
+        let hw = LtWeights::from_graph(&heavy);
+        let total: f64 = hw.in_edges(NodeId(2)).iter().map(|(_, x)| *x).sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]

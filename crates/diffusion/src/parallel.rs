@@ -52,7 +52,12 @@ impl ParallelismConfig {
     }
 
     /// Runs `op` under a thread pool sized by this configuration.
-    pub(crate) fn run<R>(&self, op: impl FnOnce() -> R) -> R {
+    ///
+    /// Public so higher layers (the campaign-serving batch engine, custom
+    /// experiment harnesses) can fan work out under the same knob the
+    /// estimators use. Rayon parallel iterators inside `op` pick up the pool
+    /// automatically.
+    pub fn run<R>(&self, op: impl FnOnce() -> R) -> R {
         let pool: ThreadPool = ThreadPoolBuilder::new()
             .num_threads(self.resolved_threads())
             .build()

@@ -364,12 +364,84 @@ fn sample_one_sketch(
     RrSet::new(graph.group_of(target), nodes)
 }
 
+/// The sketch pool of a [`RisEstimator`]: the sampled RR sets, their
+/// per-group target counts and the node→sketch inverted index.
+///
+/// Estimators hold the pool behind an [`Arc`], so cloning an estimator (or
+/// handing the pool to a long-lived cache that serves many queries) shares
+/// the sketches instead of copying them. The pool is a deterministic function
+/// of `(graph, deadline, seed, count)` — sketch `i` always derives from
+/// `seed + i` — so shared and freshly sampled pools are interchangeable.
+#[derive(Debug, Clone)]
+pub struct RrSketches {
+    /// All sampled sketches; sketch `i` derives from the base seed plus `i`.
+    sets: Vec<RrSet>,
+    /// Number of RR sets whose target lies in each group.
+    sets_per_group: Vec<usize>,
+    /// Inverted index: for every node, the ids of the RR sets containing it.
+    node_to_sets: Vec<Vec<u32>>,
+}
+
+impl RrSketches {
+    fn new(num_nodes: usize, num_groups: usize) -> Self {
+        RrSketches {
+            sets: Vec::new(),
+            sets_per_group: vec![0; num_groups],
+            node_to_sets: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Appends freshly sampled sketches, indexing them as ids
+    /// `len()..len() + fresh.len()`.
+    fn extend(&mut self, fresh: Vec<RrSet>) {
+        let current = self.sets.len();
+        for (offset, set) in fresh.iter().enumerate() {
+            let id = (current + offset) as u32;
+            self.sets_per_group[set.target_group.index()] += 1;
+            for &node in set.nodes() {
+                self.node_to_sets[node.index()].push(id);
+            }
+        }
+        self.sets.extend(fresh);
+    }
+
+    /// Number of sketches in the pool.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the pool holds no sketches.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The raw RR sets.
+    pub fn sets(&self) -> &[RrSet] {
+        &self.sets
+    }
+
+    /// Number of RR sets whose target lies in each group.
+    pub fn sets_per_group(&self) -> &[usize] {
+        &self.sets_per_group
+    }
+
+    /// Ids of the sketches containing `node` (empty for out-of-range nodes).
+    pub fn sets_containing(&self, node: NodeId) -> &[u32] {
+        self.node_to_sets.get(node.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// Influence oracle backed by reverse-reachable sketches.
 ///
 /// Construction samples the sketches (in parallel, deterministically — see
 /// [`RisConfig`]); [`RisEstimator::cursor`] returns the incremental
 /// [`RisCursor`] the greedy/CELF solvers drive, so RIS is a drop-in
 /// solver-facing alternative to the live-edge [`WorldEstimator`].
+///
+/// The sketch pool and the reverse adjacency live behind [`Arc`]s, so
+/// cloning the estimator is cheap and clones share the sampled state
+/// (mutating one via [`RisEstimator::extend_to`] copies-on-write instead of
+/// disturbing the others).
 ///
 /// [`WorldEstimator`]: crate::WorldEstimator
 #[derive(Debug, Clone)]
@@ -378,13 +450,9 @@ pub struct RisEstimator {
     deadline: Deadline,
     base_seed: u64,
     parallelism: ParallelismConfig,
-    in_edges: InEdges,
-    /// All sampled sketches; sketch `i` derives from `base_seed + i`.
-    sets: Vec<RrSet>,
-    /// Number of RR sets whose target lies in each group.
-    sets_per_group: Vec<usize>,
-    /// Inverted index: for every node, the ids of the RR sets containing it.
-    node_to_sets: Vec<Vec<u32>>,
+    in_edges: Arc<InEdges>,
+    /// Shared sketch pool; see [`RrSketches`].
+    sketches: Arc<RrSketches>,
     /// Cached group sizes of the graph.
     group_sizes: Vec<usize>,
 }
@@ -415,18 +483,16 @@ impl RisEstimator {
             adaptive.validate()?;
         }
 
-        let in_edges = InEdges::build(&graph);
+        let in_edges = Arc::new(InEdges::build(&graph));
         let n = graph.num_nodes();
         let mut estimator = RisEstimator {
-            sets_per_group: vec![0; graph.num_groups()],
-            node_to_sets: vec![Vec::new(); n],
+            sketches: Arc::new(RrSketches::new(n, graph.num_groups())),
             group_sizes: graph.group_sizes(),
             graph,
             deadline,
             base_seed: config.seed,
             parallelism: config.parallelism,
             in_edges,
-            sets: Vec::new(),
         };
         match config.adaptive {
             None => estimator.extend_to(config.num_sets),
@@ -441,7 +507,7 @@ impl RisEstimator {
     /// the result is identical to sampling `target` sketches up front.
     pub fn extend_to(&mut self, target: usize) {
         let target = target.min(MAX_SKETCHES);
-        let current = self.sets.len();
+        let current = self.sketches.len();
         if target <= current {
             return;
         }
@@ -453,14 +519,10 @@ impl RisEstimator {
             current..target,
             self.parallelism,
         );
-        for (offset, set) in fresh.iter().enumerate() {
-            let id = (current + offset) as u32;
-            self.sets_per_group[set.target_group.index()] += 1;
-            for &node in set.nodes() {
-                self.node_to_sets[node.index()].push(id);
-            }
-        }
-        self.sets.extend(fresh);
+        // Copy-on-write: clones sharing the pool keep their view while this
+        // estimator grows its own (construction-time extension never copies,
+        // the pool is unshared until the estimator is handed out).
+        Arc::make_mut(&mut self.sketches).extend(fresh);
     }
 
     /// The IMM sampling phase: double the sketch count until the greedy
@@ -492,12 +554,12 @@ impl RisEstimator {
             let theta = ((lambda_prime / x).ceil() as usize).max(min_sets).min(cap);
             self.extend_to(theta);
             let covered = self.greedy_cover_count(k);
-            let fraction = covered as f64 / self.sets.len() as f64;
+            let fraction = covered as f64 / self.sketches.len() as f64;
             if n * fraction >= (1.0 + eps_prime) * x {
                 lower_bound = n * fraction / (1.0 + eps_prime);
                 break;
             }
-            if self.sets.len() >= cap {
+            if self.sketches.len() >= cap {
                 return;
             }
         }
@@ -516,8 +578,9 @@ impl RisEstimator {
     /// towards the smallest id) and returns how many sketches they cover.
     /// Used by the adaptive stopping rule; deterministic.
     fn greedy_cover_count(&self, k: usize) -> usize {
-        let mut gain: Vec<u64> = self.node_to_sets.iter().map(|s| s.len() as u64).collect();
-        let mut covered = BitSet::new(self.sets.len());
+        let mut gain: Vec<u64> =
+            self.sketches.node_to_sets.iter().map(|s| s.len() as u64).collect();
+        let mut covered = BitSet::new(self.sketches.len());
         let mut total = 0usize;
         for _ in 0..k {
             let mut best = usize::MAX;
@@ -531,10 +594,10 @@ impl RisEstimator {
             if best_gain == 0 {
                 break;
             }
-            for &set_id in &self.node_to_sets[best] {
+            for &set_id in &self.sketches.node_to_sets[best] {
                 if covered.insert(set_id as usize) {
                     total += 1;
-                    for &node in self.sets[set_id as usize].nodes() {
+                    for &node in self.sketches.sets[set_id as usize].nodes() {
                         gain[node.index()] -= 1;
                     }
                 }
@@ -549,7 +612,7 @@ impl RisEstimator {
     fn influence_from_hits(&self, hits: &[u64]) -> GroupInfluence {
         let values = hits
             .iter()
-            .zip(&self.sets_per_group)
+            .zip(&self.sketches.sets_per_group)
             .zip(&self.group_sizes)
             .map(
                 |((&h, &count), &size)| {
@@ -566,17 +629,28 @@ impl RisEstimator {
 
     /// Number of sampled RR sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.sketches.len()
     }
 
     /// The raw RR sets.
     pub fn sets(&self) -> &[RrSet] {
-        &self.sets
+        self.sketches.sets()
     }
 
     /// Number of RR sets whose target lies in each group.
     pub fn sets_per_group(&self) -> &[usize] {
-        &self.sets_per_group
+        self.sketches.sets_per_group()
+    }
+
+    /// A shared handle to the sketch pool, for caches that keep sketch state
+    /// alive across many queries (cloning the handle shares, never copies).
+    pub fn sketches_arc(&self) -> Arc<RrSketches> {
+        Arc::clone(&self.sketches)
+    }
+
+    /// The shared graph handle.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The parallelism setting sketch generation runs with.
@@ -586,7 +660,7 @@ impl RisEstimator {
 
     /// Nodes ranked by RR-set coverage (a fast stand-alone seed heuristic).
     pub fn coverage_ranking(&self) -> Vec<NodeId> {
-        let scores: Vec<f64> = self.node_to_sets.iter().map(|s| s.len() as f64).collect();
+        let scores: Vec<f64> = self.sketches.node_to_sets.iter().map(|s| s.len() as f64).collect();
         tcim_graph::centrality::rank_by_score(&scores)
     }
 }
@@ -603,12 +677,12 @@ impl InfluenceOracle for RisEstimator {
     fn evaluate(&self, seeds: &[NodeId]) -> Result<GroupInfluence> {
         crate::ic::validate_seeds(&self.graph, seeds)?;
         // Mark which RR sets are hit by any seed.
-        let mut hit = BitSet::new(self.sets.len());
+        let mut hit = BitSet::new(self.sketches.len());
         let mut hits_per_group = vec![0u64; self.graph.num_groups()];
         for &s in seeds {
-            for &set_id in &self.node_to_sets[s.index()] {
+            for &set_id in self.sketches.sets_containing(s) {
                 if hit.insert(set_id as usize) {
-                    hits_per_group[self.sets[set_id as usize].target_group.index()] += 1;
+                    hits_per_group[self.sketches.sets[set_id as usize].target_group.index()] += 1;
                 }
             }
         }
@@ -642,7 +716,7 @@ impl<'a> RisCursor<'a> {
     fn new(estimator: &'a RisEstimator) -> Self {
         let k = estimator.graph.num_groups();
         RisCursor {
-            covered: BitSet::new(estimator.sets.len()),
+            covered: BitSet::new(estimator.sketches.len()),
             hits_per_group: vec![0; k],
             current: GroupInfluence::zeros(k),
             seeds: Vec::new(),
@@ -665,10 +739,11 @@ impl InfluenceCursor for RisCursor<'_> {
             // Out-of-bounds candidates gain nothing (mirrors NaiveCursor).
             return GroupInfluence::zeros(self.hits_per_group.len());
         }
+        let sketches = &self.estimator.sketches;
         let mut marginal = vec![0u64; self.hits_per_group.len()];
-        for &set_id in &self.estimator.node_to_sets[candidate.index()] {
+        for &set_id in sketches.sets_containing(candidate) {
             if !self.covered.contains(set_id as usize) {
-                marginal[self.estimator.sets[set_id as usize].target_group.index()] += 1;
+                marginal[sketches.sets[set_id as usize].target_group.index()] += 1;
             }
         }
         self.estimator.influence_from_hits(&marginal)
@@ -676,10 +751,10 @@ impl InfluenceCursor for RisCursor<'_> {
 
     fn add_seed(&mut self, candidate: NodeId) {
         if candidate.index() < self.estimator.graph.num_nodes() {
-            for &set_id in &self.estimator.node_to_sets[candidate.index()] {
+            let sketches = &self.estimator.sketches;
+            for &set_id in sketches.sets_containing(candidate) {
                 if self.covered.insert(set_id as usize) {
-                    self.hits_per_group
-                        [self.estimator.sets[set_id as usize].target_group.index()] += 1;
+                    self.hits_per_group[sketches.sets[set_id as usize].target_group.index()] += 1;
                 }
             }
             self.current = self.estimator.influence_from_hits(&self.hits_per_group);

@@ -1,0 +1,226 @@
+//! Deadline edge cases: `τ = 0` (seeds only) and `τ = 1` (one hop) are where
+//! off-by-one bugs in the bounded BFS / trace cutoffs live. Every estimator
+//! must agree bitwise between its `evaluate` path and its solver-driving
+//! cursor, and between 1 and 8 threads, at both deadlines.
+
+use std::sync::Arc;
+
+use tcim_diffusion::{
+    Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator, ParallelismConfig, RisConfig,
+    RisEstimator, WorldEstimator, WorldsConfig,
+};
+use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+use tcim_graph::{Graph, NodeId};
+
+fn sbm() -> Arc<Graph> {
+    let config = SbmConfig::two_group(200, 0.7, 0.05, 0.01, 0.3, 17);
+    Arc::new(stochastic_block_model(&config).unwrap())
+}
+
+/// Seeds drawn from both groups.
+fn seeds() -> Vec<NodeId> {
+    vec![NodeId(0), NodeId(3), NodeId(150), NodeId(199)]
+}
+
+fn assert_bitwise_equal(a: &GroupInfluence, b: &GroupInfluence, context: &str) {
+    assert_eq!(a.values().len(), b.values().len(), "{context}: group count differs");
+    for (i, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: group {i} differs ({x} vs {y})");
+    }
+}
+
+/// Drives a cursor over `seeds` and checks, after every commit, that its
+/// incremental state matches a fresh `evaluate` of the same prefix bitwise.
+fn assert_cursor_matches_evaluate(oracle: &dyn InfluenceOracle, seeds: &[NodeId], context: &str) {
+    let mut cursor = oracle.cursor();
+    for (i, &seed) in seeds.iter().enumerate() {
+        cursor.add_seed(seed);
+        let direct = oracle.evaluate(&seeds[..=i]).unwrap();
+        assert_bitwise_equal(cursor.current(), &direct, &format!("{context}, prefix {}", i + 1));
+    }
+}
+
+/// Exact per-group seed counts — what `τ = 0` must reduce to for the exact
+/// (worlds / Monte-Carlo) estimators.
+fn seed_counts(graph: &Graph, seeds: &[NodeId]) -> GroupInfluence {
+    let mut counts = vec![0.0; graph.num_groups()];
+    let mut seen = seeds.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    for &s in &seen {
+        counts[graph.group_of(s).index()] += 1.0;
+    }
+    GroupInfluence::from_values(counts)
+}
+
+#[test]
+fn worlds_estimator_handles_deadline_zero_and_one() {
+    let graph = sbm();
+    let seeds = seeds();
+    for tau in [0u32, 1] {
+        let deadline = Deadline::finite(tau);
+        let serial = WorldEstimator::new(
+            Arc::clone(&graph),
+            deadline,
+            &WorldsConfig { num_worlds: 48, seed: 5, parallelism: ParallelismConfig::serial() },
+        )
+        .unwrap();
+        let reference = serial.evaluate(&seeds).unwrap();
+        if tau == 0 {
+            // Seeds-only: the live-edge BFS must not take a single hop.
+            assert_bitwise_equal(&reference, &seed_counts(&graph, &seeds), "worlds τ=0");
+        } else {
+            assert!(reference.total() > seed_counts(&graph, &seeds).total(), "τ=1 adds neighbours");
+        }
+        for threads in [1usize, 8] {
+            let parallel = serial.with_parallelism(ParallelismConfig::fixed(threads));
+            assert_bitwise_equal(
+                &reference,
+                &parallel.evaluate(&seeds).unwrap(),
+                &format!("worlds τ={tau}, {threads} threads"),
+            );
+            assert_cursor_matches_evaluate(
+                &parallel,
+                &seeds,
+                &format!("worlds cursor τ={tau}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_estimator_handles_deadline_zero_and_one() {
+    let graph = sbm();
+    let seeds = seeds();
+    for tau in [0u32, 1] {
+        let deadline = Deadline::finite(tau);
+        let serial = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 64, 9)
+            .unwrap()
+            .with_parallelism(ParallelismConfig::serial());
+        let reference = serial.evaluate(&seeds).unwrap();
+        if tau == 0 {
+            assert_bitwise_equal(&reference, &seed_counts(&graph, &seeds), "monte-carlo τ=0");
+        }
+        for threads in [1usize, 8] {
+            let parallel = serial.with_parallelism(ParallelismConfig::fixed(threads));
+            assert_bitwise_equal(
+                &reference,
+                &parallel.evaluate(&seeds).unwrap(),
+                &format!("monte-carlo τ={tau}, {threads} threads"),
+            );
+            assert_cursor_matches_evaluate(
+                &parallel,
+                &seeds,
+                &format!("monte-carlo cursor τ={tau}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn ris_estimator_handles_deadline_zero_and_one() {
+    let graph = sbm();
+    let seeds = seeds();
+    for tau in [0u32, 1] {
+        let deadline = Deadline::finite(tau);
+        let serial = RisEstimator::new(
+            Arc::clone(&graph),
+            deadline,
+            &RisConfig {
+                num_sets: 800,
+                seed: 13,
+                parallelism: ParallelismConfig::serial(),
+                adaptive: None,
+            },
+        )
+        .unwrap();
+        let reference = serial.evaluate(&seeds).unwrap();
+        if tau == 0 {
+            // τ = 0 sketches contain exactly their target, so every sketch is
+            // a singleton and the estimate is driven by target hits alone.
+            assert!(serial.sets().iter().all(|s| s.len() == 1), "τ=0 sketches must be singletons");
+        }
+        for threads in [1usize, 8] {
+            let parallel = RisEstimator::new(
+                Arc::clone(&graph),
+                deadline,
+                &RisConfig {
+                    num_sets: 800,
+                    seed: 13,
+                    parallelism: ParallelismConfig::fixed(threads),
+                    adaptive: None,
+                },
+            )
+            .unwrap();
+            assert_bitwise_equal(
+                &reference,
+                &parallel.evaluate(&seeds).unwrap(),
+                &format!("ris τ={tau}, {threads} threads"),
+            );
+            assert_cursor_matches_evaluate(
+                &parallel,
+                &seeds,
+                &format!("ris cursor τ={tau}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_sketch_pools_serve_identical_answers() {
+    // A clone of a RIS estimator shares its sketch pool; answers through the
+    // clone must be bitwise-identical, and extending the clone must not
+    // disturb the original (copy-on-write).
+    let graph = sbm();
+    let seeds = seeds();
+    let original = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(1),
+        &RisConfig { num_sets: 400, seed: 21, ..Default::default() },
+    )
+    .unwrap();
+    let clone = original.clone();
+    assert_eq!(Arc::as_ptr(&original.sketches_arc()), Arc::as_ptr(&clone.sketches_arc()));
+    assert_bitwise_equal(
+        &original.evaluate(&seeds).unwrap(),
+        &clone.evaluate(&seeds).unwrap(),
+        "shared sketch pool",
+    );
+
+    let mut grown = clone.clone();
+    grown.extend_to(600);
+    assert_eq!(grown.num_sets(), 600);
+    assert_eq!(original.num_sets(), 400, "copy-on-write must not grow the original");
+    // The grown pool's first 400 sketches are the original's (seed + index
+    // derivation), so a fresh 600-sketch estimator matches it exactly.
+    let fresh = RisEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(1),
+        &RisConfig { num_sets: 600, seed: 21, ..Default::default() },
+    )
+    .unwrap();
+    assert_bitwise_equal(
+        &grown.evaluate(&seeds).unwrap(),
+        &fresh.evaluate(&seeds).unwrap(),
+        "extended clone vs fresh sample",
+    );
+}
+
+#[test]
+fn unbounded_and_huge_finite_deadlines_agree() {
+    // τ larger than any possible path length must equal τ = ∞ bitwise.
+    let graph = sbm();
+    let seeds = seeds();
+    let far = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(10_000),
+        &WorldsConfig { num_worlds: 32, seed: 3, ..Default::default() },
+    )
+    .unwrap();
+    let unbounded = far.with_deadline(Deadline::unbounded());
+    assert_bitwise_equal(
+        &far.evaluate(&seeds).unwrap(),
+        &unbounded.evaluate(&seeds).unwrap(),
+        "huge finite vs unbounded deadline",
+    );
+}

@@ -1,0 +1,114 @@
+//! One-shot campaign query: build a single protocol request from CLI flags,
+//! serve it, and print the JSON response.
+//!
+//! ```text
+//! tcim_query --op solve_budget --dataset synthetic --deadline 5 --budget 10 --fair
+//! tcim_query --op audit --dataset illustrative --deadline 2 --seeds 0,1,2
+//! tcim_query --op estimate --dataset synthetic --estimator ris --samples 20000 --seeds 4,17
+//! ```
+//!
+//! Flags mirror the JSONL protocol fields one-to-one (see
+//! `tcim_service::protocol`); `--show-request` additionally prints the
+//! request line, which can be piped straight into `tcim_serve`.
+
+use std::process::ExitCode;
+
+use tcim_diffusion::ParallelismConfig;
+use tcim_service::{Json, Request, ServiceEngine};
+
+/// Collects the flags as protocol JSON members, letting the protocol layer
+/// do all validation so CLI and JSONL errors read identically.
+fn build_request(args: &mut std::env::Args) -> Result<(Request, ParallelismConfig, bool), String> {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    let mut parallelism = ParallelismConfig::auto();
+    let mut show_request = false;
+
+    fn next_value(args: &mut std::env::Args, flag: &str) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("missing value for {flag}"))
+    }
+    fn number(raw: &str, flag: &str) -> Result<Json, String> {
+        raw.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid value '{raw}' for {flag} (expected a number)"))
+    }
+    fn id_list(raw: &str, flag: &str) -> Result<Json, String> {
+        raw.split(',')
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                part.trim()
+                    .parse::<u64>()
+                    .map(|n| Json::Num(n as f64))
+                    .map_err(|_| format!("invalid node id '{part}' in {flag}"))
+            })
+            .collect::<Result<Vec<Json>, String>>()
+            .map(Json::Arr)
+    }
+
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--op" | "--dataset" | "--model" | "--estimator" | "--wrapper" => {
+                let value = next_value(args, &flag)?;
+                members.push((flag[2..].to_string(), Json::Str(value)));
+            }
+            "--dataset-seed" | "--estimator-seed" | "--samples" | "--budget" | "--quota"
+            | "--max-seeds" => {
+                let value = next_value(args, &flag)?;
+                members.push((flag[2..].replace('-', "_"), number(&value, &flag)?));
+            }
+            "--deadline" => {
+                let value = next_value(args, &flag)?;
+                let json = if value == "inf" { Json::from("inf") } else { number(&value, &flag)? };
+                members.push(("deadline".into(), json));
+            }
+            "--seeds" | "--candidates" => {
+                let value = next_value(args, &flag)?;
+                members.push((flag[2..].to_string(), id_list(&value, &flag)?));
+            }
+            "--weights" => {
+                let value = next_value(args, &flag)?;
+                let weights = value
+                    .split(',')
+                    .map(|part| number(part.trim(), "--weights"))
+                    .collect::<Result<Vec<Json>, String>>()?;
+                members.push(("weights".into(), Json::Arr(weights)));
+            }
+            "--fair" => members.push(("fair".into(), Json::Bool(true))),
+            "--threads" => {
+                let raw = next_value(args, &flag)?;
+                let threads: usize = raw.parse().map_err(|_| {
+                    format!("invalid value '{raw}' for --threads (expected an integer; 0 = auto)")
+                })?;
+                parallelism = ParallelismConfig::fixed(threads);
+            }
+            "--show-request" => show_request = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let request = Request::from_json(&Json::Obj(members)).map_err(|err| err.to_string())?;
+    Ok((request, parallelism, show_request))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    args.next(); // program name
+    let (request, parallelism, show_request) = match build_request(&mut args) {
+        Ok(built) => built,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if show_request {
+        eprintln!("{}", request.to_json());
+    }
+    let engine = ServiceEngine::new(parallelism);
+    let response = engine.serve(&request);
+    println!("{response}");
+    let ok = response.get("ok").and_then(|ok| ok.as_bool()) == Some(true);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

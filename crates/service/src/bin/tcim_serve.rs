@@ -1,0 +1,134 @@
+//! JSONL campaign-serving loop: read newline-delimited requests from stdin
+//! (or `--input FILE`), serve them as one batch over a shared oracle cache,
+//! and write one response per line to stdout, in request order.
+//!
+//! ```text
+//! tcim_serve [--input FILE] [--threads N] [--quiet]
+//! ```
+//!
+//! Blank lines and `#` comment lines are skipped. A line that fails to parse
+//! produces an `"ok": false` response in its slot instead of aborting the
+//! batch; if any slot failed, the process exits non-zero after printing
+//! every response. Cache statistics go to stderr (never stdout: stdout is
+//! the protocol surface and must stay byte-identical across thread counts,
+//! which CI checks against a golden file). `--quiet` suppresses the stderr
+//! summary.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use tcim_diffusion::ParallelismConfig;
+use tcim_service::protocol::error_response;
+use tcim_service::{Request, ServiceEngine};
+
+struct Cli {
+    input: Option<String>,
+    parallelism: ParallelismConfig,
+    quiet: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli { input: None, parallelism: ParallelismConfig::auto(), quiet: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--input" => {
+                cli.input =
+                    Some(args.next().ok_or_else(|| "missing value for --input".to_string())?);
+            }
+            "--threads" => {
+                let raw = args.next().ok_or_else(|| "missing value for --threads".to_string())?;
+                let threads: usize = raw.parse().map_err(|_| {
+                    format!("invalid value '{raw}' for --threads (expected an integer; 0 = auto)")
+                })?;
+                cli.parallelism = ParallelismConfig::fixed(threads);
+            }
+            "--quiet" => cli.quiet = true,
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (expected --input, --threads or --quiet)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn read_input(input: Option<&str>) -> Result<String, String> {
+    match input {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read request file '{path}': {err}")),
+        None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|err| format!("cannot read requests from stdin: {err}"))?;
+            Ok(text)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match read_input(cli.input.as_deref()) {
+        Ok(text) => text,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Parse everything first so malformed lines keep their slot in the
+    // response stream while well-formed ones still batch together.
+    let mut parsed: Vec<Result<Request, String>> = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parsed.push(Request::parse_line(line).map_err(|err| format!("line {}: {err}", number + 1)));
+    }
+
+    let engine = ServiceEngine::new(cli.parallelism);
+    let requests: Vec<Request> = parsed.iter().filter_map(|p| p.as_ref().ok()).cloned().collect();
+    let mut served = engine.serve_batch(&requests).into_iter();
+    let mut failures = 0usize;
+    for slot in &parsed {
+        let response = match slot {
+            Ok(_) => served.next().expect("one response per request"),
+            Err(message) => error_response(None, None, message),
+        };
+        if response.get("ok").and_then(|ok| ok.as_bool()) != Some(true) {
+            failures += 1;
+        }
+        println!("{response}");
+    }
+
+    if !cli.quiet {
+        let stats = engine.cache().stats();
+        eprintln!(
+            "served {} request(s) ({} failed): oracle cache {} hit(s) / {} miss(es), \
+             world pool {} hit(s) / {} miss(es)",
+            parsed.len(),
+            failures,
+            stats.oracle_hits,
+            stats.oracle_misses,
+            stats.world_hits,
+            stats.world_misses
+        );
+    }
+    // Scriptability: every response line is printed either way, but a batch
+    // containing any failed slot (malformed line or ok:false response) exits
+    // non-zero, matching `tcim_query`'s convention.
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,589 @@
+//! Long-lived oracle state shared across queries.
+//!
+//! Every figure binary and example builds its graph and estimator from
+//! scratch per run; a serving process cannot afford that. The
+//! [`OracleCache`] keeps the expensive, *reusable* pieces alive and keyed:
+//!
+//! * built dataset graphs, keyed by `(dataset, dataset seed)`,
+//! * [`LtWeights`] tables, keyed the same way (pure functions of the graph),
+//! * live-edge [`WorldCollection`]s, keyed by `(dataset, model, world count,
+//!   estimator seed)` — deliberately **not** by deadline: a sampled world is
+//!   a set of live edges, and the deadline only bounds the BFS that later
+//!   runs on it, so one collection backs oracles for every `τ`,
+//! * fully built [`Estimator`]s, keyed by the complete [`OracleSpec`].
+//!
+//! Every map is capacity-bounded with FIFO eviction (keys embed
+//! request-controlled seeds and sample counts, so an unbounded cache fed
+//! adversarial or merely long-lived traffic would grow until OOM); an
+//! evicted entry rebuilds deterministically on its next use.
+//!
+//! # Determinism
+//!
+//! Cache keys exclude the parallelism knob, and every sampling path derives
+//! sample `i` from `seed + i` (see `tcim_diffusion::ParallelismConfig`), so
+//! a cache hit returns answers bitwise-identical to a cold build at any
+//! thread count — the service-level tests and the CI golden files pin this
+//! down.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tcim_core::{Estimator, EstimatorConfig};
+use tcim_datasets::registry::Dataset;
+use tcim_diffusion::{Deadline, LtWeights, WorldCollection, WorldsConfig};
+use tcim_graph::Graph;
+
+use crate::error::{Result, ServiceError};
+
+/// Which diffusion model the oracle evaluates under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Independent cascade (the paper's default).
+    IndependentCascade,
+    /// Linear threshold (via LT live-edge worlds).
+    LinearThreshold,
+}
+
+impl ModelKind {
+    /// Protocol name ("ic" / "lt").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::IndependentCascade => "ic",
+            ModelKind::LinearThreshold => "lt",
+        }
+    }
+
+    /// Parses a protocol name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-request error naming the unknown model.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "ic" => Ok(ModelKind::IndependentCascade),
+            "lt" => Ok(ModelKind::LinearThreshold),
+            other => Err(ServiceError::bad_request(format!(
+                "unknown model '{other}' (expected 'ic' or 'lt')"
+            ))),
+        }
+    }
+}
+
+/// A dataset reference: which registry entry plus the generation seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Registry entry.
+    pub dataset: Dataset,
+    /// Seed the surrogate generators use.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Resolves a protocol dataset name ("synthetic", "rice-facebook", …)
+    /// against the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-request error listing the valid names.
+    pub fn parse(name: &str, seed: u64) -> Result<Self> {
+        for dataset in Dataset::ALL {
+            if dataset_name(dataset) == name {
+                return Ok(DatasetSpec { dataset, seed });
+            }
+        }
+        let known: Vec<&str> = Dataset::ALL.iter().map(|d| dataset_name(*d)).collect();
+        Err(ServiceError::bad_request(format!(
+            "unknown dataset '{name}' (expected one of: {})",
+            known.join(", ")
+        )))
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("{}#{}", dataset_name(self.dataset), self.seed)
+    }
+}
+
+/// The registry's stable dataset name without building the graph.
+pub fn dataset_name(dataset: Dataset) -> &'static str {
+    match dataset {
+        Dataset::Illustrative => "illustrative",
+        Dataset::Synthetic => "synthetic",
+        Dataset::RiceFacebook => "rice-facebook",
+        Dataset::InstagramActivities => "instagram-activities",
+        Dataset::FacebookSnap => "facebook-snap",
+    }
+}
+
+/// Everything that identifies one influence oracle: the dataset, the
+/// diffusion model, the deadline and the estimator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSpec {
+    /// Which graph.
+    pub dataset: DatasetSpec,
+    /// Which diffusion model.
+    pub model: ModelKind,
+    /// The deadline `τ`.
+    pub deadline: Deadline,
+    /// Which estimator backend with which knobs.
+    pub estimator: EstimatorConfig,
+}
+
+impl OracleSpec {
+    /// A canonical cache key. Excludes the parallelism knob on purpose:
+    /// thread counts never change results, so requests differing only in
+    /// parallelism must share an entry.
+    pub fn fingerprint(&self) -> String {
+        let mut key = self.dataset.fingerprint();
+        let _ = write!(key, "|{}|tau={}", self.model.label(), self.deadline);
+        let _ = write!(key, "|{}", estimator_fingerprint(&self.estimator));
+        key
+    }
+}
+
+/// Canonical estimator-config encoding (parallelism excluded; float knobs
+/// rendered via their exact bits so distinct configs can never collide).
+fn estimator_fingerprint(config: &EstimatorConfig) -> String {
+    match config {
+        EstimatorConfig::Worlds(w) => format!("worlds:n={},s={}", w.num_worlds, w.seed),
+        EstimatorConfig::MonteCarlo { samples, seed } => format!("mc:n={samples},s={seed}"),
+        EstimatorConfig::Ris(r) => {
+            let mut key = format!("ris:n={},s={}", r.num_sets, r.seed);
+            if let Some(a) = &r.adaptive {
+                let _ = write!(
+                    key,
+                    ",adaptive(eps={:016x},delta={:016x},b={},max={})",
+                    a.epsilon.to_bits(),
+                    a.delta.to_bits(),
+                    a.budget,
+                    a.max_sets
+                );
+            }
+            key
+        }
+    }
+}
+
+/// Hit/miss counters of one [`OracleCache`], for observability (never part
+/// of a response — responses must not depend on cache temperature).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Oracle lookups answered from the cache.
+    pub oracle_hits: u64,
+    /// Oracle lookups that had to build.
+    pub oracle_misses: u64,
+    /// World-collection lookups answered from the cache (including the
+    /// cross-deadline reuse hits that make repeated queries cheap).
+    pub world_hits: u64,
+    /// World-collection lookups that had to sample.
+    pub world_misses: u64,
+}
+
+/// An insertion-ordered map with a capacity bound. Cache keys are
+/// request-controlled (`dataset_seed`, `estimator_seed`, `samples`, …), so
+/// an unbounded map would let a long-lived engine grow until OOM; past the
+/// bound the oldest entry is evicted (FIFO). Eviction never changes
+/// answers — rebuilding an evicted entry is deterministic, and outstanding
+/// `Arc` handles keep in-flight queries alive.
+struct BoundedMap<V> {
+    capacity: usize,
+    order: VecDeque<String>,
+    entries: HashMap<String, V>,
+}
+
+impl<V> BoundedMap<V> {
+    fn new(capacity: usize) -> Self {
+        BoundedMap { capacity: capacity.max(1), order: VecDeque::new(), entries: HashMap::new() }
+    }
+
+    fn get(&self, key: &str) -> Option<&V> {
+        self.entries.get(key)
+    }
+
+    /// Inserts `value` under `key` unless the key is already present (the
+    /// first build wins, so concurrent builders converge on one entry), then
+    /// returns the stored value.
+    fn insert_or_get(&mut self, key: String, value: V) -> &V {
+        if !self.entries.contains_key(&key) {
+            if self.entries.len() >= self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+            self.order.push_back(key.clone());
+            self.entries.insert(key.clone(), value);
+        }
+        &self.entries[&key]
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Retained dataset graphs / LT tables (small, and few distinct datasets).
+const GRAPH_CAPACITY: usize = 8;
+/// Retained live-edge world collections (the big allocations).
+const WORLDS_CAPACITY: usize = 32;
+/// Retained built estimators (worlds-backed ones are views into the world
+/// pool; RIS entries own their sketches).
+const ORACLE_CAPACITY: usize = 128;
+
+struct CacheMaps {
+    graphs: BoundedMap<Arc<Graph>>,
+    lt_weights: BoundedMap<Arc<LtWeights>>,
+    worlds: BoundedMap<Arc<WorldCollection>>,
+    oracles: BoundedMap<Arc<Estimator>>,
+}
+
+impl Default for CacheMaps {
+    fn default() -> Self {
+        CacheMaps {
+            graphs: BoundedMap::new(GRAPH_CAPACITY),
+            lt_weights: BoundedMap::new(GRAPH_CAPACITY),
+            worlds: BoundedMap::new(WORLDS_CAPACITY),
+            oracles: BoundedMap::new(ORACLE_CAPACITY),
+        }
+    }
+}
+
+/// Shared, thread-safe cache of graphs, LT weight tables, live-edge world
+/// collections and fully built estimators. See the module docs for the
+/// keying scheme and the determinism contract.
+#[derive(Default)]
+pub struct OracleCache {
+    maps: Mutex<CacheMaps>,
+    /// Per-key in-flight build locks: when several cold requests race for
+    /// the same entry, exactly one samples/builds while the rest wait on
+    /// its lock and then take the cache hit — without this, a parallel
+    /// batch over one world pool would sample it once per worker thread
+    /// and throw all but one result away.
+    building: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    oracle_hits: AtomicU64,
+    oracle_misses: AtomicU64,
+    world_hits: AtomicU64,
+    world_misses: AtomicU64,
+}
+
+impl OracleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OracleCache::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
+            oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
+            world_hits: self.world_hits.load(Ordering::Relaxed),
+            world_misses: self.world_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Takes the per-key build lock for `key`; `build` runs only if a
+    /// re-check under the lock still misses. Lock order is strictly
+    /// outer-entry -> inner-entry (oracle -> worlds -> graph), so the
+    /// per-key locks cannot cycle.
+    fn build_once<V: Clone>(
+        &self,
+        key: &str,
+        lookup: impl Fn(&CacheMaps) -> Option<V>,
+        on_hit: impl Fn(),
+        on_miss: impl Fn(),
+        build: impl FnOnce() -> Result<V>,
+        store: impl FnOnce(&mut CacheMaps, V) -> V,
+    ) -> Result<V> {
+        let lock = {
+            let mut building = self.building.lock().expect("build-lock registry");
+            Arc::clone(building.entry(key.to_string()).or_default())
+        };
+        let guard = lock.lock().expect("build lock");
+        // Re-check under the lock: a concurrent builder may have finished
+        // while this request waited, in which case the wait *was* the build.
+        if let Some(value) = lookup(&self.maps.lock().expect("cache lock")) {
+            on_hit();
+            return Ok(value);
+        }
+        on_miss();
+        let result = build();
+        let stored = match result {
+            Ok(value) => Ok(store(&mut self.maps.lock().expect("cache lock"), value)),
+            Err(err) => Err(err),
+        };
+        drop(guard);
+        // Waiters that already hold the Arc proceed normally; future
+        // requests re-check the cache before ever reaching the registry.
+        self.building.lock().expect("build-lock registry").remove(key);
+        stored
+    }
+
+    /// The dataset graph for `spec`, built on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generator failures.
+    pub fn graph(&self, spec: &DatasetSpec) -> Result<Arc<Graph>> {
+        let key = spec.fingerprint();
+        if let Some(graph) = self.maps.lock().expect("cache lock").graphs.get(&key) {
+            return Ok(Arc::clone(graph));
+        }
+        self.build_once(
+            &key,
+            |maps| maps.graphs.get(&key).map(Arc::clone),
+            || {},
+            || {},
+            || {
+                let bundle = spec.dataset.build(spec.seed).map_err(|err| {
+                    ServiceError::bad_request(format!(
+                        "dataset '{}' failed to build: {err}",
+                        dataset_name(spec.dataset)
+                    ))
+                })?;
+                Ok(Arc::new(bundle.graph))
+            },
+            |maps, graph| Arc::clone(maps.graphs.insert_or_get(key.clone(), graph)),
+        )
+    }
+
+    /// The LT weight table for `spec`'s graph, built on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generator failures.
+    pub fn lt_weights(&self, spec: &DatasetSpec) -> Result<Arc<LtWeights>> {
+        let key = format!("lt|{}", spec.fingerprint());
+        if let Some(weights) = self.maps.lock().expect("cache lock").lt_weights.get(&key) {
+            return Ok(Arc::clone(weights));
+        }
+        self.build_once(
+            &key,
+            |maps| maps.lt_weights.get(&key).map(Arc::clone),
+            || {},
+            || {},
+            || {
+                let graph = self.graph(spec)?;
+                Ok(Arc::new(LtWeights::from_graph(&graph)))
+            },
+            |maps, weights| Arc::clone(maps.lt_weights.insert_or_get(key.clone(), weights)),
+        )
+    }
+
+    /// A live-edge world collection for `(dataset, model, worlds config)`,
+    /// sampled on first use and shared across every deadline thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling failures (zero worlds).
+    pub fn worlds(
+        &self,
+        spec: &DatasetSpec,
+        model: ModelKind,
+        config: &WorldsConfig,
+    ) -> Result<Arc<WorldCollection>> {
+        let key = format!(
+            "{}|{}|worlds:n={},s={}",
+            spec.fingerprint(),
+            model.label(),
+            config.num_worlds,
+            config.seed
+        );
+        if let Some(worlds) = self.maps.lock().expect("cache lock").worlds.get(&key) {
+            self.world_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(worlds));
+        }
+        self.build_once(
+            &key,
+            |maps| maps.worlds.get(&key).map(Arc::clone),
+            || {
+                self.world_hits.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                self.world_misses.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                let graph = self.graph(spec)?;
+                let collection = match model {
+                    ModelKind::IndependentCascade => WorldCollection::sample(&graph, config)?,
+                    ModelKind::LinearThreshold => {
+                        let weights = self.lt_weights(spec)?;
+                        WorldCollection::sample_lt(&graph, &weights, config)?
+                    }
+                };
+                Ok(Arc::new(collection))
+            },
+            |maps, collection| Arc::clone(maps.worlds.insert_or_get(key.clone(), collection)),
+        )
+    }
+
+    /// The fully built oracle for `spec`, from cache when warm.
+    ///
+    /// Worlds-backed oracles reuse the deadline-independent world pool, so a
+    /// new `τ` against a warm dataset only pays a view construction; RIS and
+    /// Monte-Carlo oracles are cached by their full spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-request error for unsupported combinations (the LT
+    /// model requires the worlds estimator) and propagates construction
+    /// failures.
+    pub fn oracle(&self, spec: &OracleSpec) -> Result<Arc<Estimator>> {
+        let key = format!("oracle|{}", spec.fingerprint());
+        if let Some(oracle) = self.maps.lock().expect("cache lock").oracles.get(&key) {
+            self.oracle_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(oracle));
+        }
+        self.build_once(
+            &key,
+            |maps| maps.oracles.get(&key).map(Arc::clone),
+            || {
+                self.oracle_hits.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                self.oracle_misses.fetch_add(1, Ordering::Relaxed);
+            },
+            || Ok(Arc::new(self.build_oracle(spec)?)),
+            |maps, oracle| Arc::clone(maps.oracles.insert_or_get(key.clone(), oracle)),
+        )
+    }
+
+    fn build_oracle(&self, spec: &OracleSpec) -> Result<Estimator> {
+        let graph = self.graph(&spec.dataset)?;
+        match (&spec.estimator, spec.model) {
+            (EstimatorConfig::Worlds(config), model) => {
+                let worlds = self.worlds(&spec.dataset, model, config)?;
+                Ok(spec.estimator.build_with_worlds(graph, worlds, spec.deadline)?)
+            }
+            (_, ModelKind::LinearThreshold) => Err(ServiceError::bad_request(
+                "the linear-threshold model requires the worlds estimator".to_string(),
+            )),
+            (_, ModelKind::IndependentCascade) => Ok(spec.estimator.build(graph, spec.deadline)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_core::{RisConfig, WorldsConfig};
+    use tcim_diffusion::{AdaptiveRis, InfluenceOracle, ParallelismConfig};
+
+    fn spec(deadline: u32, num_worlds: usize) -> OracleSpec {
+        OracleSpec {
+            dataset: DatasetSpec { dataset: Dataset::Illustrative, seed: 1 },
+            model: ModelKind::IndependentCascade,
+            deadline: Deadline::finite(deadline),
+            estimator: EstimatorConfig::Worlds(WorldsConfig {
+                num_worlds,
+                seed: 3,
+                ..Default::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn oracles_are_cached_and_worlds_shared_across_deadlines() {
+        let cache = OracleCache::new();
+        let first = cache.oracle(&spec(2, 16)).unwrap();
+        let again = cache.oracle(&spec(2, 16)).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "same spec must hit");
+
+        // Different deadline: new oracle, same sampled worlds.
+        let other = cache.oracle(&spec(5, 16)).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        let stats = cache.stats();
+        assert_eq!(stats.oracle_hits, 1);
+        assert_eq!(stats.oracle_misses, 2);
+        assert_eq!(stats.world_misses, 1, "the collection samples once");
+        assert_eq!(stats.world_hits, 1, "the second deadline reuses it");
+
+        let (Estimator::Worlds(a), Estimator::Worlds(b)) = (first.as_ref(), other.as_ref()) else {
+            panic!("worlds estimators expected");
+        };
+        assert!(Arc::ptr_eq(&a.worlds_arc(), &b.worlds_arc()));
+    }
+
+    #[test]
+    fn fingerprints_separate_configs_but_not_parallelism() {
+        let a = spec(2, 16).fingerprint();
+        assert_ne!(a, spec(3, 16).fingerprint());
+        assert_ne!(a, spec(2, 17).fingerprint());
+        let mut serial = spec(2, 16);
+        serial.estimator = EstimatorConfig::Worlds(WorldsConfig {
+            num_worlds: 16,
+            seed: 3,
+            parallelism: ParallelismConfig::serial(),
+        });
+        assert_eq!(a, serial.fingerprint(), "parallelism must not split cache entries");
+
+        let ris = OracleSpec {
+            estimator: EstimatorConfig::Ris(RisConfig {
+                num_sets: 64,
+                seed: 3,
+                adaptive: Some(AdaptiveRis::default()),
+                ..Default::default()
+            }),
+            ..spec(2, 16)
+        };
+        assert_ne!(a, ris.fingerprint());
+        assert!(ris.fingerprint().contains("adaptive"));
+    }
+
+    #[test]
+    fn model_and_dataset_names_parse_and_reject() {
+        assert_eq!(ModelKind::parse("ic").unwrap(), ModelKind::IndependentCascade);
+        assert_eq!(ModelKind::parse("lt").unwrap(), ModelKind::LinearThreshold);
+        assert!(ModelKind::parse("sir").is_err());
+        let spec = DatasetSpec::parse("synthetic", 7).unwrap();
+        assert_eq!(spec.dataset, Dataset::Synthetic);
+        let err = DatasetSpec::parse("twitter", 7).unwrap_err();
+        assert!(err.to_string().contains("synthetic"), "should list valid names: {err}");
+    }
+
+    #[test]
+    fn bounded_maps_evict_fifo_and_keep_serving() {
+        let mut map = BoundedMap::new(2);
+        map.insert_or_get("a".into(), 1);
+        map.insert_or_get("b".into(), 2);
+        // Re-inserting an existing key keeps the first value and evicts
+        // nothing.
+        assert_eq!(*map.insert_or_get("a".into(), 99), 1);
+        assert_eq!(map.len(), 2);
+        // A third key evicts the oldest ("a"), not the newest.
+        map.insert_or_get("c".into(), 3);
+        assert_eq!(map.len(), 2);
+        assert!(map.get("a").is_none());
+        assert_eq!(map.get("b"), Some(&2));
+        assert_eq!(map.get("c"), Some(&3));
+
+        // End-to-end: more distinct oracle specs than ORACLE_CAPACITY must
+        // not grow the cache without bound, and an evicted spec re-serves
+        // (deterministically) instead of erroring.
+        let cache = OracleCache::new();
+        for seed in 0..(ORACLE_CAPACITY as u64 + 8) {
+            let mut overflowing = spec(2, 4);
+            overflowing.estimator =
+                EstimatorConfig::Worlds(WorldsConfig { num_worlds: 4, seed, ..Default::default() });
+            cache.oracle(&overflowing).unwrap();
+        }
+        let maps = cache.maps.lock().unwrap();
+        assert_eq!(maps.oracles.len(), ORACLE_CAPACITY);
+        assert_eq!(maps.worlds.len(), WORLDS_CAPACITY);
+    }
+
+    #[test]
+    fn lt_requires_the_worlds_estimator() {
+        let cache = OracleCache::new();
+        let bad = OracleSpec {
+            model: ModelKind::LinearThreshold,
+            estimator: EstimatorConfig::MonteCarlo { samples: 8, seed: 0 },
+            ..spec(2, 16)
+        };
+        assert!(cache.oracle(&bad).is_err());
+        let good = OracleSpec { model: ModelKind::LinearThreshold, ..spec(2, 16) };
+        let oracle = cache.oracle(&good).unwrap();
+        assert!(oracle.evaluate(&[tcim_graph::NodeId(0)]).unwrap().total() >= 1.0);
+    }
+}

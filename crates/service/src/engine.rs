@@ -1,0 +1,200 @@
+//! The batched query engine: cached oracles + parallel request fan-out.
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use tcim_core::{
+    audit_seed_set, solve_fair_tcim_budget, solve_fair_tcim_cover, solve_tcim_budget,
+    solve_tcim_cover, BudgetConfig, CoverProblemConfig, CoverReport, FairnessReport, SolverReport,
+};
+use tcim_diffusion::{InfluenceOracle, ParallelismConfig};
+
+use crate::cache::OracleCache;
+use crate::error::{Result, ServiceError};
+use crate::minijson::Json;
+use crate::protocol::{error_response, nodes_to_json, ok_response, Op, Request};
+
+/// Serves campaign queries against a shared [`OracleCache`].
+///
+/// [`ServiceEngine::serve_batch`] fans a slice of requests out across the
+/// worker threads of its [`ParallelismConfig`] while every worker reads the
+/// same cached oracles. Responses come back in request order and are a pure
+/// function of each request: the batch is bitwise-identical at any thread
+/// count and any cache temperature (the repository-wide determinism
+/// contract, enforced by the service tests and the CI golden files).
+pub struct ServiceEngine {
+    cache: Arc<OracleCache>,
+    parallelism: ParallelismConfig,
+}
+
+impl ServiceEngine {
+    /// An engine with a fresh cache.
+    pub fn new(parallelism: ParallelismConfig) -> Self {
+        ServiceEngine { cache: Arc::new(OracleCache::new()), parallelism }
+    }
+
+    /// An engine sharing an existing cache (several engines — e.g. one per
+    /// listener — can serve from one pool of oracles).
+    pub fn with_cache(cache: Arc<OracleCache>, parallelism: ParallelismConfig) -> Self {
+        ServiceEngine { cache, parallelism }
+    }
+
+    /// The shared cache (for stats reporting and warm-up).
+    pub fn cache(&self) -> &Arc<OracleCache> {
+        &self.cache
+    }
+
+    /// Serves one request, returning the response object (errors become
+    /// `"ok": false` responses, never panics).
+    pub fn serve(&self, request: &Request) -> Json {
+        match self.execute(request) {
+            Ok(fields) => ok_response(request.id.as_ref(), request.op.label(), fields),
+            Err(err) => {
+                error_response(request.id.as_ref(), Some(request.op.label()), &err.to_string())
+            }
+        }
+    }
+
+    /// Serves a batch concurrently, preserving request order in the output.
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Json> {
+        if requests.len() < 2 || self.parallelism.is_serial() {
+            return requests.iter().map(|r| self.serve(r)).collect();
+        }
+        self.parallelism.run(|| requests.par_iter().map(|r| self.serve(r)).collect())
+    }
+
+    fn execute(&self, request: &Request) -> Result<Vec<(String, Json)>> {
+        let oracle = self.cache.oracle(&request.oracle)?;
+        match &request.op {
+            Op::SolveBudget { budget, fair, wrapper, weights, candidates } => {
+                let config = BudgetConfig {
+                    budget: *budget,
+                    algorithm: Default::default(),
+                    candidates: candidates.clone(),
+                };
+                let report = if *fair {
+                    solve_fair_tcim_budget(oracle.as_ref(), &config, *wrapper, weights.clone())?
+                } else {
+                    solve_tcim_budget(oracle.as_ref(), &config)?
+                };
+                Ok(solver_fields(&report))
+            }
+            Op::SolveCover { quota, fair, max_seeds, candidates } => {
+                let config = CoverProblemConfig {
+                    quota: *quota,
+                    tolerance: 0.0,
+                    max_seeds: *max_seeds,
+                    candidates: candidates.clone(),
+                };
+                let cover = if *fair {
+                    solve_fair_tcim_cover(oracle.as_ref(), &config)?
+                } else {
+                    solve_tcim_cover(oracle.as_ref(), &config)?
+                };
+                Ok(cover_fields(&cover))
+            }
+            Op::Audit { seeds } => {
+                let report = audit_seed_set(oracle.as_ref(), seeds)?;
+                Ok(fairness_fields(&report))
+            }
+            Op::Estimate { seeds } => {
+                let influence = oracle.evaluate(seeds).map_err(ServiceError::from)?;
+                Ok(vec![
+                    ("influence".into(), f64_array(influence.values())),
+                    ("total".into(), Json::Num(influence.total())),
+                ])
+            }
+        }
+    }
+}
+
+fn f64_array(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+fn solver_fields(report: &SolverReport) -> Vec<(String, Json)> {
+    let fairness = report.fairness();
+    vec![
+        ("label".into(), Json::from(report.label.as_str())),
+        ("seeds".into(), nodes_to_json(&report.seeds)),
+        ("influence".into(), f64_array(report.influence.values())),
+        ("total".into(), Json::Num(fairness.total)),
+        ("total_fraction".into(), Json::Num(fairness.total_fraction)),
+        ("normalized".into(), f64_array(&fairness.normalized_utilities)),
+        ("disparity".into(), Json::Num(fairness.disparity)),
+        ("gain_evaluations".into(), Json::Num(report.gain_evaluations as f64)),
+    ]
+}
+
+fn cover_fields(cover: &CoverReport) -> Vec<(String, Json)> {
+    let mut fields = solver_fields(&cover.report);
+    fields.push(("quota".into(), Json::Num(cover.quota)));
+    fields.push(("reached".into(), Json::Bool(cover.reached)));
+    fields.push(("num_seeds".into(), Json::Num(cover.seed_count() as f64)));
+    fields
+}
+
+fn fairness_fields(report: &FairnessReport) -> Vec<(String, Json)> {
+    vec![
+        ("influence".into(), f64_array(&report.raw_utilities)),
+        ("normalized".into(), f64_array(&report.normalized_utilities)),
+        ("total".into(), Json::Num(report.total)),
+        ("total_fraction".into(), Json::Num(report.total_fraction)),
+        ("disparity".into(), Json::Num(report.disparity)),
+        (
+            "worst_off_group".into(),
+            report.worst_off_group().map(|g| Json::Num(g.index() as f64)).unwrap_or(Json::Null),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(line: &str) -> Request {
+        Request::parse_line(line).unwrap()
+    }
+
+    #[test]
+    fn serves_every_op_against_the_illustrative_dataset() {
+        let engine = ServiceEngine::new(ParallelismConfig::serial());
+        let responses = engine.serve_batch(&[
+            request(r#"{"id":1,"op":"solve_budget","dataset":"illustrative","deadline":2,"samples":64,"budget":2}"#),
+            request(r#"{"id":2,"op":"solve_budget","dataset":"illustrative","deadline":2,"samples":64,"budget":2,"fair":true}"#),
+            request(r#"{"id":3,"op":"solve_cover","dataset":"illustrative","deadline":2,"samples":64,"quota":0.2,"fair":true}"#),
+            request(r#"{"id":4,"op":"audit","dataset":"illustrative","deadline":2,"samples":64,"seeds":[0,1]}"#),
+            request(r#"{"id":5,"op":"estimate","dataset":"illustrative","deadline":2,"samples":64,"seeds":[0]}"#),
+        ]);
+        assert_eq!(responses.len(), 5);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "response {i}: {response}");
+            assert_eq!(response.get("id").unwrap().as_f64(), Some(i as f64 + 1.0));
+        }
+        // The unfair and fair solves disagree on disparity direction.
+        let unfair = responses[0].get("disparity").unwrap().as_f64().unwrap();
+        let fair = responses[1].get("disparity").unwrap().as_f64().unwrap();
+        assert!(fair <= unfair + 1e-9, "fair {fair} vs unfair {unfair}");
+        assert!(responses[2].get("reached").unwrap().as_bool().unwrap());
+        assert_eq!(responses[4].get("op").unwrap().as_str(), Some("estimate"));
+        // One dataset, one world pool: everything after the first build hits.
+        let stats = engine.cache().stats();
+        assert_eq!(stats.world_misses, 1);
+    }
+
+    #[test]
+    fn solver_failures_become_error_responses() {
+        let engine = ServiceEngine::new(ParallelismConfig::serial());
+        // Budget 0 is rejected by the solver, out-of-bounds seeds by the
+        // estimator; both surface as ok:false with the cause, not a panic.
+        let responses = engine.serve_batch(&[
+            request(r#"{"op":"solve_budget","dataset":"illustrative","samples":8,"budget":0}"#),
+            request(r#"{"op":"estimate","dataset":"illustrative","samples":8,"seeds":[9999]}"#),
+        ]);
+        for response in &responses {
+            assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{response}");
+            assert!(response.get("error").unwrap().as_str().is_some());
+        }
+        assert!(responses[0].get("error").unwrap().as_str().unwrap().contains("budget"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+use tcim_core::CoreError;
+
+/// Errors produced while serving campaign queries.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request itself is malformed or names unknown entities; the
+    /// message is safe to echo back verbatim in an error response.
+    BadRequest {
+        /// Human-readable description naming the offending input.
+        message: String,
+    },
+    /// A solver / estimator / dataset failure while executing a well-formed
+    /// request.
+    Solver(CoreError),
+}
+
+impl ServiceError {
+    /// Convenience constructor for request-shaped problems.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServiceError::BadRequest { message: message.into() }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServiceError::Solver(err) => write!(f, "solver error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::BadRequest { .. } => None,
+            ServiceError::Solver(err) => Some(err),
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(err: CoreError) -> Self {
+        ServiceError::Solver(err)
+    }
+}
+
+impl From<tcim_diffusion::DiffusionError> for ServiceError {
+    fn from(err: tcim_diffusion::DiffusionError) -> Self {
+        ServiceError::Solver(CoreError::Diffusion(err))
+    }
+}
+
+impl From<tcim_graph::GraphError> for ServiceError {
+    fn from(err: tcim_graph::GraphError) -> Self {
+        ServiceError::Solver(CoreError::Graph(err))
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err = ServiceError::bad_request("unknown op 'frobnicate'");
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(std::error::Error::source(&err).is_none());
+
+        let err: ServiceError = CoreError::InvalidConfig { message: "zero budget".into() }.into();
+        assert!(err.to_string().contains("zero budget"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err: ServiceError = tcim_diffusion::DiffusionError::NoSamples.into();
+        assert!(matches!(err, ServiceError::Solver(_)));
+        let err: ServiceError = tcim_graph::GraphError::InvalidProbability { value: 2.0 }.into();
+        assert!(matches!(err, ServiceError::Solver(_)));
+    }
+}

@@ -1,0 +1,455 @@
+//! A minimal, dependency-free JSON value: parser, writer and accessors.
+//!
+//! The workspace is fully offline (no serde), so the serving protocol and
+//! the bench-regression records carry their own JSON layer. This module is
+//! the single shared implementation: `tcim_bench::regression` renders and
+//! parses `BENCH_<sha>.json` through it, and the JSONL request/response
+//! protocol of this crate is built on it.
+//!
+//! Scope: the full JSON data model (null / bool / number / string / array /
+//! object) with standard escapes, parsed into an order-preserving tree.
+//! Numbers are `f64` — exactly what the protocol and bench records need; the
+//! writer emits them via Rust's shortest-roundtrip `Display`, which is
+//! deterministic across platforms (a property the golden-file CI jobs rely
+//! on). Not supported: duplicate-key policing and arbitrary-precision
+//! numbers.
+
+use std::fmt;
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a single JSON value from `text` (leading/trailing whitespace
+    /// allowed, trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters after JSON value at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The member `key` of an object (`None` for other variants / missing).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that loses
+    /// nothing in the conversion.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Renders the value compactly (no insignificant whitespace) — the JSONL
+    /// wire format.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+/// Non-finite floats have no JSON representation; `null` is the standard
+/// stand-in (and round-trips as "absent" through the accessors).
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Containers deeper than this are rejected: the parser is recursive, so an
+/// unbounded `[[[[…` line would overflow the stack and abort the whole
+/// serving process instead of yielding one bad-request response.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels at byte {pos}"));
+    }
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{literal}' at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-utf8 number")?;
+    raw.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number '{raw}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&bytes[*pos..])
+        .map_err(|_| format!("non-utf8 string at byte {pos}"))?
+        .char_indices();
+    while let Some((offset, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += offset + 1;
+                return Ok(out);
+            }
+            '\\' => {
+                let Some((_, escape)) = chars.next() else { break };
+                match escape {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some((_, h)) = chars.next() else {
+                                return Err("truncated \\u escape".to_string());
+                            };
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit '{h}' in \\u escape"))?;
+                        }
+                        // Surrogates are not combined (the protocol never
+                        // emits them); map them to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape '\\{other}'")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated string starting at byte {pos}"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' after key '{key}' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        members.push((key, parse_value(bytes, pos, depth + 1)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_variant() {
+        let text = r#"{"a":null,"b":[true,false,1.5,-2e3],"c":{"nested":"x\n\"y\""},"d":""}"#;
+        let value = Json::parse(text).unwrap();
+        assert_eq!(value.get("a"), Some(&Json::Null));
+        let arr = value.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[2].as_f64(), Some(1.5));
+        assert_eq!(arr[3].as_f64(), Some(-2000.0));
+        assert_eq!(value.get("c").unwrap().get("nested").unwrap().as_str(), Some("x\n\"y\""));
+        let rendered = value.to_string();
+        assert_eq!(Json::parse(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_and_order_preserved() {
+        let value = Json::parse(" {\n \"z\" : 1 ,\t\"a\" : [ ] }\r\n").unwrap();
+        let members = value.as_obj().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(members[1].1, Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn numbers_render_shortest_roundtrip() {
+        let mut out = String::new();
+        Json::Num(0.1).write(&mut out);
+        assert_eq!(out, "0.1");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Num(7.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let value = Json::parse(r#""Aé""#).unwrap();
+        assert_eq!(value.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_an_offset() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1} extra",
+            "{'a':1}",
+            r#""\q""#,
+            r#""\u00g0""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_a_stack_overflow() {
+        // Regression: a 200k-deep "[[[[…" line used to abort the process
+        // (recursive parser, no depth bound); it must be an error response.
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000));
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "got: {err}");
+        let deep_obj = format!("{}1{}", "{\"k\":".repeat(5_000), "}".repeat(5_000));
+        assert!(Json::parse(&deep_obj).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn control_characters_escape_on_output() {
+        assert_eq!(Json::Str("a\u{1}b".into()).to_string(), "\"a\\u0001b\"");
+        assert_eq!(Json::Str("t\ta".into()).to_string(), "\"t\\ta\"");
+    }
+
+    #[test]
+    fn accessors_return_none_across_variants() {
+        assert_eq!(Json::Null.get("x"), None);
+        assert_eq!(Json::Bool(true).as_f64(), None);
+        assert_eq!(Json::Num(1.0).as_str(), None);
+        assert_eq!(Json::Str("s".into()).as_arr(), None);
+        assert_eq!(Json::Arr(vec![]).as_obj(), None);
+        assert_eq!(Json::Obj(vec![]).get("missing"), None);
+        assert_eq!(Json::from(2.5), Json::Num(2.5));
+        assert_eq!(Json::from("x"), Json::Str("x".into()));
+    }
+}

@@ -1,0 +1,616 @@
+//! The JSONL request/response protocol of the campaign-serving subsystem.
+//!
+//! One request per line, one response per line, in request order. A request
+//! names an oracle — dataset, model, deadline, estimator — plus an operation
+//! and its parameters:
+//!
+//! ```text
+//! {"id":1,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10,"fair":true}
+//! {"id":2,"op":"solve_cover","dataset":"synthetic","deadline":5,"quota":0.2,"fair":true}
+//! {"id":3,"op":"audit","dataset":"synthetic","deadline":5,"seeds":[4,17]}
+//! {"id":4,"op":"estimate","dataset":"synthetic","deadline":5,"seeds":[4,17]}
+//! ```
+//!
+//! Fields and defaults:
+//!
+//! | field | meaning | default |
+//! |-------|---------|---------|
+//! | `id` | opaque string/number echoed into the response | absent |
+//! | `op` | `solve_budget` \| `solve_cover` \| `audit` \| `estimate` | required |
+//! | `dataset` | registry name (`synthetic`, `illustrative`, …) | required |
+//! | `dataset_seed` | surrogate-generator seed | `42` |
+//! | `model` | `ic` \| `lt` | `ic` |
+//! | `deadline` | number of steps, or `"inf"` | `"inf"` |
+//! | `estimator` | `worlds` \| `monte-carlo` \| `ris` | `worlds` |
+//! | `samples` | worlds / cascades / RR sets | `200` (`10000` for `ris`) |
+//! | `estimator_seed` | estimation RNG seed | `0` |
+//! | `budget` | max seeds (`solve_budget`) | required |
+//! | `quota` | coverage quota `Q` (`solve_cover`) | required |
+//! | `max_seeds` | seed cap (`solve_cover`) | none |
+//! | `fair` | solve the fair variant (P4 / P6) | `false` |
+//! | `wrapper` | `log` \| `sqrt` \| `identity` \| `pow<p>` (fair budget) | `log` |
+//! | `weights` | per-group multipliers `λ_i` (fair budget) | all `1` |
+//! | `candidates` | candidate node pool | all nodes |
+//! | `seeds` | seed set (`audit` / `estimate`) | required |
+//!
+//! Unknown fields are rejected (a typoed `budgett` must not silently solve
+//! with the default), with the offending name in the error. Responses echo
+//! `id` and `op` and carry `"ok": true` plus result fields, or `"ok": false`
+//! plus `"error"`. Responses are a pure function of the request — never of
+//! cache temperature or thread count — which is what makes golden-file
+//! diffing in CI meaningful.
+
+use tcim_core::{ConcaveWrapper, EstimatorConfig, RisConfig, WorldsConfig};
+use tcim_diffusion::Deadline;
+use tcim_graph::NodeId;
+
+use crate::cache::{DatasetSpec, ModelKind, OracleSpec};
+use crate::error::{Result, ServiceError};
+use crate::minijson::Json;
+
+/// One operation against an oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// P1 (or P4 when `fair`) budget-constrained seed selection.
+    SolveBudget {
+        /// Maximum number of seeds.
+        budget: usize,
+        /// Solve the fair surrogate P4 instead of P1.
+        fair: bool,
+        /// Concave wrapper for P4.
+        wrapper: ConcaveWrapper,
+        /// Optional per-group multipliers for P4.
+        weights: Option<Vec<f64>>,
+        /// Optional candidate pool.
+        candidates: Option<Vec<NodeId>>,
+    },
+    /// P2 (or P6 when `fair`) coverage-constrained seed selection.
+    SolveCover {
+        /// Coverage quota `Q ∈ [0, 1]`.
+        quota: f64,
+        /// Solve the fair variant P6 instead of P2.
+        fair: bool,
+        /// Optional cap on the seed count.
+        max_seeds: Option<usize>,
+        /// Optional candidate pool.
+        candidates: Option<Vec<NodeId>>,
+    },
+    /// Fairness audit of an explicit seed set.
+    Audit {
+        /// The seed set to audit.
+        seeds: Vec<NodeId>,
+    },
+    /// Raw influence estimate of an explicit seed set.
+    Estimate {
+        /// The seed set to evaluate.
+        seeds: Vec<NodeId>,
+    },
+}
+
+impl Op {
+    /// The protocol name of the operation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::SolveBudget { .. } => "solve_budget",
+            Op::SolveCover { .. } => "solve_cover",
+            Op::Audit { .. } => "audit",
+            Op::Estimate { .. } => "estimate",
+        }
+    }
+}
+
+/// One parsed request: an oracle spec plus an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Opaque id echoed into the response (string or number).
+    pub id: Option<Json>,
+    /// Which oracle serves the request.
+    pub oracle: OracleSpec,
+    /// What to compute.
+    pub op: Op,
+}
+
+/// Fields every request may carry; op-specific fields are checked per op.
+const COMMON_FIELDS: &[&str] = &[
+    "id",
+    "op",
+    "dataset",
+    "dataset_seed",
+    "model",
+    "deadline",
+    "estimator",
+    "estimator_seed",
+    "samples",
+];
+
+fn op_fields(op: &str) -> &'static [&'static str] {
+    match op {
+        "solve_budget" => &["budget", "fair", "wrapper", "weights", "candidates"],
+        "solve_cover" => &["quota", "fair", "max_seeds", "candidates"],
+        "audit" | "estimate" => &["seeds"],
+        _ => &[],
+    }
+}
+
+impl Request {
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-request error naming the malformed or unknown field.
+    pub fn parse_line(line: &str) -> Result<Request> {
+        let value = Json::parse(line)
+            .map_err(|err| ServiceError::bad_request(format!("invalid JSON: {err}")))?;
+        Request::from_json(&value)
+    }
+
+    /// Parses a request from an already-decoded JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-request error naming the malformed or unknown field.
+    pub fn from_json(value: &Json) -> Result<Request> {
+        let Some(members) = value.as_obj() else {
+            return Err(ServiceError::bad_request("request must be a JSON object"));
+        };
+        let op_name = required_str(value, "op")?;
+        let allowed = op_fields(op_name);
+        if allowed.is_empty() {
+            return Err(ServiceError::bad_request(format!(
+                "unknown op '{op_name}' (expected solve_budget, solve_cover, audit or estimate)"
+            )));
+        }
+        for (key, _) in members {
+            if !COMMON_FIELDS.contains(&key.as_str()) && !allowed.contains(&key.as_str()) {
+                return Err(ServiceError::bad_request(format!(
+                    "unknown field '{key}' for op '{op_name}'"
+                )));
+            }
+        }
+
+        let oracle = parse_oracle(value)?;
+        let op = match op_name {
+            "solve_budget" => Op::SolveBudget {
+                budget: required_usize(value, "budget")?,
+                fair: optional_bool(value, "fair")?.unwrap_or(false),
+                wrapper: parse_wrapper(value)?,
+                weights: optional_f64_array(value, "weights")?,
+                candidates: optional_node_array(value, "candidates")?,
+            },
+            "solve_cover" => Op::SolveCover {
+                quota: required_f64(value, "quota")?,
+                fair: optional_bool(value, "fair")?.unwrap_or(false),
+                max_seeds: optional_usize(value, "max_seeds")?,
+                candidates: optional_node_array(value, "candidates")?,
+            },
+            "audit" => Op::Audit {
+                seeds: optional_node_array(value, "seeds")?
+                    .ok_or_else(|| missing("seeds", "audit"))?,
+            },
+            "estimate" => Op::Estimate {
+                seeds: optional_node_array(value, "seeds")?
+                    .ok_or_else(|| missing("seeds", "estimate"))?,
+            },
+            _ => unreachable!("op validated above"),
+        };
+        let id = value.get("id").cloned();
+        if let Some(id) = &id {
+            if !matches!(id, Json::Str(_) | Json::Num(_)) {
+                return Err(ServiceError::bad_request("field 'id' must be a string or number"));
+            }
+        }
+        Ok(Request { id, oracle, op })
+    }
+
+    /// Renders the request back to its protocol form (used by `tcim_query`
+    /// to show what it sent, and in tests for round-tripping).
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            members.push(("id".into(), id.clone()));
+        }
+        members.push(("op".into(), Json::from(self.op.label())));
+        members.push((
+            "dataset".into(),
+            Json::from(crate::cache::dataset_name(self.oracle.dataset.dataset)),
+        ));
+        members.push(("dataset_seed".into(), Json::Num(self.oracle.dataset.seed as f64)));
+        members.push(("model".into(), Json::from(self.oracle.model.label())));
+        members.push((
+            "deadline".into(),
+            match self.oracle.deadline.horizon() {
+                Some(tau) => Json::Num(tau as f64),
+                None => Json::from("inf"),
+            },
+        ));
+        let (estimator, samples, seed) = match &self.oracle.estimator {
+            EstimatorConfig::Worlds(w) => ("worlds", w.num_worlds, w.seed),
+            EstimatorConfig::MonteCarlo { samples, seed } => ("monte-carlo", *samples, *seed),
+            EstimatorConfig::Ris(r) => ("ris", r.num_sets, r.seed),
+        };
+        members.push(("estimator".into(), Json::from(estimator)));
+        members.push(("samples".into(), Json::Num(samples as f64)));
+        members.push(("estimator_seed".into(), Json::Num(seed as f64)));
+        match &self.op {
+            Op::SolveBudget { budget, fair, wrapper, weights, candidates } => {
+                members.push(("budget".into(), Json::Num(*budget as f64)));
+                members.push(("fair".into(), Json::Bool(*fair)));
+                // Always rendered (not only when fair): the parser accepts a
+                // wrapper on unfair requests too, and dropping it here would
+                // make parse -> to_json -> parse lossy.
+                members.push(("wrapper".into(), Json::Str(wrapper.label())));
+                if let Some(weights) = weights {
+                    members.push((
+                        "weights".into(),
+                        Json::Arr(weights.iter().map(|&w| Json::Num(w)).collect()),
+                    ));
+                }
+                if let Some(candidates) = candidates {
+                    members.push(("candidates".into(), nodes_to_json(candidates)));
+                }
+            }
+            Op::SolveCover { quota, fair, max_seeds, candidates } => {
+                members.push(("quota".into(), Json::Num(*quota)));
+                members.push(("fair".into(), Json::Bool(*fair)));
+                if let Some(cap) = max_seeds {
+                    members.push(("max_seeds".into(), Json::Num(*cap as f64)));
+                }
+                if let Some(candidates) = candidates {
+                    members.push(("candidates".into(), nodes_to_json(candidates)));
+                }
+            }
+            Op::Audit { seeds } | Op::Estimate { seeds } => {
+                members.push(("seeds".into(), nodes_to_json(seeds)));
+            }
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Builds a success response: `id`/`op` header plus the result fields.
+pub fn ok_response(id: Option<&Json>, op: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".into(), id.clone()));
+    }
+    members.push(("op".into(), Json::from(op)));
+    members.push(("ok".into(), Json::Bool(true)));
+    members.extend(fields);
+    Json::Obj(members)
+}
+
+/// Builds an error response echoing whatever identifying context is known.
+pub fn error_response(id: Option<&Json>, op: Option<&str>, message: &str) -> Json {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".into(), id.clone()));
+    }
+    if let Some(op) = op {
+        members.push(("op".into(), Json::from(op)));
+    }
+    members.push(("ok".into(), Json::Bool(false)));
+    members.push(("error".into(), Json::from(message)));
+    Json::Obj(members)
+}
+
+/// Renders a node array.
+pub fn nodes_to_json(nodes: &[NodeId]) -> Json {
+    Json::Arr(nodes.iter().map(|n| Json::Num(n.0 as f64)).collect())
+}
+
+fn parse_oracle(value: &Json) -> Result<OracleSpec> {
+    let dataset_name = required_str(value, "dataset")?;
+    let dataset_seed = optional_u64(value, "dataset_seed")?.unwrap_or(42);
+    let dataset = DatasetSpec::parse(dataset_name, dataset_seed)?;
+    let model = match value.get("model") {
+        None => ModelKind::IndependentCascade,
+        Some(m) => ModelKind::parse(m.as_str().ok_or_else(|| {
+            ServiceError::bad_request("field 'model' must be a string ('ic' or 'lt')")
+        })?)?,
+    };
+    let deadline = match value.get("deadline") {
+        None => Deadline::unbounded(),
+        Some(Json::Str(s)) if s == "inf" => Deadline::unbounded(),
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+            Deadline::finite(*n as u32)
+        }
+        Some(other) => {
+            return Err(ServiceError::bad_request(format!(
+                "field 'deadline' must be a non-negative integer or \"inf\", got {other}"
+            )))
+        }
+    };
+    let estimator_seed = optional_u64(value, "estimator_seed")?.unwrap_or(0);
+    let estimator_name = match value.get("estimator") {
+        None => "worlds",
+        Some(e) => e.as_str().ok_or_else(|| {
+            ServiceError::bad_request(
+                "field 'estimator' must be a string ('worlds', 'monte-carlo' or 'ris')",
+            )
+        })?,
+    };
+    let samples = optional_usize(value, "samples")?;
+    let estimator = match estimator_name {
+        "worlds" => EstimatorConfig::Worlds(WorldsConfig {
+            num_worlds: samples.unwrap_or(200),
+            seed: estimator_seed,
+            ..Default::default()
+        }),
+        "monte-carlo" => {
+            EstimatorConfig::MonteCarlo { samples: samples.unwrap_or(200), seed: estimator_seed }
+        }
+        "ris" => EstimatorConfig::Ris(RisConfig {
+            num_sets: samples.unwrap_or(10_000),
+            seed: estimator_seed,
+            ..Default::default()
+        }),
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown estimator '{other}' (expected 'worlds', 'monte-carlo' or 'ris')"
+            )))
+        }
+    };
+    Ok(OracleSpec { dataset, model, deadline, estimator })
+}
+
+fn parse_wrapper(value: &Json) -> Result<ConcaveWrapper> {
+    let Some(raw) = value.get("wrapper") else { return Ok(ConcaveWrapper::Log) };
+    let name = raw.as_str().ok_or_else(|| {
+        ServiceError::bad_request(
+            "field 'wrapper' must be a string ('log', 'sqrt', 'identity' or 'pow<p>')",
+        )
+    })?;
+    match name {
+        "log" => Ok(ConcaveWrapper::Log),
+        "sqrt" => Ok(ConcaveWrapper::Sqrt),
+        "identity" => Ok(ConcaveWrapper::Identity),
+        other => {
+            if let Some(exponent) = other.strip_prefix("pow") {
+                let p: f64 = exponent.parse().map_err(|_| {
+                    ServiceError::bad_request(format!(
+                        "bad wrapper exponent in '{other}' (expected e.g. 'pow0.5')"
+                    ))
+                })?;
+                let wrapper = ConcaveWrapper::Power(p);
+                if !wrapper.is_valid() {
+                    return Err(ServiceError::bad_request(format!(
+                        "wrapper exponent {p} must lie in (0, 1]"
+                    )));
+                }
+                Ok(wrapper)
+            } else {
+                Err(ServiceError::bad_request(format!(
+                    "unknown wrapper '{other}' (expected 'log', 'sqrt', 'identity' or 'pow<p>')"
+                )))
+            }
+        }
+    }
+}
+
+fn missing(field: &str, op: &str) -> ServiceError {
+    ServiceError::bad_request(format!("op '{op}' requires field '{field}'"))
+}
+
+fn required_str<'a>(value: &'a Json, field: &str) -> Result<&'a str> {
+    value
+        .get(field)
+        .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{field}'")))?
+        .as_str()
+        .ok_or_else(|| ServiceError::bad_request(format!("field '{field}' must be a string")))
+}
+
+fn required_f64(value: &Json, field: &str) -> Result<f64> {
+    value
+        .get(field)
+        .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{field}'")))?
+        .as_f64()
+        .ok_or_else(|| ServiceError::bad_request(format!("field '{field}' must be a number")))
+}
+
+fn required_usize(value: &Json, field: &str) -> Result<usize> {
+    optional_usize(value, field)?
+        .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{field}'")))
+}
+
+fn optional_usize(value: &Json, field: &str) -> Result<Option<usize>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(|n| Some(n as usize)).ok_or_else(|| {
+            ServiceError::bad_request(format!(
+                "field '{field}' must be a non-negative integer, got {v}"
+            ))
+        }),
+    }
+}
+
+fn optional_u64(value: &Json, field: &str) -> Result<Option<u64>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServiceError::bad_request(format!(
+                "field '{field}' must be a non-negative integer, got {v}"
+            ))
+        }),
+    }
+}
+
+fn optional_bool(value: &Json, field: &str) -> Result<Option<bool>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_bool().map(Some).ok_or_else(|| {
+            ServiceError::bad_request(format!("field '{field}' must be a boolean, got {v}"))
+        }),
+    }
+}
+
+fn optional_f64_array(value: &Json, field: &str) -> Result<Option<Vec<f64>>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v.as_arr().ok_or_else(|| {
+                ServiceError::bad_request(format!("field '{field}' must be an array of numbers"))
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_f64().ok_or_else(|| {
+                        ServiceError::bad_request(format!(
+                            "field '{field}' must contain only numbers, got {item}"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<f64>>>()
+                .map(Some)
+        }
+    }
+}
+
+fn optional_node_array(value: &Json, field: &str) -> Result<Option<Vec<NodeId>>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v.as_arr().ok_or_else(|| {
+                ServiceError::bad_request(format!("field '{field}' must be an array of node ids"))
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_u64().filter(|n| *n <= u32::MAX as u64).map(|n| NodeId(n as u32)).ok_or_else(
+                        || {
+                            ServiceError::bad_request(format!(
+                                "field '{field}' must contain only node ids (non-negative integers), got {item}"
+                            ))
+                        },
+                    )
+                })
+                .collect::<Result<Vec<NodeId>>>()
+                .map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_datasets::registry::Dataset;
+
+    #[test]
+    fn solve_budget_parses_with_defaults() {
+        let req = Request::parse_line(
+            r#"{"id":7,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(Json::Num(7.0)));
+        assert_eq!(req.oracle.dataset.dataset, Dataset::Synthetic);
+        assert_eq!(req.oracle.dataset.seed, 42);
+        assert_eq!(req.oracle.model, ModelKind::IndependentCascade);
+        assert_eq!(req.oracle.deadline, Deadline::finite(5));
+        let EstimatorConfig::Worlds(w) = &req.oracle.estimator else { panic!("worlds default") };
+        assert_eq!(w.num_worlds, 200);
+        assert_eq!(w.seed, 0);
+        let Op::SolveBudget { budget, fair, wrapper, weights, candidates } = req.op else {
+            panic!("solve_budget")
+        };
+        assert_eq!(budget, 10);
+        assert!(!fair);
+        assert_eq!(wrapper, ConcaveWrapper::Log);
+        assert!(weights.is_none() && candidates.is_none());
+    }
+
+    #[test]
+    fn full_requests_round_trip() {
+        let lines = [
+            r#"{"id":"a","op":"solve_budget","dataset":"illustrative","dataset_seed":3,"model":"lt","deadline":2,"estimator":"worlds","samples":64,"estimator_seed":9,"budget":2,"fair":true,"wrapper":"sqrt","weights":[1,2],"candidates":[0,1,2]}"#,
+            r#"{"id":2,"op":"solve_cover","dataset":"synthetic","deadline":"inf","quota":0.2,"fair":true,"max_seeds":40}"#,
+            r#"{"op":"audit","dataset":"synthetic","estimator":"ris","samples":5000,"seeds":[1,2,3]}"#,
+            r#"{"op":"estimate","dataset":"synthetic","estimator":"monte-carlo","seeds":[0]}"#,
+            // A wrapper on an unfair request is accepted (and ignored by the
+            // solver); rendering must preserve it for a faithful round trip.
+            r#"{"op":"solve_budget","dataset":"synthetic","budget":2,"wrapper":"sqrt"}"#,
+        ];
+        for line in lines {
+            let req = Request::parse_line(line).unwrap();
+            let rendered = req.to_json().to_string();
+            let again = Request::parse_line(&rendered).unwrap();
+            assert_eq!(req, again, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn wrappers_parse_including_power() {
+        let line = |w: &str| {
+            format!(
+                r#"{{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":true,"wrapper":"{w}"}}"#
+            )
+        };
+        for (name, expected) in [
+            ("log", ConcaveWrapper::Log),
+            ("sqrt", ConcaveWrapper::Sqrt),
+            ("identity", ConcaveWrapper::Identity),
+            ("pow0.3", ConcaveWrapper::Power(0.3)),
+        ] {
+            let req = Request::parse_line(&line(name)).unwrap();
+            let Op::SolveBudget { wrapper, .. } = req.op else { panic!() };
+            assert_eq!(wrapper, expected);
+        }
+        assert!(Request::parse_line(&line("pow2.0")).is_err());
+        assert!(Request::parse_line(&line("powx")).is_err());
+        assert!(Request::parse_line(&line("cube")).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_field() {
+        let cases = [
+            (r#"not json"#, "invalid JSON"),
+            (r#"[1,2]"#, "must be a JSON object"),
+            (r#"{"dataset":"synthetic"}"#, "missing required field 'op'"),
+            (r#"{"op":"frobnicate","dataset":"synthetic"}"#, "unknown op 'frobnicate'"),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budgett":3}"#,
+                "unknown field 'budgett'",
+            ),
+            (r#"{"op":"solve_budget","dataset":"synthetic"}"#, "missing required field 'budget'"),
+            (
+                r#"{"op":"solve_budget","dataset":"twitter","budget":3}"#,
+                "unknown dataset 'twitter'",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":3,"deadline":-2}"#,
+                "'deadline'",
+            ),
+            (r#"{"op":"solve_budget","dataset":"synthetic","budget":3.5}"#, "'budget'"),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":3,"model":"sir"}"#,
+                "unknown model 'sir'",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":3,"estimator":"quantum"}"#,
+                "unknown estimator 'quantum'",
+            ),
+            (r#"{"op":"audit","dataset":"synthetic"}"#, "requires field 'seeds'"),
+            (r#"{"op":"audit","dataset":"synthetic","seeds":[1,-2]}"#, "'seeds'"),
+            (r#"{"op":"solve_cover","dataset":"synthetic","quota":"high"}"#, "'quota'"),
+            (r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"id":[1]}"#, "'id'"),
+            (r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":"yes"}"#, "'fair'"),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"weights":[1,"x"]}"#,
+                "'weights'",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = Request::parse_line(line).unwrap_err().to_string();
+            assert!(err.contains(needle), "error for {line} should mention {needle}, got: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_render_headers_first() {
+        let ok =
+            ok_response(Some(&Json::Num(4.0)), "estimate", vec![("total".into(), Json::Num(1.5))]);
+        assert_eq!(ok.to_string(), r#"{"id":4,"op":"estimate","ok":true,"total":1.5}"#);
+        let err = error_response(None, Some("audit"), "boom");
+        assert_eq!(err.to_string(), r#"{"op":"audit","ok":false,"error":"boom"}"#);
+        let bare = error_response(Some(&Json::from("x")), None, "bad");
+        assert_eq!(bare.to_string(), r#"{"id":"x","ok":false,"error":"bad"}"#);
+    }
+}

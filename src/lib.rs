@@ -18,7 +18,10 @@
 //!   FAIRTCIM-COVER solvers, the disparity measure and the Theorem 1/2
 //!   checks,
 //! * [`datasets`] (`tcim-datasets`) — the paper's synthetic suite and
-//!   surrogates for its three real-world datasets.
+//!   surrogates for its three real-world datasets,
+//! * [`service`] (`tcim-service`) — the campaign-serving subsystem: cached
+//!   oracles, a batched query engine and the JSONL protocol behind the
+//!   `tcim_serve` / `tcim_query` binaries.
 //!
 //! The [`prelude`] pulls in the handful of types most applications need; the
 //! `examples/` directory shows end-to-end usage and `crates/bench` regenerates
@@ -51,6 +54,7 @@ pub use tcim_core as core;
 pub use tcim_datasets as datasets;
 pub use tcim_diffusion as diffusion;
 pub use tcim_graph as graph;
+pub use tcim_service as service;
 pub use tcim_submodular as submodular;
 
 /// The most commonly used types and functions, re-exported flat.
@@ -74,4 +78,5 @@ pub mod prelude {
         ParallelismConfig, RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
     };
     pub use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
+    pub use tcim_service::{ModelKind, OracleCache, OracleSpec, Request, ServiceEngine};
 }
