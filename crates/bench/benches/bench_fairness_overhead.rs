@@ -10,10 +10,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tcim_core::{
-    solve_fair_tcim_budget, solve_fair_tcim_cover, solve_tcim_budget, solve_tcim_cover,
-    BudgetConfig, ConcaveWrapper, CoverProblemConfig,
-};
+use tcim_core::{solve, ConcaveWrapper, FairnessMode, ProblemSpec};
 use tcim_datasets::SyntheticConfig;
 use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
 
@@ -33,26 +30,22 @@ fn bench_fairness_overhead(c: &mut Criterion) {
 
     let mut budget = c.benchmark_group("fairness_overhead_budget");
     budget.sample_size(10);
-    let config = BudgetConfig::new(10);
-    budget.bench_function("p1_unfair", |b| {
-        b.iter(|| black_box(solve_tcim_budget(&oracle, &config).unwrap()))
-    });
+    let p1 = ProblemSpec::budget(10).unwrap();
+    budget.bench_function("p1_unfair", |b| b.iter(|| black_box(solve(&oracle, &p1).unwrap())));
     for wrapper in [ConcaveWrapper::Log, ConcaveWrapper::Sqrt, ConcaveWrapper::Power(0.25)] {
+        let p4 = p1.clone().with_fairness_wrapper(wrapper).unwrap();
         budget.bench_function(format!("p4_{wrapper}"), |b| {
-            b.iter(|| black_box(solve_fair_tcim_budget(&oracle, &config, wrapper, None).unwrap()))
+            b.iter(|| black_box(solve(&oracle, &p4).unwrap()))
         });
     }
     budget.finish();
 
     let mut cover = c.benchmark_group("fairness_overhead_cover");
     cover.sample_size(10);
-    let cover_config = CoverProblemConfig::new(0.2);
-    cover.bench_function("p2_unfair", |b| {
-        b.iter(|| black_box(solve_tcim_cover(&oracle, &cover_config).unwrap()))
-    });
-    cover.bench_function("p6_fair", |b| {
-        b.iter(|| black_box(solve_fair_tcim_cover(&oracle, &cover_config).unwrap()))
-    });
+    let p2 = ProblemSpec::cover(0.2).unwrap();
+    let p6 = p2.clone().with_fairness(FairnessMode::GroupQuota { group: None }).unwrap();
+    cover.bench_function("p2_unfair", |b| b.iter(|| black_box(solve(&oracle, &p2).unwrap())));
+    cover.bench_function("p6_fair", |b| b.iter(|| black_box(solve(&oracle, &p6).unwrap())));
     cover.finish();
 }
 

@@ -6,7 +6,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tcim_core::{solve_tcim_budget, BudgetConfig, GreedyAlgorithm};
+use tcim_core::{solve, GreedyAlgorithm, ProblemSpec};
 use tcim_datasets::SyntheticConfig;
 use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
 
@@ -31,12 +31,8 @@ fn bench_greedy_variants(c: &mut Criterion) {
         ("celf_lazy", GreedyAlgorithm::Lazy),
         ("stochastic", GreedyAlgorithm::Stochastic { epsilon: 0.1, seed: 3 }),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let config = BudgetConfig { budget: 10, algorithm, candidates: None };
-                black_box(solve_tcim_budget(&oracle, &config).unwrap())
-            })
-        });
+        let spec = ProblemSpec::budget(10).unwrap().with_algorithm(algorithm).unwrap();
+        group.bench_function(name, |b| b.iter(|| black_box(solve(&oracle, &spec).unwrap())));
     }
     group.finish();
 }

@@ -23,11 +23,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_bench::regression::{compare, BenchRecord, REGRESSION_TOLERANCE};
-use tcim_core::{solve_tcim_budget, BudgetConfig, EstimatorConfig, RisConfig, WorldsConfig};
+use tcim_core::{solve, EstimatorConfig, ProblemSpec, RisConfig, WorldsConfig};
 use tcim_datasets::SyntheticConfig;
 use tcim_diffusion::{Deadline, InfluenceOracle, MonteCarloEstimator, ParallelismConfig};
 use tcim_graph::NodeId;
-use tcim_service::{Request, ServiceEngine};
+use tcim_service::{Op, Request, ServiceEngine};
 
 struct Cli {
     out: Option<PathBuf>,
@@ -101,27 +101,46 @@ fn main() {
     let budget = 10;
 
     // --- MC (live-edge worlds) engine: build + greedy/CELF solve ----------
-    let (mc_solve_ms, mc_report) = timed(|| {
-        let oracle = EstimatorConfig::Worlds(WorldsConfig {
+    let mc_spec = ProblemSpec::budget(budget)
+        .expect("positive budget")
+        .with_deadline(deadline)
+        .with_estimator(EstimatorConfig::Worlds(WorldsConfig {
             num_worlds: 200,
             seed: 1,
             ..Default::default()
-        })
-        .build(Arc::clone(&graph), deadline)
-        .expect("world oracle");
-        solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).expect("world solve")
+        }));
+    let (mc_solve_ms, mc_report) = timed(|| {
+        let oracle = mc_spec
+            .estimator
+            .as_ref()
+            .expect("estimator set above")
+            .build(Arc::clone(&graph), deadline)
+            .expect("world oracle");
+        solve(&oracle, &mc_spec).expect("world solve")
     });
     record.push("mc_solve_ms", mc_solve_ms);
+    record.push_spec("mc_solve_ms", &mc_spec.canonical());
 
     // --- RIS engine: build + greedy/CELF solve ----------------------------
-    let ris_config = RisConfig { num_sets: 20_000, seed: 2, ..Default::default() };
+    let ris_spec = ProblemSpec::budget(budget)
+        .expect("positive budget")
+        .with_deadline(deadline)
+        .with_estimator(EstimatorConfig::Ris(RisConfig {
+            num_sets: 20_000,
+            seed: 2,
+            ..Default::default()
+        }));
     let (ris_solve_ms, ris_report) = timed(|| {
-        let oracle = EstimatorConfig::Ris(ris_config)
+        let oracle = ris_spec
+            .estimator
+            .as_ref()
+            .expect("estimator set above")
             .build(Arc::clone(&graph), deadline)
             .expect("ris oracle");
-        solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).expect("ris solve")
+        solve(&oracle, &ris_spec).expect("ris solve")
     });
     record.push("ris_solve_ms", ris_solve_ms);
+    record.push_spec("ris_solve_ms", &ris_spec.canonical());
 
     // --- Estimator throughput: evaluations per second ---------------------
     let eval_seeds: Vec<NodeId> = mc_report.seeds.clone();
@@ -136,8 +155,12 @@ fn main() {
     });
     record.push("mc_eval_per_s", 50.0 / (mc_eval_ms / 1e3));
 
-    let ris_oracle =
-        EstimatorConfig::Ris(ris_config).build(Arc::clone(&graph), deadline).expect("ris oracle");
+    let ris_oracle = ris_spec
+        .estimator
+        .as_ref()
+        .expect("estimator set above")
+        .build(Arc::clone(&graph), deadline)
+        .expect("ris oracle");
     let (ris_eval_ms, _) = timed(|| {
         for _ in 0..50 {
             ris_oracle.evaluate(&eval_seeds).expect("ris evaluate");
@@ -188,6 +211,11 @@ fn main() {
     record.push("service_cold20_ms", service_cold_ms);
     record.push("service_cached20_ms", service_cached_ms);
     record.push("service_cache_speedup", service_cold_ms / service_cached_ms);
+    // The grid is one spec shape swept over (τ, B); annotate with the first
+    // decoded request so the record names the workload.
+    if let Some(Op::Solve(spec)) = requests.first().map(|request| &request.op) {
+        record.push_spec("service_cold20_ms", &spec.canonical());
+    }
 
     print!("{}", record.to_json());
 

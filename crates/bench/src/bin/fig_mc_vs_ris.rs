@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_bench::{emit, fmt3, Args, FigureOutput, Table};
-use tcim_core::{audit_seed_set, solve_tcim_budget, BudgetConfig, EstimatorConfig};
+use tcim_core::{audit_seed_set, solve, EstimatorConfig, ProblemSpec};
 use tcim_datasets::instagram::{instagram_surrogate, InstagramConfig, INSTAGRAM_DEADLINE};
 use tcim_datasets::SyntheticConfig;
 use tcim_diffusion::{Deadline, MonteCarloEstimator, RisConfig, WorldsConfig};
@@ -114,15 +114,14 @@ fn main() {
             let start = Instant::now();
             let oracle =
                 config.build(Arc::clone(&instance.graph), instance.deadline).expect("oracle");
-            let report = solve_tcim_budget(
-                &oracle,
-                &BudgetConfig {
-                    budget: instance.budget,
-                    algorithm: Default::default(),
-                    candidates: instance.candidates.clone(),
-                },
-            )
-            .unwrap_or_else(|err| {
+            let mut spec = ProblemSpec::budget(instance.budget).unwrap_or_else(|err| {
+                eprintln!("error: invalid --budget {}: {err}", instance.budget);
+                std::process::exit(2);
+            });
+            if let Some(pool) = instance.candidates.clone() {
+                spec = spec.with_candidates(pool).expect("instance pools are non-empty");
+            }
+            let report = solve(&oracle, &spec).unwrap_or_else(|err| {
                 eprintln!(
                     "error: {label} solve failed on '{}' with --budget {}: {err}",
                     instance.name, instance.budget

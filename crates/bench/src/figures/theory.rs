@@ -13,8 +13,7 @@ use std::sync::Arc;
 
 use tcim_core::theory::{theorem1_check, theorem2_check};
 use tcim_core::{
-    solve_budget_exhaustive, solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover,
-    BudgetConfig, ConcaveWrapper, CoverProblemConfig, ExhaustiveObjective,
+    solve, solve_budget_exhaustive, ConcaveWrapper, ExhaustiveObjective, FairnessMode, ProblemSpec,
 };
 use tcim_diffusion::Deadline;
 use tcim_graph::generators::{illustrative_example, IllustrativeConfig};
@@ -52,8 +51,10 @@ pub fn run(args: &Args) -> FigureOutput {
         let optimal = solve_budget_exhaustive(&oracle, 2, None, ExhaustiveObjective::Total)
             .expect("exhaustive optimum failed");
         for wrapper in [ConcaveWrapper::Log, ConcaveWrapper::Sqrt] {
-            let fair = solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), wrapper, None)
-                .expect("fair budget solve failed");
+            let spec = ProblemSpec::budget(2)
+                .and_then(|spec| spec.with_fairness_wrapper(wrapper))
+                .expect("fair budget spec is valid");
+            let fair = solve(&oracle, &spec).expect("fair budget solve failed");
             let check = theorem1_check(fair.influence.total(), optimal.influence.total(), wrapper);
             t1.push_row(vec![
                 name.to_string(),
@@ -81,18 +82,25 @@ pub fn run(args: &Args) -> FigureOutput {
         args.seed,
     );
     for quota in [0.1, 0.2] {
-        let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota))
-            .expect("fair cover solve failed");
+        let cover = ProblemSpec::cover(quota).expect("theorem quotas lie in [0, 1]");
+        let fair_spec = cover
+            .clone()
+            .with_fairness(FairnessMode::GroupQuota { group: None })
+            .expect("group quota applies to covers");
+        let fair = solve(&oracle, &fair_spec).expect("fair cover solve failed");
 
         // Per-group greedy cover sizes: certified upper bounds on |S*_i|.
         let mut per_group_sizes = Vec::new();
         for group in graph.group_ids() {
-            let report = solve_group_tcim_cover(&oracle, group, &CoverProblemConfig::new(quota))
-                .expect("per-group cover solve failed");
-            per_group_sizes.push(report.seed_count());
+            let spec = cover
+                .clone()
+                .with_fairness(FairnessMode::GroupQuota { group: Some(group) })
+                .expect("group quota applies to covers");
+            let report = solve(&oracle, &spec).expect("per-group cover solve failed");
+            per_group_sizes.push(report.num_seeds());
         }
 
-        let check = theorem2_check(fair.seed_count(), &per_group_sizes, graph.num_nodes());
+        let check = theorem2_check(fair.num_seeds(), &per_group_sizes, graph.num_nodes());
         t2.push_row(vec![
             "synthetic".to_string(),
             format!("{quota}"),

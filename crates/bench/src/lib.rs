@@ -12,10 +12,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use tcim_core::{
-    solve_fair_tcim_budget, solve_fair_tcim_cover, solve_tcim_budget, solve_tcim_cover,
-    BudgetConfig, ConcaveWrapper, CoverProblemConfig, CoverReport, SolverReport,
-};
+use tcim_core::{solve, ConcaveWrapper, CoverReport, FairnessMode, ProblemSpec, SolverReport};
 use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
 use tcim_graph::{Graph, NodeId};
 
@@ -272,33 +269,48 @@ pub fn build_oracle(
 }
 
 /// Solves P1 and P4 (with the given wrappers) under one budget and returns
-/// the reports labelled like the paper's figures.
+/// the reports labelled like the paper's figures. Specs all the way down:
+/// one base spec, one fairness variant per wrapper.
 pub fn run_budget_suite(
     oracle: &WorldEstimator,
     budget: usize,
     candidates: Option<Vec<NodeId>>,
     wrappers: &[ConcaveWrapper],
 ) -> Vec<SolverReport> {
-    let config = BudgetConfig { budget, algorithm: Default::default(), candidates };
-    let mut reports = vec![solve_tcim_budget(oracle, &config).expect("P1 solve failed")];
+    let mut base = ProblemSpec::budget(budget).expect("figure budgets are positive");
+    if let Some(pool) = candidates {
+        base = base.with_candidates(pool).expect("figure candidate pools are non-empty");
+    }
+    let mut reports = vec![solve(oracle, &base).expect("P1 solve failed")];
     for &wrapper in wrappers {
-        reports
-            .push(solve_fair_tcim_budget(oracle, &config, wrapper, None).expect("P4 solve failed"));
+        let fair = base.clone().with_fairness_wrapper(wrapper).expect("figure wrappers are valid");
+        reports.push(solve(oracle, &fair).expect("P4 solve failed"));
     }
     reports
 }
 
-/// Solves P2 and P6 under one quota and returns `(unfair, fair)`.
+/// Solves P2 and P6 under one quota and returns `(unfair, fair)` in the
+/// legacy cover-report shape the figure tables consume.
 pub fn run_cover_suite(
     oracle: &WorldEstimator,
     quota: f64,
     max_seeds: Option<usize>,
     candidates: Option<Vec<NodeId>>,
 ) -> (CoverReport, CoverReport) {
-    let config = CoverProblemConfig { quota, tolerance: 0.0, max_seeds, candidates };
-    let unfair = solve_tcim_cover(oracle, &config).expect("P2 solve failed");
-    let fair = solve_fair_tcim_cover(oracle, &config).expect("P6 solve failed");
-    (unfair, fair)
+    let mut base = ProblemSpec::cover(quota).expect("figure quotas lie in [0, 1]");
+    if let Some(cap) = max_seeds {
+        base = base.with_max_seeds(cap).expect("cover objective set above");
+    }
+    if let Some(pool) = candidates {
+        base = base.with_candidates(pool).expect("figure candidate pools are non-empty");
+    }
+    let fair_spec = base
+        .clone()
+        .with_fairness(FairnessMode::GroupQuota { group: None })
+        .expect("group quota applies to covers");
+    let unfair = solve(oracle, &base).expect("P2 solve failed");
+    let fair = solve(oracle, &fair_spec).expect("P6 solve failed");
+    (CoverReport::from_report(unfair), CoverReport::from_report(fair))
 }
 
 /// Summary of a budget-problem report: total fraction, per-group normalized

@@ -23,6 +23,11 @@ pub struct BenchRecord {
     pub sha: String,
     /// Named metrics in insertion order.
     pub metrics: Vec<(String, f64)>,
+    /// Canonical `ProblemSpec` strings of the solves behind the metrics
+    /// (`tcim_core::ProblemSpec::canonical`), keyed like the metrics they
+    /// annotate — so a stored record names the exact problems it measured.
+    /// Never compared by the regression gate.
+    pub specs: Vec<(String, String)>,
 }
 
 /// Schema version stamped into every record.
@@ -34,12 +39,17 @@ pub const REGRESSION_TOLERANCE: f64 = 0.25;
 impl BenchRecord {
     /// Creates an empty record for `sha`.
     pub fn new(sha: &str) -> Self {
-        BenchRecord { sha: sha.to_string(), metrics: Vec::new() }
+        BenchRecord { sha: sha.to_string(), metrics: Vec::new(), specs: Vec::new() }
     }
 
     /// Appends a metric.
     pub fn push(&mut self, name: &str, value: f64) {
         self.metrics.push((name.to_string(), value));
+    }
+
+    /// Annotates the record with the canonical spec string behind a metric.
+    pub fn push_spec(&mut self, name: &str, spec: &str) {
+        self.specs.push((name.to_string(), spec.to_string()));
     }
 
     /// Looks up a metric by name.
@@ -60,7 +70,21 @@ impl BenchRecord {
             let rounded = Json::Num((value * 1000.0).round() / 1000.0);
             let _ = writeln!(out, "    {}: {rounded}{comma}", Json::from(name.as_str()));
         }
-        out.push_str("  }\n}\n");
+        if self.specs.is_empty() {
+            out.push_str("  }\n}\n");
+        } else {
+            out.push_str("  },\n  \"specs\": {\n");
+            for (i, (name, spec)) in self.specs.iter().enumerate() {
+                let comma = if i + 1 == self.specs.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "    {}: {}{comma}",
+                    Json::from(name.as_str()),
+                    Json::from(spec.as_str())
+                );
+            }
+            out.push_str("  }\n}\n");
+        }
         out
     }
 
@@ -85,7 +109,15 @@ impl BenchRecord {
         if metrics.is_empty() {
             return Err("no metrics found in bench record".to_string());
         }
-        Ok(BenchRecord { sha, metrics })
+        // `specs` is optional so baselines predating the annotation parse.
+        let mut specs = Vec::new();
+        if let Some(members) = value.get("specs").and_then(Json::as_obj) {
+            for (name, spec) in members {
+                let text = spec.as_str().ok_or_else(|| format!("bad spec for {name}: '{spec}'"))?;
+                specs.push((name.clone(), text.to_string()));
+            }
+        }
+        Ok(BenchRecord { sha, metrics, specs })
     }
 }
 
@@ -131,6 +163,7 @@ mod tests {
         r.push("mc_solve_ms", 120.5);
         r.push("ris_solve_ms", 40.25);
         r.push("ris_eval_per_s", 15000.0);
+        r.push_spec("mc_solve_ms", "tcim:budget:10|total|lazy|cand=all|tau=5|worlds:n=200,s=1");
         r
     }
 
@@ -143,6 +176,10 @@ mod tests {
         let parsed = BenchRecord::parse_json(&json).unwrap();
         assert_eq!(parsed.sha, "abc123");
         assert_eq!(parsed.metrics.len(), 3);
+        assert_eq!(parsed.specs, r.specs, "spec annotations must round-trip");
+        // Records without a specs section (older baselines) still parse.
+        let bare = BenchRecord::parse_json("{\"sha\":\"x\",\"metrics\":{\"a_ms\":1}}").unwrap();
+        assert!(bare.specs.is_empty());
         assert!((parsed.get("mc_solve_ms").unwrap() - 120.5).abs() < 1e-9);
         assert!((parsed.get("ris_eval_per_s").unwrap() - 15000.0).abs() < 1e-9);
         assert_eq!(parsed.get("bogus"), None);

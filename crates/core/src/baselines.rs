@@ -126,6 +126,9 @@ pub fn evaluate_seed_set(
         iterations,
         gain_evaluations: 0,
         label: label.to_string(),
+        spec: None,
+        cover: None,
+        constrained: None,
     })
 }
 

@@ -117,6 +117,9 @@ pub fn solve_budget_exhaustive(
         iterations,
         gain_evaluations: combinations as usize,
         label,
+        spec: None,
+        cover: None,
+        constrained: None,
     })
 }
 
@@ -239,11 +242,8 @@ mod tests {
     fn greedy_respects_the_one_minus_one_over_e_bound_against_the_optimum() {
         let est = oracle();
         let optimal = solve_budget_exhaustive(&est, 2, None, ExhaustiveObjective::Total).unwrap();
-        let greedy = crate::problems::budget::solve_tcim_budget(
-            &est,
-            &crate::problems::budget::BudgetConfig::new(2),
-        )
-        .unwrap();
+        let greedy =
+            crate::solve::solve(&est, &crate::spec::ProblemSpec::budget(2).unwrap()).unwrap();
         assert!(
             greedy.influence.total()
                 >= (1.0 - 1.0 / std::f64::consts::E) * optimal.influence.total() - 1e-9

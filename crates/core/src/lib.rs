@@ -5,14 +5,24 @@
 //! *"On the Fairness of Time-Critical Influence Maximization in Social
 //! Networks"* (Ali et al., ICDE 2022).
 //!
-//! ## Problems
+//! ## One entrypoint, every problem
 //!
-//! | Problem | API | Objective / constraint |
-//! |---------|-----|------------------------|
-//! | P1 TCIM-BUDGET | [`solve_tcim_budget`] | maximize `f_τ(S; V)`, `|S| ≤ B` |
-//! | P4 FAIRTCIM-BUDGET | [`solve_fair_tcim_budget`] | maximize `Σ_i λ_i H(f_τ(S; V_i))`, `|S| ≤ B` |
-//! | P2 TCIM-COVER | [`solve_tcim_cover`] | minimize `|S|` s.t. `f_τ(S; V)/|V| ≥ Q` |
-//! | P6 FAIRTCIM-COVER | [`solve_fair_tcim_cover`] | minimize `|S|` s.t. `f_τ(S; V_i)/|V_i| ≥ Q ∀i` |
+//! A [`ProblemSpec`] is the typed, validated, serializable description of a
+//! full solve — objective, fairness mode, estimator, deadline, candidate
+//! pool and solver knobs — and [`solve`] executes any spec against any
+//! [`InfluenceOracle`](tcim_diffusion::InfluenceOracle):
+//!
+//! | Problem | Spec | Objective / constraint |
+//! |---------|------|------------------------|
+//! | P1 TCIM-BUDGET | `ProblemSpec::budget(B)` | maximize `f_τ(S; V)`, `\|S\| ≤ B` |
+//! | P4 FAIRTCIM-BUDGET | `…budget(B)?.with_fairness_wrapper(H)` | maximize `Σ_i λ_i H(f_τ(S; V_i))` |
+//! | P3 (capped) | `…budget(B)?.with_fairness(Constrained { c })` | P1 s.t. disparity ≤ `c` |
+//! | P2 TCIM-COVER | `ProblemSpec::cover(Q)` | minimize `\|S\|` s.t. `f_τ(S; V)/\|V\| ≥ Q` |
+//! | P6 FAIRTCIM-COVER | `…cover(Q)?.with_fairness(GroupQuota { group: None })` | quota per group |
+//! | P5 (capped) | `…cover(Q)?.with_fairness(Constrained { c })` | P2 s.t. disparity ≤ `c` |
+//!
+//! The historical free functions (`solve_tcim_budget` and friends) are
+//! deprecated shims over this pair and will be removed after one release.
 //!
 //! Disparity is measured by Eq. 2 ([`fairness::disparity`]); Theorems 1 and 2
 //! can be checked with [`theory::theorem1_check`] / [`theory::theorem2_check`].
@@ -21,7 +31,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use tcim_core::{solve_fair_tcim_budget, solve_tcim_budget, BudgetConfig, ConcaveWrapper};
+//! use tcim_core::{solve, ConcaveWrapper, ProblemSpec};
 //! use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
 //! use tcim_graph::generators::{stochastic_block_model, SbmConfig};
 //!
@@ -36,13 +46,17 @@
 //! )
 //! .unwrap();
 //!
-//! let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(5)).unwrap();
-//! let fair =
-//!     solve_fair_tcim_budget(&oracle, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
+//! let p1 = ProblemSpec::budget(5)?;
+//! let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log)?;
+//! let unfair = solve(&oracle, &p1)?;
+//! let fair = solve(&oracle, &p4)?;
 //!
 //! // The fair surrogate never increases disparity, at a bounded cost in
-//! // total influence.
+//! // total influence — and every report names the spec that produced it.
 //! assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+//! assert_eq!(fair.label, "P4-log");
+//! assert_eq!(fair.spec.as_deref(), Some(p4.canonical().as_str()));
+//! # Ok::<(), tcim_core::CoreError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -54,6 +68,8 @@ mod exhaustive;
 mod objective;
 mod oracle;
 mod report;
+mod solve;
+mod spec;
 
 pub mod baselines;
 pub mod fairness;
@@ -69,16 +85,23 @@ pub use exhaustive::{solve_budget_exhaustive, ExhaustiveObjective, MAX_EXHAUSTIV
 pub use fairness::{audit_seed_set, disparity, FairnessReport};
 pub use objective::{InfluenceObjective, Scalarization};
 pub use oracle::{Estimator, EstimatorConfig};
-pub use problems::budget::{solve_fair_tcim_budget, solve_tcim_budget, BudgetConfig};
+pub use problems::budget::BudgetConfig;
 pub use problems::constrained::{
-    solve_constrained_budget, solve_constrained_cover, ConstrainedBudgetReport,
-    ConstrainedCoverReport, DEFAULT_WRAPPER_LADDER,
+    ConstrainedBudgetReport, ConstrainedCoverReport, DEFAULT_WRAPPER_LADDER,
 };
-pub use problems::cover::{
-    solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_cover, CoverProblemConfig,
-};
+pub use problems::cover::CoverProblemConfig;
 pub use problems::GreedyAlgorithm;
-pub use report::{CoverReport, IterationRecord, SolverReport};
+pub use report::{ConstrainedOutcome, CoverOutcome, CoverReport, IterationRecord, SolverReport};
+pub use solve::solve;
+pub use spec::{FairnessMode, Objective, ProblemSpec};
+// Deprecated shims, re-exported (without warnings at the re-export site) so
+// downstream call sites keep compiling for one release.
+#[allow(deprecated)]
+pub use problems::budget::{solve_fair_tcim_budget, solve_tcim_budget};
+#[allow(deprecated)]
+pub use problems::constrained::{solve_constrained_budget, solve_constrained_cover};
+#[allow(deprecated)]
+pub use problems::cover::{solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_cover};
 pub use tcim_diffusion::ParallelismConfig;
 // The estimator knobs ride with the oracle configs; re-exported here so
 // solver users can select and tune an estimator (including the RIS engine)

@@ -46,6 +46,35 @@ impl Default for EstimatorConfig {
 }
 
 impl EstimatorConfig {
+    /// Canonical, collision-free encoding of the config: `worlds:n=…,s=…`,
+    /// `mc:n=…,s=…` or `ris:n=…,s=…[,adaptive(…)]`. The parallelism knob is
+    /// deliberately excluded — thread counts never change results, so two
+    /// configs differing only in parallelism must encode (and cache)
+    /// identically. Float knobs render via their exact bits so distinct
+    /// configs can never collide. [`crate::ProblemSpec::canonical`] and the
+    /// service-layer oracle cache key derive from this.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            EstimatorConfig::Worlds(w) => format!("worlds:n={},s={}", w.num_worlds, w.seed),
+            EstimatorConfig::MonteCarlo { samples, seed } => format!("mc:n={samples},s={seed}"),
+            EstimatorConfig::Ris(r) => {
+                let mut key = format!("ris:n={},s={}", r.num_sets, r.seed);
+                if let Some(a) = &r.adaptive {
+                    let _ = write!(
+                        key,
+                        ",adaptive(eps={:016x},delta={:016x},b={},max={})",
+                        a.epsilon.to_bits(),
+                        a.delta.to_bits(),
+                        a.budget,
+                        a.max_sets
+                    );
+                }
+                key
+            }
+        }
+    }
+
     /// Builds the configured estimator over `graph` for `deadline`.
     ///
     /// # Errors
@@ -118,7 +147,7 @@ impl EstimatorConfig {
 
 /// A concrete influence oracle built from an [`EstimatorConfig`]; delegates
 /// every [`InfluenceOracle`] method to the wrapped backend, so it plugs
-/// directly into `solve_tcim_budget` and friends.
+/// directly into [`crate::solve`] with any [`crate::ProblemSpec`].
 #[derive(Debug, Clone)]
 pub enum Estimator {
     /// Live-edge world backend.
@@ -177,7 +206,7 @@ impl InfluenceOracle for Estimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{solve_tcim_budget, BudgetConfig};
+    use crate::{solve, ProblemSpec};
     use tcim_diffusion::ParallelismConfig;
     use tcim_graph::generators::{stochastic_block_model, SbmConfig};
 
@@ -198,7 +227,7 @@ mod tests {
         ];
         for config in configs {
             let oracle = config.build(Arc::clone(&graph), deadline).unwrap();
-            let report = solve_tcim_budget(&oracle, &BudgetConfig::new(3)).unwrap();
+            let report = solve(&oracle, &ProblemSpec::budget(3).unwrap()).unwrap();
             assert_eq!(report.num_seeds(), 3, "{} backend", oracle.label());
             assert!(report.influence.total() > 0.0, "{} backend", oracle.label());
             assert_eq!(oracle.deadline(), deadline);

@@ -10,20 +10,22 @@
 //! * **P4** maximizes `Σ_i λ_i · H(f_τ(S; V_i))` for a concave `H`, which
 //!   rewards influence on under-served groups and provably costs only a
 //!   bounded amount of total influence (Theorem 1).
+//!
+//! The canonical way to run either is a [`ProblemSpec`] through
+//! [`crate::solve`]; the free functions in this module are deprecated shims
+//! kept for one release.
 
 use tcim_diffusion::InfluenceOracle;
 use tcim_graph::NodeId;
-use tcim_submodular::{
-    maximize_greedy, maximize_lazy, maximize_stochastic, SelectionTrace, StochasticGreedyConfig,
-};
 
 use crate::concave::ConcaveWrapper;
-use crate::error::{CoreError, Result};
-use crate::objective::{InfluenceObjective, Scalarization};
-use crate::problems::{final_influence, replay_influence, resolve_candidates, GreedyAlgorithm};
+use crate::error::Result;
+use crate::problems::GreedyAlgorithm;
 use crate::report::SolverReport;
+use crate::spec::{FairnessMode, Objective, ProblemSpec};
 
-/// Configuration shared by the budget-constrained solvers.
+/// Configuration shared by the budget-constrained solver shims. New code
+/// should build a [`ProblemSpec`] instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetConfig {
     /// Maximum number of seeds `B`.
@@ -37,23 +39,30 @@ pub struct BudgetConfig {
 }
 
 impl BudgetConfig {
-    /// Convenience constructor: budget `B`, lazy greedy, all nodes candidates.
-    pub fn new(budget: usize) -> Self {
-        BudgetConfig { budget, algorithm: GreedyAlgorithm::default(), candidates: None }
+    /// Convenience constructor: budget `B`, lazy greedy, all nodes
+    /// candidates. Validates eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] naming `budget` when it is 0.
+    pub fn new(budget: usize) -> Result<Self> {
+        // Same eager check (and message) as the canonical spec constructor.
+        ProblemSpec::budget(budget)?;
+        Ok(BudgetConfig { budget, algorithm: GreedyAlgorithm::default(), candidates: None })
     }
 
-    fn validate(&self) -> Result<()> {
-        if self.budget == 0 {
-            return Err(CoreError::InvalidConfig { message: "budget must be at least 1".into() });
+    /// The equivalent [`ProblemSpec`] with the given fairness mode (no eager
+    /// validation — [`crate::solve`] re-validates, so struct-literal configs
+    /// keep their historical solve-time error behavior).
+    pub(crate) fn to_spec(&self, fairness: FairnessMode) -> ProblemSpec {
+        ProblemSpec {
+            objective: Objective::Budget { budget: self.budget },
+            fairness,
+            algorithm: self.algorithm,
+            candidates: self.candidates.clone(),
+            deadline: None,
+            estimator: None,
         }
-        if let GreedyAlgorithm::Stochastic { epsilon, .. } = self.algorithm {
-            if !(epsilon > 0.0 && epsilon < 1.0) {
-                return Err(CoreError::InvalidConfig {
-                    message: format!("stochastic greedy epsilon {epsilon} must be in (0, 1)"),
-                });
-            }
-        }
-        Ok(())
     }
 }
 
@@ -62,11 +71,12 @@ impl BudgetConfig {
 /// # Errors
 ///
 /// Returns an error on invalid configuration or estimator failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_tcim_budget(
     oracle: &dyn InfluenceOracle,
     config: &BudgetConfig,
 ) -> Result<SolverReport> {
-    solve_budget_with(oracle, config, Scalarization::Total, "P1".to_string())
+    crate::solve::solve(oracle, &config.to_spec(FairnessMode::Total))
 }
 
 /// Solves the FAIRTCIM-BUDGET surrogate P4 with the greedy heuristic.
@@ -79,89 +89,18 @@ pub fn solve_tcim_budget(
 ///
 /// Returns an error on invalid configuration (including an invalid concave
 /// wrapper or wrong-length weight vector) or estimator failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_fair_tcim_budget(
     oracle: &dyn InfluenceOracle,
     config: &BudgetConfig,
     wrapper: ConcaveWrapper,
     weights: Option<Vec<f64>>,
 ) -> Result<SolverReport> {
-    if !wrapper.is_valid() {
-        return Err(CoreError::InvalidConfig {
-            message: format!("concave wrapper {wrapper} has invalid parameters"),
-        });
-    }
-    let k = oracle.graph().num_groups();
-    if let Some(w) = &weights {
-        if w.len() != k {
-            return Err(CoreError::InvalidConfig {
-                message: format!("weight vector has {} entries for {k} groups", w.len()),
-            });
-        }
-        if w.iter().any(|x| *x < 0.0 || x.is_nan()) {
-            return Err(CoreError::InvalidConfig {
-                message: "group weights must be non-negative".to_string(),
-            });
-        }
-    }
-    let label = format!("P4-{wrapper}");
-    solve_budget_with(oracle, config, Scalarization::Concave { wrapper, weights }, label)
-}
-
-/// Shared driver: builds the incremental objective, runs the chosen greedy
-/// variant and assembles the report.
-fn solve_budget_with(
-    oracle: &dyn InfluenceOracle,
-    config: &BudgetConfig,
-    scalarization: Scalarization,
-    label: String,
-) -> Result<SolverReport> {
-    config.validate()?;
-    let ground = resolve_candidates(oracle, config.candidates.as_deref())?;
-
-    let mut objective = InfluenceObjective::new(oracle.cursor(), scalarization);
-    let trace = run_greedy(&mut objective, &ground, config)?;
-
-    build_report(oracle, &trace, label)
-}
-
-pub(crate) fn run_greedy(
-    objective: &mut InfluenceObjective<'_>,
-    ground: &[usize],
-    config: &BudgetConfig,
-) -> Result<SelectionTrace> {
-    let trace = match config.algorithm {
-        GreedyAlgorithm::Greedy => maximize_greedy(objective, ground, config.budget)?,
-        GreedyAlgorithm::Lazy => maximize_lazy(objective, ground, config.budget)?,
-        GreedyAlgorithm::Stochastic { epsilon, seed } => maximize_stochastic(
-            objective,
-            ground,
-            config.budget,
-            &StochasticGreedyConfig { epsilon, seed },
-        )?,
-    };
-    Ok(trace)
-}
-
-pub(crate) fn build_report(
-    oracle: &dyn InfluenceOracle,
-    trace: &SelectionTrace,
-    label: String,
-) -> Result<SolverReport> {
-    let seeds: Vec<NodeId> = trace.selected.iter().map(|&i| NodeId::from_index(i)).collect();
-    let objective_values: Vec<f64> = trace.steps.iter().map(|s| s.value_after).collect();
-    let iterations = replay_influence(oracle, &seeds, &objective_values);
-    let influence = final_influence(oracle, &seeds)?;
-    Ok(SolverReport {
-        seeds,
-        influence,
-        group_sizes: oracle.graph().group_sizes(),
-        iterations,
-        gain_evaluations: trace.gain_evaluations,
-        label,
-    })
+    crate::solve::solve(oracle, &config.to_spec(FairnessMode::Concave { wrapper, weights }))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim-compat tests exercising the legacy surface
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -198,19 +137,21 @@ mod tests {
     #[test]
     fn p1_greedy_picks_the_highest_influence_hubs() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let report = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        let report = solve_tcim_budget(&est, &BudgetConfig::new(2).unwrap()).unwrap();
         assert_eq!(report.num_seeds(), 2);
         assert!(report.seeds.contains(&NodeId(0)));
         assert!(report.seeds.contains(&NodeId(11)));
         assert!((report.influence.total() - 16.0).abs() < 1e-9);
         assert_eq!(report.label, "P1");
         assert_eq!(report.iterations.len(), 2);
+        // Shims delegate to the unified path, so reports echo their spec.
+        assert!(report.spec.as_deref().unwrap().contains("budget:2"));
     }
 
     #[test]
     fn p1_with_budget_one_prefers_the_majority_hub_and_is_unfair() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let report = solve_tcim_budget(&est, &BudgetConfig::new(1)).unwrap();
+        let report = solve_tcim_budget(&est, &BudgetConfig::new(1).unwrap()).unwrap();
         assert_eq!(report.seeds, vec![NodeId(0)]);
         // Group 1 gets nothing -> disparity = 1.0.
         assert!(report.disparity() > 0.99);
@@ -220,7 +161,8 @@ mod tests {
     fn p4_with_budget_one_is_identical_but_with_budget_two_equalizes() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
         let fair =
-            solve_fair_tcim_budget(&est, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(2).unwrap(), ConcaveWrapper::Log, None)
+                .unwrap();
         // With two seeds the fair solution covers both groups completely.
         assert!(fair.disparity() < 1e-9);
         assert!((fair.influence.total() - 16.0).abs() < 1e-9);
@@ -230,7 +172,7 @@ mod tests {
     #[test]
     fn all_greedy_variants_agree_on_small_instances() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let lazy = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        let lazy = solve_tcim_budget(&est, &BudgetConfig::new(2).unwrap()).unwrap();
         let plain = solve_tcim_budget(
             &est,
             &BudgetConfig { budget: 2, algorithm: GreedyAlgorithm::Greedy, candidates: None },
@@ -267,7 +209,13 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
-        assert!(solve_tcim_budget(&est, &BudgetConfig::new(0)).is_err());
+        // Degenerate budgets fail eagerly at construction, naming the field…
+        let err = BudgetConfig::new(0).unwrap_err().to_string();
+        assert!(err.contains("'budget'"), "{err}");
+        // …and a struct literal that bypasses `new` still fails at solve
+        // time.
+        let zero = BudgetConfig { budget: 0, algorithm: GreedyAlgorithm::Lazy, candidates: None };
+        assert!(solve_tcim_budget(&est, &zero).is_err());
         let bad_candidate = BudgetConfig {
             budget: 1,
             algorithm: GreedyAlgorithm::Lazy,
@@ -285,21 +233,21 @@ mod tests {
         assert!(solve_tcim_budget(&est, &bad_epsilon).is_err());
         assert!(solve_fair_tcim_budget(
             &est,
-            &BudgetConfig::new(1),
+            &BudgetConfig::new(1).unwrap(),
             ConcaveWrapper::Power(2.0),
             None
         )
         .is_err());
         assert!(solve_fair_tcim_budget(
             &est,
-            &BudgetConfig::new(1),
+            &BudgetConfig::new(1).unwrap(),
             ConcaveWrapper::Log,
             Some(vec![1.0])
         )
         .is_err());
         assert!(solve_fair_tcim_budget(
             &est,
-            &BudgetConfig::new(1),
+            &BudgetConfig::new(1).unwrap(),
             ConcaveWrapper::Log,
             Some(vec![1.0, -2.0])
         )
@@ -310,9 +258,10 @@ mod tests {
     fn fair_solution_reduces_disparity_on_the_illustrative_graph() {
         let (graph, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
         let est = estimator(graph, Deadline::finite(2), 128);
-        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(2)).unwrap();
+        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(2).unwrap()).unwrap();
         let fair =
-            solve_fair_tcim_budget(&est, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(2).unwrap(), ConcaveWrapper::Log, None)
+                .unwrap();
         assert!(
             fair.disparity() < unfair.disparity(),
             "fair disparity {} should be below unfair disparity {}",
@@ -330,10 +279,11 @@ mod tests {
         let (graph, _) = illustrative_example(&IllustrativeConfig::default()).unwrap();
         let est = estimator(graph, Deadline::finite(2), 64);
         let unweighted =
-            solve_fair_tcim_budget(&est, &BudgetConfig::new(1), ConcaveWrapper::Log, None).unwrap();
+            solve_fair_tcim_budget(&est, &BudgetConfig::new(1).unwrap(), ConcaveWrapper::Log, None)
+                .unwrap();
         let weighted = solve_fair_tcim_budget(
             &est,
-            &BudgetConfig::new(1),
+            &BudgetConfig::new(1).unwrap(),
             ConcaveWrapper::Log,
             Some(vec![1.0, 50.0]),
         )

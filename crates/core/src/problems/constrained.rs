@@ -4,28 +4,32 @@
 //! P3 / P5 are NP-hard and lack submodular structure, which is why the paper
 //! optimizes the surrogates P4 / P6 instead and notes that the curvature of
 //! the concave wrapper (for budgets) and the per-group quota (for coverage)
-//! are the knobs that trade total influence against disparity. This module
-//! automates exactly that tuning:
+//! are the knobs that trade total influence against disparity. The unified
+//! solver automates exactly that tuning — select it with
+//! [`FairnessMode::Constrained`]:
 //!
-//! * [`solve_constrained_budget`] sweeps a ladder of increasingly curved
+//! * for **budget** objectives it sweeps a ladder of increasingly curved
 //!   wrappers (optionally with minority up-weighting, the second lever the
 //!   paper mentions) and returns the *least* curved solution whose measured
-//!   disparity is within the cap — i.e. the highest-influence surrogate
-//!   solution that satisfies the P3 constraint empirically.
-//! * [`solve_constrained_cover`] lifts the per-group quota to
+//!   disparity is within the cap;
+//! * for **cover** objectives it lifts the per-group quota to
 //!   `max(Q, 1 − c)`: any feasible FAIRTCIM-COVER solution at that quota has
 //!   disparity at most `1 − max(Q, 1 − c) ≤ c`, so the P5 constraints are
 //!   satisfied by construction whenever the lifted quota is reachable.
+//!
+//! The free functions in this module are deprecated shims over that path,
+//! kept for one release.
 
 use tcim_diffusion::InfluenceOracle;
 
 use crate::concave::ConcaveWrapper;
-use crate::error::{CoreError, Result};
-use crate::problems::budget::{solve_fair_tcim_budget, BudgetConfig};
-use crate::problems::cover::{solve_fair_tcim_cover, CoverProblemConfig};
+use crate::error::Result;
+use crate::problems::budget::BudgetConfig;
+use crate::problems::cover::CoverProblemConfig;
 use crate::report::{CoverReport, SolverReport};
+use crate::spec::FairnessMode;
 
-/// The wrapper ladder swept by [`solve_constrained_budget`], ordered from
+/// The wrapper ladder swept by disparity-capped budget solves, ordered from
 /// least to most disparity-penalising.
 pub const DEFAULT_WRAPPER_LADDER: [ConcaveWrapper; 5] = [
     ConcaveWrapper::Identity,
@@ -53,108 +57,31 @@ pub struct ConstrainedBudgetReport {
 /// Approximately solves problem P3: maximize total influence subject to
 /// `|S| ≤ B` and disparity ≤ `disparity_cap`.
 ///
-/// Sweeps [`DEFAULT_WRAPPER_LADDER`]; if no uniform-weight solution meets the
-/// cap, retries the most curved wrapper with progressively stronger
-/// up-weighting of the currently worst-off group. Returns the
-/// highest-total-influence solution among those meeting the cap, or — when
-/// none does (the paper notes P3 "might not be feasible for all values of
-/// c") — the lowest-disparity solution found, flagged `feasible = false`.
+/// Returns the highest-total-influence solution among those meeting the cap,
+/// or — when none does (the paper notes P3 "might not be feasible for all
+/// values of c") — the lowest-disparity solution found, flagged
+/// `feasible = false`.
 ///
 /// # Errors
 ///
 /// Returns an error on invalid configuration (cap outside `[0, 1]`, invalid
 /// budget, …) or estimator failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_constrained_budget(
     oracle: &dyn InfluenceOracle,
     config: &BudgetConfig,
     disparity_cap: f64,
 ) -> Result<ConstrainedBudgetReport> {
-    if !(0.0..=1.0).contains(&disparity_cap) || disparity_cap.is_nan() {
-        return Err(CoreError::InvalidConfig {
-            message: format!("disparity cap {disparity_cap} must be in [0, 1]"),
-        });
-    }
-
-    let mut best_feasible: Option<ConstrainedBudgetReport> = None;
-    let mut least_disparate: Option<ConstrainedBudgetReport> = None;
-
-    fn consider(
-        best_feasible: &mut Option<ConstrainedBudgetReport>,
-        least_disparate: &mut Option<ConstrainedBudgetReport>,
-        candidate: ConstrainedBudgetReport,
-    ) {
-        if candidate.feasible {
-            let better = best_feasible
-                .as_ref()
-                .map(|b| candidate.report.influence.total() > b.report.influence.total())
-                .unwrap_or(true);
-            if better {
-                *best_feasible = Some(candidate.clone());
-            }
-        }
-        let lower = least_disparate
-            .as_ref()
-            .map(|b| candidate.report.disparity() < b.report.disparity())
-            .unwrap_or(true);
-        if lower {
-            *least_disparate = Some(candidate);
-        }
-    }
-
-    for wrapper in DEFAULT_WRAPPER_LADDER {
-        let report = solve_fair_tcim_budget(oracle, config, wrapper, None)?;
-        let feasible = report.disparity() <= disparity_cap + 1e-9;
-        consider(
-            &mut best_feasible,
-            &mut least_disparate,
-            ConstrainedBudgetReport { report, wrapper, weights: None, disparity_cap, feasible },
-        );
-        // Early exit: the ladder is ordered by curvature, so once a feasible
-        // low-curvature solution exists, later (more curved) ones cannot have
-        // more total influence in the common case; we still keep scanning
-        // because curvature/influence is not perfectly monotone on sampled
-        // objectives, but we stop as soon as two consecutive rungs are
-        // feasible.
-        if best_feasible.is_some() && feasible && wrapper != DEFAULT_WRAPPER_LADDER[0] {
-            break;
-        }
-    }
-
-    if best_feasible.is_none() {
-        // Second lever: up-weight the worst-off group under the most curved
-        // wrapper.
-        let k = oracle.graph().num_groups();
-        let probe = solve_fair_tcim_budget(oracle, config, ConcaveWrapper::Log, None)?;
-        if let Some(worst) = probe.fairness().worst_off_group() {
-            for boost in [4.0, 16.0, 64.0] {
-                let mut weights = vec![1.0; k];
-                weights[worst.index()] = boost;
-                let report = solve_fair_tcim_budget(
-                    oracle,
-                    config,
-                    ConcaveWrapper::Log,
-                    Some(weights.clone()),
-                )?;
-                let feasible = report.disparity() <= disparity_cap + 1e-9;
-                consider(
-                    &mut best_feasible,
-                    &mut least_disparate,
-                    ConstrainedBudgetReport {
-                        report,
-                        wrapper: ConcaveWrapper::Log,
-                        weights: Some(weights),
-                        disparity_cap,
-                        feasible,
-                    },
-                );
-                if best_feasible.is_some() {
-                    break;
-                }
-            }
-        }
-    }
-
-    Ok(best_feasible.or(least_disparate).expect("at least one ladder rung was evaluated"))
+    let spec = config.to_spec(FairnessMode::Constrained { disparity_cap });
+    let report = crate::solve::solve(oracle, &spec)?;
+    let outcome = report.constrained.clone().expect("capped solves carry a constrained outcome");
+    Ok(ConstrainedBudgetReport {
+        report,
+        wrapper: outcome.wrapper.expect("the budget sweep records its wrapper"),
+        weights: outcome.weights,
+        disparity_cap,
+        feasible: outcome.feasible,
+    })
 }
 
 /// Result of a disparity-constrained cover solve (problem P5 surrogate).
@@ -181,27 +108,25 @@ pub struct ConstrainedCoverReport {
 /// # Errors
 ///
 /// Returns an error on invalid configuration or estimator failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_constrained_cover(
     oracle: &dyn InfluenceOracle,
     config: &CoverProblemConfig,
     disparity_cap: f64,
 ) -> Result<ConstrainedCoverReport> {
-    if !(0.0..=1.0).contains(&disparity_cap) || disparity_cap.is_nan() {
-        return Err(CoreError::InvalidConfig {
-            message: format!("disparity cap {disparity_cap} must be in [0, 1]"),
-        });
-    }
-    let effective_quota = config.quota.max(1.0 - disparity_cap);
-    let lifted = CoverProblemConfig { quota: effective_quota, ..config.clone() };
-    let cover = solve_fair_tcim_cover(oracle, &lifted)?;
-    let fairness = cover.fairness();
-    let feasible = cover.reached
-        && fairness.total_fraction + 1e-9 >= config.quota
-        && fairness.disparity <= disparity_cap + 1e-6;
-    Ok(ConstrainedCoverReport { cover, effective_quota, disparity_cap, feasible })
+    let spec = config.to_spec(FairnessMode::Constrained { disparity_cap });
+    let report = crate::solve::solve(oracle, &spec)?;
+    let outcome = report.constrained.clone().expect("capped solves carry a constrained outcome");
+    Ok(ConstrainedCoverReport {
+        cover: CoverReport::from_report(report),
+        effective_quota: outcome.effective_quota.expect("the cover sweep records its quota"),
+        disparity_cap,
+        feasible: outcome.feasible,
+    })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim-compat tests exercising the legacy surface
 mod tests {
     use super::*;
     use crate::problems::budget::solve_tcim_budget;
@@ -239,7 +164,7 @@ mod tests {
     #[test]
     fn loose_caps_recover_the_unfair_solution() {
         let est = oracle();
-        let config = BudgetConfig::new(2);
+        let config = BudgetConfig::new(2).unwrap();
         let constrained = solve_constrained_budget(&est, &config, 1.0).unwrap();
         let unfair = solve_tcim_budget(&est, &config).unwrap();
         assert!(constrained.feasible);
@@ -251,7 +176,7 @@ mod tests {
     #[test]
     fn tight_caps_force_fairer_solutions() {
         let est = oracle();
-        let config = BudgetConfig::new(2);
+        let config = BudgetConfig::new(2).unwrap();
         let constrained = solve_constrained_budget(&est, &config, 0.05).unwrap();
         assert!(constrained.feasible);
         assert!(constrained.report.disparity() <= 0.05 + 1e-9);
@@ -264,7 +189,7 @@ mod tests {
     fn infeasible_caps_are_reported_with_the_least_disparate_fallback() {
         let est = oracle();
         // With a single seed one group always ends up at zero: disparity 1.
-        let config = BudgetConfig::new(1);
+        let config = BudgetConfig::new(1).unwrap();
         let constrained = solve_constrained_budget(&est, &config, 0.1).unwrap();
         assert!(!constrained.feasible);
         assert!(constrained.report.num_seeds() == 1);
@@ -275,7 +200,7 @@ mod tests {
     #[test]
     fn constrained_cover_lifts_the_quota_to_meet_the_cap() {
         let est = oracle();
-        let config = CoverProblemConfig::new(0.2);
+        let config = CoverProblemConfig::new(0.2).unwrap();
         let constrained = solve_constrained_cover(&est, &config, 0.3).unwrap();
         assert!((constrained.effective_quota - 0.7).abs() < 1e-12);
         assert!(constrained.feasible);

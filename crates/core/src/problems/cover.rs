@@ -11,18 +11,20 @@
 //!   bounds the disparity of any feasible solution by `1 − Q` and is solved
 //!   greedily through the truncated potential
 //!   `Σ_i min(f_τ(S; V_i)/|V_i|, Q) ≥ k·Q` (Appendix B).
+//!
+//! The canonical way to run either is a [`ProblemSpec`] through
+//! [`crate::solve`]; the free functions in this module are deprecated shims
+//! kept for one release.
 
 use tcim_diffusion::InfluenceOracle;
 use tcim_graph::NodeId;
-use tcim_submodular::{cover_greedy, CoverConfig as SubmodularCoverConfig};
 
-use crate::error::{CoreError, Result};
-use crate::objective::{InfluenceObjective, Scalarization};
-use crate::problems::budget::build_report;
-use crate::problems::resolve_candidates;
+use crate::error::Result;
 use crate::report::CoverReport;
+use crate::spec::{FairnessMode, Objective, ProblemSpec};
 
-/// Configuration shared by the coverage-constrained solvers.
+/// Configuration shared by the coverage-constrained solver shims. New code
+/// should build a [`ProblemSpec`] instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverProblemConfig {
     /// The coverage quota `Q ∈ [0, 1]`.
@@ -38,23 +40,34 @@ pub struct CoverProblemConfig {
 
 impl CoverProblemConfig {
     /// Convenience constructor with zero tolerance, no seed cap and all nodes
-    /// as candidates.
-    pub fn new(quota: f64) -> Self {
-        CoverProblemConfig { quota, tolerance: 0.0, max_seeds: None, candidates: None }
+    /// as candidates. Validates eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] naming `quota` when it is NaN or
+    /// outside `[0, 1]`.
+    pub fn new(quota: f64) -> Result<Self> {
+        // Same eager check (and message) as the canonical spec constructor.
+        ProblemSpec::cover(quota)?;
+        Ok(CoverProblemConfig { quota, tolerance: 0.0, max_seeds: None, candidates: None })
     }
 
-    fn validate(&self) -> Result<()> {
-        if !(0.0..=1.0).contains(&self.quota) || self.quota.is_nan() {
-            return Err(CoreError::InvalidConfig {
-                message: format!("quota {} must be in [0, 1]", self.quota),
-            });
+    /// The equivalent [`ProblemSpec`] with the given fairness mode (no eager
+    /// validation — [`crate::solve`] re-validates, so struct-literal configs
+    /// keep their historical solve-time error behavior).
+    pub(crate) fn to_spec(&self, fairness: FairnessMode) -> ProblemSpec {
+        ProblemSpec {
+            objective: Objective::Cover {
+                quota: self.quota,
+                tolerance: self.tolerance,
+                max_seeds: self.max_seeds,
+            },
+            fairness,
+            algorithm: Default::default(),
+            candidates: self.candidates.clone(),
+            deadline: None,
+            estimator: None,
         }
-        if self.tolerance < 0.0 || self.tolerance.is_nan() {
-            return Err(CoreError::InvalidConfig {
-                message: format!("tolerance {} must be non-negative", self.tolerance),
-            });
-        }
-        Ok(())
     }
 }
 
@@ -67,14 +80,12 @@ impl CoverProblemConfig {
 /// Returns an error on invalid configuration or estimator failures. An
 /// unreachable quota is *not* an error; it is reported through
 /// [`CoverReport::reached`].
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_tcim_cover(
     oracle: &dyn InfluenceOracle,
     config: &CoverProblemConfig,
 ) -> Result<CoverReport> {
-    config.validate()?;
-    let population = oracle.graph().num_nodes();
-    let scalarization = Scalarization::NormalizedTotal { population };
-    solve_cover_with(oracle, config, scalarization, config.quota, "P2".to_string())
+    Ok(CoverReport::from_report(crate::solve::solve(oracle, &config.to_spec(FairnessMode::Total))?))
 }
 
 /// Solves the FAIRTCIM-COVER surrogate P6 with the greedy heuristic:
@@ -84,16 +95,13 @@ pub fn solve_tcim_cover(
 /// # Errors
 ///
 /// Returns an error on invalid configuration or estimator failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_fair_tcim_cover(
     oracle: &dyn InfluenceOracle,
     config: &CoverProblemConfig,
 ) -> Result<CoverReport> {
-    config.validate()?;
-    let group_sizes = oracle.graph().group_sizes();
-    let non_empty = group_sizes.iter().filter(|&&s| s > 0).count();
-    let scalarization = Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
-    let target = config.quota * non_empty as f64;
-    solve_cover_with(oracle, config, scalarization, target, "P6".to_string())
+    let spec = config.to_spec(FairnessMode::GroupQuota { group: None });
+    Ok(CoverReport::from_report(crate::solve::solve(oracle, &spec)?))
 }
 
 /// Solves the *per-group* cover problem used in the Theorem 2 analysis:
@@ -108,48 +116,18 @@ pub fn solve_fair_tcim_cover(
 ///
 /// Returns an error on invalid configuration, an unknown group, or estimator
 /// failures.
+#[deprecated(note = "build a ProblemSpec and call tcim_core::solve")]
 pub fn solve_group_tcim_cover(
     oracle: &dyn InfluenceOracle,
     group: tcim_graph::GroupId,
     config: &CoverProblemConfig,
 ) -> Result<CoverReport> {
-    config.validate()?;
-    let mut group_sizes = oracle.graph().group_sizes();
-    if group.index() >= group_sizes.len() || group_sizes[group.index()] == 0 {
-        return Err(CoreError::InvalidConfig {
-            message: format!("group {group} does not exist or is empty"),
-        });
-    }
-    // Zero out every other group so only the target group's (truncated)
-    // coverage counts towards the objective and the target.
-    for (i, size) in group_sizes.iter_mut().enumerate() {
-        if i != group.index() {
-            *size = 0;
-        }
-    }
-    let scalarization = Scalarization::TruncatedQuota { quota: config.quota, group_sizes };
-    solve_cover_with(oracle, config, scalarization, config.quota, format!("P2-{group}"))
-}
-
-fn solve_cover_with(
-    oracle: &dyn InfluenceOracle,
-    config: &CoverProblemConfig,
-    scalarization: Scalarization,
-    target: f64,
-    label: String,
-) -> Result<CoverReport> {
-    let ground = resolve_candidates(oracle, config.candidates.as_deref())?;
-    let mut objective = InfluenceObjective::new(oracle.cursor(), scalarization);
-    let result = cover_greedy(
-        &mut objective,
-        &ground,
-        &SubmodularCoverConfig { target, tolerance: config.tolerance, max_items: config.max_seeds },
-    )?;
-    let report = build_report(oracle, &result.trace, label)?;
-    Ok(CoverReport { report, quota: config.quota, reached: result.reached })
+    let spec = config.to_spec(FairnessMode::GroupQuota { group: Some(group) });
+    Ok(CoverReport::from_report(crate::solve::solve(oracle, &spec)?))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim-compat tests exercising the legacy surface
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -186,7 +164,7 @@ mod tests {
     #[test]
     fn p2_meets_the_population_quota_out_of_the_majority_alone() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.5)).unwrap();
+        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.5).unwrap()).unwrap();
         assert!(report.reached);
         // The majority star alone covers 16/20 = 0.8 >= 0.5 with one seed.
         assert_eq!(report.seed_count(), 1);
@@ -194,12 +172,16 @@ mod tests {
         // ... and the minority group is left with nothing.
         assert!(report.fairness().group_fraction(GroupId(1)) < 1e-9);
         assert_eq!(report.report.label, "P2");
+        // The unified path annotates the cover outcome on the inner report.
+        let outcome = report.report.cover.as_ref().unwrap();
+        assert_eq!(outcome.quota, report.quota);
+        assert_eq!(outcome.reached, report.reached);
     }
 
     #[test]
     fn p6_requires_every_group_to_meet_the_quota() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
-        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.5)).unwrap();
+        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.5).unwrap()).unwrap();
         assert!(report.reached);
         assert_eq!(report.seed_count(), 2);
         let fairness = report.fairness();
@@ -215,8 +197,8 @@ mod tests {
         let cfg = SbmConfig::two_group(150, 0.7, 0.08, 0.01, 0.3, 5);
         let graph = stochastic_block_model(&cfg).unwrap();
         let est = estimator(graph, Deadline::finite(5), 64);
-        let unfair = solve_tcim_cover(&est, &CoverProblemConfig::new(0.2)).unwrap();
-        let fair = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.2)).unwrap();
+        let unfair = solve_tcim_cover(&est, &CoverProblemConfig::new(0.2).unwrap()).unwrap();
+        let fair = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.2).unwrap()).unwrap();
         assert!(unfair.reached);
         assert!(fair.reached);
         assert!(fair.seed_count() >= unfair.seed_count());
@@ -245,10 +227,10 @@ mod tests {
     #[test]
     fn zero_quota_needs_no_seeds() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
-        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.0)).unwrap();
+        let report = solve_tcim_cover(&est, &CoverProblemConfig::new(0.0).unwrap()).unwrap();
         assert!(report.reached);
         assert_eq!(report.seed_count(), 0);
-        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.0)).unwrap();
+        let report = solve_fair_tcim_cover(&est, &CoverProblemConfig::new(0.0).unwrap()).unwrap();
         assert!(report.reached);
         assert_eq!(report.seed_count(), 0);
     }
@@ -256,8 +238,15 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 2);
-        assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(1.5)).is_err());
-        assert!(solve_tcim_cover(&est, &CoverProblemConfig::new(f64::NAN)).is_err());
+        // Degenerate quotas fail eagerly at construction, naming the field…
+        for quota in [1.5, -0.1, f64::NAN] {
+            let err = CoverProblemConfig::new(quota).unwrap_err().to_string();
+            assert!(err.contains("'quota'"), "{err}");
+        }
+        // …and struct literals that bypass `new` still fail at solve time.
+        let bypassed =
+            CoverProblemConfig { quota: 1.5, tolerance: 0.0, max_seeds: None, candidates: None };
+        assert!(solve_tcim_cover(&est, &bypassed).is_err());
         let bad_tolerance =
             CoverProblemConfig { quota: 0.2, tolerance: -1.0, max_seeds: None, candidates: None };
         assert!(solve_fair_tcim_cover(&est, &bad_tolerance).is_err());
@@ -274,7 +263,8 @@ mod tests {
     fn per_group_cover_targets_a_single_group() {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
         let minority =
-            solve_group_tcim_cover(&est, GroupId(1), &CoverProblemConfig::new(0.5)).unwrap();
+            solve_group_tcim_cover(&est, GroupId(1), &CoverProblemConfig::new(0.5).unwrap())
+                .unwrap();
         assert!(minority.reached);
         // One seed (the minority hub) suffices, and the majority group can be
         // ignored entirely.
@@ -283,7 +273,8 @@ mod tests {
         assert!(minority.fairness().group_fraction(GroupId(1)) >= 0.5);
 
         // Unknown / empty groups are rejected.
-        assert!(solve_group_tcim_cover(&est, GroupId(9), &CoverProblemConfig::new(0.5)).is_err());
+        assert!(solve_group_tcim_cover(&est, GroupId(9), &CoverProblemConfig::new(0.5).unwrap())
+            .is_err());
     }
 
     #[test]
@@ -291,7 +282,7 @@ mod tests {
         let est = estimator(two_star_graph(), Deadline::unbounded(), 4);
         // Exact quota 0.85 needs both hubs (0.8 is not enough); with a
         // tolerance of 0.1 the majority hub alone suffices.
-        let strict = solve_tcim_cover(&est, &CoverProblemConfig::new(0.85)).unwrap();
+        let strict = solve_tcim_cover(&est, &CoverProblemConfig::new(0.85).unwrap()).unwrap();
         let loose = solve_tcim_cover(
             &est,
             &CoverProblemConfig { quota: 0.85, tolerance: 0.1, max_seeds: None, candidates: None },

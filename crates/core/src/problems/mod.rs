@@ -1,7 +1,12 @@
-//! The four TCIM problem formulations and their greedy solvers.
+//! The TCIM problem formulations: configs, legacy shims and shared helpers.
 //!
 //! * [`budget`] — TCIM-BUDGET (P1) and FAIRTCIM-BUDGET (P4),
-//! * [`cover`] — TCIM-COVER (P2) and FAIRTCIM-COVER (P6).
+//! * [`cover`] — TCIM-COVER (P2) and FAIRTCIM-COVER (P6),
+//! * [`constrained`] — the disparity-capped originals P3 and P5.
+//!
+//! The canonical entrypoint is [`crate::solve`] over a
+//! [`crate::ProblemSpec`]; the per-problem free functions in these modules
+//! are deprecated shims over it.
 
 pub mod budget;
 pub mod constrained;

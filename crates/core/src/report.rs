@@ -3,6 +3,7 @@
 use tcim_diffusion::GroupInfluence;
 use tcim_graph::NodeId;
 
+use crate::concave::ConcaveWrapper;
 use crate::fairness::FairnessReport;
 
 /// One committed seed during greedy selection.
@@ -18,7 +19,35 @@ pub struct IterationRecord {
     pub objective_value: f64,
 }
 
-/// Result of a budget-constrained solve (problems P1 / P4).
+/// Outcome of the coverage stopping rule; present on cover solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverOutcome {
+    /// The per-population (or per-group) quota the solver enforced. For
+    /// disparity-capped solves this is the *effective* (lifted) quota.
+    pub quota: f64,
+    /// Whether the quota was reached before running out of candidates.
+    pub reached: bool,
+}
+
+/// Outcome of a disparity-capped solve (P3 / P5); records which surrogate
+/// knobs the automatic tuning settled on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedOutcome {
+    /// The requested disparity cap `c`.
+    pub disparity_cap: f64,
+    /// Whether the returned solution's measured disparity satisfies the cap
+    /// (for covers: plus the original coverage constraint).
+    pub feasible: bool,
+    /// The concave wrapper the ladder sweep settled on (budget solves).
+    pub wrapper: Option<ConcaveWrapper>,
+    /// The per-group weights the sweep settled on (`None` = uniform).
+    pub weights: Option<Vec<f64>>,
+    /// The lifted per-group quota `max(Q, 1 − c)` (cover solves).
+    pub effective_quota: Option<f64>,
+}
+
+/// Result of one solve: the seed set, its influence, per-iteration records
+/// and — for quota- or cap-driven problems — the objective-specific outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverReport {
     /// Selected seeds in selection order.
@@ -32,8 +61,17 @@ pub struct SolverReport {
     pub iterations: Vec<IterationRecord>,
     /// Number of marginal-gain oracle calls issued by the solver.
     pub gain_evaluations: usize,
-    /// Human-readable label of the problem / algorithm ("P1", "P4-log", ...).
+    /// Human-readable label of the problem / algorithm ("P1", "P4-log", ...),
+    /// derived from the spec for spec-driven solves.
     pub label: String,
+    /// Canonical encoding of the [`crate::ProblemSpec`] that produced this
+    /// report ([`crate::ProblemSpec::canonical`]); `None` for hand-assembled
+    /// reports such as baseline evaluations.
+    pub spec: Option<String>,
+    /// Coverage outcome; `Some` exactly for cover solves.
+    pub cover: Option<CoverOutcome>,
+    /// Disparity-cap outcome; `Some` exactly for P3 / P5 solves.
+    pub constrained: Option<ConstrainedOutcome>,
 }
 
 impl SolverReport {
@@ -92,6 +130,18 @@ pub struct CoverReport {
 }
 
 impl CoverReport {
+    /// Adapts a unified cover report ([`crate::solve`] on a cover spec) to
+    /// this legacy wrapper shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` carries no [`CoverOutcome`] — i.e. it did not come
+    /// from a cover solve.
+    pub fn from_report(report: SolverReport) -> Self {
+        let outcome = report.cover.clone().expect("cover solves carry a cover outcome");
+        CoverReport { report, quota: outcome.quota, reached: outcome.reached }
+    }
+
     /// Number of seeds used to (attempt to) reach the quota — the paper's
     /// "solution set size |S|".
     pub fn seed_count(&self) -> usize {
@@ -127,6 +177,9 @@ mod tests {
             ],
             gain_evaluations: 42,
             label: "P1".to_string(),
+            spec: None,
+            cover: None,
+            constrained: None,
         }
     }
 

@@ -5,10 +5,7 @@
 
 use std::sync::Arc;
 
-use tcim_core::{
-    solve_fair_tcim_budget, solve_tcim_budget, solve_tcim_cover, BudgetConfig, ConcaveWrapper,
-    CoverProblemConfig, ParallelismConfig,
-};
+use tcim_core::{solve, ConcaveWrapper, FairnessMode, ParallelismConfig, ProblemSpec};
 use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
 use tcim_graph::generators::{stochastic_block_model, SbmConfig};
 
@@ -26,19 +23,17 @@ fn oracle(threads: ParallelismConfig) -> WorldEstimator {
 
 #[test]
 fn budget_solvers_agree_across_thread_counts() {
+    let p1 = ProblemSpec::budget(5).unwrap();
+    let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log).unwrap();
     let reference = {
         let est = oracle(ParallelismConfig::serial());
-        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(5)).unwrap();
-        let fair =
-            solve_fair_tcim_budget(&est, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
-        (unfair, fair)
+        (solve(&est, &p1).unwrap(), solve(&est, &p4).unwrap())
     };
 
     for threads in [2usize, 8] {
         let est = oracle(ParallelismConfig::fixed(threads));
-        let unfair = solve_tcim_budget(&est, &BudgetConfig::new(5)).unwrap();
-        let fair =
-            solve_fair_tcim_budget(&est, &BudgetConfig::new(5), ConcaveWrapper::Log, None).unwrap();
+        let unfair = solve(&est, &p1).unwrap();
+        let fair = solve(&est, &p4).unwrap();
         assert_eq!(reference.0.seeds, unfair.seeds, "unfair seeds differ at {threads} threads");
         assert_eq!(reference.1.seeds, fair.seeds, "fair seeds differ at {threads} threads");
         for (a, b) in [(&reference.0, &unfair), (&reference.1, &fair)] {
@@ -51,19 +46,27 @@ fn budget_solvers_agree_across_thread_counts() {
 
 #[test]
 fn cover_solver_agrees_across_thread_counts() {
-    let reference =
-        solve_tcim_cover(&oracle(ParallelismConfig::serial()), &CoverProblemConfig::new(0.2))
-            .unwrap();
+    let p2 = ProblemSpec::cover(0.2).unwrap();
+    let reference = solve(&oracle(ParallelismConfig::serial()), &p2).unwrap();
     for threads in [2usize, 8] {
-        let result = solve_tcim_cover(
-            &oracle(ParallelismConfig::fixed(threads)),
-            &CoverProblemConfig::new(0.2),
-        )
+        let result = solve(&oracle(ParallelismConfig::fixed(threads)), &p2).unwrap();
+        assert_eq!(reference.seeds, result.seeds, "cover seeds differ at {threads} threads");
+        assert_eq!(reference.cover, result.cover);
+    }
+}
+
+#[test]
+fn capped_solves_agree_across_thread_counts() {
+    // The P3 ladder sweep runs several inner solves; the whole sweep must
+    // still be a pure function of the spec at any thread count.
+    let p3 = ProblemSpec::budget(4)
+        .unwrap()
+        .with_fairness(FairnessMode::Constrained { disparity_cap: 0.2 })
         .unwrap();
-        assert_eq!(
-            reference.report.seeds, result.report.seeds,
-            "cover seeds differ at {threads} threads"
-        );
-        assert_eq!(reference.reached, result.reached);
+    let reference = solve(&oracle(ParallelismConfig::serial()), &p3).unwrap();
+    for threads in [2usize, 8] {
+        let result = solve(&oracle(ParallelismConfig::fixed(threads)), &p3).unwrap();
+        assert_eq!(reference.seeds, result.seeds, "P3 seeds differ at {threads} threads");
+        assert_eq!(reference.constrained, result.constrained);
     }
 }

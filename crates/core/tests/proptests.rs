@@ -6,10 +6,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use tcim_core::theory::{theorem1_check, theorem2_check};
-use tcim_core::{
-    disparity, solve_fair_tcim_budget, solve_fair_tcim_cover, solve_group_tcim_cover,
-    solve_tcim_budget, solve_tcim_cover, BudgetConfig, ConcaveWrapper, CoverProblemConfig,
-};
+use tcim_core::{disparity, solve, ConcaveWrapper, FairnessMode, ProblemSpec};
 use tcim_diffusion::{Deadline, GroupInfluence, WorldEstimator, WorldsConfig};
 use tcim_graph::generators::{stochastic_block_model, SbmConfig};
 use tcim_graph::GroupId;
@@ -60,9 +57,10 @@ proptest! {
     /// influence, and always respects the budget.
     #[test]
     fn fair_budget_solution_invariants((_graph, oracle) in sbm_oracle(), budget in 2usize..8) {
-        let config = BudgetConfig::new(budget);
-        let unfair = solve_tcim_budget(&oracle, &config).unwrap();
-        let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None).unwrap();
+        let p1 = ProblemSpec::budget(budget).unwrap();
+        let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log).unwrap();
+        let unfair = solve(&oracle, &p1).unwrap();
+        let fair = solve(&oracle, &p4).unwrap();
 
         prop_assert!(unfair.num_seeds() <= budget);
         prop_assert!(fair.num_seeds() <= budget);
@@ -89,8 +87,13 @@ proptest! {
     /// quota, and their disparity is bounded by 1 - Q.
     #[test]
     fn fair_cover_solution_invariants((graph, oracle) in sbm_oracle(), quota in 0.05f64..0.3) {
-        let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
-        if fair.reached {
+        let p6 = ProblemSpec::cover(quota)
+            .unwrap()
+            .with_fairness(FairnessMode::GroupQuota { group: None })
+            .unwrap();
+        let fair = solve(&oracle, &p6).unwrap();
+        let reached = fair.cover.as_ref().unwrap().reached;
+        if reached {
             let fairness = fair.fairness();
             for (i, fraction) in fairness.normalized_utilities.iter().enumerate() {
                 if graph.group_size(GroupId::from_index(i)) > 0 {
@@ -100,7 +103,7 @@ proptest! {
             }
             prop_assert!(fairness.disparity <= 1.0 - quota + 1e-6);
         }
-        prop_assert!(fair.seed_count() <= graph.num_nodes());
+        prop_assert!(fair.num_seeds() <= graph.num_nodes());
     }
 
     /// The unfair cover never uses more seeds than the fair cover, and the
@@ -108,22 +111,29 @@ proptest! {
     /// greedy covers.
     #[test]
     fn cover_sizes_are_ordered_and_bounded((graph, oracle) in sbm_oracle(), quota in 0.05f64..0.25) {
-        let unfair = solve_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
-        let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
-        prop_assume!(unfair.reached && fair.reached);
-        prop_assert!(fair.seed_count() >= unfair.seed_count());
+        let p2 = ProblemSpec::cover(quota).unwrap();
+        let p6 = p2.clone().with_fairness(FairnessMode::GroupQuota { group: None }).unwrap();
+        let unfair = solve(&oracle, &p2).unwrap();
+        let fair = solve(&oracle, &p6).unwrap();
+        prop_assume!(
+            unfair.cover.as_ref().unwrap().reached && fair.cover.as_ref().unwrap().reached
+        );
+        prop_assert!(fair.num_seeds() >= unfair.num_seeds());
 
         let mut per_group = Vec::new();
         for group in graph.group_ids() {
             if graph.group_size(group) == 0 {
                 continue;
             }
-            let cover = solve_group_tcim_cover(&oracle, group, &CoverProblemConfig::new(quota))
+            let spec = p2
+                .clone()
+                .with_fairness(FairnessMode::GroupQuota { group: Some(group) })
                 .unwrap();
-            prop_assume!(cover.reached);
-            per_group.push(cover.seed_count());
+            let cover = solve(&oracle, &spec).unwrap();
+            prop_assume!(cover.cover.as_ref().unwrap().reached);
+            per_group.push(cover.num_seeds());
         }
-        let check = theorem2_check(fair.seed_count(), &per_group, graph.num_nodes());
+        let check = theorem2_check(fair.num_seeds(), &per_group, graph.num_nodes());
         prop_assert!(check.satisfied, "theorem 2 check failed: {check:?}");
     }
 
@@ -131,10 +141,13 @@ proptest! {
     /// unfair solution, and the identity wrapper reproduces P1 exactly.
     #[test]
     fn identity_wrapper_recovers_p1((_graph, oracle) in sbm_oracle(), budget in 2usize..6) {
-        let config = BudgetConfig::new(budget);
-        let unfair = solve_tcim_budget(&oracle, &config).unwrap();
-        let identity =
-            solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Identity, None).unwrap();
+        let p1 = ProblemSpec::budget(budget).unwrap();
+        let unfair = solve(&oracle, &p1).unwrap();
+        let identity = solve(
+            &oracle,
+            &p1.clone().with_fairness_wrapper(ConcaveWrapper::Identity).unwrap(),
+        )
+        .unwrap();
         prop_assert_eq!(&unfair.seeds, &identity.seeds);
         prop_assert!((unfair.influence.total() - identity.influence.total()).abs() < 1e-9);
     }
@@ -143,8 +156,8 @@ proptest! {
     /// the (estimated) total influence.
     #[test]
     fn budget_monotonicity((_graph, oracle) in sbm_oracle()) {
-        let small = solve_tcim_budget(&oracle, &BudgetConfig::new(2)).unwrap();
-        let large = solve_tcim_budget(&oracle, &BudgetConfig::new(6)).unwrap();
+        let small = solve(&oracle, &ProblemSpec::budget(2).unwrap()).unwrap();
+        let large = solve(&oracle, &ProblemSpec::budget(6).unwrap()).unwrap();
         prop_assert!(large.influence.total() + 1e-9 >= small.influence.total());
     }
 }

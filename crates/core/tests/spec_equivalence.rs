@@ -1,0 +1,151 @@
+//! Migration guard: each deprecated `solve_*` shim must be **bitwise
+//! identical** to the spec-based `tcim_core::solve` call it is documented to
+//! be replaced by — seeds, per-group influence bits, iteration records and
+//! outcome flags — at 1 and at 8 estimation threads.
+
+#![allow(deprecated)] // this compat test exercises the legacy shims on purpose
+
+use std::sync::Arc;
+
+use tcim_core::{
+    solve, solve_constrained_budget, solve_constrained_cover, solve_fair_tcim_budget,
+    solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget, solve_tcim_cover,
+    BudgetConfig, ConcaveWrapper, CoverProblemConfig, FairnessMode, ParallelismConfig, ProblemSpec,
+    SolverReport,
+};
+use tcim_diffusion::{Deadline, WorldEstimator, WorldsConfig};
+use tcim_graph::generators::{stochastic_block_model, SbmConfig};
+use tcim_graph::GroupId;
+
+fn oracle(threads: ParallelismConfig) -> WorldEstimator {
+    let graph = Arc::new(
+        stochastic_block_model(&SbmConfig::two_group(100, 0.7, 0.06, 0.01, 0.15, 21)).unwrap(),
+    );
+    WorldEstimator::new(
+        graph,
+        Deadline::finite(4),
+        &WorldsConfig { num_worlds: 40, seed: 9, parallelism: threads },
+    )
+    .unwrap()
+}
+
+fn assert_bitwise_identical(legacy: &SolverReport, unified: &SolverReport, what: &str) {
+    assert_eq!(legacy.seeds, unified.seeds, "{what}: seeds differ");
+    assert_eq!(legacy.label, unified.label, "{what}: labels differ");
+    assert_eq!(legacy.gain_evaluations, unified.gain_evaluations, "{what}: gain counts differ");
+    for (a, b) in legacy.influence.values().iter().zip(unified.influence.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: influence differs bitwise");
+    }
+    assert_eq!(legacy.iterations.len(), unified.iterations.len(), "{what}: iteration counts");
+    for (a, b) in legacy.iterations.iter().zip(&unified.iterations) {
+        assert_eq!(a.seed, b.seed, "{what}: iteration seed differs");
+        assert_eq!(
+            a.objective_value.to_bits(),
+            b.objective_value.to_bits(),
+            "{what}: objective value differs bitwise"
+        );
+    }
+    assert_eq!(legacy.cover, unified.cover, "{what}: cover outcome differs");
+    assert_eq!(legacy.constrained, unified.constrained, "{what}: constrained outcome differs");
+    assert_eq!(legacy.spec, unified.spec, "{what}: spec echo differs");
+}
+
+#[test]
+fn every_shim_is_bitwise_identical_to_its_spec_solve() {
+    for threads in [ParallelismConfig::fixed(1), ParallelismConfig::fixed(8)] {
+        let est = oracle(threads);
+        let budget_config = BudgetConfig::new(5).unwrap();
+        let cover_config = CoverProblemConfig::new(0.15).unwrap();
+        let p1 = ProblemSpec::budget(5).unwrap();
+        let p2 = ProblemSpec::cover(0.15).unwrap();
+
+        // P1.
+        assert_bitwise_identical(
+            &solve_tcim_budget(&est, &budget_config).unwrap(),
+            &solve(&est, &p1).unwrap(),
+            "P1",
+        );
+
+        // P4 with weights.
+        let weights = Some(vec![1.0, 3.0]);
+        assert_bitwise_identical(
+            &solve_fair_tcim_budget(&est, &budget_config, ConcaveWrapper::Log, weights.clone())
+                .unwrap(),
+            &solve(
+                &est,
+                &p1.clone()
+                    .with_fairness(FairnessMode::Concave { wrapper: ConcaveWrapper::Log, weights })
+                    .unwrap(),
+            )
+            .unwrap(),
+            "P4",
+        );
+
+        // P2.
+        let legacy = solve_tcim_cover(&est, &cover_config).unwrap();
+        assert_bitwise_identical(&legacy.report, &solve(&est, &p2).unwrap(), "P2");
+
+        // P6.
+        let legacy = solve_fair_tcim_cover(&est, &cover_config).unwrap();
+        assert_bitwise_identical(
+            &legacy.report,
+            &solve(
+                &est,
+                &p2.clone().with_fairness(FairnessMode::GroupQuota { group: None }).unwrap(),
+            )
+            .unwrap(),
+            "P6",
+        );
+
+        // Per-group cover.
+        let legacy = solve_group_tcim_cover(&est, GroupId(1), &cover_config).unwrap();
+        assert_bitwise_identical(
+            &legacy.report,
+            &solve(
+                &est,
+                &p2.clone()
+                    .with_fairness(FairnessMode::GroupQuota { group: Some(GroupId(1)) })
+                    .unwrap(),
+            )
+            .unwrap(),
+            "P2-g1",
+        );
+
+        // P3 (capped budget).
+        let legacy = solve_constrained_budget(&est, &budget_config, 0.1).unwrap();
+        let unified = solve(
+            &est,
+            &p1.clone().with_fairness(FairnessMode::Constrained { disparity_cap: 0.1 }).unwrap(),
+        )
+        .unwrap();
+        assert_bitwise_identical(&legacy.report, &unified, "P3");
+        let outcome = unified.constrained.as_ref().unwrap();
+        assert_eq!(Some(legacy.wrapper), outcome.wrapper);
+        assert_eq!(legacy.weights, outcome.weights);
+        assert_eq!(legacy.feasible, outcome.feasible);
+
+        // P5 (capped cover).
+        let legacy = solve_constrained_cover(&est, &cover_config, 0.4).unwrap();
+        let unified = solve(
+            &est,
+            &p2.clone().with_fairness(FairnessMode::Constrained { disparity_cap: 0.4 }).unwrap(),
+        )
+        .unwrap();
+        assert_bitwise_identical(&legacy.cover.report, &unified, "P5");
+        let outcome = unified.constrained.as_ref().unwrap();
+        assert_eq!(Some(legacy.effective_quota), outcome.effective_quota);
+        assert_eq!(legacy.feasible, outcome.feasible);
+    }
+}
+
+#[test]
+fn shim_and_spec_results_are_bitwise_stable_across_thread_counts() {
+    // The equivalence above is per-thread-count; this pins the pair of
+    // (shim, spec) results at 8 threads to the 1-thread reference, closing
+    // the square.
+    let one =
+        solve(&oracle(ParallelismConfig::fixed(1)), &ProblemSpec::budget(5).unwrap()).unwrap();
+    let eight =
+        solve(&oracle(ParallelismConfig::fixed(8)), &ProblemSpec::budget(5).unwrap()).unwrap();
+    assert_bitwise_identical(&one, &eight, "P1 across thread counts");
+}

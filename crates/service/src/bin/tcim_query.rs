@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! tcim_query --op solve_budget --dataset synthetic --deadline 5 --budget 10 --fair
+//! tcim_query --op solve_budget --dataset synthetic --budget 10 --disparity-cap 0.2
+//! tcim_query --op solve_cover --dataset synthetic --quota 0.3 --group 1
 //! tcim_query --op audit --dataset illustrative --deadline 2 --seeds 0,1,2
 //! tcim_query --op estimate --dataset synthetic --estimator ris --samples 20000 --seeds 4,17
 //! ```
@@ -46,12 +48,13 @@ fn build_request(args: &mut std::env::Args) -> Result<(Request, ParallelismConfi
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--op" | "--dataset" | "--model" | "--estimator" | "--wrapper" => {
+            "--op" | "--dataset" | "--model" | "--estimator" | "--wrapper" | "--algorithm" => {
                 let value = next_value(args, &flag)?;
                 members.push((flag[2..].to_string(), Json::Str(value)));
             }
             "--dataset-seed" | "--estimator-seed" | "--samples" | "--budget" | "--quota"
-            | "--max-seeds" => {
+            | "--max-seeds" | "--tolerance" | "--disparity-cap" | "--group" | "--epsilon"
+            | "--algorithm-seed" => {
                 let value = next_value(args, &flag)?;
                 members.push((flag[2..].replace('-', "_"), number(&value, &flag)?));
             }

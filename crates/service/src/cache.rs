@@ -131,37 +131,31 @@ pub struct OracleSpec {
 }
 
 impl OracleSpec {
-    /// A canonical cache key. Excludes the parallelism knob on purpose:
-    /// thread counts never change results, so requests differing only in
-    /// parallelism must share an entry.
+    /// Derives the oracle identity from a [`tcim_core::ProblemSpec`]: the
+    /// spec's declared deadline and estimator become the cache coordinates,
+    /// so "which oracle serves this solve" is a pure function of
+    /// `(dataset, model, spec)`. Specs without a deadline default to
+    /// unbounded; specs without an estimator default to the default worlds
+    /// config — exactly the protocol defaults.
+    pub fn for_spec(dataset: DatasetSpec, model: ModelKind, spec: &tcim_core::ProblemSpec) -> Self {
+        OracleSpec {
+            dataset,
+            model,
+            deadline: spec.deadline.unwrap_or_default(),
+            estimator: spec.estimator.clone().unwrap_or_default(),
+        }
+    }
+
+    /// A canonical cache key. The estimator part is
+    /// [`EstimatorConfig::fingerprint`] — the same encoding
+    /// `ProblemSpec::canonical` embeds — and excludes the parallelism knob
+    /// on purpose: thread counts never change results, so requests differing
+    /// only in parallelism must share an entry.
     pub fn fingerprint(&self) -> String {
         let mut key = self.dataset.fingerprint();
         let _ = write!(key, "|{}|tau={}", self.model.label(), self.deadline);
-        let _ = write!(key, "|{}", estimator_fingerprint(&self.estimator));
+        let _ = write!(key, "|{}", self.estimator.fingerprint());
         key
-    }
-}
-
-/// Canonical estimator-config encoding (parallelism excluded; float knobs
-/// rendered via their exact bits so distinct configs can never collide).
-fn estimator_fingerprint(config: &EstimatorConfig) -> String {
-    match config {
-        EstimatorConfig::Worlds(w) => format!("worlds:n={},s={}", w.num_worlds, w.seed),
-        EstimatorConfig::MonteCarlo { samples, seed } => format!("mc:n={samples},s={seed}"),
-        EstimatorConfig::Ris(r) => {
-            let mut key = format!("ris:n={},s={}", r.num_sets, r.seed);
-            if let Some(a) = &r.adaptive {
-                let _ = write!(
-                    key,
-                    ",adaptive(eps={:016x},delta={:016x},b={},max={})",
-                    a.epsilon.to_bits(),
-                    a.delta.to_bits(),
-                    a.budget,
-                    a.max_sets
-                );
-            }
-            key
-        }
     }
 }
 

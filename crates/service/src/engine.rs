@@ -3,10 +3,7 @@
 use std::sync::Arc;
 
 use rayon::prelude::*;
-use tcim_core::{
-    audit_seed_set, solve_fair_tcim_budget, solve_fair_tcim_cover, solve_tcim_budget,
-    solve_tcim_cover, BudgetConfig, CoverProblemConfig, CoverReport, FairnessReport, SolverReport,
-};
+use tcim_core::{audit_seed_set, solve, FairnessReport, SolverReport};
 use tcim_diffusion::{InfluenceOracle, ParallelismConfig};
 
 use crate::cache::OracleCache;
@@ -66,33 +63,10 @@ impl ServiceEngine {
     fn execute(&self, request: &Request) -> Result<Vec<(String, Json)>> {
         let oracle = self.cache.oracle(&request.oracle)?;
         match &request.op {
-            Op::SolveBudget { budget, fair, wrapper, weights, candidates } => {
-                let config = BudgetConfig {
-                    budget: *budget,
-                    algorithm: Default::default(),
-                    candidates: candidates.clone(),
-                };
-                let report = if *fair {
-                    solve_fair_tcim_budget(oracle.as_ref(), &config, *wrapper, weights.clone())?
-                } else {
-                    solve_tcim_budget(oracle.as_ref(), &config)?
-                };
-                Ok(solver_fields(&report))
-            }
-            Op::SolveCover { quota, fair, max_seeds, candidates } => {
-                let config = CoverProblemConfig {
-                    quota: *quota,
-                    tolerance: 0.0,
-                    max_seeds: *max_seeds,
-                    candidates: candidates.clone(),
-                };
-                let cover = if *fair {
-                    solve_fair_tcim_cover(oracle.as_ref(), &config)?
-                } else {
-                    solve_tcim_cover(oracle.as_ref(), &config)?
-                };
-                Ok(cover_fields(&cover))
-            }
+            // One arm for every solve: the protocol decoded the request into
+            // a `ProblemSpec`, and `tcim_core::solve` dispatches it — adding
+            // a problem variant never touches this engine again.
+            Op::Solve(spec) => Ok(solver_fields(&solve(oracle.as_ref(), spec)?)),
             Op::Audit { seeds } => {
                 let report = audit_seed_set(oracle.as_ref(), seeds)?;
                 Ok(fairness_fields(&report))
@@ -114,7 +88,7 @@ fn f64_array(values: &[f64]) -> Json {
 
 fn solver_fields(report: &SolverReport) -> Vec<(String, Json)> {
     let fairness = report.fairness();
-    vec![
+    let mut fields = vec![
         ("label".into(), Json::from(report.label.as_str())),
         ("seeds".into(), nodes_to_json(&report.seeds)),
         ("influence".into(), f64_array(report.influence.values())),
@@ -123,14 +97,21 @@ fn solver_fields(report: &SolverReport) -> Vec<(String, Json)> {
         ("normalized".into(), f64_array(&fairness.normalized_utilities)),
         ("disparity".into(), Json::Num(fairness.disparity)),
         ("gain_evaluations".into(), Json::Num(report.gain_evaluations as f64)),
-    ]
-}
-
-fn cover_fields(cover: &CoverReport) -> Vec<(String, Json)> {
-    let mut fields = solver_fields(&cover.report);
-    fields.push(("quota".into(), Json::Num(cover.quota)));
-    fields.push(("reached".into(), Json::Bool(cover.reached)));
-    fields.push(("num_seeds".into(), Json::Num(cover.seed_count() as f64)));
+    ];
+    if let Some(cover) = &report.cover {
+        fields.push(("quota".into(), Json::Num(cover.quota)));
+        fields.push(("reached".into(), Json::Bool(cover.reached)));
+        fields.push(("num_seeds".into(), Json::Num(report.num_seeds() as f64)));
+    }
+    if let Some(constrained) = &report.constrained {
+        fields.push(("disparity_cap".into(), Json::Num(constrained.disparity_cap)));
+        fields.push(("feasible".into(), Json::Bool(constrained.feasible)));
+    }
+    // The canonical spec echo makes every response self-describing: a stored
+    // response line names the exact problem that produced it.
+    if let Some(spec) = &report.spec {
+        fields.push(("spec".into(), Json::from(spec.as_str())));
+    }
     fields
 }
 
@@ -185,16 +166,27 @@ mod tests {
     #[test]
     fn solver_failures_become_error_responses() {
         let engine = ServiceEngine::new(ParallelismConfig::serial());
-        // Budget 0 is rejected by the solver, out-of-bounds seeds by the
-        // estimator; both surface as ok:false with the cause, not a panic.
+        // Out-of-bounds candidates are rejected by the solver (bounds need
+        // the graph), out-of-bounds seeds by the estimator; both surface as
+        // ok:false with the cause, not a panic.
         let responses = engine.serve_batch(&[
-            request(r#"{"op":"solve_budget","dataset":"illustrative","samples":8,"budget":0}"#),
+            request(
+                r#"{"op":"solve_budget","dataset":"illustrative","samples":8,"budget":1,"candidates":[9999]}"#,
+            ),
             request(r#"{"op":"estimate","dataset":"illustrative","samples":8,"seeds":[9999]}"#),
         ]);
         for response in &responses {
             assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{response}");
             assert!(response.get("error").unwrap().as_str().is_some());
         }
-        assert!(responses[0].get("error").unwrap().as_str().unwrap().contains("budget"));
+        assert!(responses[0].get("error").unwrap().as_str().unwrap().contains("candidate"));
+        // Degenerate spec values never reach the engine: the codec's eager
+        // validation rejects them at parse time, naming the field.
+        let err = Request::parse_line(
+            r#"{"op":"solve_budget","dataset":"illustrative","samples":8,"budget":0}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("'budget'"), "{err}");
     }
 }

@@ -12,10 +12,12 @@
 //!   of a view.
 //! * [`ServiceEngine`] fans batches of requests out across threads (via the
 //!   same [`ParallelismConfig`] knob the estimators use) over the shared
-//!   read-only cache.
+//!   read-only cache, executing every solve through `tcim_core::solve`.
 //! * [`protocol`] defines the newline-delimited request/response format the
 //!   `tcim_serve` binary reads from stdin or a file (`tcim_query` is the
-//!   one-shot helper).
+//!   one-shot helper). Solve requests are a direct wire codec for
+//!   [`tcim_core::ProblemSpec`] — there is no per-op argument mapping, and
+//!   responses echo the canonical spec string, so they are self-describing.
 //! * [`minijson`] is the dependency-free JSON layer shared with
 //!   `tcim-bench`'s regression records.
 //!

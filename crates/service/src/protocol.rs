@@ -1,17 +1,21 @@
-//! The JSONL request/response protocol of the campaign-serving subsystem.
+//! The JSONL request/response protocol of the campaign-serving subsystem —
+//! a direct wire codec for [`ProblemSpec`].
 //!
 //! One request per line, one response per line, in request order. A request
-//! names an oracle — dataset, model, deadline, estimator — plus an operation
-//! and its parameters:
+//! names an oracle — dataset, model, deadline, estimator — plus an operation.
+//! Solve operations decode **directly into a `ProblemSpec`** and are executed
+//! by `tcim_core::solve`; there is no per-op argument mapping anywhere in the
+//! service:
 //!
 //! ```text
 //! {"id":1,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10,"fair":true}
 //! {"id":2,"op":"solve_cover","dataset":"synthetic","deadline":5,"quota":0.2,"fair":true}
-//! {"id":3,"op":"audit","dataset":"synthetic","deadline":5,"seeds":[4,17]}
-//! {"id":4,"op":"estimate","dataset":"synthetic","deadline":5,"seeds":[4,17]}
+//! {"id":3,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10,"disparity_cap":0.2}
+//! {"id":4,"op":"audit","dataset":"synthetic","deadline":5,"seeds":[4,17]}
+//! {"id":5,"op":"estimate","dataset":"synthetic","deadline":5,"seeds":[4,17]}
 //! ```
 //!
-//! Fields and defaults:
+//! Fields and defaults (spec mapping in parentheses):
 //!
 //! | field | meaning | default |
 //! |-------|---------|---------|
@@ -20,29 +24,42 @@
 //! | `dataset` | registry name (`synthetic`, `illustrative`, …) | required |
 //! | `dataset_seed` | surrogate-generator seed | `42` |
 //! | `model` | `ic` \| `lt` | `ic` |
-//! | `deadline` | number of steps, or `"inf"` | `"inf"` |
-//! | `estimator` | `worlds` \| `monte-carlo` \| `ris` | `worlds` |
+//! | `deadline` | number of steps, or `"inf"` (`ProblemSpec::deadline`) | `"inf"` |
+//! | `estimator` | `worlds` \| `monte-carlo` \| `ris` (`ProblemSpec::estimator`) | `worlds` |
 //! | `samples` | worlds / cascades / RR sets | `200` (`10000` for `ris`) |
 //! | `estimator_seed` | estimation RNG seed | `0` |
-//! | `budget` | max seeds (`solve_budget`) | required |
-//! | `quota` | coverage quota `Q` (`solve_cover`) | required |
-//! | `max_seeds` | seed cap (`solve_cover`) | none |
-//! | `fair` | solve the fair variant (P4 / P6) | `false` |
-//! | `wrapper` | `log` \| `sqrt` \| `identity` \| `pow<p>` (fair budget) | `log` |
-//! | `weights` | per-group multipliers `λ_i` (fair budget) | all `1` |
+//! | `budget` | max seeds (`Objective::Budget`) | required for `solve_budget` |
+//! | `quota` | coverage quota `Q` (`Objective::Cover`) | required for `solve_cover` |
+//! | `tolerance` | quota slack (`Objective::Cover`) | `0` |
+//! | `max_seeds` | seed cap (`Objective::Cover`) | none |
+//! | `fair` | fair variant: `FairnessMode::Concave` (budget) / `GroupQuota` (cover) | `false` |
+//! | `wrapper` | `log` \| `sqrt` \| `identity` \| `pow<p>` (requires `fair`) | `log` |
+//! | `weights` | per-group multipliers `λ_i` (requires `fair`, budget) | all `1` |
+//! | `group` | single-group cover (`GroupQuota { group }`; conflicts with `fair`) | none |
+//! | `disparity_cap` | P3/P5 cap (`FairnessMode::Constrained`; conflicts with `fair`/`group`) | none |
+//! | `algorithm` | `lazy` \| `greedy` \| `stochastic` (`ProblemSpec::algorithm`) | `lazy` |
+//! | `epsilon` | stochastic-greedy accuracy (requires `algorithm:"stochastic"`) | required then |
+//! | `algorithm_seed` | stochastic-greedy RNG seed | `0` |
 //! | `candidates` | candidate node pool | all nodes |
 //! | `seeds` | seed set (`audit` / `estimate`) | required |
 //!
 //! Unknown fields are rejected (a typoed `budgett` must not silently solve
-//! with the default), with the offending name in the error. Responses echo
-//! `id` and `op` and carry `"ok": true` plus result fields, or `"ok": false`
-//! plus `"error"`. Responses are a pure function of the request — never of
-//! cache temperature or thread count — which is what makes golden-file
-//! diffing in CI meaningful.
+//! with the default), with the offending name in the error; so are
+//! conflicting fairness fields (`fair` + `disparity_cap`, …). Responses echo
+//! `id` and `op`, carry `"ok": true` plus result fields — including the
+//! canonical `"spec"` string of the solved `ProblemSpec`, so every response
+//! is self-describing — or `"ok": false` plus `"error"`. Responses are a
+//! pure function of the request — never of cache temperature or thread
+//! count — which is what makes golden-file diffing in CI meaningful.
+//!
+//! [`ProblemSpec`]: tcim_core::ProblemSpec
 
-use tcim_core::{ConcaveWrapper, EstimatorConfig, RisConfig, WorldsConfig};
+use tcim_core::{
+    ConcaveWrapper, EstimatorConfig, FairnessMode, GreedyAlgorithm, Objective, ProblemSpec,
+    RisConfig, WorldsConfig,
+};
 use tcim_diffusion::Deadline;
-use tcim_graph::NodeId;
+use tcim_graph::{GroupId, NodeId};
 
 use crate::cache::{DatasetSpec, ModelKind, OracleSpec};
 use crate::error::{Result, ServiceError};
@@ -51,30 +68,9 @@ use crate::minijson::Json;
 /// One operation against an oracle.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
-    /// P1 (or P4 when `fair`) budget-constrained seed selection.
-    SolveBudget {
-        /// Maximum number of seeds.
-        budget: usize,
-        /// Solve the fair surrogate P4 instead of P1.
-        fair: bool,
-        /// Concave wrapper for P4.
-        wrapper: ConcaveWrapper,
-        /// Optional per-group multipliers for P4.
-        weights: Option<Vec<f64>>,
-        /// Optional candidate pool.
-        candidates: Option<Vec<NodeId>>,
-    },
-    /// P2 (or P6 when `fair`) coverage-constrained seed selection.
-    SolveCover {
-        /// Coverage quota `Q ∈ [0, 1]`.
-        quota: f64,
-        /// Solve the fair variant P6 instead of P2.
-        fair: bool,
-        /// Optional cap on the seed count.
-        max_seeds: Option<usize>,
-        /// Optional candidate pool.
-        candidates: Option<Vec<NodeId>>,
-    },
+    /// A spec-driven solve (P1–P6); the op name on the wire follows the
+    /// spec's objective (`solve_budget` / `solve_cover`).
+    Solve(ProblemSpec),
     /// Fairness audit of an explicit seed set.
     Audit {
         /// The seed set to audit.
@@ -91,15 +87,19 @@ impl Op {
     /// The protocol name of the operation.
     pub fn label(&self) -> &'static str {
         match self {
-            Op::SolveBudget { .. } => "solve_budget",
-            Op::SolveCover { .. } => "solve_cover",
+            Op::Solve(spec) => match spec.objective {
+                Objective::Budget { .. } => "solve_budget",
+                Objective::Cover { .. } => "solve_cover",
+            },
             Op::Audit { .. } => "audit",
             Op::Estimate { .. } => "estimate",
         }
     }
 }
 
-/// One parsed request: an oracle spec plus an operation.
+/// One parsed request: an oracle spec plus an operation. For solve
+/// operations the oracle spec is *derived from* the `ProblemSpec` (deadline
+/// and estimator), so the cache key is a pure function of the spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Opaque id echoed into the response (string or number).
@@ -125,11 +125,38 @@ const COMMON_FIELDS: &[&str] = &[
 
 fn op_fields(op: &str) -> &'static [&'static str] {
     match op {
-        "solve_budget" => &["budget", "fair", "wrapper", "weights", "candidates"],
-        "solve_cover" => &["quota", "fair", "max_seeds", "candidates"],
+        "solve_budget" => &[
+            "budget",
+            "fair",
+            "wrapper",
+            "weights",
+            "candidates",
+            "disparity_cap",
+            "algorithm",
+            "epsilon",
+            "algorithm_seed",
+        ],
+        "solve_cover" => &[
+            "quota",
+            "tolerance",
+            "max_seeds",
+            "fair",
+            "group",
+            "candidates",
+            "disparity_cap",
+            "algorithm",
+            "epsilon",
+            "algorithm_seed",
+        ],
         "audit" | "estimate" => &["seeds"],
         _ => &[],
     }
+}
+
+/// Maps a `CoreError` raised while assembling a spec from request fields to
+/// a bad-request error (the message already names the field).
+fn spec_error(err: tcim_core::CoreError) -> ServiceError {
+    ServiceError::bad_request(err.to_string())
 }
 
 impl Request {
@@ -148,7 +175,8 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a bad-request error naming the malformed or unknown field.
+    /// Returns a bad-request error naming the malformed, unknown or
+    /// conflicting field.
     pub fn from_json(value: &Json) -> Result<Request> {
         let Some(members) = value.as_obj() else {
             return Err(ServiceError::bad_request("request must be a JSON object"));
@@ -168,21 +196,11 @@ impl Request {
             }
         }
 
-        let oracle = parse_oracle(value)?;
+        let (dataset, model, deadline, estimator) = parse_oracle(value)?;
         let op = match op_name {
-            "solve_budget" => Op::SolveBudget {
-                budget: required_usize(value, "budget")?,
-                fair: optional_bool(value, "fair")?.unwrap_or(false),
-                wrapper: parse_wrapper(value)?,
-                weights: optional_f64_array(value, "weights")?,
-                candidates: optional_node_array(value, "candidates")?,
-            },
-            "solve_cover" => Op::SolveCover {
-                quota: required_f64(value, "quota")?,
-                fair: optional_bool(value, "fair")?.unwrap_or(false),
-                max_seeds: optional_usize(value, "max_seeds")?,
-                candidates: optional_node_array(value, "candidates")?,
-            },
+            "solve_budget" | "solve_cover" => {
+                Op::Solve(spec_from_json(op_name, value, deadline, estimator.clone())?)
+            }
             "audit" => Op::Audit {
                 seeds: optional_node_array(value, "seeds")?
                     .ok_or_else(|| missing("seeds", "audit"))?,
@@ -199,11 +217,12 @@ impl Request {
                 return Err(ServiceError::bad_request("field 'id' must be a string or number"));
             }
         }
-        Ok(Request { id, oracle, op })
+        Ok(Request { id, oracle: OracleSpec { dataset, model, deadline, estimator }, op })
     }
 
     /// Renders the request back to its protocol form (used by `tcim_query`
-    /// to show what it sent, and in tests for round-tripping).
+    /// to show what it sent, and in tests for round-tripping). Parsing the
+    /// rendered form yields the request back, spec included.
     pub fn to_json(&self) -> Json {
         let mut members: Vec<(String, Json)> = Vec::new();
         if let Some(id) = &self.id {
@@ -232,39 +251,189 @@ impl Request {
         members.push(("samples".into(), Json::Num(samples as f64)));
         members.push(("estimator_seed".into(), Json::Num(seed as f64)));
         match &self.op {
-            Op::SolveBudget { budget, fair, wrapper, weights, candidates } => {
-                members.push(("budget".into(), Json::Num(*budget as f64)));
-                members.push(("fair".into(), Json::Bool(*fair)));
-                // Always rendered (not only when fair): the parser accepts a
-                // wrapper on unfair requests too, and dropping it here would
-                // make parse -> to_json -> parse lossy.
-                members.push(("wrapper".into(), Json::Str(wrapper.label())));
-                if let Some(weights) = weights {
-                    members.push((
-                        "weights".into(),
-                        Json::Arr(weights.iter().map(|&w| Json::Num(w)).collect()),
-                    ));
-                }
-                if let Some(candidates) = candidates {
-                    members.push(("candidates".into(), nodes_to_json(candidates)));
-                }
-            }
-            Op::SolveCover { quota, fair, max_seeds, candidates } => {
-                members.push(("quota".into(), Json::Num(*quota)));
-                members.push(("fair".into(), Json::Bool(*fair)));
-                if let Some(cap) = max_seeds {
-                    members.push(("max_seeds".into(), Json::Num(*cap as f64)));
-                }
-                if let Some(candidates) = candidates {
-                    members.push(("candidates".into(), nodes_to_json(candidates)));
-                }
-            }
+            Op::Solve(spec) => members.extend(spec_to_members(spec)),
             Op::Audit { seeds } | Op::Estimate { seeds } => {
                 members.push(("seeds".into(), nodes_to_json(seeds)));
             }
         }
         Json::Obj(members)
     }
+}
+
+/// Decodes the problem half of a solve request into a validated
+/// [`ProblemSpec`] — the minijson → spec direction of the codec.
+///
+/// # Errors
+///
+/// Returns a bad-request error naming the malformed, missing or conflicting
+/// field.
+pub fn spec_from_json(
+    op_name: &str,
+    value: &Json,
+    deadline: Deadline,
+    estimator: EstimatorConfig,
+) -> Result<ProblemSpec> {
+    let mut spec = match op_name {
+        "solve_budget" => {
+            ProblemSpec::budget(required_usize(value, "budget")?).map_err(spec_error)?
+        }
+        "solve_cover" => {
+            let mut spec = ProblemSpec::cover(required_f64(value, "quota")?).map_err(spec_error)?;
+            if let Some(tolerance) = optional_f64(value, "tolerance")? {
+                spec = spec.with_tolerance(tolerance).map_err(spec_error)?;
+            }
+            if let Some(cap) = optional_usize(value, "max_seeds")? {
+                spec = spec.with_max_seeds(cap).map_err(spec_error)?;
+            }
+            spec
+        }
+        other => {
+            return Err(ServiceError::bad_request(format!("op '{other}' does not carry a spec")))
+        }
+    };
+
+    // Fairness: `fair`, `group` and `disparity_cap` are mutually exclusive
+    // selectors; `wrapper`/`weights` refine `fair` on budgets.
+    let fair = optional_bool(value, "fair")?.unwrap_or(false);
+    let group = optional_usize(value, "group")?;
+    let disparity_cap = optional_f64(value, "disparity_cap")?;
+    for (clash, field, other) in [
+        (fair && disparity_cap.is_some(), "disparity_cap", "fair"),
+        (fair && group.is_some(), "group", "fair"),
+        (group.is_some() && disparity_cap.is_some(), "disparity_cap", "group"),
+    ] {
+        if clash {
+            return Err(ServiceError::bad_request(format!(
+                "field '{field}' conflicts with '{other}'"
+            )));
+        }
+    }
+    if !fair {
+        for field in ["wrapper", "weights"] {
+            if value.get(field).is_some() {
+                return Err(ServiceError::bad_request(format!(
+                    "field '{field}' requires \"fair\":true"
+                )));
+            }
+        }
+    }
+    let fairness = if let Some(cap) = disparity_cap {
+        Some(FairnessMode::Constrained { disparity_cap: cap })
+    } else if let Some(g) = group {
+        let g = u32::try_from(g)
+            .map_err(|_| ServiceError::bad_request("field 'group' is out of range"))?;
+        Some(FairnessMode::GroupQuota { group: Some(GroupId(g)) })
+    } else if fair {
+        Some(match spec.objective {
+            Objective::Budget { .. } => FairnessMode::Concave {
+                wrapper: parse_wrapper(value)?,
+                weights: optional_f64_array(value, "weights")?,
+            },
+            Objective::Cover { .. } => FairnessMode::GroupQuota { group: None },
+        })
+    } else {
+        None
+    };
+    if let Some(fairness) = fairness {
+        spec = spec.with_fairness(fairness).map_err(spec_error)?;
+    }
+
+    match optional_str(value, "algorithm")?.unwrap_or("lazy") {
+        "lazy" => {}
+        "greedy" => spec = spec.with_algorithm(GreedyAlgorithm::Greedy).map_err(spec_error)?,
+        "stochastic" => {
+            let epsilon = optional_f64(value, "epsilon")?.ok_or_else(|| {
+                ServiceError::bad_request("algorithm 'stochastic' requires field 'epsilon'")
+            })?;
+            let seed = optional_u64(value, "algorithm_seed")?.unwrap_or(0);
+            spec = spec
+                .with_algorithm(GreedyAlgorithm::Stochastic { epsilon, seed })
+                .map_err(spec_error)?;
+        }
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown algorithm '{other}' (expected 'lazy', 'greedy' or 'stochastic')"
+            )))
+        }
+    }
+    if optional_str(value, "algorithm")?.unwrap_or("lazy") != "stochastic" {
+        for field in ["epsilon", "algorithm_seed"] {
+            if value.get(field).is_some() {
+                return Err(ServiceError::bad_request(format!(
+                    "field '{field}' requires algorithm 'stochastic'"
+                )));
+            }
+        }
+    }
+
+    if let Some(candidates) = optional_node_array(value, "candidates")? {
+        spec = spec.with_candidates(candidates).map_err(spec_error)?;
+    }
+    Ok(spec.with_deadline(deadline).with_estimator(estimator))
+}
+
+/// Encodes the problem half of a spec as wire fields — the spec → minijson
+/// direction of the codec. `spec_from_json` over the rendered fields yields
+/// the spec back (given the same oracle fields).
+pub fn spec_to_members(spec: &ProblemSpec) -> Vec<(String, Json)> {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    match &spec.objective {
+        Objective::Budget { budget } => {
+            members.push(("budget".into(), Json::Num(*budget as f64)));
+        }
+        Objective::Cover { quota, tolerance, max_seeds } => {
+            members.push(("quota".into(), Json::Num(*quota)));
+            if *tolerance != 0.0 {
+                members.push(("tolerance".into(), Json::Num(*tolerance)));
+            }
+            if let Some(cap) = max_seeds {
+                members.push(("max_seeds".into(), Json::Num(*cap as f64)));
+            }
+        }
+    }
+    match &spec.fairness {
+        FairnessMode::Total => members.push(("fair".into(), Json::Bool(false))),
+        FairnessMode::Concave { wrapper, weights } => {
+            members.push(("fair".into(), Json::Bool(true)));
+            let name = match wrapper {
+                // Full-precision power rendering (the display label rounds to
+                // two decimals, which would make the codec lossy).
+                ConcaveWrapper::Power(p) => format!("pow{p}"),
+                other => other.label(),
+            };
+            members.push(("wrapper".into(), Json::Str(name)));
+            if let Some(weights) = weights {
+                members.push((
+                    "weights".into(),
+                    Json::Arr(weights.iter().map(|&w| Json::Num(w)).collect()),
+                ));
+            }
+        }
+        FairnessMode::GroupQuota { group: None } => {
+            members.push(("fair".into(), Json::Bool(true)));
+        }
+        FairnessMode::GroupQuota { group: Some(g) } => {
+            members.push(("group".into(), Json::Num(g.0 as f64)));
+        }
+        FairnessMode::Constrained { disparity_cap } => {
+            members.push(("disparity_cap".into(), Json::Num(*disparity_cap)));
+        }
+    }
+    match spec.algorithm {
+        GreedyAlgorithm::Lazy => {}
+        GreedyAlgorithm::Greedy => {
+            members.push(("algorithm".into(), Json::from("greedy")));
+        }
+        GreedyAlgorithm::Stochastic { epsilon, seed } => {
+            members.push(("algorithm".into(), Json::from("stochastic")));
+            members.push(("epsilon".into(), Json::Num(epsilon)));
+            members.push(("algorithm_seed".into(), Json::Num(seed as f64)));
+        }
+    }
+    if let Some(candidates) = &spec.candidates {
+        members.push(("candidates".into(), nodes_to_json(candidates)));
+    }
+    members
 }
 
 /// Builds a success response: `id`/`op` header plus the result fields.
@@ -298,7 +467,9 @@ pub fn nodes_to_json(nodes: &[NodeId]) -> Json {
     Json::Arr(nodes.iter().map(|n| Json::Num(n.0 as f64)).collect())
 }
 
-fn parse_oracle(value: &Json) -> Result<OracleSpec> {
+type OracleParts = (DatasetSpec, ModelKind, Deadline, EstimatorConfig);
+
+fn parse_oracle(value: &Json) -> Result<OracleParts> {
     let dataset_name = required_str(value, "dataset")?;
     let dataset_seed = optional_u64(value, "dataset_seed")?.unwrap_or(42);
     let dataset = DatasetSpec::parse(dataset_name, dataset_seed)?;
@@ -350,7 +521,7 @@ fn parse_oracle(value: &Json) -> Result<OracleSpec> {
             )))
         }
     };
-    Ok(OracleSpec { dataset, model, deadline, estimator })
+    Ok((dataset, model, deadline, estimator))
 }
 
 fn parse_wrapper(value: &Json) -> Result<ConcaveWrapper> {
@@ -399,12 +570,31 @@ fn required_str<'a>(value: &'a Json, field: &str) -> Result<&'a str> {
         .ok_or_else(|| ServiceError::bad_request(format!("field '{field}' must be a string")))
 }
 
+fn optional_str<'a>(value: &'a Json, field: &str) -> Result<Option<&'a str>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ServiceError::bad_request(format!("field '{field}' must be a string"))),
+    }
+}
+
 fn required_f64(value: &Json, field: &str) -> Result<f64> {
     value
         .get(field)
         .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{field}'")))?
         .as_f64()
         .ok_or_else(|| ServiceError::bad_request(format!("field '{field}' must be a number")))
+}
+
+fn optional_f64(value: &Json, field: &str) -> Result<Option<f64>> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+            ServiceError::bad_request(format!("field '{field}' must be a number, got {v}"))
+        }),
+    }
 }
 
 fn required_usize(value: &Json, field: &str) -> Result<usize> {
@@ -495,7 +685,7 @@ mod tests {
     use tcim_datasets::registry::Dataset;
 
     #[test]
-    fn solve_budget_parses_with_defaults() {
+    fn solve_budget_parses_with_defaults_into_a_spec() {
         let req = Request::parse_line(
             r#"{"id":7,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10}"#,
         )
@@ -508,13 +698,16 @@ mod tests {
         let EstimatorConfig::Worlds(w) = &req.oracle.estimator else { panic!("worlds default") };
         assert_eq!(w.num_worlds, 200);
         assert_eq!(w.seed, 0);
-        let Op::SolveBudget { budget, fair, wrapper, weights, candidates } = req.op else {
-            panic!("solve_budget")
-        };
-        assert_eq!(budget, 10);
-        assert!(!fair);
-        assert_eq!(wrapper, ConcaveWrapper::Log);
-        assert!(weights.is_none() && candidates.is_none());
+        let Op::Solve(spec) = &req.op else { panic!("solve_budget") };
+        assert_eq!(spec.objective, Objective::Budget { budget: 10 });
+        assert_eq!(spec.fairness, FairnessMode::Total);
+        assert_eq!(spec.algorithm, GreedyAlgorithm::Lazy);
+        assert!(spec.candidates.is_none());
+        // The spec is self-describing: it carries the oracle's deadline and
+        // estimator, so the cache key derives from it alone.
+        assert_eq!(spec.deadline, Some(Deadline::finite(5)));
+        assert_eq!(spec.estimator.as_ref(), Some(&req.oracle.estimator));
+        assert_eq!(spec.label(), "P1");
     }
 
     #[test]
@@ -522,11 +715,11 @@ mod tests {
         let lines = [
             r#"{"id":"a","op":"solve_budget","dataset":"illustrative","dataset_seed":3,"model":"lt","deadline":2,"estimator":"worlds","samples":64,"estimator_seed":9,"budget":2,"fair":true,"wrapper":"sqrt","weights":[1,2],"candidates":[0,1,2]}"#,
             r#"{"id":2,"op":"solve_cover","dataset":"synthetic","deadline":"inf","quota":0.2,"fair":true,"max_seeds":40}"#,
+            r#"{"op":"solve_cover","dataset":"synthetic","quota":0.2,"tolerance":0.01,"group":1}"#,
+            r#"{"op":"solve_budget","dataset":"synthetic","budget":4,"disparity_cap":0.25}"#,
+            r#"{"op":"solve_budget","dataset":"synthetic","budget":4,"algorithm":"stochastic","epsilon":0.1,"algorithm_seed":3}"#,
             r#"{"op":"audit","dataset":"synthetic","estimator":"ris","samples":5000,"seeds":[1,2,3]}"#,
             r#"{"op":"estimate","dataset":"synthetic","estimator":"monte-carlo","seeds":[0]}"#,
-            // A wrapper on an unfair request is accepted (and ignored by the
-            // solver); rendering must preserve it for a faithful round trip.
-            r#"{"op":"solve_budget","dataset":"synthetic","budget":2,"wrapper":"sqrt"}"#,
         ];
         for line in lines {
             let req = Request::parse_line(line).unwrap();
@@ -537,7 +730,7 @@ mod tests {
     }
 
     #[test]
-    fn wrappers_parse_including_power() {
+    fn wrappers_parse_including_full_precision_powers() {
         let line = |w: &str| {
             format!(
                 r#"{{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":true,"wrapper":"{w}"}}"#
@@ -548,10 +741,11 @@ mod tests {
             ("sqrt", ConcaveWrapper::Sqrt),
             ("identity", ConcaveWrapper::Identity),
             ("pow0.3", ConcaveWrapper::Power(0.3)),
+            ("pow0.123", ConcaveWrapper::Power(0.123)),
         ] {
             let req = Request::parse_line(&line(name)).unwrap();
-            let Op::SolveBudget { wrapper, .. } = req.op else { panic!() };
-            assert_eq!(wrapper, expected);
+            let Op::Solve(spec) = req.op else { panic!() };
+            assert_eq!(spec.fairness, FairnessMode::Concave { wrapper: expected, weights: None });
         }
         assert!(Request::parse_line(&line("pow2.0")).is_err());
         assert!(Request::parse_line(&line("powx")).is_err());
@@ -579,6 +773,8 @@ mod tests {
                 "'deadline'",
             ),
             (r#"{"op":"solve_budget","dataset":"synthetic","budget":3.5}"#, "'budget'"),
+            (r#"{"op":"solve_budget","dataset":"synthetic","budget":0}"#, "'budget'"),
+            (r#"{"op":"solve_cover","dataset":"synthetic","quota":1.5}"#, "'quota'"),
             (
                 r#"{"op":"solve_budget","dataset":"synthetic","budget":3,"model":"sir"}"#,
                 "unknown model 'sir'",
@@ -593,8 +789,33 @@ mod tests {
             (r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"id":[1]}"#, "'id'"),
             (r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":"yes"}"#, "'fair'"),
             (
-                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"weights":[1,"x"]}"#,
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":true,"weights":[1,"x"]}"#,
                 "'weights'",
+            ),
+            // Conflicting / dangling fairness selectors.
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"fair":true,"disparity_cap":0.2}"#,
+                "'disparity_cap'",
+            ),
+            (
+                r#"{"op":"solve_cover","dataset":"synthetic","quota":0.2,"fair":true,"group":1}"#,
+                "'group'",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"wrapper":"sqrt"}"#,
+                "'wrapper'",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"epsilon":0.1}"#,
+                "'epsilon'",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"algorithm":"simulated-annealing"}"#,
+                "unknown algorithm",
+            ),
+            (
+                r#"{"op":"solve_budget","dataset":"synthetic","budget":1,"algorithm":"stochastic"}"#,
+                "'epsilon'",
             ),
         ];
         for (line, needle) in cases {

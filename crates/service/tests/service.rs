@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use tcim_core::{solve_tcim_budget, BudgetConfig, EstimatorConfig, WorldsConfig};
+use tcim_core::{solve, EstimatorConfig, ProblemSpec, WorldsConfig};
 use tcim_diffusion::{Deadline, ParallelismConfig};
 use tcim_service::{Json, OracleCache, Request, ServiceEngine};
 
@@ -48,7 +48,7 @@ fn cache_hits_are_bitwise_identical_to_cold_solves() {
         EstimatorConfig::Worlds(WorldsConfig { num_worlds: 64, seed: 5, ..Default::default() })
             .build(graph, Deadline::finite(4))
             .unwrap();
-    let report = solve_tcim_budget(&oracle, &BudgetConfig::new(6)).unwrap();
+    let report = solve(&oracle, &ProblemSpec::budget(6).unwrap()).unwrap();
     let served = Json::parse(&warm_response).unwrap();
     let served_seeds: Vec<u64> = served
         .get("seeds")
@@ -135,7 +135,7 @@ fn golden_smoke_files_stay_in_sync() {
         .filter(|line| !line.is_empty() && !line.starts_with('#'))
         .map(|line| Request::parse_line(line).expect("golden request must parse"))
         .collect();
-    assert_eq!(requests.len(), 3, "the smoke batch is three requests");
+    assert_eq!(requests.len(), 4, "the smoke batch is four requests");
 
     let engine = ServiceEngine::new(ParallelismConfig::auto());
     let mut produced = String::new();

@@ -48,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let coverage = response.get("total_fraction").and_then(|v| v.as_f64()).unwrap_or(0.0);
         let disparity = response.get("disparity").and_then(|v| v.as_f64()).unwrap_or(0.0);
         println!("{id:<18} {seeds:>8} {coverage:>10.3} {disparity:>10.3}");
+        // Every solve response echoes the canonical ProblemSpec it executed:
+        // a stored response line is self-describing.
+        assert!(response.get("spec").and_then(|v| v.as_str()).is_some());
     }
 
     // 3. The cache is what makes the sweep cheap: 12 queries, one world

@@ -80,9 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             deadline,
             &WorldsConfig { num_worlds: 100, seed: 17, ..Default::default() },
         )?;
-        let config = BudgetConfig::new(budget);
-        let unfair = solve_tcim_budget(&oracle, &config)?;
-        let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None)?;
+        let p1 = ProblemSpec::budget(budget)?.with_deadline(deadline);
+        let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log)?;
+        let unfair = solve(&oracle, &p1)?;
+        let fair = solve(&oracle, &p4)?;
         println!(
             "{:>9} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
             deadline.to_string(),

@@ -36,17 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &WorldsConfig { num_worlds: config.samples, seed: 5, ..Default::default() },
     )?;
 
-    let problem = CoverProblemConfig::new(quota);
-    let unfair = solve_tcim_cover(&oracle, &problem)?;
-    let fair = solve_fair_tcim_cover(&oracle, &problem)?;
+    // P2 and P6 are one ProblemSpec apart: same objective, different
+    // fairness mode. Both run through the single `solve` entrypoint.
+    let p2 = ProblemSpec::cover(quota)?.with_deadline(deadline);
+    let p6 = p2.clone().with_fairness(FairnessMode::GroupQuota { group: None })?;
+    let unfair = solve(&oracle, &p2)?;
+    let fair = solve(&oracle, &p6)?;
 
-    for cover in [&unfair, &fair] {
-        let fairness = cover.fairness();
+    for report in [&unfair, &fair] {
+        let fairness = report.fairness();
+        let outcome = report.cover.as_ref().expect("cover solves carry an outcome");
         println!(
             "\n[{}] {} outreach workers, quota reached: {}",
-            cover.report.label,
-            cover.seed_count(),
-            cover.reached
+            report.label,
+            report.num_seeds(),
+            outcome.reached
         );
         println!("  population covered: {:.3}", fairness.total_fraction);
         for (group, fraction) in fairness.normalized_utilities.iter().enumerate() {
@@ -61,16 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nThe fair plan needs {} extra outreach workers ({} vs {}) but leaves no community \
          below the quota.",
-        fair.seed_count().saturating_sub(unfair.seed_count()),
-        fair.seed_count(),
-        unfair.seed_count()
+        fair.num_seeds().saturating_sub(unfair.num_seeds()),
+        fair.num_seeds(),
+        unfair.num_seeds()
     );
 
     // Show the per-iteration trajectory (the Fig. 6a view): how each
     // community's coverage grows as workers are added under the fair plan.
     println!("\nfair plan trajectory (workers -> community coverage):");
-    for (i, _) in fair.report.iterations.iter().enumerate() {
-        if let Some(snapshot) = fair.report.fairness_at(i) {
+    for (i, _) in fair.iterations.iter().enumerate() {
+        if let Some(snapshot) = fair.fairness_at(i) {
             let per_group: Vec<String> =
                 snapshot.normalized_utilities.iter().map(|f| format!("{f:.3}")).collect();
             println!("  {:>3} workers: [{}]", i + 1, per_group.join(", "));

@@ -45,10 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let degree = evaluate_seed_set(&oracle, &top_degree_seeds(&graph, budget), "top-degree")?;
     let random = evaluate_seed_set(&oracle, &random_seeds(&graph, budget, 11), "random")?;
 
-    // The optimized campaigns.
-    let config = BudgetConfig::new(budget);
-    let unfair = solve_tcim_budget(&oracle, &config)?;
-    let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None)?;
+    // The optimized campaigns: one spec, one fairness variant.
+    let p1 = ProblemSpec::budget(budget)?.with_deadline(deadline);
+    let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log)?;
+    let unfair = solve(&oracle, &p1)?;
+    let fair = solve(&oracle, &p4)?;
 
     println!(
         "\n{:<14} {:>10} {:>12} {:>12} {:>12}",

@@ -1,6 +1,6 @@
-//! Quickstart: build a two-group social network, run the standard and the
-//! fair time-critical influence-maximization solvers, and compare their
-//! group-level outcomes.
+//! Quickstart: describe a time-critical influence campaign with the fluent
+//! `Campaign` builder, run it with and without the fairness surrogate, and
+//! compare the group-level outcomes.
 //!
 //! Run with:
 //!
@@ -13,10 +13,17 @@ use std::sync::Arc;
 use fairtcim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A homophilous two-group network: 70% majority, dense within groups,
-    //    sparse across (the Section 6.1 synthetic setting of the paper).
-    let config = SyntheticConfig::default();
-    let graph = Arc::new(config.build()?);
+    // 1. One campaign description: the paper's homophilous two-group network
+    //    (70% majority, dense within groups, sparse across — the Section 6.1
+    //    synthetic setting), information useful only within 5 hops, influence
+    //    estimated over 200 live-edge worlds. The shared cache makes every
+    //    solve below reuse one sampled world pool.
+    let base = Campaign::on(Dataset::Synthetic)
+        .shared_cache(Arc::new(OracleCache::new()))
+        .deadline(5)
+        .estimator(worlds(200, 1));
+
+    let graph = base.graph()?;
     println!(
         "graph: {} nodes, {} directed edges, groups {:?}",
         graph.num_nodes(),
@@ -24,24 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.group_sizes()
     );
 
-    // 2. A time-critical influence oracle: information is only useful if it
-    //    arrives within 5 hops, estimated over 200 live-edge worlds.
-    let oracle = WorldEstimator::new(
-        Arc::clone(&graph),
-        Deadline::finite(5),
-        &WorldsConfig { num_worlds: config.samples, seed: 1, ..Default::default() },
-    )?;
+    // 2. Pick 20 seeds with the classical objective (P1) and with the fair
+    //    log-surrogate (P4) — one builder chain each.
+    let unfair = base.clone().budget(20).solve()?;
+    let fair = base.clone().budget(20).fair(ConcaveWrapper::Log).solve()?;
 
-    // 3. Pick 20 seeds with the classical objective (P1) and with the fair
-    //    log-surrogate (P4).
-    let budget = BudgetConfig::new(20);
-    let unfair = solve_tcim_budget(&oracle, &budget)?;
-    let fair = solve_fair_tcim_budget(&oracle, &budget, ConcaveWrapper::Log, None)?;
-
-    // 4. Compare the two solutions.
+    // 3. Compare the two solutions. Every report echoes the canonical spec
+    //    that produced it, so results are self-describing.
     for report in [&unfair, &fair] {
         let fairness = report.fairness();
-        println!("\n[{}] seeds: {:?}", report.label, report.seeds.len());
+        println!("\n[{}] spec: {}", report.label, report.spec.as_deref().unwrap_or("-"));
+        println!("  seeds: {}", report.num_seeds());
         println!("  total influenced fraction: {:.3}", fairness.total_fraction);
         for (group, fraction) in fairness.normalized_utilities.iter().enumerate() {
             println!("  group {group} ({} nodes): {:.3}", fairness.group_sizes[group], fraction);

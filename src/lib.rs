@@ -14,14 +14,17 @@
 //!   simulation and time-critical influence estimators,
 //! * [`submodular`] (`tcim-submodular`) — greedy / CELF / stochastic greedy /
 //!   greedy cover,
-//! * [`core`] (`tcim-core`) — the TCIM-BUDGET, TCIM-COVER, FAIRTCIM-BUDGET and
-//!   FAIRTCIM-COVER solvers, the disparity measure and the Theorem 1/2
-//!   checks,
+//! * [`core`] (`tcim-core`) — the [`ProblemSpec`](core::ProblemSpec) problem
+//!   description, the unified [`solve`](core::solve) entrypoint covering
+//!   P1–P6, the disparity measure and the Theorem 1/2 checks,
 //! * [`datasets`] (`tcim-datasets`) — the paper's synthetic suite and
 //!   surrogates for its three real-world datasets,
 //! * [`service`] (`tcim-service`) — the campaign-serving subsystem: cached
-//!   oracles, a batched query engine and the JSONL protocol behind the
-//!   `tcim_serve` / `tcim_query` binaries.
+//!   oracles, a batched query engine and the JSONL protocol (a direct wire
+//!   codec for `ProblemSpec`) behind the `tcim_serve` / `tcim_query`
+//!   binaries,
+//! * [`campaign`] — the fluent [`Campaign`](campaign::Campaign) builder tying
+//!   the layers together.
 //!
 //! The [`prelude`] pulls in the handful of types most applications need; the
 //! `examples/` directory shows end-to-end usage and `crates/bench` regenerates
@@ -29,21 +32,16 @@
 //!
 //! ```
 //! use fairtcim::prelude::*;
-//! use std::sync::Arc;
 //!
-//! // Build the paper's synthetic network and compare the unfair and fair
-//! // budget solvers under a tight deadline.
-//! let graph = Arc::new(SyntheticConfig::default().build().unwrap());
-//! let oracle = WorldEstimator::new(
-//!     Arc::clone(&graph),
-//!     Deadline::finite(5),
-//!     &WorldsConfig { num_worlds: 50, seed: 0, ..Default::default() },
-//! )
-//! .unwrap();
-//!
-//! let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
-//! let fair =
-//!     solve_fair_tcim_budget(&oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None).unwrap();
+//! // The paper's synthetic network: compare the unfair and fair budget
+//! // campaigns under a tight deadline, sharing one sampled world pool.
+//! let base = Campaign::on(Dataset::Synthetic)
+//!     .shared_cache(std::sync::Arc::new(OracleCache::new()))
+//!     .deadline(5)
+//!     .estimator(worlds(50, 0))
+//!     .budget(10);
+//! let unfair = base.clone().solve().unwrap();
+//! let fair = base.clone().fair(ConcaveWrapper::Log).solve().unwrap();
 //! assert!(fair.disparity() <= unfair.disparity() + 1e-9);
 //! ```
 
@@ -57,19 +55,27 @@ pub use tcim_graph as graph;
 pub use tcim_service as service;
 pub use tcim_submodular as submodular;
 
+pub mod campaign;
+
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
+    pub use crate::campaign::{monte_carlo, ris, worlds, Campaign};
     pub use tcim_core::baselines::{
         evaluate_seed_set, group_proportional_degree_seeds, random_seeds, top_degree_seeds,
         top_pagerank_seeds,
     };
     pub use tcim_core::{
-        audit_seed_set, disparity, solve_budget_exhaustive, solve_constrained_budget,
-        solve_constrained_cover, solve_fair_tcim_budget, solve_fair_tcim_cover,
-        solve_group_tcim_cover, solve_tcim_budget, solve_tcim_cover, BudgetConfig, ConcaveWrapper,
-        ConstrainedBudgetReport, ConstrainedCoverReport, CoverProblemConfig, CoverReport,
-        Estimator, EstimatorConfig, ExhaustiveObjective, FairnessReport, GreedyAlgorithm,
+        audit_seed_set, disparity, solve, solve_budget_exhaustive, BudgetConfig, ConcaveWrapper,
+        ConstrainedBudgetReport, ConstrainedCoverReport, ConstrainedOutcome, CoreError,
+        CoverOutcome, CoverProblemConfig, CoverReport, Estimator, EstimatorConfig,
+        ExhaustiveObjective, FairnessMode, FairnessReport, GreedyAlgorithm, Objective, ProblemSpec,
         SolverReport,
+    };
+    // Deprecated legacy shims, kept importable for one release.
+    #[allow(deprecated)]
+    pub use tcim_core::{
+        solve_constrained_budget, solve_constrained_cover, solve_fair_tcim_budget,
+        solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget, solve_tcim_cover,
     };
     pub use tcim_datasets::registry::{Dataset, DatasetBundle};
     pub use tcim_datasets::SyntheticConfig;

@@ -1,0 +1,50 @@
+//! Public-API smoke test for the solver-surface migration: the seven
+//! deprecated `solve_*` shims must stay importable from the prelude with
+//! their historical signatures until the deprecation window closes, so
+//! downstream call sites cannot silently break. The function-pointer
+//! coercions below are compile-time assertions of each signature; the smoke
+//! solve at the end checks the shims still *run* against the prelude types.
+
+#![allow(deprecated)] // this compat test exercises the legacy shims on purpose
+
+use std::sync::Arc;
+
+use fairtcim::prelude::*;
+
+type R<T> = Result<T, CoreError>;
+
+type FairBudgetShim =
+    fn(&dyn InfluenceOracle, &BudgetConfig, ConcaveWrapper, Option<Vec<f64>>) -> R<SolverReport>;
+
+#[test]
+fn legacy_shims_keep_their_signatures() {
+    let _: fn(&dyn InfluenceOracle, &BudgetConfig) -> R<SolverReport> = solve_tcim_budget;
+    let _: FairBudgetShim = solve_fair_tcim_budget;
+    let _: fn(&dyn InfluenceOracle, &CoverProblemConfig) -> R<CoverReport> = solve_tcim_cover;
+    let _: fn(&dyn InfluenceOracle, &CoverProblemConfig) -> R<CoverReport> = solve_fair_tcim_cover;
+    let _: fn(&dyn InfluenceOracle, GroupId, &CoverProblemConfig) -> R<CoverReport> =
+        solve_group_tcim_cover;
+    let _: fn(&dyn InfluenceOracle, &BudgetConfig, f64) -> R<ConstrainedBudgetReport> =
+        solve_constrained_budget;
+    let _: fn(&dyn InfluenceOracle, &CoverProblemConfig, f64) -> R<ConstrainedCoverReport> =
+        solve_constrained_cover;
+    // The config constructors now validate eagerly (this migration's one
+    // deliberate source-breaking change — degenerate values must fail at
+    // construction, naming the field); pin the new signatures too.
+    let _: fn(usize) -> R<BudgetConfig> = BudgetConfig::new;
+    let _: fn(f64) -> R<CoverProblemConfig> = CoverProblemConfig::new;
+}
+
+#[test]
+fn legacy_shims_still_solve_through_the_prelude() {
+    let graph = Arc::new(Dataset::Illustrative.build(0).unwrap().graph);
+    let oracle = WorldEstimator::new(
+        Arc::clone(&graph),
+        Deadline::finite(2),
+        &WorldsConfig { num_worlds: 16, seed: 0, ..Default::default() },
+    )
+    .unwrap();
+    let legacy = solve_tcim_budget(&oracle, &BudgetConfig::new(2).unwrap()).unwrap();
+    let unified = solve(&oracle, &ProblemSpec::budget(2).unwrap()).unwrap();
+    assert_eq!(legacy, unified, "the shim must stay a thin wrapper over solve()");
+}

@@ -22,9 +22,10 @@ fn synthetic_oracle(deadline: Deadline, worlds: usize) -> (Arc<Graph>, WorldEsti
 #[test]
 fn unfair_budget_solution_exhibits_disparity_and_fair_solution_reduces_it() {
     let (_graph, oracle) = synthetic_oracle(Deadline::finite(5), 100);
-    let config = BudgetConfig::new(10);
-    let unfair = solve_tcim_budget(&oracle, &config).unwrap();
-    let fair = solve_fair_tcim_budget(&oracle, &config, ConcaveWrapper::Log, None).unwrap();
+    let p1 = ProblemSpec::budget(10).unwrap();
+    let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log).unwrap();
+    let unfair = solve(&oracle, &p1).unwrap();
+    let fair = solve(&oracle, &p4).unwrap();
 
     // The headline qualitative claims of the paper.
     assert!(unfair.disparity() > 0.02, "expected visible disparity, got {}", unfair.disparity());
@@ -47,7 +48,7 @@ fn tighter_deadlines_do_not_decrease_unfairness_of_the_standard_solver() {
             &WorldsConfig { num_worlds: 100, seed: 9, ..Default::default() },
         )
         .unwrap();
-        let report = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+        let report = solve(&oracle, &ProblemSpec::budget(10).unwrap()).unwrap();
         disparities.push(report.disparity());
     }
     // With p_e = 0.05 and a homophilous majority, the τ = 2 disparity is at
@@ -59,10 +60,12 @@ fn tighter_deadlines_do_not_decrease_unfairness_of_the_standard_solver() {
 fn fair_cover_reaches_the_quota_in_every_group() {
     let (_graph, oracle) = synthetic_oracle(Deadline::finite(20), 100);
     let quota = 0.15;
-    let unfair = solve_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
-    let fair = solve_fair_tcim_cover(&oracle, &CoverProblemConfig::new(quota)).unwrap();
+    let p2 = ProblemSpec::cover(quota).unwrap();
+    let p6 = p2.clone().with_fairness(FairnessMode::GroupQuota { group: None }).unwrap();
+    let unfair = solve(&oracle, &p2).unwrap();
+    let fair = solve(&oracle, &p6).unwrap();
 
-    assert!(unfair.reached && fair.reached);
+    assert!(unfair.cover.as_ref().unwrap().reached && fair.cover.as_ref().unwrap().reached);
     let fair_report = fair.fairness();
     for (group, fraction) in fair_report.normalized_utilities.iter().enumerate() {
         assert!(*fraction + 1e-6 >= quota, "group {group} below quota: {fraction} < {quota}");
@@ -70,8 +73,8 @@ fn fair_cover_reaches_the_quota_in_every_group() {
     // The disparity of a feasible fair solution is bounded by 1 - Q.
     assert!(fair_report.disparity <= 1.0 - quota + 1e-6);
     // The fair solution may need more seeds, but not absurdly many.
-    assert!(fair.seed_count() >= unfair.seed_count());
-    assert!(fair.seed_count() <= unfair.seed_count() + 30);
+    assert!(fair.num_seeds() >= unfair.num_seeds());
+    assert!(fair.num_seeds() <= unfair.num_seeds() + 30);
 }
 
 #[test]
@@ -90,15 +93,18 @@ fn exhaustive_optimum_dominates_greedy_and_certifies_theorem_1() {
     .unwrap();
 
     let optimal = solve_budget_exhaustive(&oracle, 2, None, ExhaustiveObjective::Total).unwrap();
-    let greedy = solve_tcim_budget(&oracle, &BudgetConfig::new(2)).unwrap();
+    let greedy = solve(&oracle, &ProblemSpec::budget(2).unwrap()).unwrap();
     assert!(optimal.influence.total() + 1e-9 >= greedy.influence.total());
     assert!(
         greedy.influence.total()
             >= (1.0 - 1.0 / std::f64::consts::E) * optimal.influence.total() - 1e-9
     );
 
-    let fair =
-        solve_fair_tcim_budget(&oracle, &BudgetConfig::new(2), ConcaveWrapper::Log, None).unwrap();
+    let fair = solve(
+        &oracle,
+        &ProblemSpec::budget(2).unwrap().with_fairness_wrapper(ConcaveWrapper::Log).unwrap(),
+    )
+    .unwrap();
     let check =
         theorem1_check(fair.influence.total(), optimal.influence.total(), ConcaveWrapper::Log);
     assert!(check.satisfied, "Theorem 1 violated: {check:?}");
@@ -108,7 +114,7 @@ fn exhaustive_optimum_dominates_greedy_and_certifies_theorem_1() {
 fn baselines_are_comparable_and_weaker_than_greedy() {
     let (graph, oracle) = synthetic_oracle(Deadline::finite(5), 80);
     let budget = 10;
-    let greedy = solve_tcim_budget(&oracle, &BudgetConfig::new(budget)).unwrap();
+    let greedy = solve(&oracle, &ProblemSpec::budget(budget).unwrap()).unwrap();
     let degree = evaluate_seed_set(&oracle, &top_degree_seeds(&graph, budget), "degree").unwrap();
     let pagerank =
         evaluate_seed_set(&oracle, &top_pagerank_seeds(&graph, budget), "pagerank").unwrap();
@@ -136,7 +142,7 @@ fn baselines_are_comparable_and_weaker_than_greedy() {
 #[test]
 fn estimators_agree_on_the_selected_seed_sets() {
     let (graph, oracle) = synthetic_oracle(Deadline::finite(5), 150);
-    let report = solve_tcim_budget(&oracle, &BudgetConfig::new(5)).unwrap();
+    let report = solve(&oracle, &ProblemSpec::budget(5).unwrap()).unwrap();
 
     // Re-score the chosen seeds with an independent Monte-Carlo estimator and
     // with reverse-reachable sketches; all three should agree within noise.
@@ -170,9 +176,10 @@ fn linear_threshold_estimator_supports_the_same_solvers() {
         &WorldsConfig { num_worlds: 100, seed: 21, ..Default::default() },
     )
     .unwrap();
-    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
-    let fair =
-        solve_fair_tcim_budget(&oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None).unwrap();
+    let p1 = ProblemSpec::budget(10).unwrap();
+    let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log).unwrap();
+    let unfair = solve(&oracle, &p1).unwrap();
+    let fair = solve(&oracle, &p4).unwrap();
     assert!(unfair.influence.total() >= 10.0);
     assert!(fair.disparity() <= unfair.disparity() + 1e-9);
 }
@@ -180,21 +187,31 @@ fn linear_threshold_estimator_supports_the_same_solvers() {
 #[test]
 fn constrained_solvers_enforce_a_disparity_cap() {
     let (_graph, oracle) = synthetic_oracle(Deadline::finite(5), 80);
-    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(10)).unwrap();
+    let unfair = solve(&oracle, &ProblemSpec::budget(10).unwrap()).unwrap();
     let cap = unfair.disparity() / 2.0;
-    let constrained = solve_constrained_budget(&oracle, &BudgetConfig::new(10), cap).unwrap();
-    if constrained.feasible {
-        assert!(constrained.report.disparity() <= cap + 1e-9);
+    let p3 = ProblemSpec::budget(10)
+        .unwrap()
+        .with_fairness(FairnessMode::Constrained { disparity_cap: cap })
+        .unwrap();
+    let constrained = solve(&oracle, &p3).unwrap();
+    let outcome = constrained.constrained.as_ref().unwrap();
+    if outcome.feasible {
+        assert!(constrained.disparity() <= cap + 1e-9);
     } else {
         // Fallback must still be the least disparate thing we found.
-        assert!(constrained.report.disparity() <= unfair.disparity() + 1e-9);
+        assert!(constrained.disparity() <= unfair.disparity() + 1e-9);
     }
 
-    let cover = solve_constrained_cover(&oracle, &CoverProblemConfig::new(0.1), 0.5).unwrap();
-    assert!((cover.effective_quota - 0.5).abs() < 1e-12);
-    if cover.feasible {
-        assert!(cover.cover.fairness().disparity <= 0.5 + 1e-6);
-        assert!(cover.cover.fairness().total_fraction >= 0.1);
+    let p5 = ProblemSpec::cover(0.1)
+        .unwrap()
+        .with_fairness(FairnessMode::Constrained { disparity_cap: 0.5 })
+        .unwrap();
+    let cover = solve(&oracle, &p5).unwrap();
+    let outcome = cover.constrained.as_ref().unwrap();
+    assert!((outcome.effective_quota.unwrap() - 0.5).abs() < 1e-12);
+    if outcome.feasible {
+        assert!(cover.fairness().disparity <= 0.5 + 1e-6);
+        assert!(cover.fairness().total_fraction >= 0.1);
     }
 }
 
@@ -208,14 +225,10 @@ fn dataset_registry_feeds_directly_into_the_solvers() {
         &WorldsConfig { num_worlds: 200, seed: 0, ..Default::default() },
     )
     .unwrap();
-    let unfair = solve_tcim_budget(&oracle, &BudgetConfig::new(bundle.defaults.budget)).unwrap();
-    let fair = solve_fair_tcim_budget(
-        &oracle,
-        &BudgetConfig::new(bundle.defaults.budget),
-        ConcaveWrapper::Log,
-        None,
-    )
-    .unwrap();
+    let p1 = ProblemSpec::budget(bundle.defaults.budget).unwrap();
+    let p4 = p1.clone().with_fairness_wrapper(ConcaveWrapper::Log).unwrap();
+    let unfair = solve(&oracle, &p1).unwrap();
+    let fair = solve(&oracle, &p4).unwrap();
     assert!(fair.disparity() <= unfair.disparity() + 1e-9);
     assert!(unfair.disparity() > 0.3, "illustrative example should be very unfair under τ = 2");
 }
@@ -233,10 +246,10 @@ fn ris_estimator_selected_via_config_drives_greedy_and_celf() {
         EstimatorConfig::Ris(RisConfig { num_sets: 20_000, seed: 11, ..Default::default() })
             .build(Arc::clone(&graph), deadline)
             .unwrap();
-    let celf = solve_tcim_budget(&ris_oracle, &BudgetConfig::new(10)).unwrap();
-    let plain = solve_tcim_budget(
+    let celf = solve(&ris_oracle, &ProblemSpec::budget(10).unwrap()).unwrap();
+    let plain = solve(
         &ris_oracle,
-        &BudgetConfig { budget: 10, algorithm: GreedyAlgorithm::Greedy, candidates: None },
+        &ProblemSpec::budget(10).unwrap().with_algorithm(GreedyAlgorithm::Greedy).unwrap(),
     )
     .unwrap();
     // CELF must reproduce plain greedy's selection with fewer oracle calls.
@@ -250,7 +263,7 @@ fn ris_estimator_selected_via_config_drives_greedy_and_celf() {
         EstimatorConfig::Worlds(WorldsConfig { num_worlds: 150, seed: 3, ..Default::default() })
             .build(Arc::clone(&graph), deadline)
             .unwrap();
-    let world_solve = solve_tcim_budget(&world_oracle, &BudgetConfig::new(10)).unwrap();
+    let world_solve = solve(&world_oracle, &ProblemSpec::budget(10).unwrap()).unwrap();
     let held_out = MonteCarloEstimator::new(Arc::clone(&graph), deadline, 600, 77).unwrap();
     let ris_quality = held_out.evaluate(&celf.seeds).unwrap().total();
     let world_quality = held_out.evaluate(&world_solve.seeds).unwrap().total();
@@ -263,9 +276,11 @@ fn ris_estimator_selected_via_config_drives_greedy_and_celf() {
     let audit = audit_seed_set(&ris_oracle, &celf.seeds).unwrap();
     assert!(audit.total > 0.0);
     assert!(audit.disparity >= 0.0 && audit.disparity <= 1.0);
-    let fair =
-        solve_fair_tcim_budget(&ris_oracle, &BudgetConfig::new(10), ConcaveWrapper::Log, None)
-            .unwrap();
+    let fair = solve(
+        &ris_oracle,
+        &ProblemSpec::budget(10).unwrap().with_fairness_wrapper(ConcaveWrapper::Log).unwrap(),
+    )
+    .unwrap();
     assert!(fair.disparity() <= celf.disparity() + 1e-9);
 }
 
@@ -283,7 +298,7 @@ fn ris_solves_are_bitwise_identical_across_thread_counts() {
         })
         .build(Arc::clone(&graph), deadline)
         .unwrap();
-        solve_tcim_budget(&oracle, &BudgetConfig::new(8)).unwrap()
+        solve(&oracle, &ProblemSpec::budget(8).unwrap()).unwrap()
     };
     let one = solve(1);
     let eight = solve(8);
@@ -305,7 +320,7 @@ fn adaptive_ris_supports_the_full_solve_path() {
     })
     .build(Arc::clone(&graph), Deadline::finite(4))
     .unwrap();
-    let report = solve_tcim_budget(&oracle, &BudgetConfig::new(8)).unwrap();
+    let report = solve(&oracle, &ProblemSpec::budget(8).unwrap()).unwrap();
     assert_eq!(report.num_seeds(), 8);
     // The adaptive estimate of the chosen seeds must agree with a held-out
     // Monte-Carlo re-score within the configured error (generous margin).
