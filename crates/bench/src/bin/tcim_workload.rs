@@ -1,0 +1,198 @@
+//! Scenario-sweep serving workload: generate a deterministic mixed JSONL
+//! traffic file (sizes × generator families × problems P1–P6 × dataset
+//! seeds, every request carrying an inline `"scenario"` object), replay it
+//! through a `ServiceEngine` cold and then warm, verify the two passes are
+//! byte-identical, and report throughput — the first bench that exercises
+//! the serving path under scenario-diverse load rather than a single named
+//! dataset.
+//!
+//! ```text
+//! tcim_workload [--smoke] [--out FILE] [--threads N] [--seed S]
+//! ```
+//!
+//! `--smoke` shrinks the sweep to one size and 16-world oracles for CI;
+//! `--out FILE` additionally writes the generated traffic as JSONL (replay
+//! it by hand with `tcim_serve --input FILE`). The traffic is a pure
+//! function of the flags: no timestamps, no ambient randomness. Exit codes:
+//! 0 success, 1 failed responses or a warm/cold mismatch, 2 bad usage / IO.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tcim_diffusion::ParallelismConfig;
+use tcim_service::{Json, Request, ServiceEngine};
+
+struct Cli {
+    smoke: bool,
+    out: Option<String>,
+    parallelism: ParallelismConfig,
+    seed: u64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli { smoke: false, out: None, parallelism: ParallelismConfig::auto(), seed: 1 };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--out" => {
+                cli.out = Some(args.next().ok_or_else(|| "missing value for --out".to_string())?);
+            }
+            "--threads" => {
+                let raw = args.next().ok_or_else(|| "missing value for --threads".to_string())?;
+                let threads: usize = raw.parse().map_err(|_| {
+                    format!("invalid value '{raw}' for --threads (expected an integer; 0 = auto)")
+                })?;
+                cli.parallelism = ParallelismConfig::fixed(threads);
+            }
+            "--seed" => {
+                let raw = args.next().ok_or_else(|| "missing value for --seed".to_string())?;
+                cli.seed = raw.parse().map_err(|_| {
+                    format!("invalid value '{raw}' for --seed (expected an integer)")
+                })?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (expected --smoke, --out, --threads or --seed)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// The three generator families of the sweep, as inline scenario objects
+/// parameterized by size.
+fn scenario_object(family: &str, nodes: usize) -> String {
+    match family {
+        "sbm" => format!(
+            r#"{{"family":"sbm","nodes":{nodes},"p_within":0.05,"p_across":0.005,"majority_fraction":0.7,"weights":"uniform","edge_probability":0.1}}"#
+        ),
+        "ba" => format!(
+            r#"{{"family":"barabasi-albert","nodes":{nodes},"edges_per_node":3,"homophily_bias":4.0,"weights":"weighted-cascade"}}"#
+        ),
+        "ws" => format!(
+            r#"{{"family":"watts-strogatz","nodes":{nodes},"neighbors":3,"rewire_probability":0.1,"weights":"uniform","edge_probability":0.1}}"#
+        ),
+        other => unreachable!("unknown sweep family {other}"),
+    }
+}
+
+/// The six paper problems as request fragments (op + problem fields).
+const PROBLEMS: [(&str, &str, &str); 6] = [
+    ("P1", "solve_budget", r#""budget":3"#),
+    ("P2", "solve_cover", r#""quota":0.1"#),
+    ("P3", "solve_budget", r#""budget":3,"disparity_cap":0.4"#),
+    ("P4", "solve_budget", r#""budget":3,"fair":true,"wrapper":"log""#),
+    ("P5", "solve_cover", r#""quota":0.1,"disparity_cap":0.4"#),
+    ("P6", "solve_cover", r#""quota":0.1,"fair":true"#),
+];
+
+struct Sweep {
+    sizes: &'static [usize],
+    dataset_seeds: u64,
+    samples: usize,
+    deadline: u32,
+}
+
+/// Generates the deterministic JSONL traffic for the sweep.
+fn generate_traffic(sweep: &Sweep, base_seed: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    for &size in sweep.sizes {
+        for family in ["sbm", "ba", "ws"] {
+            let scenario = scenario_object(family, size);
+            for offset in 0..sweep.dataset_seeds {
+                let dataset_seed = base_seed + offset;
+                for (label, op, problem) in PROBLEMS {
+                    lines.push(format!(
+                        r#"{{"id":"{label}-{family}-n{size}-s{dataset_seed}","op":"{op}","scenario":{scenario},"dataset_seed":{dataset_seed},"deadline":{},"samples":{},{problem}}}"#,
+                        sweep.deadline, sweep.samples
+                    ));
+                }
+            }
+        }
+    }
+    lines
+}
+
+fn run() -> Result<ExitCode, String> {
+    let cli = parse_cli()?;
+    let sweep = if cli.smoke {
+        Sweep { sizes: &[100], dataset_seeds: 1, samples: 16, deadline: 4 }
+    } else {
+        Sweep { sizes: &[150, 300, 600], dataset_seeds: 2, samples: 64, deadline: 5 }
+    };
+    let lines = generate_traffic(&sweep, cli.seed);
+    if let Some(path) = &cli.out {
+        std::fs::write(path, lines.join("\n") + "\n")
+            .map_err(|err| format!("cannot write traffic file '{path}': {err}"))?;
+    }
+
+    // The generated traffic must round-trip the real codec: parsing here is
+    // part of the exercise, not plumbing.
+    let requests: Vec<Request> = lines
+        .iter()
+        .map(|line| {
+            Request::parse_line(line)
+                .map_err(|err| format!("generated request rejected: {err}\n{line}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let engine = ServiceEngine::new(cli.parallelism);
+    let cold_start = Instant::now();
+    let cold = engine.serve_batch(&requests);
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let warm_start = Instant::now();
+    let warm = engine.serve_batch(&requests);
+    let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+
+    let failures: Vec<&Json> =
+        cold.iter().filter(|r| r.get("ok") != Some(&Json::Bool(true))).collect();
+    for failure in &failures {
+        eprintln!("failed response: {failure}");
+    }
+    let render =
+        |responses: &[Json]| -> Vec<String> { responses.iter().map(|r| r.to_string()).collect() };
+    let deterministic = render(&cold) == render(&warm);
+
+    let n = requests.len() as f64;
+    let stats = engine.cache().stats();
+    println!(
+        "tcim_workload: {} requests ({} sizes x 3 families x {} problems x {} seed(s))",
+        requests.len(),
+        sweep.sizes.len(),
+        PROBLEMS.len(),
+        sweep.dataset_seeds
+    );
+    println!("  cold: {cold_ms:10.1} ms  {:8.1} req/s", n / (cold_ms / 1e3));
+    println!(
+        "  warm: {warm_ms:10.1} ms  {:8.1} req/s  ({:.1}x cold)",
+        n / (warm_ms / 1e3),
+        cold_ms / warm_ms.max(1e-9)
+    );
+    println!("  warm == cold: {}", if deterministic { "byte-identical" } else { "MISMATCH" });
+    println!(
+        "  cache: oracle {} hit(s) / {} miss(es), worlds {} hit(s) / {} miss(es)",
+        stats.oracle_hits, stats.oracle_misses, stats.world_hits, stats.world_misses
+    );
+
+    if !deterministic {
+        eprintln!("error: warm replay diverged from the cold pass (determinism contract broken)");
+        return Ok(ExitCode::FAILURE);
+    }
+    if !failures.is_empty() {
+        eprintln!("error: {} request(s) failed", failures.len());
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,8 +10,14 @@
 //!   Instagram-Activities and Facebook-SNAP datasets (the originals are not
 //!   redistributable; see `DESIGN.md` for the substitution rationale),
 //! * [`loader`] — plain-text loading of the genuine files when available,
+//! * [`scenario`] — the open scenario space: [`ScenarioSpec`] describes a
+//!   synthetic graph (generator family, size, group model, edge-weight
+//!   model) as typed, validated, canonically-fingerprinted data,
 //! * [`registry`] — one-stop construction of each dataset together with the
-//!   experiment parameters the paper uses on it.
+//!   experiment parameters the paper uses on it; [`Dataset::Scenario`]
+//!   admits any scenario spec alongside the named graphs.
+//!
+//! A named dataset:
 //!
 //! ```
 //! use tcim_datasets::registry::Dataset;
@@ -20,6 +26,20 @@
 //! assert_eq!(bundle.graph.num_nodes(), 500);
 //! assert_eq!(bundle.defaults.budget, 30);
 //! ```
+//!
+//! The same registry surface over an open-space scenario:
+//!
+//! ```
+//! use tcim_datasets::registry::Dataset;
+//! use tcim_datasets::scenario::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::barabasi_albert(200, 3).unwrap();
+//! let bundle = Dataset::Scenario(spec).build(7).unwrap();
+//! assert_eq!(bundle.graph.num_nodes(), 200);
+//! assert_eq!(bundle.dataset.name(), "scenario");
+//! ```
+//!
+//! [`Dataset::Scenario`]: registry::Dataset::Scenario
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,7 +49,9 @@ pub mod instagram;
 pub mod loader;
 pub mod registry;
 pub mod rice;
+pub mod scenario;
 pub mod synthetic;
 
 pub use registry::{Dataset, DatasetBundle, ExperimentDefaults};
+pub use scenario::{GeneratorFamily, GroupModel, ScenarioSpec, WeightModel};
 pub use synthetic::SyntheticConfig;

@@ -9,10 +9,20 @@ use crate::instagram::{
     instagram_surrogate, InstagramConfig, INSTAGRAM_CANDIDATE_POOL, INSTAGRAM_DEADLINE,
 };
 use crate::rice::{rice_facebook_surrogate, RICE_EDGE_PROBABILITY, RICE_SAMPLES};
+use crate::scenario::ScenarioSpec;
 use crate::synthetic::SyntheticConfig;
 
-/// The datasets used in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The datasets used in the paper's evaluation, plus the open scenario
+/// space.
+///
+/// The first five arms are the paper's fixed evaluation graphs ("named
+/// datasets"); [`Dataset::Scenario`] carries a [`ScenarioSpec`] and opens
+/// the registry to every generator-family × size × group-model ×
+/// weight-model combination without further enum growth. Everything
+/// downstream — the oracle cache, the JSONL protocol, the `Campaign`
+/// builder — treats the two uniformly through [`Dataset::build`] and
+/// [`Dataset::name`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dataset {
     /// The 38-node illustrative example of Figure 1.
     Illustrative,
@@ -24,6 +34,8 @@ pub enum Dataset {
     InstagramActivities,
     /// The Facebook-SNAP surrogate (Appendix C).
     FacebookSnap,
+    /// A typed synthetic scenario (see [`crate::scenario`]).
+    Scenario(ScenarioSpec),
 }
 
 /// Experiment parameters recommended for a dataset (the paper's settings).
@@ -57,7 +69,8 @@ pub struct DatasetBundle {
 }
 
 impl Dataset {
-    /// All datasets, in the order the paper presents them.
+    /// All **named** datasets, in the order the paper presents them
+    /// (scenarios are an open space and cannot be enumerated).
     pub const ALL: [Dataset; 5] = [
         Dataset::Illustrative,
         Dataset::Synthetic,
@@ -65,6 +78,38 @@ impl Dataset {
         Dataset::InstagramActivities,
         Dataset::FacebookSnap,
     ];
+
+    /// The stable registry name: the protocol's `"dataset"` values for the
+    /// named datasets, `"scenario"` for scenario datasets (whose full
+    /// identity is the [`ScenarioSpec::fingerprint`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Illustrative => "illustrative",
+            Dataset::Synthetic => "synthetic",
+            Dataset::RiceFacebook => "rice-facebook",
+            Dataset::InstagramActivities => "instagram-activities",
+            Dataset::FacebookSnap => "facebook-snap",
+            Dataset::Scenario(_) => "scenario",
+        }
+    }
+
+    /// The nominal per-edge activation probability the dataset is built
+    /// with — `None` when the weights are degree-dependent (weighted-cascade
+    /// and LT scenarios have no single nominal value).
+    ///
+    /// Folded into the enum (it used to be a free function) so adding a
+    /// dataset or generator arm fails to compile here until the new arm
+    /// declares its probability, instead of silently missing a match.
+    pub fn default_edge_probability(&self) -> Option<f64> {
+        match self {
+            Dataset::Illustrative => Some(0.7),
+            Dataset::Synthetic => Some(0.05),
+            Dataset::RiceFacebook => Some(RICE_EDGE_PROBABILITY),
+            Dataset::InstagramActivities => Some(crate::instagram::INSTAGRAM_EDGE_PROBABILITY),
+            Dataset::FacebookSnap => Some(FBSNAP_EDGE_PROBABILITY),
+            Dataset::Scenario(spec) => spec.default_edge_probability(),
+        }
+    }
 
     /// Builds the dataset graph and bundles it with its recommended
     /// experiment parameters.
@@ -77,7 +122,7 @@ impl Dataset {
             Dataset::Illustrative => {
                 let (graph, _) = illustrative_example(&IllustrativeConfig::default())?;
                 Ok(DatasetBundle {
-                    dataset: *self,
+                    dataset: self.clone(),
                     name: "illustrative",
                     description: "38-node planted example of Figure 1 (p_e = 0.7)",
                     graph,
@@ -94,7 +139,7 @@ impl Dataset {
                 let config = SyntheticConfig::default().with_seed(seed);
                 let graph = config.build()?;
                 Ok(DatasetBundle {
-                    dataset: *self,
+                    dataset: self.clone(),
                     name: "synthetic-sbm",
                     description: "Section 6.1 two-group SBM (500 nodes, g = 0.7, p_e = 0.05)",
                     graph,
@@ -108,7 +153,7 @@ impl Dataset {
                 })
             }
             Dataset::RiceFacebook => Ok(DatasetBundle {
-                dataset: *self,
+                dataset: self.clone(),
                 name: "rice-facebook",
                 description: "surrogate matching the published Rice-Facebook group statistics (p_e = 0.01)",
                 graph: rice_facebook_surrogate(seed)?,
@@ -121,7 +166,7 @@ impl Dataset {
                 },
             }),
             Dataset::InstagramActivities => Ok(DatasetBundle {
-                dataset: *self,
+                dataset: self.clone(),
                 name: "instagram-activities",
                 description: "surrogate matching the published Instagram gender statistics, 10% scale (p_e = 0.06)",
                 graph: instagram_surrogate(&InstagramConfig { scale: 0.1, seed })?,
@@ -134,7 +179,7 @@ impl Dataset {
                 },
             }),
             Dataset::FacebookSnap => Ok(DatasetBundle {
-                dataset: *self,
+                dataset: self.clone(),
                 name: "facebook-snap",
                 description: "surrogate matching the Facebook-SNAP spectral-cluster statistics (p_e = 0.01)",
                 graph: fbsnap_surrogate(seed)?,
@@ -146,18 +191,27 @@ impl Dataset {
                     candidate_pool: None,
                 },
             }),
+            Dataset::Scenario(spec) => {
+                let graph = spec.build(seed)?;
+                // Generic scenario defaults: the paper's synthetic protocol
+                // (τ = 20, 200 samples, the standard quota sweep), with the
+                // budget clamped so tiny scenarios stay solvable.
+                let budget = 30.min(graph.num_nodes().max(1));
+                Ok(DatasetBundle {
+                    dataset: self.clone(),
+                    name: "scenario",
+                    description: "typed synthetic scenario (identity: ScenarioSpec::fingerprint)",
+                    graph,
+                    defaults: ExperimentDefaults {
+                        deadline: Some(20),
+                        samples: 200,
+                        budget,
+                        quotas: vec![0.1, 0.2, 0.3],
+                        candidate_pool: None,
+                    },
+                })
+            }
         }
-    }
-}
-
-/// Sanity: every dataset's defaults reference valid probabilities.
-pub fn default_edge_probability(dataset: Dataset) -> f64 {
-    match dataset {
-        Dataset::Illustrative => 0.7,
-        Dataset::Synthetic => 0.05,
-        Dataset::RiceFacebook => RICE_EDGE_PROBABILITY,
-        Dataset::InstagramActivities => crate::instagram::INSTAGRAM_EDGE_PROBABILITY,
-        Dataset::FacebookSnap => FBSNAP_EDGE_PROBABILITY,
     }
 }
 
@@ -165,9 +219,12 @@ pub fn default_edge_probability(dataset: Dataset) -> f64 {
 mod tests {
     use super::*;
 
+    use crate::scenario::ScenarioSpec;
+
     #[test]
     fn every_dataset_builds_and_has_sensible_defaults() {
-        for dataset in [Dataset::Illustrative, Dataset::Synthetic] {
+        let scenario = Dataset::Scenario(ScenarioSpec::watts_strogatz(100, 2, 0.1).unwrap());
+        for dataset in [Dataset::Illustrative, Dataset::Synthetic, scenario] {
             let bundle = dataset.build(1).unwrap();
             assert!(bundle.graph.num_nodes() > 0);
             assert!(bundle.defaults.samples > 0);
@@ -175,9 +232,29 @@ mod tests {
             assert!(!bundle.defaults.quotas.is_empty());
             assert!(!bundle.name.is_empty());
             assert!(!bundle.description.is_empty());
-            let p = default_edge_probability(dataset);
+            let p = dataset.default_edge_probability().unwrap();
             assert!((0.0..=1.0).contains(&p));
+            assert_eq!(bundle.dataset, dataset);
         }
+    }
+
+    #[test]
+    fn scenario_datasets_ride_the_registry_like_named_ones() {
+        let spec = ScenarioSpec::sbm(120, 0.08, 0.01).unwrap().with_weighted_cascade();
+        let dataset = Dataset::Scenario(spec.clone());
+        assert_eq!(dataset.name(), "scenario");
+        // Degree-normalized weights have no single nominal probability.
+        assert_eq!(dataset.default_edge_probability(), None);
+        let bundle = dataset.build(3).unwrap();
+        assert_eq!(bundle.graph, spec.build(3).unwrap(), "registry build == direct build");
+        assert!(bundle.defaults.budget <= bundle.graph.num_nodes());
+        // An invalid literal spec fails at build, naming the field.
+        let invalid = Dataset::Scenario(ScenarioSpec {
+            num_nodes: 0,
+            ..ScenarioSpec::sbm(10, 0.1, 0.1).unwrap()
+        });
+        let err = invalid.build(1).unwrap_err().to_string();
+        assert!(err.contains("'nodes'"), "{err}");
     }
 
     #[test]

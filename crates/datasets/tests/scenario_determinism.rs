@@ -1,0 +1,57 @@
+//! Determinism contract for the scenario generators: the graph a
+//! [`ScenarioSpec`] builds is a pure function of `(spec, seed)` — bitwise
+//! identical across repeated builds and under rayon pools of any size (the
+//! generators are sequential by design, so a thread-count dependence would
+//! mean shared-state leakage). The service layer's fingerprint-keyed caches
+//! and the CI golden files both stand on this.
+
+use tcim_datasets::scenario::ScenarioSpec;
+use tcim_diffusion::ParallelismConfig;
+
+/// One representative spec per generator family and weight model.
+fn representative_specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::sbm(150, 0.06, 0.01).unwrap(),
+        ScenarioSpec::sbm(150, 0.06, 0.01)
+            .unwrap()
+            .with_group_fractions(vec![0.5, 0.3, 0.2])
+            .unwrap()
+            .with_weighted_cascade(),
+        ScenarioSpec::barabasi_albert(150, 3).unwrap().with_homophily_bias(4.0).unwrap(),
+        ScenarioSpec::barabasi_albert(150, 3).unwrap().with_lt_weights(),
+        ScenarioSpec::watts_strogatz(120, 3, 0.2).unwrap(),
+        ScenarioSpec::preset("synthetic-sbm").unwrap(),
+    ]
+}
+
+#[test]
+fn scenario_graphs_are_bitwise_identical_at_any_thread_count() {
+    for spec in representative_specs() {
+        let reference = spec.build(7).unwrap();
+        for threads in [1usize, 2, 8] {
+            let built = ParallelismConfig::fixed(threads).run(|| spec.build(7)).unwrap();
+            // Graph equality compares the CSR arrays including every f64
+            // probability, so this is a bitwise check.
+            assert_eq!(
+                reference,
+                built,
+                "{} differs inside a {threads}-thread pool",
+                spec.fingerprint()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_builds_are_bitwise_identical_and_seeds_separate() {
+    for spec in representative_specs() {
+        let a = spec.build(7).unwrap();
+        let b = spec.build(7).unwrap();
+        assert_eq!(a, b, "{} must rebuild identically", spec.fingerprint());
+        for (pa, pb) in a.edges().zip(b.edges()) {
+            assert_eq!(pa.2.to_bits(), pb.2.to_bits(), "probability bits differ");
+        }
+        let other = spec.build(8).unwrap();
+        assert_ne!(a, other, "{} must vary with the seed", spec.fingerprint());
+    }
+}

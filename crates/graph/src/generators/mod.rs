@@ -9,8 +9,10 @@ mod barabasi_albert;
 mod erdos_renyi;
 mod illustrative;
 mod sbm;
+mod watts_strogatz;
 
 pub use barabasi_albert::{barabasi_albert, BarabasiAlbertConfig};
 pub use erdos_renyi::{erdos_renyi, ErdosRenyiConfig};
 pub use illustrative::{illustrative_example, IllustrativeConfig};
 pub use sbm::{stochastic_block_model, SbmConfig};
+pub use watts_strogatz::{watts_strogatz, WattsStrogatzConfig};

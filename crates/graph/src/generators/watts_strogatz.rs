@@ -1,0 +1,230 @@
+//! Watts–Strogatz small-world generator with group labels.
+//!
+//! The model interpolates between a regular ring lattice (high clustering,
+//! long paths) and a random graph (low clustering, short paths): every node
+//! starts connected to its `neighbors` nearest neighbors on each side of a
+//! ring, then each lattice tie is rewired to a uniformly random endpoint
+//! with probability `rewire_probability`. Small-world graphs stress a
+//! different influence regime than the SBM or preferential-attachment
+//! families — influence spreads along overlapping triangles instead of
+//! through hubs or dense blocks — which makes them a useful scenario family
+//! for fairness sweeps.
+//!
+//! Groups are planted i.i.d. (minority fraction `minority_fraction`), so
+//! group membership is *uncorrelated* with ring position: disparity on a
+//! Watts–Strogatz scenario isolates what the diffusion dynamics alone do to
+//! a minority, without a homophily confound.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::{GroupId, NodeId};
+
+/// Configuration for the Watts–Strogatz generator.
+#[derive(Debug, Clone)]
+pub struct WattsStrogatzConfig {
+    /// Total number of nodes (must exceed `2 * neighbors`).
+    pub num_nodes: usize,
+    /// Ring-lattice neighbors on **each side** of a node (initial degree is
+    /// `2 * neighbors`).
+    pub neighbors: usize,
+    /// Probability that a lattice tie is rewired to a random endpoint.
+    pub rewire_probability: f64,
+    /// Fraction of nodes assigned to the minority group (group 1).
+    pub minority_fraction: f64,
+    /// Activation probability assigned to every edge.
+    pub edge_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Samples a group-labelled Watts–Strogatz small-world graph.
+///
+/// Every undirected tie is stored as two directed edges sharing the same
+/// activation probability. Rewiring preserves the edge count: a rewired tie
+/// keeps its source and draws a fresh target that is neither the source nor
+/// an existing neighbor (after a bounded number of failed draws on very
+/// dense rings, the original tie is kept).
+///
+/// # Errors
+///
+/// Returns an error on invalid probabilities, a zero `neighbors`, or a node
+/// count too small for the requested ring lattice.
+pub fn watts_strogatz(config: &WattsStrogatzConfig) -> Result<Graph> {
+    if config.neighbors == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "neighbors must be at least 1".to_string(),
+        });
+    }
+    if config.num_nodes <= 2 * config.neighbors {
+        return Err(GraphError::InvalidParameter {
+            message: format!(
+                "num_nodes ({}) must exceed 2 * neighbors ({})",
+                config.num_nodes,
+                2 * config.neighbors
+            ),
+        });
+    }
+    for (name, p) in [
+        ("rewire_probability", config.rewire_probability),
+        ("minority_fraction", config.minority_fraction),
+    ] {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(GraphError::InvalidParameter {
+                message: format!("{name} {p} is not in [0, 1]"),
+            });
+        }
+    }
+    if !(0.0..=1.0).contains(&config.edge_probability) || config.edge_probability.is_nan() {
+        return Err(GraphError::InvalidProbability { value: config.edge_probability });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_nodes;
+    let k = config.neighbors;
+
+    // Groups first, so the RNG stream matches the other generators' order
+    // (groups, then structure).
+    let groups: Vec<GroupId> = (0..n)
+        .map(|_| if rng.random_bool(config.minority_fraction) { GroupId(1) } else { GroupId(0) })
+        .collect();
+
+    // Ring lattice: node u ties to u+1 ..= u+k (mod n).
+    let mut adjacency: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for u in 0..n {
+        for step in 1..=k {
+            let v = (u + step) % n;
+            adjacency[u].insert(v);
+            adjacency[v].insert(u);
+        }
+    }
+
+    // Rewire each lattice tie (u, u+step) with probability β, in the
+    // deterministic (u, step) order of the classic algorithm.
+    for u in 0..n {
+        for step in 1..=k {
+            let v = (u + step) % n;
+            if !adjacency[u].contains(&v) {
+                // Already rewired away by an earlier draw targeting u.
+                continue;
+            }
+            if !rng.random_bool(config.rewire_probability) {
+                continue;
+            }
+            // Bounded retry: on an almost-complete ring a free endpoint may
+            // not exist; keeping the lattice tie is the standard fallback.
+            for _ in 0..32 {
+                let w = rng.random_range(0..n);
+                if w != u && !adjacency[u].contains(&w) {
+                    adjacency[u].remove(&v);
+                    adjacency[v].remove(&u);
+                    adjacency[u].insert(w);
+                    adjacency[w].insert(u);
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut builder = GraphBuilder::with_capacity(n, 2 * n * k);
+    for &g in &groups {
+        builder.add_node(g);
+    }
+    for (u, neighbors) in adjacency.iter().enumerate() {
+        for &v in neighbors.iter().filter(|&&v| v > u) {
+            builder.add_undirected_edge(
+                NodeId::from_index(u),
+                NodeId::from_index(v),
+                config.edge_probability,
+            )?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> WattsStrogatzConfig {
+        WattsStrogatzConfig {
+            num_nodes: 200,
+            neighbors: 3,
+            rewire_probability: 0.1,
+            minority_fraction: 0.3,
+            edge_probability: 0.1,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn zero_rewiring_gives_the_pure_ring_lattice() {
+        let mut cfg = base_config();
+        cfg.rewire_probability = 0.0;
+        let g = watts_strogatz(&cfg).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        // Every node keeps its full lattice degree of 2k undirected ties.
+        assert_eq!(g.num_edges(), 200 * 2 * 3);
+        for node in g.nodes() {
+            assert_eq!(g.out_degree(node), 6, "node {node:?}");
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_the_edge_count_and_shortens_paths() {
+        let ring = {
+            let mut cfg = base_config();
+            cfg.rewire_probability = 0.0;
+            watts_strogatz(&cfg).unwrap()
+        };
+        let rewired = {
+            let mut cfg = base_config();
+            cfg.rewire_probability = 0.5;
+            watts_strogatz(&cfg).unwrap()
+        };
+        assert_eq!(ring.num_edges(), rewired.num_edges(), "rewiring must not change |E|");
+        assert_ne!(ring, rewired, "β = 0.5 must actually move ties");
+        assert_eq!(crate::traversal::largest_component_size(&rewired), 200);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = base_config();
+        assert_eq!(watts_strogatz(&cfg).unwrap(), watts_strogatz(&cfg).unwrap());
+        let mut other = cfg.clone();
+        other.seed = 12;
+        assert_ne!(watts_strogatz(&cfg).unwrap(), watts_strogatz(&other).unwrap());
+    }
+
+    #[test]
+    fn minority_fraction_plants_a_minority_group() {
+        let g = watts_strogatz(&base_config()).unwrap();
+        assert_eq!(g.num_groups(), 2);
+        let minority = g.group_size(GroupId(1));
+        assert!((30..=90).contains(&minority), "minority size {minority} for fraction 0.3");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut cfg = base_config();
+        cfg.neighbors = 0;
+        assert!(watts_strogatz(&cfg).is_err());
+        let mut cfg = base_config();
+        cfg.num_nodes = 6;
+        assert!(watts_strogatz(&cfg).is_err());
+        let mut cfg = base_config();
+        cfg.rewire_probability = 1.5;
+        assert!(watts_strogatz(&cfg).is_err());
+        let mut cfg = base_config();
+        cfg.minority_fraction = -0.1;
+        assert!(watts_strogatz(&cfg).is_err());
+        let mut cfg = base_config();
+        cfg.edge_probability = f64::NAN;
+        assert!(watts_strogatz(&cfg).is_err());
+    }
+}

@@ -258,6 +258,27 @@ impl Graph {
         Ok(clone)
     }
 
+    /// Returns a copy of this graph with every edge probability replaced by
+    /// the weighted-cascade normalization `p(u → v) = 1 / indeg(v)`.
+    ///
+    /// Weighted cascade is the classic degree-normalized influence model
+    /// (high-in-degree nodes are harder to activate through any single tie);
+    /// the same normalization is the standard edge-weight choice for the
+    /// linear-threshold model, where the weights into every node must sum to
+    /// at most one — which `1 / indeg(v)` satisfies exactly.
+    pub fn with_weighted_cascade_probabilities(&self) -> Self {
+        let mut in_degree = vec![0u64; self.num_nodes()];
+        for &target in &self.targets {
+            in_degree[target as usize] += 1;
+        }
+        let mut clone = self.clone();
+        for (p, &target) in clone.probabilities.iter_mut().zip(&self.targets) {
+            // Every edge's target has in-degree >= 1 by construction.
+            *p = 1.0 / in_degree[target as usize] as f64;
+        }
+        clone
+    }
+
     /// Returns a copy of this graph with the group assignment replaced.
     ///
     /// Used when re-grouping a graph by a clustering algorithm (Appendix C of
@@ -373,6 +394,29 @@ mod tests {
         let g = triangle().with_uniform_probability(0.1).unwrap();
         assert!(g.edges().all(|(_, _, p)| (p - 0.1).abs() < 1e-12));
         assert!(triangle().with_uniform_probability(1.5).is_err());
+    }
+
+    #[test]
+    fn weighted_cascade_normalizes_by_in_degree() {
+        // Add a second edge into node 0 so one target has in-degree 2.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(GroupId(0));
+        let c = b.add_node(GroupId(0));
+        let d = b.add_node(GroupId(1));
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(c, a, 0.25).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        let g = b.build().unwrap().with_weighted_cascade_probabilities();
+        let into_a: Vec<f64> = g.edges().filter(|(_, t, _)| *t == a).map(|(_, _, p)| p).collect();
+        assert_eq!(into_a, vec![0.5, 0.5], "indeg(a) = 2");
+        let into_c: Vec<f64> = g.edges().filter(|(_, t, _)| *t == c).map(|(_, _, p)| p).collect();
+        assert_eq!(into_c, vec![1.0], "indeg(c) = 1");
+        // Weights into every node sum to at most 1 (the LT admissibility
+        // condition the normalization exists to satisfy).
+        for v in g.nodes() {
+            let sum: f64 = g.edges().filter(|(_, t, _)| *t == v).map(|(_, _, p)| p).sum();
+            assert!(sum <= 1.0 + 1e-12, "weights into {v:?} sum to {sum}");
+        }
     }
 
     #[test]

@@ -71,29 +71,31 @@ impl ModelKind {
     }
 }
 
-/// A dataset reference: which registry entry plus the generation seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A dataset reference: which registry entry (a named dataset or an inline
+/// [`ScenarioSpec`](tcim_datasets::ScenarioSpec)) plus the generation seed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Registry entry.
     pub dataset: Dataset,
-    /// Seed the surrogate generators use.
+    /// Seed the surrogate / scenario generators use.
     pub seed: u64,
 }
 
 impl DatasetSpec {
     /// Resolves a protocol dataset name ("synthetic", "rice-facebook", …)
-    /// against the registry.
+    /// against the registry. Scenario datasets are not named — they arrive
+    /// as inline `"scenario"` objects and are constructed directly.
     ///
     /// # Errors
     ///
     /// Returns a bad-request error listing the valid names.
     pub fn parse(name: &str, seed: u64) -> Result<Self> {
         for dataset in Dataset::ALL {
-            if dataset_name(dataset) == name {
+            if dataset.name() == name {
                 return Ok(DatasetSpec { dataset, seed });
             }
         }
-        let known: Vec<&str> = Dataset::ALL.iter().map(|d| dataset_name(*d)).collect();
+        let known: Vec<&str> = Dataset::ALL.iter().map(|d| d.name()).collect();
         Err(ServiceError::bad_request(format!(
             "unknown dataset '{name}' (expected one of: {})",
             known.join(", ")
@@ -101,19 +103,21 @@ impl DatasetSpec {
     }
 
     fn fingerprint(&self) -> String {
-        format!("{}#{}", dataset_name(self.dataset), self.seed)
+        match &self.dataset {
+            // A scenario's cache identity is its canonical fingerprint: two
+            // requests inlining the same spec (same family, size, groups,
+            // weights) and seed share graphs, LT tables and world pools
+            // exactly like two requests naming the same dataset.
+            Dataset::Scenario(spec) => format!("scenario:{}#{}", spec.fingerprint(), self.seed),
+            named => format!("{}#{}", named.name(), self.seed),
+        }
     }
 }
 
-/// The registry's stable dataset name without building the graph.
-pub fn dataset_name(dataset: Dataset) -> &'static str {
-    match dataset {
-        Dataset::Illustrative => "illustrative",
-        Dataset::Synthetic => "synthetic",
-        Dataset::RiceFacebook => "rice-facebook",
-        Dataset::InstagramActivities => "instagram-activities",
-        Dataset::FacebookSnap => "facebook-snap",
-    }
+/// The registry's stable dataset name without building the graph
+/// (re-exported shim over [`Dataset::name`]).
+pub fn dataset_name(dataset: &Dataset) -> &'static str {
+    dataset.name()
 }
 
 /// Everything that identifies one influence oracle: the dataset, the
@@ -333,7 +337,7 @@ impl OracleCache {
                 let bundle = spec.dataset.build(spec.seed).map_err(|err| {
                     ServiceError::bad_request(format!(
                         "dataset '{}' failed to build: {err}",
-                        dataset_name(spec.dataset)
+                        spec.dataset.name()
                     ))
                 })?;
                 Ok(Arc::new(bundle.graph))

@@ -7,9 +7,11 @@
 //!
 //! * [`OracleCache`] keeps dataset graphs, [`LtWeights`] tables, live-edge
 //!   world collections and built estimators keyed by
-//!   `(dataset, model, deadline, estimator config)`. World collections are
-//!   deadline-independent, so a warm cache answers a new `τ` for the price
-//!   of a view.
+//!   `(dataset, model, deadline, estimator config)` — where the dataset is
+//!   a registry name or an inline scenario, keyed by its canonical
+//!   [`ScenarioSpec::fingerprint`](tcim_datasets::ScenarioSpec::fingerprint).
+//!   World collections are deadline-independent, so a warm cache answers a
+//!   new `τ` for the price of a view.
 //! * [`ServiceEngine`] fans batches of requests out across threads (via the
 //!   same [`ParallelismConfig`] knob the estimators use) over the shared
 //!   read-only cache, executing every solve through `tcim_core::solve`.

@@ -21,8 +21,9 @@
 //! |-------|---------|---------|
 //! | `id` | opaque string/number echoed into the response | absent |
 //! | `op` | `solve_budget` \| `solve_cover` \| `audit` \| `estimate` | required |
-//! | `dataset` | registry name (`synthetic`, `illustrative`, …) | required |
-//! | `dataset_seed` | surrogate-generator seed | `42` |
+//! | `dataset` | registry name (`synthetic`, `illustrative`, …) | required unless `scenario` |
+//! | `scenario` | inline [`ScenarioSpec`] object (`{"family":"sbm",...}` or `{"preset":"ba-hubs"}`; see [`scenario_from_json`]) | — |
+//! | `dataset_seed` | surrogate / scenario generator seed | `42` |
 //! | `model` | `ic` \| `lt` | `ic` |
 //! | `deadline` | number of steps, or `"inf"` (`ProblemSpec::deadline`) | `"inf"` |
 //! | `estimator` | `worlds` \| `monte-carlo` \| `ris` (`ProblemSpec::estimator`) | `worlds` |
@@ -52,12 +53,17 @@
 //! pure function of the request — never of cache temperature or thread
 //! count — which is what makes golden-file diffing in CI meaningful.
 //!
+//! The complete wire reference, including the inline `scenario` object
+//! grammar, lives in `docs/PROTOCOL.md` at the repository root.
+//!
 //! [`ProblemSpec`]: tcim_core::ProblemSpec
+//! [`ScenarioSpec`]: tcim_datasets::ScenarioSpec
 
 use tcim_core::{
     ConcaveWrapper, EstimatorConfig, FairnessMode, GreedyAlgorithm, Objective, ProblemSpec,
     RisConfig, WorldsConfig,
 };
+use tcim_datasets::{Dataset, GeneratorFamily, GroupModel, ScenarioSpec, WeightModel};
 use tcim_diffusion::Deadline;
 use tcim_graph::{GroupId, NodeId};
 
@@ -115,12 +121,31 @@ const COMMON_FIELDS: &[&str] = &[
     "id",
     "op",
     "dataset",
+    "scenario",
     "dataset_seed",
     "model",
     "deadline",
     "estimator",
     "estimator_seed",
     "samples",
+];
+
+/// Fields an inline `"scenario"` object may carry (family knobs are
+/// cross-checked against the declared family).
+const SCENARIO_FIELDS: &[&str] = &[
+    "preset",
+    "family",
+    "nodes",
+    "p_within",
+    "p_across",
+    "edges_per_node",
+    "homophily_bias",
+    "neighbors",
+    "rewire_probability",
+    "majority_fraction",
+    "group_fractions",
+    "weights",
+    "edge_probability",
 ];
 
 fn op_fields(op: &str) -> &'static [&'static str] {
@@ -229,10 +254,12 @@ impl Request {
             members.push(("id".into(), id.clone()));
         }
         members.push(("op".into(), Json::from(self.op.label())));
-        members.push((
-            "dataset".into(),
-            Json::from(crate::cache::dataset_name(self.oracle.dataset.dataset)),
-        ));
+        match &self.oracle.dataset.dataset {
+            Dataset::Scenario(spec) => {
+                members.push(("scenario".into(), scenario_to_json(spec)));
+            }
+            named => members.push(("dataset".into(), Json::from(named.name()))),
+        }
         members.push(("dataset_seed".into(), Json::Num(self.oracle.dataset.seed as f64)));
         members.push(("model".into(), Json::from(self.oracle.model.label())));
         members.push((
@@ -467,12 +494,202 @@ pub fn nodes_to_json(nodes: &[NodeId]) -> Json {
     Json::Arr(nodes.iter().map(|n| Json::Num(n.0 as f64)).collect())
 }
 
+/// Decodes an inline `"scenario"` object into a validated [`ScenarioSpec`] —
+/// the minijson → spec direction of the scenario codec. Accepts either a
+/// lone `{"preset": "name"}` or a full description:
+///
+/// ```text
+/// {"family":"sbm","nodes":500,"p_within":0.025,"p_across":0.001,
+///  "majority_fraction":0.7,"weights":"uniform","edge_probability":0.05}
+/// ```
+///
+/// # Errors
+///
+/// Returns a bad-request error naming the malformed, unknown, missing or
+/// conflicting field (family knobs are rejected on the wrong family).
+pub fn scenario_from_json(value: &Json) -> Result<ScenarioSpec> {
+    let Some(members) = value.as_obj() else {
+        return Err(ServiceError::bad_request("field 'scenario' must be a JSON object"));
+    };
+    for (key, _) in members {
+        if !SCENARIO_FIELDS.contains(&key.as_str()) {
+            return Err(ServiceError::bad_request(format!("unknown scenario field '{key}'")));
+        }
+    }
+    if let Some(preset) = value.get("preset") {
+        let name = preset
+            .as_str()
+            .ok_or_else(|| ServiceError::bad_request("scenario field 'preset' must be a string"))?;
+        if members.len() > 1 {
+            return Err(ServiceError::bad_request(
+                "scenario field 'preset' must be the only scenario field",
+            ));
+        }
+        return ScenarioSpec::preset(name).ok_or_else(|| {
+            ServiceError::bad_request(format!(
+                "unknown scenario preset '{name}' (expected one of: {})",
+                ScenarioSpec::PRESET_NAMES.join(", ")
+            ))
+        });
+    }
+
+    let family_name = required_str(value, "family")?;
+    let (family, family_knobs): (GeneratorFamily, &[&str]) = match family_name {
+        "sbm" => (
+            GeneratorFamily::Sbm {
+                p_within: required_f64(value, "p_within")?,
+                p_across: required_f64(value, "p_across")?,
+            },
+            &["p_within", "p_across"],
+        ),
+        "barabasi-albert" => (
+            GeneratorFamily::BarabasiAlbert {
+                edges_per_node: required_usize(value, "edges_per_node")?,
+                homophily_bias: optional_f64(value, "homophily_bias")?.unwrap_or(1.0),
+            },
+            &["edges_per_node", "homophily_bias"],
+        ),
+        "watts-strogatz" => (
+            GeneratorFamily::WattsStrogatz {
+                neighbors: required_usize(value, "neighbors")?,
+                rewire_probability: required_f64(value, "rewire_probability")?,
+            },
+            &["neighbors", "rewire_probability"],
+        ),
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown scenario family '{other}' (expected 'sbm', 'barabasi-albert' or \
+                 'watts-strogatz')"
+            )))
+        }
+    };
+    for knob in [
+        "p_within",
+        "p_across",
+        "edges_per_node",
+        "homophily_bias",
+        "neighbors",
+        "rewire_probability",
+    ] {
+        if value.get(knob).is_some() && !family_knobs.contains(&knob) {
+            return Err(ServiceError::bad_request(format!(
+                "scenario field '{knob}' does not apply to family '{family_name}'"
+            )));
+        }
+    }
+
+    let groups = match (
+        optional_f64(value, "majority_fraction")?,
+        optional_f64_array(value, "group_fractions")?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(ServiceError::bad_request(
+                "field 'group_fractions' conflicts with 'majority_fraction'",
+            ))
+        }
+        (Some(majority_fraction), None) => GroupModel::MajorityMinority { majority_fraction },
+        (None, Some(fractions)) => GroupModel::Fractions(fractions),
+        (None, None) => GroupModel::MajorityMinority { majority_fraction: 0.7 },
+    };
+
+    let weights = match optional_str(value, "weights")?.unwrap_or("uniform") {
+        "uniform" => {
+            WeightModel::UniformIc { p: optional_f64(value, "edge_probability")?.unwrap_or(0.05) }
+        }
+        name @ ("weighted-cascade" | "lt") => {
+            if value.get("edge_probability").is_some() {
+                return Err(ServiceError::bad_request(format!(
+                    "field 'edge_probability' conflicts with weights '{name}' \
+                     (degree-normalized weights have no per-edge probability)"
+                )));
+            }
+            if name == "lt" {
+                WeightModel::Lt
+            } else {
+                WeightModel::WeightedCascade
+            }
+        }
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown scenario weights '{other}' (expected 'uniform', 'weighted-cascade' or \
+                 'lt')"
+            )))
+        }
+    };
+
+    let spec = ScenarioSpec { family, num_nodes: required_usize(value, "nodes")?, groups, weights };
+    spec.validate().map_err(|err| ServiceError::bad_request(err.to_string()))?;
+    Ok(spec)
+}
+
+/// Encodes a scenario as its full wire object — the spec → minijson
+/// direction of the scenario codec. `scenario_from_json` over the rendered
+/// object yields the spec back (presets render expanded).
+pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("family".into(), Json::from(spec.family.label())),
+        ("nodes".into(), Json::Num(spec.num_nodes as f64)),
+    ];
+    match &spec.family {
+        GeneratorFamily::Sbm { p_within, p_across } => {
+            members.push(("p_within".into(), Json::Num(*p_within)));
+            members.push(("p_across".into(), Json::Num(*p_across)));
+        }
+        GeneratorFamily::BarabasiAlbert { edges_per_node, homophily_bias } => {
+            members.push(("edges_per_node".into(), Json::Num(*edges_per_node as f64)));
+            members.push(("homophily_bias".into(), Json::Num(*homophily_bias)));
+        }
+        GeneratorFamily::WattsStrogatz { neighbors, rewire_probability } => {
+            members.push(("neighbors".into(), Json::Num(*neighbors as f64)));
+            members.push(("rewire_probability".into(), Json::Num(*rewire_probability)));
+        }
+    }
+    match &spec.groups {
+        GroupModel::MajorityMinority { majority_fraction } => {
+            members.push(("majority_fraction".into(), Json::Num(*majority_fraction)));
+        }
+        GroupModel::Fractions(fractions) => {
+            members.push((
+                "group_fractions".into(),
+                Json::Arr(fractions.iter().map(|&f| Json::Num(f)).collect()),
+            ));
+        }
+    }
+    match &spec.weights {
+        WeightModel::UniformIc { p } => {
+            members.push(("weights".into(), Json::from("uniform")));
+            members.push(("edge_probability".into(), Json::Num(*p)));
+        }
+        WeightModel::WeightedCascade => {
+            members.push(("weights".into(), Json::from("weighted-cascade")));
+        }
+        WeightModel::Lt => {
+            members.push(("weights".into(), Json::from("lt")));
+        }
+    }
+    Json::Obj(members)
+}
+
 type OracleParts = (DatasetSpec, ModelKind, Deadline, EstimatorConfig);
 
 fn parse_oracle(value: &Json) -> Result<OracleParts> {
-    let dataset_name = required_str(value, "dataset")?;
     let dataset_seed = optional_u64(value, "dataset_seed")?.unwrap_or(42);
-    let dataset = DatasetSpec::parse(dataset_name, dataset_seed)?;
+    let dataset = match (value.get("dataset"), value.get("scenario")) {
+        (Some(_), Some(_)) => {
+            return Err(ServiceError::bad_request("field 'scenario' conflicts with 'dataset'"))
+        }
+        (Some(_), None) => DatasetSpec::parse(required_str(value, "dataset")?, dataset_seed)?,
+        (None, Some(scenario)) => DatasetSpec {
+            dataset: Dataset::Scenario(scenario_from_json(scenario)?),
+            seed: dataset_seed,
+        },
+        (None, None) => {
+            return Err(ServiceError::bad_request(
+                "missing required field 'dataset' (name a registry dataset, or inline a \
+                 'scenario' object)",
+            ))
+        }
+    };
     let model = match value.get("model") {
         None => ModelKind::IndependentCascade,
         Some(m) => ModelKind::parse(m.as_str().ok_or_else(|| {
@@ -727,6 +944,111 @@ mod tests {
             let again = Request::parse_line(&rendered).unwrap();
             assert_eq!(req, again, "round trip failed for {line}");
         }
+    }
+
+    #[test]
+    fn inline_scenarios_parse_round_trip_and_key_like_datasets() {
+        let line = r#"{"id":1,"op":"solve_budget","scenario":{"family":"sbm","nodes":200,"p_within":0.05,"p_across":0.01,"majority_fraction":0.8,"weights":"uniform","edge_probability":0.1},"dataset_seed":7,"deadline":5,"budget":3}"#;
+        let req = Request::parse_line(line).unwrap();
+        let Dataset::Scenario(spec) = &req.oracle.dataset.dataset else {
+            panic!("expected a scenario dataset")
+        };
+        assert_eq!(spec.num_nodes, 200);
+        assert_eq!(spec.family, GeneratorFamily::Sbm { p_within: 0.05, p_across: 0.01 });
+        assert_eq!(spec.groups, GroupModel::MajorityMinority { majority_fraction: 0.8 });
+        assert_eq!(spec.weights, WeightModel::UniformIc { p: 0.1 });
+        assert_eq!(req.oracle.dataset.seed, 7);
+
+        // Round trip through the rendered form.
+        let again = Request::parse_line(&req.to_json().to_string()).unwrap();
+        assert_eq!(req, again);
+
+        // Other families and the degree-normalized weight models.
+        for line in [
+            r#"{"op":"solve_cover","scenario":{"family":"barabasi-albert","nodes":150,"edges_per_node":3,"homophily_bias":4.0,"weights":"weighted-cascade"},"quota":0.2}"#,
+            r#"{"op":"estimate","scenario":{"family":"watts-strogatz","nodes":100,"neighbors":2,"rewire_probability":0.1,"weights":"lt"},"model":"lt","seeds":[0]}"#,
+            r#"{"op":"audit","scenario":{"family":"sbm","nodes":90,"p_within":0.1,"p_across":0.01,"group_fractions":[0.5,0.3,0.2]},"seeds":[1,2]}"#,
+        ] {
+            let req = Request::parse_line(line).unwrap();
+            let again = Request::parse_line(&req.to_json().to_string()).unwrap();
+            assert_eq!(req, again, "round trip failed for {line}");
+        }
+
+        // Presets expand to their full spec (and render expanded).
+        let preset = Request::parse_line(
+            r#"{"op":"solve_budget","scenario":{"preset":"ba-hubs"},"budget":2}"#,
+        )
+        .unwrap();
+        let Dataset::Scenario(spec) = &preset.oracle.dataset.dataset else { panic!() };
+        assert_eq!(spec, &ScenarioSpec::preset("ba-hubs").unwrap());
+        let again = Request::parse_line(&preset.to_json().to_string()).unwrap();
+        assert_eq!(preset, again);
+    }
+
+    #[test]
+    fn scenario_errors_name_the_offending_field() {
+        let solve = |scenario: &str| {
+            Request::parse_line(&format!(
+                r#"{{"op":"solve_budget","scenario":{scenario},"budget":2}}"#
+            ))
+            .unwrap_err()
+            .to_string()
+        };
+        let cases = [
+            (r#"[1]"#, "must be a JSON object"),
+            (r#"{"nodes":10}"#, "missing required field 'family'"),
+            (r#"{"family":"sbm","p_within":0.1,"p_across":0.1}"#, "'nodes'"),
+            (r#"{"family":"tree","nodes":10}"#, "unknown scenario family 'tree'"),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"frobnicate":1}"#,
+                "unknown scenario field 'frobnicate'",
+            ),
+            (r#"{"family":"sbm","nodes":10,"p_within":1.5,"p_across":0.1}"#, "'p_within'"),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"neighbors":2}"#,
+                "does not apply to family 'sbm'",
+            ),
+            (
+                r#"{"family":"watts-strogatz","nodes":10,"neighbors":2,"rewire_probability":0.1,"p_within":0.1}"#,
+                "does not apply to family 'watts-strogatz'",
+            ),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"majority_fraction":0.7,"group_fractions":[0.5,0.5]}"#,
+                "'group_fractions' conflicts with 'majority_fraction'",
+            ),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"group_fractions":[0.5,0.4]}"#,
+                "sum to 1",
+            ),
+            (
+                r#"{"family":"barabasi-albert","nodes":10,"edges_per_node":2,"group_fractions":[0.5,0.5]}"#,
+                "majority_fraction",
+            ),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"weights":"quantum"}"#,
+                "unknown scenario weights 'quantum'",
+            ),
+            (
+                r#"{"family":"sbm","nodes":10,"p_within":0.1,"p_across":0.1,"weights":"lt","edge_probability":0.1}"#,
+                "'edge_probability' conflicts with weights 'lt'",
+            ),
+            (r#"{"preset":"twitter"}"#, "unknown scenario preset 'twitter'"),
+            (r#"{"preset":"ba-hubs","nodes":10}"#, "must be the only scenario field"),
+        ];
+        for (scenario, needle) in cases {
+            let err = solve(scenario);
+            assert!(err.contains(needle), "error for {scenario} should mention {needle}: {err}");
+        }
+        // scenario and dataset are mutually exclusive; one is required.
+        let err = Request::parse_line(
+            r#"{"op":"solve_budget","dataset":"synthetic","scenario":{"preset":"ba-hubs"},"budget":2}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("'scenario' conflicts with 'dataset'"), "{err}");
+        let err =
+            Request::parse_line(r#"{"op":"solve_budget","budget":2}"#).unwrap_err().to_string();
+        assert!(err.contains("'dataset'"), "{err}");
     }
 
     #[test]

@@ -135,7 +135,7 @@ fn golden_smoke_files_stay_in_sync() {
         .filter(|line| !line.is_empty() && !line.starts_with('#'))
         .map(|line| Request::parse_line(line).expect("golden request must parse"))
         .collect();
-    assert_eq!(requests.len(), 4, "the smoke batch is four requests");
+    assert_eq!(requests.len(), 5, "the smoke batch is five requests");
 
     let engine = ServiceEngine::new(ParallelismConfig::auto());
     let mut produced = String::new();

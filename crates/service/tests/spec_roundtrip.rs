@@ -15,6 +15,7 @@ use tcim_core::{
     ConcaveWrapper, EstimatorConfig, FairnessMode, GreedyAlgorithm, Objective, ProblemSpec,
     RisConfig, WorldsConfig,
 };
+use tcim_datasets::{Dataset, GeneratorFamily, GroupModel, ScenarioSpec, WeightModel};
 use tcim_diffusion::Deadline;
 use tcim_graph::{GroupId, NodeId};
 use tcim_service::{DatasetSpec, ModelKind, Op, OracleSpec, Request};
@@ -123,8 +124,88 @@ fn spec() -> impl Strategy<Value = ProblemSpec> {
     )
 }
 
+type ScenarioFamilyParts = (u32, usize, f64, f64, usize, usize);
+type ScenarioModelParts = (u32, f64, Vec<f64>, u32, f64);
+
+/// Every wire-expressible, *valid* scenario: the codec validates eagerly,
+/// so the strategy only emits specs that pass `ScenarioSpec::validate`.
+fn scenario() -> impl Strategy<Value = ScenarioSpec> {
+    let family = (
+        0u32..3,       // family selector
+        10usize..2000, // nodes (large enough for every family's floor)
+        0.0f64..=1.0,  // p_within / rewire_probability
+        0.0f64..=1.0,  // p_across
+        1usize..5,     // edges_per_node
+        1usize..4,     // neighbors
+    );
+    let models = (
+        0u32..2,                                       // group-model selector
+        0.0f64..=1.0,                                  // majority_fraction
+        proptest::collection::vec(0.01f64..1.0, 1..5), // raw fractions
+        0u32..3,                                       // weight-model selector
+        0.0f64..=1.0,                                  // uniform p
+    );
+    (family, models).prop_map(
+        |((fam, nodes, pa, pb, m, k), (gsel, mm, raw, wsel, p)): (
+            ScenarioFamilyParts,
+            ScenarioModelParts,
+        )| {
+            let family = match fam {
+                0 => GeneratorFamily::Sbm { p_within: pa, p_across: pb },
+                1 => GeneratorFamily::BarabasiAlbert {
+                    edges_per_node: m,
+                    homophily_bias: 1.0 + pb * 9.0,
+                },
+                _ => GeneratorFamily::WattsStrogatz { neighbors: k, rewire_probability: pa },
+            };
+            // Explicit fractions are SBM-only; normalize so they sum to 1.
+            let groups = if gsel == 1 && fam == 0 {
+                let sum: f64 = raw.iter().sum();
+                GroupModel::Fractions(raw.iter().map(|w| w / sum).collect())
+            } else {
+                GroupModel::MajorityMinority { majority_fraction: mm }
+            };
+            let weights = match wsel {
+                0 => WeightModel::UniformIc { p },
+                1 => WeightModel::WeightedCascade,
+                _ => WeightModel::Lt,
+            };
+            ScenarioSpec { family, num_nodes: nodes, groups, weights }
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scenario_to_minijson_to_scenario_is_identity(spec in scenario(), seed in 0u64..1000) {
+        spec.validate().expect("strategy must emit valid scenarios");
+        let request = Request {
+            id: None,
+            oracle: OracleSpec {
+                dataset: DatasetSpec { dataset: Dataset::Scenario(spec.clone()), seed },
+                model: ModelKind::IndependentCascade,
+                deadline: Deadline::unbounded(),
+                estimator: EstimatorConfig::Worlds(WorldsConfig {
+                    num_worlds: 200,
+                    seed: 0,
+                    ..Default::default()
+                }),
+            },
+            op: Op::Estimate { seeds: vec![NodeId(0)] },
+        };
+        let wire = request.to_json().to_string();
+        let again = Request::parse_line(&wire)
+            .unwrap_or_else(|err| panic!("rendered scenario failed to parse: {err}\n{wire}"));
+        let Dataset::Scenario(decoded) = &again.oracle.dataset.dataset else {
+            panic!("scenario round-tripped to a named dataset: {wire}");
+        };
+        prop_assert!(decoded == &spec, "decoded scenario differs; wire form: {wire}");
+        // The cache key is fingerprint-derived, so it must be stable too.
+        prop_assert_eq!(decoded.fingerprint(), spec.fingerprint());
+        prop_assert!(again == request);
+    }
 
     #[test]
     fn spec_to_minijson_to_spec_is_identity(spec in spec()) {

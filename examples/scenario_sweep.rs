@@ -1,0 +1,60 @@
+//! Scenario sweep: measure how unfair the plain greedy campaign (P1) is —
+//! and how much the fair surrogate (P4) repairs — across three structurally
+//! different synthetic scenarios, without touching a single named dataset.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use std::sync::Arc;
+
+use fairtcim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three generator families, one question: does structure alone change
+    // how much fairness pressure costs?
+    let scenarios: Vec<(&str, ScenarioSpec)> = vec![
+        // Homophilous blocks (the paper's synthetic protocol, smaller).
+        ("sbm-homophily", ScenarioSpec::sbm(200, 0.05, 0.005)?.with_uniform_weights(0.1)?),
+        // Scale-free hubs concentrated in the majority group.
+        ("ba-hubs", ScenarioSpec::barabasi_albert(200, 3)?.with_homophily_bias(6.0)?),
+        // Small world, groups independent of structure, degree-normalized
+        // (weighted-cascade) edges.
+        ("ws-smallworld", ScenarioSpec::watts_strogatz(200, 3, 0.1)?.with_weighted_cascade()),
+    ];
+
+    println!("{:<16} {:>12} {:>12} {:>12}", "scenario", "P1 disparity", "P4 disparity", "repaired");
+    // One shared cache: each scenario's graph and world pool builds once and
+    // serves both solves (keyed by the scenario fingerprint).
+    let cache = Arc::new(OracleCache::new());
+    for (name, spec) in scenarios {
+        let base = Campaign::on_scenario(spec)
+            .shared_cache(Arc::clone(&cache))
+            .deadline(5)
+            .estimator(worlds(64, 0))
+            .budget(5);
+        let unfair = base.clone().solve()?;
+        let fair = base.clone().fair(ConcaveWrapper::Log).solve()?;
+        println!(
+            "{:<16} {:>12.4} {:>12.4} {:>11.1}%",
+            name,
+            unfair.disparity(),
+            fair.disparity(),
+            100.0 * (unfair.disparity() - fair.disparity()) / unfair.disparity().max(1e-12)
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.world_misses, 3, "one world pool per scenario");
+    println!(
+        "\nworld pools sampled: {} (one per scenario, both solves share it)",
+        stats.world_misses
+    );
+    println!(
+        "negative 'repaired' means the surrogate overshot: when groups are independent of \
+         structure (ws-smallworld) there is little disparity to repair, and boosting the \
+         worst-off group can swing past parity — structure, not the objective, drives unfairness."
+    );
+    Ok(())
+}

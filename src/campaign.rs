@@ -57,6 +57,7 @@ use tcim_core::{
     WorldsConfig,
 };
 use tcim_datasets::registry::Dataset;
+use tcim_datasets::scenario::ScenarioSpec;
 use tcim_diffusion::{Deadline, WorldEstimator};
 use tcim_graph::{Graph, GroupId, NodeId};
 use tcim_service::{DatasetSpec, ModelKind, OracleCache, OracleSpec, ServiceError};
@@ -129,6 +130,49 @@ impl Campaign {
     /// A campaign over an explicitly built graph.
     pub fn on_graph(graph: Arc<Graph>) -> Self {
         Campaign::new(Source::Graph(graph))
+    }
+
+    /// A campaign over a typed synthetic scenario — the open counterpart of
+    /// [`Campaign::on`]: any generator family × size × group model ×
+    /// weight model, cached by the scenario's canonical fingerprint exactly
+    /// like a named dataset. The spec is validated eagerly; a degenerate
+    /// one surfaces from [`Campaign::solve`] naming the offending field.
+    ///
+    /// ```
+    /// use fairtcim::prelude::*;
+    ///
+    /// let spec = ScenarioSpec::barabasi_albert(150, 3)?.with_homophily_bias(4.0)?;
+    /// let report = Campaign::on_scenario(spec)
+    ///     .deadline(5)
+    ///     .estimator(worlds(32, 0))
+    ///     .budget(3)
+    ///     .solve()?;
+    /// assert_eq!(report.num_seeds(), 3);
+    /// # Ok::<(), fairtcim::core::CoreError>(())
+    /// ```
+    pub fn on_scenario(spec: ScenarioSpec) -> Self {
+        let mut campaign = Campaign::new(Source::Dataset(Dataset::Scenario(spec.clone())));
+        if let Err(err) = spec.validate() {
+            campaign.record_message(err.to_string());
+        }
+        campaign
+    }
+
+    /// A campaign over a named scenario preset
+    /// ([`ScenarioSpec::PRESET_NAMES`]); an unknown name is recorded as an
+    /// eager error surfaced at solve time.
+    pub fn on_scenario_preset(name: &str) -> Self {
+        match ScenarioSpec::preset(name) {
+            Some(spec) => Campaign::on_scenario(spec),
+            None => {
+                let mut campaign = Campaign::new(Source::Dataset(Dataset::Illustrative));
+                campaign.record_message(format!(
+                    "field 'scenario': unknown preset '{name}' (expected one of: {})",
+                    ScenarioSpec::PRESET_NAMES.join(", ")
+                ));
+                campaign
+            }
+        }
     }
 
     /// Records the first eager-validation failure as its bare message (the
@@ -355,7 +399,7 @@ impl Campaign {
         match &self.source {
             Source::Graph(graph) => Ok(Arc::clone(graph)),
             Source::Dataset(dataset) => {
-                let spec = DatasetSpec { dataset: *dataset, seed: self.dataset_seed };
+                let spec = DatasetSpec { dataset: dataset.clone(), seed: self.dataset_seed };
                 if let Some(cache) = &self.cache {
                     return cache.graph(&spec).map_err(unwrap_service_error);
                 }
@@ -370,7 +414,7 @@ impl Campaign {
     fn build_oracle(&self, spec: &ProblemSpec) -> Result<Arc<Estimator>> {
         if let (Some(cache), Source::Dataset(dataset)) = (&self.cache, &self.source) {
             let oracle_spec = OracleSpec::for_spec(
-                DatasetSpec { dataset: *dataset, seed: self.dataset_seed },
+                DatasetSpec { dataset: dataset.clone(), seed: self.dataset_seed },
                 self.model,
                 spec,
             );
@@ -525,6 +569,45 @@ mod tests {
         // Audit rides the same oracle path.
         let audit = base.audit(&direct.seeds).unwrap();
         assert!(audit.total > 0.0);
+    }
+
+    #[test]
+    fn scenario_campaigns_solve_and_share_the_cache() {
+        let spec = ScenarioSpec::sbm(120, 0.08, 0.01).unwrap();
+        let cache = Arc::new(OracleCache::new());
+        let base = Campaign::on_scenario(spec.clone())
+            .shared_cache(Arc::clone(&cache))
+            .deadline(4)
+            .estimator(worlds(32, 0));
+        let unfair = base.clone().budget(2).solve().unwrap();
+        let fair = base.clone().budget(2).fair(ConcaveWrapper::Log).solve().unwrap();
+        assert!(fair.disparity() <= unfair.disparity() + 1e-9);
+        assert_eq!(cache.stats().world_misses, 1, "one scenario, one world pool");
+
+        // The cached campaign answers match a cache-free campaign bitwise.
+        let direct = Campaign::on_scenario(spec)
+            .deadline(4)
+            .estimator(worlds(32, 0))
+            .budget(2)
+            .solve()
+            .unwrap();
+        assert_eq!(direct.seeds, unfair.seeds);
+
+        // Presets resolve; unknown presets surface naming the field.
+        let preset = Campaign::on_scenario_preset("synthetic-sbm")
+            .deadline(3)
+            .estimator(worlds(16, 0))
+            .budget(2)
+            .solve()
+            .unwrap();
+        assert_eq!(preset.num_seeds(), 2);
+        let err = Campaign::on_scenario_preset("twitter").budget(2).solve().unwrap_err();
+        assert!(err.to_string().contains("unknown preset 'twitter'"), "{err}");
+
+        // Invalid literal specs are recorded eagerly, naming the field.
+        let invalid = ScenarioSpec { num_nodes: 0, ..ScenarioSpec::sbm(10, 0.1, 0.1).unwrap() };
+        let err = Campaign::on_scenario(invalid).budget(1).solve().unwrap_err();
+        assert!(err.to_string().contains("'nodes'"), "{err}");
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub mod prelude {
         solve_fair_tcim_cover, solve_group_tcim_cover, solve_tcim_budget, solve_tcim_cover,
     };
     pub use tcim_datasets::registry::{Dataset, DatasetBundle};
-    pub use tcim_datasets::SyntheticConfig;
+    pub use tcim_datasets::{
+        GeneratorFamily, GroupModel, ScenarioSpec, SyntheticConfig, WeightModel,
+    };
     pub use tcim_diffusion::{
         AdaptiveRis, Deadline, GroupInfluence, InfluenceOracle, MonteCarloEstimator,
         ParallelismConfig, RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
