@@ -7,34 +7,48 @@
 //! dataset.
 //!
 //! ```text
-//! tcim_workload [--smoke] [--out FILE] [--threads N] [--seed S]
+//! tcim_workload [--smoke] [--out FILE] [--threads N] [--seed S] [--listen]
 //! ```
 //!
 //! `--smoke` shrinks the sweep to one size and 16-world oracles for CI;
 //! `--out FILE` additionally writes the generated traffic as JSONL (replay
-//! it by hand with `tcim_serve --input FILE`). The traffic is a pure
+//! it by hand with `tcim_serve --input FILE`). `--listen` adds a third
+//! pass: an in-process socket server on an ephemeral TCP port, replayed by
+//! four concurrent closed-loop clients against the warm cache — reporting
+//! req/s plus exact client-side p50/p99 latency, and byte-comparing every
+//! socket response against the in-process pass. The traffic is a pure
 //! function of the flags: no timestamps, no ambient randomness. Exit codes:
-//! 0 success, 1 failed responses or a warm/cold mismatch, 2 bad usage / IO.
+//! 0 success, 1 failed responses or any byte mismatch (warm/cold or
+//! socket/in-process), 2 bad usage / IO.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_diffusion::ParallelismConfig;
-use tcim_service::{Json, Request, ServiceEngine};
+use tcim_service::{Client, Json, Request, Server, ServerConfig, ServiceEngine};
 
 struct Cli {
     smoke: bool,
     out: Option<String>,
     parallelism: ParallelismConfig,
     seed: u64,
+    listen: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
-    let mut cli = Cli { smoke: false, out: None, parallelism: ParallelismConfig::auto(), seed: 1 };
+    let mut cli = Cli {
+        smoke: false,
+        out: None,
+        parallelism: ParallelismConfig::auto(),
+        seed: 1,
+        listen: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--smoke" => cli.smoke = true,
+            "--listen" => cli.listen = true,
             "--out" => {
                 cli.out = Some(args.next().ok_or_else(|| "missing value for --out".to_string())?);
             }
@@ -53,7 +67,8 @@ fn parse_cli() -> Result<Cli, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (expected --smoke, --out, --threads or --seed)"
+                    "unknown flag '{other}' (expected --smoke, --out, --threads, --seed \
+                     or --listen)"
                 ))
             }
         }
@@ -115,6 +130,86 @@ fn generate_traffic(sweep: &Sweep, base_seed: u64) -> Vec<String> {
     lines
 }
 
+/// Replays the traffic over a real TCP socket against the (warm) engine:
+/// four closed-loop clients partition the lines round-robin, each comparing
+/// every response byte-for-byte against the in-process pass and timing each
+/// call client-side. Returns `(elapsed_ms, latencies_us, mismatches)`.
+fn socket_replay(
+    engine: Arc<ServiceEngine>,
+    lines: &[String],
+    expected: &[String],
+) -> Result<(f64, Vec<u64>, usize), String> {
+    const CLIENTS: usize = 4;
+    let server = Server::bind_tcp("127.0.0.1:0", engine, ServerConfig::default())
+        .map_err(|err| format!("cannot bind replay server: {err}"))?;
+    let addr = server.tcp_addr().expect("tcp servers know their address").to_string();
+    let shutdown = server.shutdown_handle();
+    let run = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|slot| {
+            let addr = addr.clone();
+            let work: Vec<(String, String)> = lines
+                .iter()
+                .zip(expected)
+                .skip(slot)
+                .step_by(CLIENTS)
+                .map(|(line, want)| (line.clone(), want.clone()))
+                .collect();
+            std::thread::spawn(move || -> Result<(Vec<u64>, usize), String> {
+                let mut client = Client::connect_tcp(addr.as_str())
+                    .map_err(|err| format!("replay client cannot connect: {err}"))?;
+                let mut latencies = Vec::with_capacity(work.len());
+                let mut mismatches = 0usize;
+                for (line, want) in &work {
+                    let sent = Instant::now();
+                    client.send_line(line).map_err(|err| format!("replay send failed: {err}"))?;
+                    let response = client
+                        .recv()
+                        .map_err(|err| format!("replay recv failed: {err}"))?
+                        .ok_or_else(|| "server closed mid-replay".to_string())?;
+                    latencies.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    if response.to_string() != *want {
+                        mismatches += 1;
+                    }
+                }
+                Ok((latencies, mismatches))
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(lines.len());
+    let mut mismatches = 0usize;
+    for client in clients {
+        let (client_latencies, client_mismatches) =
+            client.join().map_err(|_| "replay client panicked".to_string())??;
+        latencies.extend(client_latencies);
+        mismatches += client_mismatches;
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    shutdown.trigger();
+    let report = run
+        .join()
+        .map_err(|_| "replay server panicked".to_string())?
+        .map_err(|err| format!("replay server failed: {err}"))?;
+    if !report.drained {
+        return Err("replay server failed to drain on shutdown".to_string());
+    }
+    latencies.sort_unstable();
+    Ok((elapsed_ms, latencies, mismatches))
+}
+
+/// Exact quantile of a sorted latency sample (nearest-rank).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn run() -> Result<ExitCode, String> {
     let cli = parse_cli()?;
     let sweep = if cli.smoke {
@@ -138,7 +233,7 @@ fn run() -> Result<ExitCode, String> {
         })
         .collect::<Result<_, _>>()?;
 
-    let engine = ServiceEngine::new(cli.parallelism);
+    let engine = Arc::new(ServiceEngine::new(cli.parallelism));
     let cold_start = Instant::now();
     let cold = engine.serve_batch(&requests);
     let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
@@ -176,6 +271,35 @@ fn run() -> Result<ExitCode, String> {
         stats.oracle_hits, stats.oracle_misses, stats.world_hits, stats.world_misses
     );
 
+    let mut socket_mismatches = 0usize;
+    if cli.listen {
+        let expected = render(&warm);
+        let (elapsed_ms, latencies, mismatches) =
+            socket_replay(Arc::clone(&engine), &lines, &expected)?;
+        socket_mismatches = mismatches;
+        println!(
+            "  socket (4 clients): {elapsed_ms:.1} ms  {:8.1} req/s  p50 {}us p99 {}us",
+            n / (elapsed_ms / 1e3),
+            percentile_us(&latencies, 0.50),
+            percentile_us(&latencies, 0.99),
+        );
+        println!(
+            "  socket == in-process: {}",
+            if mismatches == 0 {
+                "byte-identical".to_string()
+            } else {
+                format!("{mismatches} MISMATCH(ES)")
+            }
+        );
+    }
+
+    if socket_mismatches > 0 {
+        eprintln!(
+            "error: {socket_mismatches} socket response(s) diverged from the in-process pass \
+             (determinism contract broken)"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
     if !deterministic {
         eprintln!("error: warm replay diverged from the cold pass (determinism contract broken)");
         return Ok(ExitCode::FAILURE);

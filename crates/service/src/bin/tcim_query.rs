@@ -1,27 +1,52 @@
-//! One-shot campaign query: build a single protocol request from CLI flags,
-//! serve it, and print the JSON response.
+//! One-shot campaign query: build a single protocol request from CLI flags
+//! and serve it — in-process by default, or against a running `tcim_serve`
+//! socket server with `--connect` / `--connect-unix`.
 //!
 //! ```text
 //! tcim_query --op solve_budget --dataset synthetic --deadline 5 --budget 10 --fair
-//! tcim_query --op solve_budget --dataset synthetic --budget 10 --disparity-cap 0.2
 //! tcim_query --op solve_cover --dataset synthetic --quota 0.3 --group 1
 //! tcim_query --op audit --dataset illustrative --deadline 2 --seeds 0,1,2
 //! tcim_query --op estimate --dataset synthetic --estimator ris --samples 20000 --seeds 4,17
+//! tcim_query --connect 127.0.0.1:7341 --op ping
+//! tcim_query --connect 127.0.0.1:7341 --op stats
+//! tcim_query --connect 127.0.0.1:7341 --file requests.jsonl
 //! ```
 //!
 //! Flags mirror the JSONL protocol fields one-to-one (see
 //! `tcim_service::protocol`); `--show-request` additionally prints the
-//! request line, which can be piped straight into `tcim_serve`.
+//! request line, which can be piped straight into `tcim_serve`. With
+//! `--file`, raw request lines are replayed over the connection in lockstep
+//! (send one, read one) and each response is printed as received — the
+//! socket analog of `tcim_serve --input`. `--file` requires a connection
+//! and conflicts with the request-building flags.
 
 use std::process::ExitCode;
 
 use tcim_diffusion::ParallelismConfig;
-use tcim_service::{Json, Request, ServiceEngine};
+use tcim_service::{Client, Json, Request, ServiceEngine};
+
+/// Where to send the request: the in-process engine or a running server.
+enum Target {
+    Local,
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(String),
+}
+
+struct Cli {
+    request: Option<Request>,
+    target: Target,
+    file: Option<String>,
+    parallelism: ParallelismConfig,
+    show_request: bool,
+}
 
 /// Collects the flags as protocol JSON members, letting the protocol layer
 /// do all validation so CLI and JSONL errors read identically.
-fn build_request(args: &mut std::env::Args) -> Result<(Request, ParallelismConfig, bool), String> {
+fn parse_cli(args: &mut std::env::Args) -> Result<Cli, String> {
     let mut members: Vec<(String, Json)> = Vec::new();
+    let mut target = Target::Local;
+    let mut file: Option<String> = None;
     let mut parallelism = ParallelismConfig::auto();
     let mut show_request = false;
 
@@ -76,6 +101,23 @@ fn build_request(args: &mut std::env::Args) -> Result<(Request, ParallelismConfi
                 members.push(("weights".into(), Json::Arr(weights)));
             }
             "--fair" => members.push(("fair".into(), Json::Bool(true))),
+            "--connect" => {
+                let addr = next_value(args, &flag)?;
+                target = Target::Tcp(addr);
+            }
+            "--connect-unix" => {
+                let path = next_value(args, &flag)?;
+                #[cfg(unix)]
+                {
+                    target = Target::Unix(path);
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err("--connect-unix is only available on Unix platforms".to_string());
+                }
+            }
+            "--file" => file = Some(next_value(args, &flag)?),
             "--threads" => {
                 let raw = next_value(args, &flag)?;
                 let threads: usize = raw.parse().map_err(|_| {
@@ -88,30 +130,102 @@ fn build_request(args: &mut std::env::Args) -> Result<(Request, ParallelismConfi
         }
     }
 
-    let request = Request::from_json(&Json::Obj(members)).map_err(|err| err.to_string())?;
-    Ok((request, parallelism, show_request))
+    let request = if let Some(path) = &file {
+        if matches!(target, Target::Local) {
+            return Err("--file requires a connection (--connect or --connect-unix); \
+                        use `tcim_serve --input` for local batches"
+                .to_string());
+        }
+        if let Some((key, _)) = members.first() {
+            return Err(format!(
+                "--file replays raw request lines from '{path}' and conflicts with \
+                 request-building flags (got --{})",
+                key.replace('_', "-")
+            ));
+        }
+        None
+    } else {
+        Some(Request::from_json(&Json::Obj(members)).map_err(|err| err.to_string())?)
+    };
+    Ok(Cli { request, target, file, parallelism, show_request })
+}
+
+fn connect(target: &Target) -> Result<Client, String> {
+    match target {
+        Target::Tcp(addr) => Client::connect_tcp(addr.as_str())
+            .map_err(|err| format!("cannot connect to '{addr}': {err}")),
+        #[cfg(unix)]
+        Target::Unix(path) => Client::connect_unix(path)
+            .map_err(|err| format!("cannot connect to unix socket '{path}': {err}")),
+        Target::Local => unreachable!("local target never connects"),
+    }
+}
+
+/// Replays raw request lines over the connection in lockstep, printing each
+/// response; returns whether every response had `"ok": true`.
+fn replay_file(client: &mut Client, path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read request file '{path}': {err}"))?;
+    let mut all_ok = true;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        client.send_line(line).map_err(|err| format!("cannot send request: {err}"))?;
+        let response = client
+            .recv()
+            .map_err(|err| format!("cannot read response: {err}"))?
+            .ok_or_else(|| "connection closed before the response".to_string())?;
+        if response.get("ok").and_then(|ok| ok.as_bool()) != Some(true) {
+            all_ok = false;
+        }
+        println!("{response}");
+    }
+    Ok(all_ok)
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args();
     args.next(); // program name
-    let (request, parallelism, show_request) = match build_request(&mut args) {
-        Ok(built) => built,
+    let cli = match parse_cli(&mut args) {
+        Ok(cli) => cli,
         Err(message) => {
             eprintln!("error: {message}");
             return ExitCode::from(2);
         }
     };
-    if show_request {
+    if let (true, Some(request)) = (cli.show_request, &cli.request) {
         eprintln!("{}", request.to_json());
     }
-    let engine = ServiceEngine::new(parallelism);
-    let response = engine.serve(&request);
-    println!("{response}");
-    let ok = response.get("ok").and_then(|ok| ok.as_bool()) == Some(true);
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+
+    let outcome: Result<bool, String> = match (&cli.target, &cli.file) {
+        (Target::Local, _) => {
+            let request = cli.request.as_ref().expect("local mode always builds a request");
+            let engine = ServiceEngine::new(cli.parallelism);
+            let response = engine.serve(request);
+            println!("{response}");
+            Ok(response.get("ok").and_then(|ok| ok.as_bool()) == Some(true))
+        }
+        (_, Some(path)) => connect(&cli.target).and_then(|mut client| {
+            let path = path.clone();
+            replay_file(&mut client, &path)
+        }),
+        (_, None) => connect(&cli.target).and_then(|mut client| {
+            let request = cli.request.as_ref().expect("socket one-shot builds a request");
+            let response = client
+                .call(request)
+                .map_err(|err| format!("request over the socket failed: {err}"))?;
+            println!("{response}");
+            Ok(response.get("ok").and_then(|ok| ok.as_bool()) == Some(true))
+        }),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,54 +1,164 @@
-//! JSONL campaign-serving loop: read newline-delimited requests from stdin
-//! (or `--input FILE`), serve them as one batch over a shared oracle cache,
-//! and write one response per line to stdout, in request order.
+//! The campaign-serving daemon, in two explicit modes:
+//!
+//! * **Batch** (default): read newline-delimited requests from stdin (or
+//!   `--input FILE`), serve them as one batch over a shared oracle cache,
+//!   and write one response per line to stdout, in request order.
+//! * **Socket**: `--listen ADDR` (TCP) or `--listen-unix PATH` (Unix-domain)
+//!   serves the same protocol over persistent connections with pipelining,
+//!   backpressure and graceful shutdown (SIGINT/SIGTERM or a
+//!   `{"op":"shutdown"}` request drain in-flight work before exit).
 //!
 //! ```text
-//! tcim_serve [--input FILE] [--threads N] [--quiet]
+//! tcim_serve [--input FILE | --listen ADDR | --listen-unix PATH]
+//!            [--threads N] [--quiet]
+//!            [--max-connections N] [--max-inflight N] [--window N]
+//!            [--shutdown-grace-ms MS]
 //! ```
 //!
-//! Blank lines and `#` comment lines are skipped. A line that fails to parse
-//! produces an `"ok": false` response in its slot instead of aborting the
-//! batch; if any slot failed, the process exits non-zero after printing
-//! every response. Cache statistics go to stderr (never stdout: stdout is
-//! the protocol surface and must stay byte-identical across thread counts,
-//! which CI checks against a golden file). `--quiet` suppresses the stderr
-//! summary.
+//! The server knobs (`--max-connections`, `--max-inflight`, `--window`,
+//! `--shutdown-grace-ms`) require a listen mode; every flag is validated
+//! eagerly and errors name the offending flag. Blank lines and `#` comment
+//! lines are skipped in both modes. A line that fails to parse produces an
+//! `"ok": false` response (echoing the request's `id` when one could be
+//! salvaged, plus its line number) instead of aborting.
+//!
+//! Stats go to stderr, never stdout — stdout is the protocol surface and
+//! must stay byte-identical across thread counts, which CI checks against a
+//! golden file. `--quiet` suppresses the stderr summary.
+//!
+//! Exit codes: 0 on success (socket mode: shutdown drained cleanly), 1 on
+//! failed slots (batch) or an expired shutdown grace period (socket), 2 on
+//! usage errors.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use tcim_diffusion::ParallelismConfig;
-use tcim_service::protocol::error_response;
-use tcim_service::{Request, ServiceEngine};
+use tcim_service::protocol::error_response_at;
+use tcim_service::{install_ctrl_c, Request, Server, ServerConfig, ServiceEngine};
+
+enum Mode {
+    /// One batch from stdin or a file; exit when served.
+    Batch { input: Option<String> },
+    /// Persistent TCP listener.
+    ListenTcp { addr: String },
+    /// Persistent Unix-domain listener.
+    #[cfg(unix)]
+    ListenUnix { path: String },
+}
 
 struct Cli {
-    input: Option<String>,
+    mode: Mode,
     parallelism: ParallelismConfig,
     quiet: bool,
+    server: ServerConfig,
 }
 
 fn parse_cli() -> Result<Cli, String> {
-    let mut cli = Cli { input: None, parallelism: ParallelismConfig::auto(), quiet: false };
+    let mut cli = Cli {
+        mode: Mode::Batch { input: None },
+        parallelism: ParallelismConfig::auto(),
+        quiet: false,
+        server: ServerConfig::default(),
+    };
+    let mut mode_flag: Option<String> = None;
+    let mut server_flags: Vec<String> = Vec::new();
+
+    let set_mode = |mode_flag: &mut Option<String>, flag: &str, mode: Mode| {
+        if let Some(previous) = mode_flag.as_deref() {
+            return Err(format!(
+                "flag '{flag}' conflicts with '{previous}' (pick one mode: \
+                 --input/stdin, --listen or --listen-unix)"
+            ));
+        }
+        *mode_flag = Some(flag.to_string());
+        Ok(mode)
+    };
+
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        let positive = |raw: String, flag: &str| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!(
+                    "invalid value '{raw}' for {flag} (expected an integer of at least 1)"
+                )),
+            }
+        };
         match flag.as_str() {
             "--input" => {
-                cli.input =
-                    Some(args.next().ok_or_else(|| "missing value for --input".to_string())?);
+                let path = value("--input")?;
+                cli.mode = set_mode(&mut mode_flag, "--input", Mode::Batch { input: Some(path) })?;
+            }
+            "--listen" => {
+                let addr = value("--listen")?;
+                cli.mode = set_mode(&mut mode_flag, "--listen", Mode::ListenTcp { addr })?;
+            }
+            "--listen-unix" => {
+                let path = value("--listen-unix")?;
+                #[cfg(unix)]
+                {
+                    cli.mode =
+                        set_mode(&mut mode_flag, "--listen-unix", Mode::ListenUnix { path })?;
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err("--listen-unix is only available on Unix platforms".to_string());
+                }
             }
             "--threads" => {
-                let raw = args.next().ok_or_else(|| "missing value for --threads".to_string())?;
+                let raw = value("--threads")?;
                 let threads: usize = raw.parse().map_err(|_| {
                     format!("invalid value '{raw}' for --threads (expected an integer; 0 = auto)")
                 })?;
                 cli.parallelism = ParallelismConfig::fixed(threads);
             }
+            "--max-connections" => {
+                cli.server.max_connections = positive(value("--max-connections")?, flag.as_str())?;
+                server_flags.push(flag);
+            }
+            "--max-inflight" => {
+                cli.server.max_inflight = positive(value("--max-inflight")?, flag.as_str())?;
+                server_flags.push(flag);
+            }
+            "--window" => {
+                cli.server.window = positive(value("--window")?, flag.as_str())?;
+                server_flags.push(flag);
+            }
+            "--shutdown-grace-ms" => {
+                let raw = value("--shutdown-grace-ms")?;
+                let ms: u64 = raw.parse().map_err(|_| {
+                    format!(
+                        "invalid value '{raw}' for --shutdown-grace-ms \
+                         (expected a duration in milliseconds)"
+                    )
+                })?;
+                cli.server.shutdown_grace = Duration::from_millis(ms);
+                server_flags.push(flag);
+            }
             "--quiet" => cli.quiet = true,
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (expected --input, --threads or --quiet)"
+                    "unknown flag '{other}' (expected --input, --listen, --listen-unix, \
+                     --threads, --max-connections, --max-inflight, --window, \
+                     --shutdown-grace-ms or --quiet)"
                 ))
             }
+        }
+    }
+
+    if matches!(cli.mode, Mode::Batch { .. }) {
+        if let Some(flag) = server_flags.first() {
+            return Err(format!(
+                "flag '{flag}' requires a listen mode (--listen or --listen-unix); \
+                 batch mode has no server to configure"
+            ));
         }
     }
     Ok(cli)
@@ -68,6 +178,75 @@ fn read_input(input: Option<&str>) -> Result<String, String> {
     }
 }
 
+/// The original stdin/file pipeline: parse everything first so malformed
+/// lines keep their slot in the response stream while well-formed ones
+/// still batch together.
+fn run_batch(engine: &ServiceEngine, input: Option<&str>, quiet: bool) -> Result<bool, String> {
+    let text = read_input(input)?;
+
+    type Slot = Result<Request, (Option<tcim_service::Json>, u64, String)>;
+    let mut parsed: Vec<Slot> = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parsed.push(Request::parse_line_correlated(line).map_err(|(id, err)| {
+            engine.stats().record_parse_error();
+            (id, number as u64 + 1, err.to_string())
+        }));
+    }
+
+    let requests: Vec<Request> = parsed.iter().filter_map(|p| p.as_ref().ok()).cloned().collect();
+    let mut served = engine.serve_batch(&requests).into_iter();
+    let mut failures = 0usize;
+    for slot in &parsed {
+        let response = match slot {
+            Ok(_) => served.next().expect("one response per request"),
+            Err((id, line, message)) => error_response_at(id.as_ref(), Some(*line), message),
+        };
+        if response.get("ok").and_then(|ok| ok.as_bool()) != Some(true) {
+            failures += 1;
+        }
+        println!("{response}");
+    }
+
+    if !quiet {
+        eprintln!("{}", engine.stats_snapshot().summary_line());
+    }
+    Ok(failures == 0)
+}
+
+/// The socket serving tier: bind, announce on stderr, serve until shutdown,
+/// log the final stats snapshot. Returns whether the drain completed.
+fn run_socket(engine: Arc<ServiceEngine>, cli: &Cli) -> Result<bool, String> {
+    install_ctrl_c();
+    let server = match &cli.mode {
+        Mode::ListenTcp { addr } => Server::bind_tcp(addr.as_str(), engine, cli.server.clone())
+            .map_err(|err| format!("cannot listen on '{addr}': {err}"))?,
+        #[cfg(unix)]
+        Mode::ListenUnix { path } => Server::bind_unix(path, engine, cli.server.clone())
+            .map_err(|err| format!("cannot listen on unix socket '{path}': {err}"))?,
+        Mode::Batch { .. } => unreachable!("socket mode only"),
+    };
+    if !cli.quiet {
+        match (server.tcp_addr(), &cli.mode) {
+            (Some(addr), _) => eprintln!("listening on {addr}"),
+            #[cfg(unix)]
+            (None, Mode::ListenUnix { path }) => eprintln!("listening on unix socket {path}"),
+            (None, _) => {}
+        }
+    }
+    let report = server.run().map_err(|err| format!("server error: {err}"))?;
+    if !cli.quiet {
+        eprintln!("{}", report.stats.summary_line());
+        if !report.drained {
+            eprintln!("shutdown grace period expired with connections still active");
+        }
+    }
+    Ok(report.drained)
+}
+
 fn main() -> ExitCode {
     let cli = match parse_cli() {
         Ok(cli) => cli,
@@ -76,59 +255,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match read_input(cli.input.as_deref()) {
-        Ok(text) => text,
-        Err(message) => {
-            eprintln!("error: {message}");
-            return ExitCode::from(2);
-        }
-    };
-
-    // Parse everything first so malformed lines keep their slot in the
-    // response stream while well-formed ones still batch together.
-    let mut parsed: Vec<Result<Request, String>> = Vec::new();
-    for (number, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        parsed.push(Request::parse_line(line).map_err(|err| format!("line {}: {err}", number + 1)));
-    }
 
     let engine = ServiceEngine::new(cli.parallelism);
-    let requests: Vec<Request> = parsed.iter().filter_map(|p| p.as_ref().ok()).cloned().collect();
-    let mut served = engine.serve_batch(&requests).into_iter();
-    let mut failures = 0usize;
-    for slot in &parsed {
-        let response = match slot {
-            Ok(_) => served.next().expect("one response per request"),
-            Err(message) => error_response(None, None, message),
-        };
-        if response.get("ok").and_then(|ok| ok.as_bool()) != Some(true) {
-            failures += 1;
+    let clean = match &cli.mode {
+        Mode::Batch { input } => run_batch(&engine, input.as_deref(), cli.quiet),
+        _ => run_socket(Arc::new(engine), &cli),
+    };
+    match clean {
+        // Scriptability: a batch containing any failed slot, or a shutdown
+        // whose grace period expired, exits non-zero.
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
         }
-        println!("{response}");
-    }
-
-    if !cli.quiet {
-        let stats = engine.cache().stats();
-        eprintln!(
-            "served {} request(s) ({} failed): oracle cache {} hit(s) / {} miss(es), \
-             world pool {} hit(s) / {} miss(es)",
-            parsed.len(),
-            failures,
-            stats.oracle_hits,
-            stats.oracle_misses,
-            stats.world_hits,
-            stats.world_misses
-        );
-    }
-    // Scriptability: every response line is printed either way, but a batch
-    // containing any failed slot (malformed line or ok:false response) exits
-    // non-zero, matching `tcim_query`'s convention.
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
     }
 }

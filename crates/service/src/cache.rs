@@ -176,6 +176,27 @@ pub struct CacheStats {
     pub world_hits: u64,
     /// World-collection lookups that had to sample.
     pub world_misses: u64,
+    /// Dataset-graph lookups answered from the cache.
+    pub graph_hits: u64,
+    /// Dataset-graph lookups that had to generate.
+    pub graph_misses: u64,
+}
+
+impl CacheStats {
+    /// Oracle hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn oracle_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.oracle_hits, self.oracle_misses)
+    }
+
+    /// World-pool hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn world_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.world_hits, self.world_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| hits as f64 / total as f64)
 }
 
 /// An insertion-ordered map with a capacity bound. Cache keys are
@@ -263,6 +284,8 @@ pub struct OracleCache {
     oracle_misses: AtomicU64,
     world_hits: AtomicU64,
     world_misses: AtomicU64,
+    graph_hits: AtomicU64,
+    graph_misses: AtomicU64,
 }
 
 impl OracleCache {
@@ -278,6 +301,8 @@ impl OracleCache {
             oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
             world_hits: self.world_hits.load(Ordering::Relaxed),
             world_misses: self.world_misses.load(Ordering::Relaxed),
+            graph_hits: self.graph_hits.load(Ordering::Relaxed),
+            graph_misses: self.graph_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -326,13 +351,18 @@ impl OracleCache {
     pub fn graph(&self, spec: &DatasetSpec) -> Result<Arc<Graph>> {
         let key = spec.fingerprint();
         if let Some(graph) = self.maps.lock().expect("cache lock").graphs.get(&key) {
+            self.graph_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(graph));
         }
         self.build_once(
             &key,
             |maps| maps.graphs.get(&key).map(Arc::clone),
-            || {},
-            || {},
+            || {
+                self.graph_hits.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                self.graph_misses.fetch_add(1, Ordering::Relaxed);
+            },
             || {
                 let bundle = spec.dataset.build(spec.seed).map_err(|err| {
                     ServiceError::bad_request(format!(
@@ -496,6 +526,11 @@ mod tests {
         assert_eq!(stats.oracle_misses, 2);
         assert_eq!(stats.world_misses, 1, "the collection samples once");
         assert_eq!(stats.world_hits, 1, "the second deadline reuses it");
+        assert_eq!(stats.graph_misses, 1, "the graph generates once");
+        assert!(stats.graph_hits >= 1, "later builds reuse the graph");
+        assert_eq!(stats.oracle_hit_rate(), Some(1.0 / 3.0));
+        assert_eq!(stats.world_hit_rate(), Some(0.5));
+        assert_eq!(CacheStats::default().oracle_hit_rate(), None);
 
         let (Estimator::Worlds(a), Estimator::Worlds(b)) = (first.as_ref(), other.as_ref()) else {
             panic!("worlds estimators expected");

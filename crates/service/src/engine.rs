@@ -1,6 +1,7 @@
 //! The batched query engine: cached oracles + parallel request fan-out.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rayon::prelude::*;
 use tcim_core::{audit_seed_set, solve, FairnessReport, SolverReport};
@@ -9,7 +10,8 @@ use tcim_diffusion::{InfluenceOracle, ParallelismConfig};
 use crate::cache::OracleCache;
 use crate::error::{Result, ServiceError};
 use crate::minijson::Json;
-use crate::protocol::{error_response, nodes_to_json, ok_response, Op, Request};
+use crate::protocol::{error_response, nodes_to_json, ok_response, ping_fields, Op, Request};
+use crate::stats::{OpKind, ServerStats, StatsSnapshot};
 
 /// Serves campaign queries against a shared [`OracleCache`].
 ///
@@ -19,21 +21,27 @@ use crate::protocol::{error_response, nodes_to_json, ok_response, Op, Request};
 /// function of each request: the batch is bitwise-identical at any thread
 /// count and any cache temperature (the repository-wide determinism
 /// contract, enforced by the service tests and the CI golden files).
+///
+/// Every served request is also recorded into the engine's [`ServerStats`]
+/// (count, outcome, latency) — the telemetry behind the `{"op":"stats"}`
+/// wire op and the socket server's shutdown log line. Recording is
+/// atomics-only and never influences a response.
 pub struct ServiceEngine {
     cache: Arc<OracleCache>,
     parallelism: ParallelismConfig,
+    stats: Arc<ServerStats>,
 }
 
 impl ServiceEngine {
     /// An engine with a fresh cache.
     pub fn new(parallelism: ParallelismConfig) -> Self {
-        ServiceEngine { cache: Arc::new(OracleCache::new()), parallelism }
+        ServiceEngine::with_cache(Arc::new(OracleCache::new()), parallelism)
     }
 
     /// An engine sharing an existing cache (several engines — e.g. one per
     /// listener — can serve from one pool of oracles).
     pub fn with_cache(cache: Arc<OracleCache>, parallelism: ParallelismConfig) -> Self {
-        ServiceEngine { cache, parallelism }
+        ServiceEngine { cache, parallelism, stats: Arc::new(ServerStats::new()) }
     }
 
     /// The shared cache (for stats reporting and warm-up).
@@ -41,15 +49,34 @@ impl ServiceEngine {
         &self.cache
     }
 
+    /// The serving metrics this engine records into (shared with the socket
+    /// server, which adds connection-lifecycle gauges).
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// A point-in-time stats snapshot joined with the cache counters — the
+    /// payload of the `stats` op and of the shutdown log line.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(self.cache.stats())
+    }
+
     /// Serves one request, returning the response object (errors become
     /// `"ok": false` responses, never panics).
     pub fn serve(&self, request: &Request) -> Json {
-        match self.execute(request) {
+        let kind = OpKind::of(&request.op);
+        self.stats.request_started();
+        let start = Instant::now();
+        let result = self.execute(request);
+        let ok = result.is_ok();
+        let response = match result {
             Ok(fields) => ok_response(request.id.as_ref(), request.op.label(), fields),
             Err(err) => {
                 error_response(request.id.as_ref(), Some(request.op.label()), &err.to_string())
             }
-        }
+        };
+        self.stats.request_finished(kind, ok, start.elapsed());
+        response
     }
 
     /// Serves a batch concurrently, preserving request order in the output.
@@ -61,7 +88,24 @@ impl ServiceEngine {
     }
 
     fn execute(&self, request: &Request) -> Result<Vec<(String, Json)>> {
-        let oracle = self.cache.oracle(&request.oracle)?;
+        // Serving-tier ops never touch an oracle. `stats` snapshots before
+        // its own completion is recorded, so the reported counts cover
+        // *completed* requests (the snapshot does count itself as in-flight,
+        // which it is). `shutdown` is acknowledged here; the socket server
+        // reacts to it after the response is written.
+        match &request.op {
+            Op::Stats => return Ok(self.stats_snapshot().fields()),
+            Op::Ping => return Ok(ping_fields()),
+            Op::Shutdown => return Ok(Vec::new()),
+            _ => {}
+        }
+        let spec = request.oracle.as_ref().ok_or_else(|| {
+            ServiceError::bad_request(format!(
+                "op '{}' requires an oracle (dataset or scenario fields)",
+                request.op.label()
+            ))
+        })?;
+        let oracle = self.cache.oracle(spec)?;
         match &request.op {
             // One arm for every solve: the protocol decoded the request into
             // a `ProblemSpec`, and `tcim_core::solve` dispatches it — adding
@@ -78,6 +122,7 @@ impl ServiceEngine {
                     ("total".into(), Json::Num(influence.total())),
                 ])
             }
+            Op::Stats | Op::Ping | Op::Shutdown => unreachable!("admin ops handled above"),
         }
     }
 }
@@ -161,6 +206,43 @@ mod tests {
         // One dataset, one world pool: everything after the first build hits.
         let stats = engine.cache().stats();
         assert_eq!(stats.world_misses, 1);
+    }
+
+    #[test]
+    fn admin_ops_serve_without_an_oracle_and_stats_reflect_traffic() {
+        let engine = ServiceEngine::new(ParallelismConfig::serial());
+        let pong = engine.serve(&request(r#"{"id":"p","op":"ping"}"#));
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(pong.get("id"), Some(&Json::from("p")));
+        assert!(pong.get("protocol").unwrap().as_f64().is_some());
+
+        // Traffic: one solve, one failing estimate, then the stats snapshot.
+        engine.serve(&request(
+            r#"{"op":"solve_budget","dataset":"illustrative","deadline":2,"samples":32,"budget":2}"#,
+        ));
+        engine.serve(&request(
+            r#"{"op":"estimate","dataset":"illustrative","samples":32,"seeds":[9999]}"#,
+        ));
+        let stats = engine.serve(&request(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)), "{stats}");
+        let requests = stats.get("requests").unwrap();
+        // ping + solve + estimate completed before the snapshot was taken.
+        assert_eq!(requests.get("total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(requests.get("errors").unwrap().as_f64(), Some(1.0));
+        assert!(requests.get("p50_us").unwrap().as_f64().is_some());
+        assert!(requests.get("p99_us").unwrap().as_f64().is_some());
+        let cache = stats.get("cache").unwrap();
+        assert!(cache.get("oracles").unwrap().get("hit_rate").unwrap().as_f64().is_some());
+
+        // Shutdown is a bare acknowledgment at the engine level.
+        let ack = engine.serve(&request(r#"{"id":9,"op":"shutdown"}"#));
+        assert_eq!(ack.to_string(), r#"{"id":9,"op":"shutdown","ok":true}"#);
+
+        // A hand-built query request without an oracle errors, not panics.
+        let bad =
+            engine.serve(&Request { id: None, oracle: None, op: Op::Estimate { seeds: vec![] } });
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad.get("error").unwrap().as_str().unwrap().contains("requires an oracle"));
     }
 
     #[test]

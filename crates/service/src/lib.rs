@@ -20,6 +20,14 @@
 //!   one-shot helper). Solve requests are a direct wire codec for
 //!   [`tcim_core::ProblemSpec`] — there is no per-op argument mapping, and
 //!   responses echo the canonical spec string, so they are self-describing.
+//! * [`server`] is the socket serving tier: a `std::net` listener (TCP or
+//!   Unix-domain) multiplexing the same protocol over persistent
+//!   connections, with per-connection ordering and backpressure, global
+//!   admission control and graceful shutdown; [`client`] is the matching
+//!   blocking JSONL client.
+//! * [`stats`] is the lock-cheap observability layer ([`ServerStats`]):
+//!   per-op counts, p50/p99 latency histograms, cache hit rates and
+//!   connection gauges, served over the wire by `{"op":"stats"}`.
 //! * [`minijson`] is the dependency-free JSON layer shared with
 //!   `tcim-bench`'s regression records.
 //!
@@ -59,13 +67,19 @@
 #![warn(rust_2018_idioms)]
 
 mod cache;
+pub mod client;
 mod engine;
 mod error;
 pub mod minijson;
 pub mod protocol;
+pub mod server;
+pub mod stats;
 
 pub use cache::{dataset_name, CacheStats, DatasetSpec, ModelKind, OracleCache, OracleSpec};
+pub use client::Client;
 pub use engine::ServiceEngine;
 pub use error::{Result, ServiceError};
 pub use minijson::Json;
-pub use protocol::{Op, Request};
+pub use protocol::{Op, Request, PROTOCOL_VERSION};
+pub use server::{install_ctrl_c, Server, ServerConfig, ServerReport, ShutdownHandle};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -13,7 +13,16 @@
 //! {"id":3,"op":"solve_budget","dataset":"synthetic","deadline":5,"budget":10,"disparity_cap":0.2}
 //! {"id":4,"op":"audit","dataset":"synthetic","deadline":5,"seeds":[4,17]}
 //! {"id":5,"op":"estimate","dataset":"synthetic","deadline":5,"seeds":[4,17]}
+//! {"id":6,"op":"ping"}
+//! {"id":7,"op":"stats"}
+//! {"id":8,"op":"shutdown"}
 //! ```
+//!
+//! The last three are **serving-tier ops**: they carry no oracle (only `id`
+//! and `op` are legal fields — anything else is rejected by name). `ping`
+//! answers with [`PROTOCOL_VERSION`] and build info, `stats` with the typed
+//! [`ServerStats`](crate::stats::ServerStats) snapshot, and `shutdown` asks a
+//! socket server to drain and exit (a batch run just acknowledges it).
 //!
 //! Fields and defaults (spec mapping in parentheses):
 //!
@@ -49,9 +58,15 @@
 //! conflicting fairness fields (`fair` + `disparity_cap`, …). Responses echo
 //! `id` and `op`, carry `"ok": true` plus result fields — including the
 //! canonical `"spec"` string of the solved `ProblemSpec`, so every response
-//! is self-describing — or `"ok": false` plus `"error"`. Responses are a
+//! is self-describing — or `"ok": false` plus `"error"`. A line that fails
+//! to parse still correlates: [`Request::parse_line_correlated`] salvages a
+//! well-typed `id` from the broken line, and [`error_response_at`] echoes it
+//! together with a structured `"line"` number (input line in batch mode,
+//! per-connection request ordinal in socket mode). Query responses are a
 //! pure function of the request — never of cache temperature or thread
-//! count — which is what makes golden-file diffing in CI meaningful.
+//! count — which is what makes golden-file diffing in CI meaningful
+//! (`stats` is the deliberate exception: it reports load, so it never
+//! appears in golden files).
 //!
 //! The complete wire reference, including the inline `scenario` object
 //! grammar, lives in `docs/PROTOCOL.md` at the repository root.
@@ -71,7 +86,12 @@ use crate::cache::{DatasetSpec, ModelKind, OracleSpec};
 use crate::error::{Result, ServiceError};
 use crate::minijson::Json;
 
-/// One operation against an oracle.
+/// Version of the wire protocol, reported by `{"op":"ping"}`. Bumped when
+/// the request/response grammar changes incompatibly (v2 added the
+/// serving-tier ops and the structured `"line"` error field).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// One operation against an oracle (or against the serving tier itself).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// A spec-driven solve (P1–P6); the op name on the wire follows the
@@ -87,7 +107,19 @@ pub enum Op {
         /// The seed set to evaluate.
         seeds: Vec<NodeId>,
     },
+    /// Serving-tier telemetry: the typed `ServerStats` snapshot (request
+    /// counts, p50/p99 latency, cache hit rates, connection gauges).
+    Stats,
+    /// Liveness probe: protocol version + build info.
+    Ping,
+    /// Ask a socket server to stop accepting, drain in-flight work and exit
+    /// cleanly. Batch mode acknowledges it as a no-op.
+    Shutdown,
 }
+
+/// Ops that address the serving tier rather than an oracle: they carry no
+/// dataset/model/estimator fields, and only `id` + `op` are legal.
+const ADMIN_OPS: &[&str] = &["stats", "ping", "shutdown"];
 
 impl Op {
     /// The protocol name of the operation.
@@ -99,19 +131,29 @@ impl Op {
             },
             Op::Audit { .. } => "audit",
             Op::Estimate { .. } => "estimate",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
         }
+    }
+
+    /// Whether the op addresses the serving tier (no oracle involved).
+    pub fn is_admin(&self) -> bool {
+        matches!(self, Op::Stats | Op::Ping | Op::Shutdown)
     }
 }
 
-/// One parsed request: an oracle spec plus an operation. For solve
-/// operations the oracle spec is *derived from* the `ProblemSpec` (deadline
-/// and estimator), so the cache key is a pure function of the spec.
+/// One parsed request: an operation plus, for query ops, the oracle spec
+/// that serves it. For solve operations the oracle spec is *derived from*
+/// the `ProblemSpec` (deadline and estimator), so the cache key is a pure
+/// function of the spec. Serving-tier ops (`stats`, `ping`, `shutdown`)
+/// carry no oracle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Opaque id echoed into the response (string or number).
     pub id: Option<Json>,
-    /// Which oracle serves the request.
-    pub oracle: OracleSpec,
+    /// Which oracle serves the request (`None` for serving-tier ops).
+    pub oracle: Option<OracleSpec>,
     /// What to compute.
     pub op: Op,
 }
@@ -196,6 +238,24 @@ impl Request {
         Request::from_json(&value)
     }
 
+    /// Parses one JSONL line, salvaging the request's `id` when the line is
+    /// valid JSON carrying a well-typed id but fails request validation —
+    /// so error responses for pipelined batches can still be correlated
+    /// (pass the salvaged id to [`error_response_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns `(salvaged id, error)`; the id is `None` when the line is not
+    /// valid JSON or carries no usable id.
+    pub fn parse_line_correlated(
+        line: &str,
+    ) -> std::result::Result<Request, (Option<Json>, ServiceError)> {
+        let value = Json::parse(line)
+            .map_err(|err| (None, ServiceError::bad_request(format!("invalid JSON: {err}"))))?;
+        let id = value.get("id").filter(|id| matches!(id, Json::Str(_) | Json::Num(_))).cloned();
+        Request::from_json(&value).map_err(|err| (id, err))
+    }
+
     /// Parses a request from an already-decoded JSON object.
     ///
     /// # Errors
@@ -207,10 +267,29 @@ impl Request {
             return Err(ServiceError::bad_request("request must be a JSON object"));
         };
         let op_name = required_str(value, "op")?;
+        if ADMIN_OPS.contains(&op_name) {
+            // Serving-tier ops carry no oracle: everything except `id` is
+            // rejected by name, same convention as unknown query fields.
+            for (key, _) in members {
+                if key != "id" && key != "op" {
+                    return Err(ServiceError::bad_request(format!(
+                        "unknown field '{key}' for op '{op_name}' (serving-tier ops take only \
+                         'id')"
+                    )));
+                }
+            }
+            let op = match op_name {
+                "stats" => Op::Stats,
+                "ping" => Op::Ping,
+                _ => Op::Shutdown,
+            };
+            return Ok(Request { id: validated_id(value)?, oracle: None, op });
+        }
         let allowed = op_fields(op_name);
         if allowed.is_empty() {
             return Err(ServiceError::bad_request(format!(
-                "unknown op '{op_name}' (expected solve_budget, solve_cover, audit or estimate)"
+                "unknown op '{op_name}' (expected solve_budget, solve_cover, audit, estimate, \
+                 stats, ping or shutdown)"
             )));
         }
         for (key, _) in members {
@@ -236,13 +315,11 @@ impl Request {
             },
             _ => unreachable!("op validated above"),
         };
-        let id = value.get("id").cloned();
-        if let Some(id) = &id {
-            if !matches!(id, Json::Str(_) | Json::Num(_)) {
-                return Err(ServiceError::bad_request("field 'id' must be a string or number"));
-            }
-        }
-        Ok(Request { id, oracle: OracleSpec { dataset, model, deadline, estimator }, op })
+        Ok(Request {
+            id: validated_id(value)?,
+            oracle: Some(OracleSpec { dataset, model, deadline, estimator }),
+            op,
+        })
     }
 
     /// Renders the request back to its protocol form (used by `tcim_query`
@@ -254,22 +331,26 @@ impl Request {
             members.push(("id".into(), id.clone()));
         }
         members.push(("op".into(), Json::from(self.op.label())));
-        match &self.oracle.dataset.dataset {
+        // Serving-tier ops render as the bare header — they carry no oracle.
+        let Some(oracle) = &self.oracle else {
+            return Json::Obj(members);
+        };
+        match &oracle.dataset.dataset {
             Dataset::Scenario(spec) => {
                 members.push(("scenario".into(), scenario_to_json(spec)));
             }
             named => members.push(("dataset".into(), Json::from(named.name()))),
         }
-        members.push(("dataset_seed".into(), Json::Num(self.oracle.dataset.seed as f64)));
-        members.push(("model".into(), Json::from(self.oracle.model.label())));
+        members.push(("dataset_seed".into(), Json::Num(oracle.dataset.seed as f64)));
+        members.push(("model".into(), Json::from(oracle.model.label())));
         members.push((
             "deadline".into(),
-            match self.oracle.deadline.horizon() {
+            match oracle.deadline.horizon() {
                 Some(tau) => Json::Num(tau as f64),
                 None => Json::from("inf"),
             },
         ));
-        let (estimator, samples, seed) = match &self.oracle.estimator {
+        let (estimator, samples, seed) = match &oracle.estimator {
             EstimatorConfig::Worlds(w) => ("worlds", w.num_worlds, w.seed),
             EstimatorConfig::MonteCarlo { samples, seed } => ("monte-carlo", *samples, *seed),
             EstimatorConfig::Ris(r) => ("ris", r.num_sets, r.seed),
@@ -282,9 +363,20 @@ impl Request {
             Op::Audit { seeds } | Op::Estimate { seeds } => {
                 members.push(("seeds".into(), nodes_to_json(seeds)));
             }
+            Op::Stats | Op::Ping | Op::Shutdown => {}
         }
         Json::Obj(members)
     }
+}
+
+fn validated_id(value: &Json) -> Result<Option<Json>> {
+    let id = value.get("id").cloned();
+    if let Some(id) = &id {
+        if !matches!(id, Json::Str(_) | Json::Num(_)) {
+            return Err(ServiceError::bad_request("field 'id' must be a string or number"));
+        }
+    }
+    Ok(id)
 }
 
 /// Decodes the problem half of a solve request into a validated
@@ -487,6 +579,44 @@ pub fn error_response(id: Option<&Json>, op: Option<&str>, message: &str) -> Jso
     members.push(("ok".into(), Json::Bool(false)));
     members.push(("error".into(), Json::from(message)));
     Json::Obj(members)
+}
+
+/// Builds an error response for a line that failed to parse, echoing the
+/// salvaged `id` (see [`Request::parse_line_correlated`]) and the structured
+/// `"line"` position — the absolute input line in batch mode, the
+/// per-connection request ordinal (1-based) in socket mode — so pipelined
+/// clients can correlate failures without counting slots.
+pub fn error_response_at(id: Option<&Json>, line: Option<u64>, message: &str) -> Json {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".into(), id.clone()));
+    }
+    if let Some(line) = line {
+        members.push(("line".into(), Json::Num(line as f64)));
+    }
+    members.push(("ok".into(), Json::Bool(false)));
+    members.push(("error".into(), Json::from(message)));
+    Json::Obj(members)
+}
+
+/// The result fields of a `ping` response: protocol version, crate name and
+/// version, and the full op list — deterministic per build, so clients can
+/// use it for liveness *and* capability discovery.
+pub fn ping_fields() -> Vec<(String, Json)> {
+    vec![
+        ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
+        ("service".into(), Json::from("tcim-service")),
+        ("version".into(), Json::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "ops".into(),
+            Json::Arr(
+                ["solve_budget", "solve_cover", "audit", "estimate", "stats", "ping", "shutdown"]
+                    .iter()
+                    .map(|&op| Json::from(op))
+                    .collect(),
+            ),
+        ),
+    ]
 }
 
 /// Renders a node array.
@@ -908,11 +1038,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(req.id, Some(Json::Num(7.0)));
-        assert_eq!(req.oracle.dataset.dataset, Dataset::Synthetic);
-        assert_eq!(req.oracle.dataset.seed, 42);
-        assert_eq!(req.oracle.model, ModelKind::IndependentCascade);
-        assert_eq!(req.oracle.deadline, Deadline::finite(5));
-        let EstimatorConfig::Worlds(w) = &req.oracle.estimator else { panic!("worlds default") };
+        let oracle = req.oracle.as_ref().expect("query ops carry an oracle");
+        assert_eq!(oracle.dataset.dataset, Dataset::Synthetic);
+        assert_eq!(oracle.dataset.seed, 42);
+        assert_eq!(oracle.model, ModelKind::IndependentCascade);
+        assert_eq!(oracle.deadline, Deadline::finite(5));
+        let EstimatorConfig::Worlds(w) = &oracle.estimator else { panic!("worlds default") };
         assert_eq!(w.num_worlds, 200);
         assert_eq!(w.seed, 0);
         let Op::Solve(spec) = &req.op else { panic!("solve_budget") };
@@ -923,7 +1054,7 @@ mod tests {
         // The spec is self-describing: it carries the oracle's deadline and
         // estimator, so the cache key derives from it alone.
         assert_eq!(spec.deadline, Some(Deadline::finite(5)));
-        assert_eq!(spec.estimator.as_ref(), Some(&req.oracle.estimator));
+        assert_eq!(spec.estimator.as_ref(), Some(&oracle.estimator));
         assert_eq!(spec.label(), "P1");
     }
 
@@ -950,14 +1081,15 @@ mod tests {
     fn inline_scenarios_parse_round_trip_and_key_like_datasets() {
         let line = r#"{"id":1,"op":"solve_budget","scenario":{"family":"sbm","nodes":200,"p_within":0.05,"p_across":0.01,"majority_fraction":0.8,"weights":"uniform","edge_probability":0.1},"dataset_seed":7,"deadline":5,"budget":3}"#;
         let req = Request::parse_line(line).unwrap();
-        let Dataset::Scenario(spec) = &req.oracle.dataset.dataset else {
+        let oracle = req.oracle.as_ref().expect("query ops carry an oracle");
+        let Dataset::Scenario(spec) = &oracle.dataset.dataset else {
             panic!("expected a scenario dataset")
         };
         assert_eq!(spec.num_nodes, 200);
         assert_eq!(spec.family, GeneratorFamily::Sbm { p_within: 0.05, p_across: 0.01 });
         assert_eq!(spec.groups, GroupModel::MajorityMinority { majority_fraction: 0.8 });
         assert_eq!(spec.weights, WeightModel::UniformIc { p: 0.1 });
-        assert_eq!(req.oracle.dataset.seed, 7);
+        assert_eq!(oracle.dataset.seed, 7);
 
         // Round trip through the rendered form.
         let again = Request::parse_line(&req.to_json().to_string()).unwrap();
@@ -979,7 +1111,11 @@ mod tests {
             r#"{"op":"solve_budget","scenario":{"preset":"ba-hubs"},"budget":2}"#,
         )
         .unwrap();
-        let Dataset::Scenario(spec) = &preset.oracle.dataset.dataset else { panic!() };
+        let Dataset::Scenario(spec) =
+            &preset.oracle.as_ref().expect("query ops carry an oracle").dataset.dataset
+        else {
+            panic!()
+        };
         assert_eq!(spec, &ScenarioSpec::preset("ba-hubs").unwrap());
         let again = Request::parse_line(&preset.to_json().to_string()).unwrap();
         assert_eq!(preset, again);
@@ -1144,6 +1280,79 @@ mod tests {
             let err = Request::parse_line(line).unwrap_err().to_string();
             assert!(err.contains(needle), "error for {line} should mention {needle}, got: {err}");
         }
+    }
+
+    #[test]
+    fn admin_ops_parse_round_trip_and_reject_oracle_fields() {
+        for (name, expected) in
+            [("stats", Op::Stats), ("ping", Op::Ping), ("shutdown", Op::Shutdown)]
+        {
+            // Bare and id-carrying forms parse to oracle-free requests.
+            let bare = Request::parse_line(&format!(r#"{{"op":"{name}"}}"#)).unwrap();
+            assert_eq!(bare.op, expected);
+            assert!(bare.oracle.is_none());
+            assert!(bare.id.is_none());
+            assert!(bare.op.is_admin());
+            assert_eq!(bare.op.label(), name);
+            let tagged = Request::parse_line(&format!(r#"{{"id":"x","op":"{name}"}}"#)).unwrap();
+            assert_eq!(tagged.id, Some(Json::from("x")));
+
+            // ... and round-trip through the rendered wire form.
+            for req in [bare, tagged] {
+                let rendered = req.to_json().to_string();
+                let again = Request::parse_line(&rendered).unwrap();
+                assert_eq!(req, again, "round trip failed for {rendered}");
+            }
+
+            // Oracle/op fields are rejected by name: serving-tier ops take
+            // only `id`.
+            for (field, json) in [("dataset", r#""synthetic""#), ("samples", "64"), ("budget", "3")]
+            {
+                let err = Request::parse_line(&format!(r#"{{"op":"{name}","{field}":{json}}}"#))
+                    .unwrap_err()
+                    .to_string();
+                assert!(err.contains(&format!("'{field}'")), "{name}/{field}: {err}");
+            }
+            // A malformed id is still a malformed id.
+            let err = Request::parse_line(&format!(r#"{{"op":"{name}","id":[1]}}"#))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("'id'"), "{err}");
+        }
+        // Ping's payload is deterministic build metadata.
+        let fields = Json::Obj(ping_fields());
+        assert_eq!(fields.get("protocol").unwrap().as_f64(), Some(PROTOCOL_VERSION as f64));
+        assert_eq!(fields.get("service").unwrap().as_str(), Some("tcim-service"));
+        assert_eq!(fields.get("ops").unwrap().as_arr().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn failed_lines_salvage_ids_for_correlation() {
+        // Valid request: passes straight through.
+        assert!(Request::parse_line_correlated(r#"{"op":"ping"}"#).is_ok());
+        // Not JSON at all: no id to salvage.
+        let (id, err) = Request::parse_line_correlated("not json").unwrap_err();
+        assert!(id.is_none());
+        assert!(err.to_string().contains("invalid JSON"));
+        // Valid JSON, invalid request, well-typed id: the id survives.
+        let (id, err) = Request::parse_line_correlated(
+            r#"{"id":"x7","op":"solve_budget","dataset":"synthetic","budgett":3}"#,
+        )
+        .unwrap_err();
+        assert_eq!(id, Some(Json::from("x7")));
+        assert!(err.to_string().contains("budgett"));
+        // An id of the wrong type is not echoed (it would itself be invalid).
+        let (id, _) = Request::parse_line_correlated(r#"{"id":[1],"op":"ping"}"#).unwrap_err();
+        assert!(id.is_none());
+
+        // The structured error response renders id + line before ok/error.
+        let response = error_response_at(Some(&Json::from("x7")), Some(3), "bad request: boom");
+        assert_eq!(
+            response.to_string(),
+            r#"{"id":"x7","line":3,"ok":false,"error":"bad request: boom"}"#
+        );
+        let response = error_response_at(None, Some(2), "nope");
+        assert_eq!(response.to_string(), r#"{"line":2,"ok":false,"error":"nope"}"#);
     }
 
     #[test]

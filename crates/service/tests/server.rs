@@ -1,0 +1,284 @@
+//! Socket serving tier, end to end over real connections: per-connection
+//! ordering under pipelining, byte-identity with the batch path at 1 and 8
+//! threads, admin ops over the wire, graceful shutdown via the wire op,
+//! admission control, error correlation, and the Unix-domain flavor.
+
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use tcim_diffusion::ParallelismConfig;
+use tcim_service::{
+    Client, Json, Request, Server, ServerConfig, ServerReport, ServiceEngine, ShutdownHandle,
+};
+
+/// Binds an ephemeral-port TCP server, runs it on a background thread, and
+/// hands back the address, the shutdown handle and the join handle.
+fn spawn_tcp(
+    parallelism: ParallelismConfig,
+    config: ServerConfig,
+) -> (String, ShutdownHandle, JoinHandle<ServerReport>) {
+    let engine = Arc::new(ServiceEngine::new(parallelism));
+    let server = Server::bind_tcp("127.0.0.1:0", engine, config).expect("bind ephemeral port");
+    let addr = server.tcp_addr().expect("tcp servers know their address").to_string();
+    let handle = server.shutdown_handle();
+    let join = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+/// Quick config so shutdown-path tests never sit out a long grace period.
+fn quick() -> ServerConfig {
+    ServerConfig { shutdown_grace: Duration::from_secs(10), ..Default::default() }
+}
+
+/// The pipelined workload: distinct solve/estimate/audit requests whose
+/// responses are deterministic (no stats op — that payload is load-bearing
+/// telemetry, deliberately excluded from byte-identity checks).
+fn workload(client_tag: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..8usize {
+        let tau = 2 + (i % 3) as u32;
+        let line = match i % 4 {
+            0 => format!(
+                r#"{{"id":"c{client_tag}-{i}","op":"solve_budget","dataset":"illustrative","deadline":{tau},"samples":64,"budget":2}}"#
+            ),
+            1 => format!(
+                r#"{{"id":"c{client_tag}-{i}","op":"estimate","dataset":"illustrative","deadline":{tau},"samples":64,"seeds":[0,5]}}"#
+            ),
+            2 => format!(
+                r#"{{"id":"c{client_tag}-{i}","op":"audit","dataset":"illustrative","deadline":{tau},"samples":64,"seeds":[1,2]}}"#
+            ),
+            _ => format!(
+                r#"{{"id":"c{client_tag}-{i}","op":"solve_budget","dataset":"illustrative","deadline":{tau},"samples":64,"budget":3,"fair":true}}"#
+            ),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+/// Serves `lines` through a fresh serial in-process engine — the reference
+/// output the socket must reproduce byte-for-byte.
+fn serial_reference(lines: &[String]) -> Vec<String> {
+    let engine = ServiceEngine::new(ParallelismConfig::serial());
+    lines
+        .iter()
+        .map(|line| engine.serve(&Request::parse_line(line).expect("workload parses")).to_string())
+        .collect()
+}
+
+#[test]
+fn pipelined_clients_get_request_ordered_byte_identical_responses() {
+    for threads in [1usize, 8] {
+        let (addr, handle, join) = spawn_tcp(ParallelismConfig::fixed(threads), quick());
+
+        // Three concurrent clients, each pipelining its whole workload
+        // before reading a single response.
+        let clients: Vec<JoinHandle<(Vec<String>, Vec<String>)>> = (0..3)
+            .map(|tag| {
+                let addr = addr.clone();
+                thread::spawn(move || {
+                    let lines = workload(tag);
+                    let mut client = Client::connect_tcp(&addr).expect("connect");
+                    for line in &lines {
+                        client.send_line(line).expect("send");
+                    }
+                    let responses = lines
+                        .iter()
+                        .map(|_| {
+                            client
+                                .recv()
+                                .expect("recv")
+                                .expect("server answers every request")
+                                .to_string()
+                        })
+                        .collect();
+                    (lines, responses)
+                })
+            })
+            .collect();
+
+        for client in clients {
+            let (lines, responses) = client.join().expect("client thread");
+            assert_eq!(
+                responses,
+                serial_reference(&lines),
+                "socket responses must be byte-identical to serial in-process \
+                 serving and in request order (threads={threads})"
+            );
+        }
+
+        handle.trigger();
+        let report = join.join().expect("server thread");
+        assert!(report.drained, "shutdown must drain with no in-flight work");
+        assert_eq!(report.stats.total_connections, 3);
+        assert_eq!(report.stats.total_requests, 24);
+    }
+}
+
+#[test]
+fn stats_and_ping_are_served_over_the_wire() {
+    let (addr, handle, join) = spawn_tcp(ParallelismConfig::serial(), quick());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let ping = client
+        .call(&Request::parse_line(r#"{"id":1,"op":"ping"}"#).unwrap())
+        .expect("ping round trip");
+    assert_eq!(ping.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(ping.get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(ping.get("protocol").and_then(Json::as_u64), Some(2));
+
+    // Generate some traffic so the stats payload has something to report.
+    let solve = client
+        .call(
+            &Request::parse_line(
+                r#"{"id":2,"op":"solve_budget","dataset":"illustrative","deadline":2,"samples":64,"budget":2}"#,
+            )
+            .unwrap(),
+        )
+        .expect("solve round trip");
+    assert_eq!(solve.get("ok"), Some(&Json::Bool(true)));
+
+    let stats = client
+        .call(&Request::parse_line(r#"{"id":3,"op":"stats"}"#).unwrap())
+        .expect("stats round trip");
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+    let requests = stats.get("requests").expect("stats carry request counters");
+    // The stats request itself is still in flight when its snapshot is
+    // taken, so only the finished ping and solve are counted.
+    assert_eq!(requests.get("total").and_then(Json::as_u64), Some(2));
+    assert_eq!(requests.get("errors").and_then(Json::as_u64), Some(0));
+    assert!(requests.get("p50_us").and_then(Json::as_u64).is_some(), "p50 latency on the wire");
+    assert!(requests.get("p99_us").and_then(Json::as_u64).is_some(), "p99 latency on the wire");
+    let cache = stats.get("cache").expect("stats carry cache counters");
+    assert!(
+        cache.get("oracles").and_then(|o| o.get("hit_rate")).is_some(),
+        "oracle hit rate on the wire"
+    );
+    let connections = stats.get("connections").expect("stats carry connection gauges");
+    assert_eq!(connections.get("active").and_then(Json::as_u64), Some(1));
+
+    handle.trigger();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_op_answers_then_drains_the_server() {
+    let (addr, _handle, join) = spawn_tcp(ParallelismConfig::serial(), quick());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // Pipeline two solves and the shutdown: all three must be answered, in
+    // order, before the server exits.
+    for line in [
+        r#"{"id":"a","op":"solve_budget","dataset":"illustrative","deadline":2,"samples":64,"budget":2}"#,
+        r#"{"id":"b","op":"estimate","dataset":"illustrative","deadline":2,"samples":64,"seeds":[0]}"#,
+        r#"{"id":"c","op":"shutdown"}"#,
+    ] {
+        client.send_line(line).expect("send");
+    }
+    let ids: Vec<String> = (0..3)
+        .map(|_| {
+            let response = client.recv().expect("recv").expect("answered before shutdown");
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+            response.get("id").expect("ids echoed").to_string()
+        })
+        .collect();
+    assert_eq!(ids, vec![r#""a""#, r#""b""#, r#""c""#]);
+
+    let report = join.join().expect("server thread");
+    assert!(report.drained, "the shutdown op must drain in-flight work");
+}
+
+#[test]
+fn connections_past_the_cap_get_a_parseable_rejection() {
+    let config = ServerConfig { max_connections: 1, ..quick() };
+    let (addr, handle, join) = spawn_tcp(ParallelismConfig::serial(), config);
+
+    // First connection registers (ping proves it is fully admitted).
+    let mut first = Client::connect_tcp(&addr).expect("connect");
+    let pong = first.call(&Request::parse_line(r#"{"id":1,"op":"ping"}"#).unwrap()).unwrap();
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+
+    // Second connection is over the cap: one rejection line, then EOF.
+    let mut second = Client::connect_tcp(&addr).expect("tcp connect still succeeds");
+    let rejection = second
+        .recv()
+        .expect("rejection line parses")
+        .expect("the server writes the rejection before closing");
+    assert_eq!(rejection.get("ok"), Some(&Json::Bool(false)));
+    let error = rejection.get("error").and_then(Json::as_str).expect("rejection names the cause");
+    assert!(error.contains("connection capacity (1)"), "got: {error}");
+    assert_eq!(second.recv().expect("clean EOF after rejection"), None);
+
+    handle.trigger();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.stats.rejected_connections, 1);
+    assert_eq!(report.stats.peak_connections, 1);
+}
+
+#[test]
+fn failed_lines_echo_salvaged_ids_and_per_connection_line_numbers() {
+    let (addr, handle, join) = spawn_tcp(ParallelismConfig::serial(), quick());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    for line in [
+        r#"{"id":1,"op":"ping"}"#,
+        "# comments and blank lines do not advance the request counter",
+        r#"{"id":"x7","op":"warp"}"#,
+        "not json at all",
+        r#"{"id":2,"op":"ping"}"#,
+    ] {
+        client.send_line(line).expect("send");
+    }
+
+    let ok1 = client.recv().unwrap().unwrap();
+    assert_eq!(ok1.get("id").and_then(Json::as_u64), Some(1));
+
+    // The bad op keeps its id and reports request ordinal 2 (comments and
+    // blanks are skipped, matching batch-mode line accounting).
+    let bad_op = client.recv().unwrap().unwrap();
+    assert_eq!(bad_op.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(bad_op.get("id").and_then(Json::as_str), Some("x7"));
+    assert_eq!(bad_op.get("line").and_then(Json::as_u64), Some(2));
+
+    // The unparsable line has no id to salvage but still gets its ordinal.
+    let bad_json = client.recv().unwrap().unwrap();
+    assert_eq!(bad_json.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(bad_json.get("id"), None);
+    assert_eq!(bad_json.get("line").and_then(Json::as_u64), Some(3));
+
+    let ok2 = client.recv().unwrap().unwrap();
+    assert_eq!(ok2.get("id").and_then(Json::as_u64), Some(2));
+
+    handle.trigger();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.stats.parse_errors, 2);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_domain_sockets_serve_and_clean_up_their_path() {
+    let path = std::env::temp_dir().join(format!("tcim-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let engine = Arc::new(ServiceEngine::new(ParallelismConfig::serial()));
+    let server = Server::bind_unix(&path, engine, quick()).expect("bind unix socket");
+    let handle = server.shutdown_handle();
+    let join = thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect_unix(&path).expect("connect over unix socket");
+    let line = r#"{"id":"u1","op":"solve_budget","dataset":"illustrative","deadline":2,"samples":64,"budget":2}"#;
+    let response =
+        client.call(&Request::parse_line(line).unwrap()).expect("solve over unix socket");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        response.to_string(),
+        serial_reference(&[line.to_string()])[0],
+        "unix-domain responses must match the in-process reference byte-for-byte"
+    );
+
+    handle.trigger();
+    let report = join.join().expect("server thread");
+    assert!(report.drained);
+    assert!(!path.exists(), "shutdown must unlink the socket path");
+}

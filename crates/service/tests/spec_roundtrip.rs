@@ -183,7 +183,7 @@ proptest! {
         spec.validate().expect("strategy must emit valid scenarios");
         let request = Request {
             id: None,
-            oracle: OracleSpec {
+            oracle: Some(OracleSpec {
                 dataset: DatasetSpec { dataset: Dataset::Scenario(spec.clone()), seed },
                 model: ModelKind::IndependentCascade,
                 deadline: Deadline::unbounded(),
@@ -192,13 +192,13 @@ proptest! {
                     seed: 0,
                     ..Default::default()
                 }),
-            },
+            }),
             op: Op::Estimate { seeds: vec![NodeId(0)] },
         };
         let wire = request.to_json().to_string();
         let again = Request::parse_line(&wire)
             .unwrap_or_else(|err| panic!("rendered scenario failed to parse: {err}\n{wire}"));
-        let Dataset::Scenario(decoded) = &again.oracle.dataset.dataset else {
+        let Dataset::Scenario(decoded) = &again.oracle.as_ref().expect("query ops carry an oracle").dataset.dataset else {
             panic!("scenario round-tripped to a named dataset: {wire}");
         };
         prop_assert!(decoded == &spec, "decoded scenario differs; wire form: {wire}");
@@ -211,11 +211,11 @@ proptest! {
     fn spec_to_minijson_to_spec_is_identity(spec in spec()) {
         let request = Request {
             id: None,
-            oracle: OracleSpec::for_spec(
+            oracle: Some(OracleSpec::for_spec(
                 DatasetSpec::parse("synthetic", 42).unwrap(),
                 ModelKind::IndependentCascade,
                 &spec,
-            ),
+            )),
             op: Op::Solve(spec.clone()),
         };
         let wire = request.to_json().to_string();

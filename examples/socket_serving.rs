@@ -1,0 +1,81 @@
+//! Socket serving: run the campaign server on a real TCP socket, talk to it
+//! with the blocking JSONL client — ping, a pipelined solve sweep, a stats
+//! probe — then shut it down gracefully and read the final report.
+//!
+//! The in-process equivalent of
+//!
+//! ```text
+//! tcim_serve --listen 127.0.0.1:7341 &
+//! tcim_query --connect 127.0.0.1:7341 --op ping
+//! tcim_query --connect 127.0.0.1:7341 --op solve_budget --dataset synthetic ...
+//! tcim_query --connect 127.0.0.1:7341 --op stats
+//! tcim_query --connect 127.0.0.1:7341 --op shutdown
+//! ```
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example socket_serving
+//! ```
+
+use std::sync::Arc;
+
+use fairtcim::diffusion::ParallelismConfig;
+use fairtcim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Bind on an ephemeral port and serve in the background. The engine
+    //    (and its oracle cache) is shared across every connection.
+    let engine = Arc::new(ServiceEngine::new(ParallelismConfig::auto()));
+    let server = Server::bind_tcp("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())?;
+    let addr = server.tcp_addr().expect("tcp servers know their address");
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.run());
+    println!("serving on {addr}");
+
+    // 2. Ping: protocol version and the op list, no oracle required.
+    let mut client = Client::connect_tcp(addr)?;
+    let pong = client.call(&Request::parse_line(r#"{"id":0,"op":"ping"}"#)?)?;
+    println!("ping -> protocol v{}", pong.get("protocol").and_then(|v| v.as_u64()).unwrap_or(0));
+
+    // 3. A pipelined deadline sweep: all requests go out before the first
+    //    response is read; the server still answers strictly in order.
+    let sweep: Vec<Request> = [2u32, 4, 6, 8]
+        .iter()
+        .map(|tau| {
+            Request::parse_line(&format!(
+                r#"{{"id":"tau{tau}","op":"solve_budget","dataset":"synthetic","deadline":{tau},"samples":200,"budget":5,"fair":true}}"#
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    for request in &sweep {
+        client.send(request)?;
+    }
+    println!("{:<8} {:>8} {:>10}", "query", "seeds", "coverage");
+    for _ in &sweep {
+        let response = client.recv()?.expect("server answers every request");
+        let id = response.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+        let seeds = response.get("seeds").and_then(|v| v.as_arr()).map(<[_]>::len).unwrap_or(0);
+        let coverage = response.get("total_fraction").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!("{id:<8} {seeds:>8} {coverage:>10.3}");
+    }
+
+    // 4. Stats over the wire: the same snapshot `tcim_serve` logs on
+    //    shutdown — request counts, p50/p99 latency, cache hit rates.
+    let stats = client.call(&Request::parse_line(r#"{"id":1,"op":"stats"}"#)?)?;
+    let requests = stats.get("requests").expect("stats carry request counters");
+    let oracles = stats.get("cache").and_then(|c| c.get("oracles")).expect("cache counters");
+    println!(
+        "stats -> {} served, p99 {}us, oracle hit rate {:.2}",
+        requests.get("total").and_then(|v| v.as_u64()).unwrap_or(0),
+        requests.get("p99_us").and_then(|v| v.as_u64()).unwrap_or(0),
+        oracles.get("hit_rate").and_then(|v| v.as_f64()).unwrap_or(0.0),
+    );
+
+    // 5. Graceful shutdown: in-flight work drains before the server exits
+    //    (a `{"op":"shutdown"}` request over the wire does the same).
+    shutdown.trigger();
+    let report = serving.join().expect("server thread")?;
+    println!("shutdown: drained={}, {}", report.drained, report.stats.summary_line());
+    Ok(())
+}

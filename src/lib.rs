@@ -86,5 +86,8 @@ pub mod prelude {
         ParallelismConfig, RisConfig, RisEstimator, WorldEstimator, WorldsConfig,
     };
     pub use tcim_graph::{Graph, GraphBuilder, GroupId, NodeId};
-    pub use tcim_service::{ModelKind, OracleCache, OracleSpec, Request, ServiceEngine};
+    pub use tcim_service::{
+        Client, ModelKind, OracleCache, OracleSpec, Request, Server, ServerConfig, ServiceEngine,
+        ShutdownHandle,
+    };
 }
