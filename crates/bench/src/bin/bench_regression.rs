@@ -15,7 +15,10 @@
 //! 25% gate. The `service_cache_speedup` ratio divides two wall-times
 //! measured in the same process, so runner speed largely cancels out — its
 //! baseline enforces the "cached serving amortizes estimator construction"
-//! contract (>= 5x on the 20-query grid).
+//! contract (>= 5x on the 20-query grid). `service_warm_hit_rate` replays
+//! the grid twice through a byte-budgeted cache and gates the oracle hit
+//! rate (deterministically 0.75 under segmented LRU), so an eviction-policy
+//! regression that churns hot entries fails CI even when wall-times pass.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -216,6 +219,40 @@ fn main() {
     if let Some(Op::Solve(spec)) = requests.first().map(|request| &request.op) {
         record.push_spec("service_cold20_ms", &spec.canonical());
     }
+
+    // --- Warm hit rate under the budgeted cache ---------------------------
+    // Replay the grid twice through an engine with a deliberately modest
+    // budget: the segmented-LRU policy must keep the grid's working set
+    // resident, so the oracle hit rate is exactly deterministic (pass one:
+    // 10 misses then 10 τ-sharing hits; pass two: 20 hits — 0.75 overall).
+    // A FIFO-style policy that churns hot entries would tank this metric,
+    // which is what the baseline gate guards.
+    let budgeted_engine = ServiceEngine::with_cache(
+        Arc::new(tcim_service::OracleCache::with_config(tcim_service::CacheConfig {
+            max_bytes: 64 << 20,
+            shards: 4,
+        })),
+        ParallelismConfig::auto(),
+    );
+    let first_pass: Vec<String> =
+        budgeted_engine.serve_batch(&requests).into_iter().map(|r| r.to_string()).collect();
+    let second_pass: Vec<String> =
+        budgeted_engine.serve_batch(&requests).into_iter().map(|r| r.to_string()).collect();
+    if first_pass != cached_responses || second_pass != cached_responses {
+        eprintln!("bench-regression: FATAL: budgeted responses differ from unbounded responses");
+        exit(1);
+    }
+    let warm_stats = budgeted_engine.cache().stats();
+    let warm_hit_rate = warm_stats.oracle_hit_rate().unwrap_or(0.0);
+    eprintln!(
+        "budgeted grid: oracle {} hit(s) / {} miss(es), {} eviction(s), {}/{} byte(s)",
+        warm_stats.oracle_hits,
+        warm_stats.oracle_misses,
+        warm_stats.evictions,
+        warm_stats.bytes_used,
+        warm_stats.bytes_budget
+    );
+    record.push("service_warm_hit_rate", warm_hit_rate);
 
     print!("{}", record.to_json());
 

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! tcim_workload [--smoke] [--out FILE] [--threads N] [--seed S] [--listen]
+//!               [--cache-bytes SIZE] [--cache-shards N]
 //! ```
 //!
 //! `--smoke` shrinks the sweep to one size and 16-world oracles for CI;
@@ -16,17 +17,25 @@
 //! pass: an in-process socket server on an ephemeral TCP port, replayed by
 //! four concurrent closed-loop clients against the warm cache — reporting
 //! req/s plus exact client-side p50/p99 latency, and byte-comparing every
-//! socket response against the in-process pass. The traffic is a pure
-//! function of the flags: no timestamps, no ambient randomness. Exit codes:
-//! 0 success, 1 failed responses or any byte mismatch (warm/cold or
-//! socket/in-process), 2 bad usage / IO.
+//! socket response against the in-process pass. `--cache-bytes SIZE`
+//! (accepting a `K`/`M`/`G` suffix) and/or `--cache-shards N` add a
+//! *budgeted* pass: a fresh engine with that cache configuration replays
+//! the same traffic, its responses are byte-compared against the unbounded
+//! cold pass, and every shard's peak `bytes_used` is checked against its
+//! budget slice — the enforcement run behind `docs/CACHE.md`'s claims. The
+//! traffic is a pure function of the flags: no timestamps, no ambient
+//! randomness. Exit codes: 0 success, 1 failed responses, any byte mismatch
+//! (warm/cold, socket/in-process or budgeted/cold) or a budget violation,
+//! 2 bad usage / IO.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_diffusion::ParallelismConfig;
-use tcim_service::{Client, Json, Request, Server, ServerConfig, ServiceEngine};
+use tcim_service::{
+    CacheConfig, Client, Json, OracleCache, Request, Server, ServerConfig, ServiceEngine,
+};
 
 struct Cli {
     smoke: bool,
@@ -34,6 +43,30 @@ struct Cli {
     parallelism: ParallelismConfig,
     seed: u64,
     listen: bool,
+    cache_bytes: Option<usize>,
+    cache_shards: Option<usize>,
+}
+
+/// Parses a byte size: a plain integer, optionally suffixed with `K`, `M`
+/// or `G` (case-insensitive, powers of 1024). Must be at least 1 byte.
+fn parse_bytes(raw: &str) -> Result<usize, String> {
+    let bad = || {
+        format!(
+            "invalid value '{raw}' for --cache-bytes \
+             (expected a byte count, optionally suffixed K, M or G)"
+        )
+    };
+    let (digits, multiplier) = match raw.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&raw[..i], 1usize << 10),
+        Some((i, 'm' | 'M')) => (&raw[..i], 1usize << 20),
+        Some((i, 'g' | 'G')) => (&raw[..i], 1usize << 30),
+        _ => (raw, 1),
+    };
+    let count: usize = digits.parse().map_err(|_| bad())?;
+    match count.checked_mul(multiplier) {
+        Some(bytes) if bytes >= 1 => Ok(bytes),
+        _ => Err(bad()),
+    }
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -43,6 +76,8 @@ fn parse_cli() -> Result<Cli, String> {
         parallelism: ParallelismConfig::auto(),
         seed: 1,
         listen: false,
+        cache_bytes: None,
+        cache_shards: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -65,10 +100,29 @@ fn parse_cli() -> Result<Cli, String> {
                     format!("invalid value '{raw}' for --seed (expected an integer)")
                 })?;
             }
+            "--cache-bytes" => {
+                let raw =
+                    args.next().ok_or_else(|| "missing value for --cache-bytes".to_string())?;
+                cli.cache_bytes = Some(parse_bytes(&raw)?);
+            }
+            "--cache-shards" => {
+                let raw =
+                    args.next().ok_or_else(|| "missing value for --cache-shards".to_string())?;
+                let shards: usize = match raw.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(format!(
+                            "invalid value '{raw}' for --cache-shards \
+                             (expected an integer of at least 1)"
+                        ))
+                    }
+                };
+                cli.cache_shards = Some(shards);
+            }
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (expected --smoke, --out, --threads, --seed \
-                     or --listen)"
+                    "unknown flag '{other}' (expected --smoke, --out, --threads, --seed, \
+                     --listen, --cache-bytes or --cache-shards)"
                 ))
             }
         }
@@ -293,6 +347,56 @@ fn run() -> Result<ExitCode, String> {
         );
     }
 
+    // The budgeted pass: a fresh engine under the requested cache budget
+    // must answer byte-identically to the unbounded cold pass while every
+    // shard's peak stays inside its slice — eviction may cost rebuilds,
+    // never correctness or memory.
+    let mut budget_mismatch = false;
+    let mut budget_violation = false;
+    if cli.cache_bytes.is_some() || cli.cache_shards.is_some() {
+        let config = CacheConfig {
+            max_bytes: cli.cache_bytes.unwrap_or(CacheConfig::DEFAULT_MAX_BYTES),
+            shards: cli.cache_shards.unwrap_or(CacheConfig::DEFAULT_SHARDS),
+        };
+        let budgeted = Arc::new(ServiceEngine::with_cache(
+            Arc::new(OracleCache::with_config(config)),
+            cli.parallelism,
+        ));
+        let budget_start = Instant::now();
+        let responses = budgeted.serve_batch(&requests);
+        let budget_ms = budget_start.elapsed().as_secs_f64() * 1e3;
+        budget_mismatch = render(&responses) != render(&cold);
+        let shard_stats = budgeted.cache().shard_stats();
+        budget_violation = shard_stats.iter().any(|s| s.peak_bytes > s.bytes_budget);
+        let budget_stats = budgeted.cache().stats();
+        let peak: u64 = shard_stats.iter().map(|s| s.peak_bytes).sum();
+        println!(
+            "  budgeted ({} byte(s), {} shard(s)): {budget_ms:10.1} ms  {:8.1} req/s",
+            config.max_bytes,
+            config.shards,
+            n / (budget_ms / 1e3)
+        );
+        println!(
+            "  budgeted == cold: {}; peak {} / budget {} byte(s) ({}), {} eviction(s)",
+            if budget_mismatch { "MISMATCH" } else { "byte-identical" },
+            peak,
+            budget_stats.bytes_budget,
+            if budget_violation { "EXCEEDED" } else { "held" },
+            budget_stats.evictions
+        );
+    }
+
+    if budget_mismatch {
+        eprintln!(
+            "error: budgeted replay diverged from the unbounded cold pass \
+             (determinism contract broken)"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if budget_violation {
+        eprintln!("error: a cache shard's peak bytes_used exceeded its budget slice");
+        return Ok(ExitCode::FAILURE);
+    }
     if socket_mismatches > 0 {
         eprintln!(
             "error: {socket_mismatches} socket response(s) diverged from the in-process pass \

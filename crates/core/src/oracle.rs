@@ -167,6 +167,23 @@ impl Estimator {
             Estimator::Ris(_) => "ris",
         }
     }
+
+    /// Approximate resident bytes this oracle *owns*. Worlds-backed oracles
+    /// are views over a shared collection, so they report only their private
+    /// group tables ([`WorldEstimator::approx_view_bytes`]); RIS oracles own
+    /// their sketch pool and reverse adjacency
+    /// ([`RisEstimator::approx_owned_bytes`]); Monte-Carlo oracles hold no
+    /// heap beyond the shared graph `Arc`. Shared graphs and world
+    /// collections are budgeted as their own cache entries, never here, so
+    /// nothing is double-counted.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match self {
+                Estimator::Worlds(e) => e.approx_view_bytes(),
+                Estimator::MonteCarlo(_) => 0,
+                Estimator::Ris(e) => e.approx_owned_bytes(),
+            }
+    }
 }
 
 impl InfluenceOracle for Estimator {

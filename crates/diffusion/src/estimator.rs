@@ -228,6 +228,17 @@ impl WorldEstimator {
         Arc::clone(&self.graph)
     }
 
+    /// Approximate heap bytes this estimator owns *beyond* its shared graph
+    /// and world-collection `Arc`s: the per-node group lookup and the group
+    /// sizes. Cheap by design — a worlds-backed estimator is a view, and the
+    /// serving-tier cache accounts for (and budgets) the collection itself
+    /// as its own entry.
+    pub fn approx_view_bytes(&self) -> usize {
+        2 * std::mem::size_of::<Vec<u8>>()
+            + self.group_of.len() * std::mem::size_of::<u32>()
+            + self.group_sizes.len() * std::mem::size_of::<usize>()
+    }
+
     fn evaluate_worlds(&self, seeds: &[NodeId]) -> GroupInfluence {
         let k = self.group_sizes.len();
         // Per-group activations are counted in u64 and only converted to f64

@@ -79,6 +79,19 @@ impl LtWeights {
     pub fn in_edges(&self, node: NodeId) -> &[(NodeId, f64)] {
         &self.in_edges[node.index()]
     }
+
+    /// Approximate resident heap bytes of the table: one `(NodeId, f64)`
+    /// pair per in-edge plus a `Vec` header per node. Used for cache
+    /// budgeting in the serving tier.
+    pub fn approx_bytes(&self) -> usize {
+        let vec_header = std::mem::size_of::<Vec<u8>>();
+        vec_header
+            + self
+                .in_edges
+                .iter()
+                .map(|edges| vec_header + edges.len() * std::mem::size_of::<(NodeId, f64)>())
+                .sum::<usize>()
+    }
 }
 
 /// Simulates one LT cascade from `seeds` with uniformly random thresholds.

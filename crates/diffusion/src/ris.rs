@@ -223,6 +223,13 @@ impl InEdges {
         let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
         (&self.sources[range.clone()], &self.probs[range])
     }
+
+    /// Approximate resident heap bytes of the reverse CSR arrays.
+    fn approx_bytes(&self) -> usize {
+        3 * std::mem::size_of::<Vec<u8>>()
+            + (self.offsets.len() + self.sources.len()) * std::mem::size_of::<u32>()
+            + self.probs.len() * std::mem::size_of::<f64>()
+    }
 }
 
 /// Reusable per-thread buffers for sketch generation: an epoch-marked visited
@@ -428,6 +435,25 @@ impl RrSketches {
     /// Ids of the sketches containing `node` (empty for out-of-range nodes).
     pub fn sets_containing(&self, node: NodeId) -> &[u32] {
         self.node_to_sets.get(node.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Approximate resident heap bytes of the pool: every sketch's node
+    /// list, the inverted node → set-id index and the per-group counts.
+    /// Counts element payloads plus `Vec` headers, deterministically, so the
+    /// serving-tier cache can budget RIS oracles by their sketch bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let vec_header = std::mem::size_of::<Vec<u8>>();
+        let sets: usize = self
+            .sets
+            .iter()
+            .map(|set| std::mem::size_of::<RrSet>() + set.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        let index: usize = self
+            .node_to_sets
+            .iter()
+            .map(|ids| vec_header + ids.len() * std::mem::size_of::<u32>())
+            .sum();
+        3 * vec_header + sets + index + self.sets_per_group.len() * std::mem::size_of::<usize>()
     }
 }
 
@@ -662,6 +688,18 @@ impl RisEstimator {
     pub fn coverage_ranking(&self) -> Vec<NodeId> {
         let scores: Vec<f64> = self.sketches.node_to_sets.iter().map(|s| s.len() as f64).collect();
         tcim_graph::centrality::rank_by_score(&scores)
+    }
+
+    /// Approximate resident heap bytes this estimator *owns*: the sketch
+    /// pool ([`RrSketches::approx_bytes`]), the reverse adjacency it samples
+    /// from, and the cached group sizes. The shared graph `Arc` is excluded
+    /// on purpose — the serving-tier cache holds (and budgets) the graph as
+    /// its own entry.
+    pub fn approx_owned_bytes(&self) -> usize {
+        self.sketches.approx_bytes()
+            + self.in_edges.approx_bytes()
+            + std::mem::size_of::<Vec<usize>>()
+            + self.group_sizes.len() * std::mem::size_of::<usize>()
     }
 }
 

@@ -116,6 +116,14 @@ impl LiveEdgeWorld {
         self.targets.len()
     }
 
+    /// Approximate resident bytes of this world: its inline struct (two
+    /// `Vec` headers) plus the CSR payloads. Summed by
+    /// [`WorldCollection::approx_bytes`] for cache budgeting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u32>()
+    }
+
     /// Live out-neighbours of `node`.
     #[inline]
     pub fn out_neighbors(&self, node: NodeId) -> &[u32] {
@@ -320,6 +328,15 @@ impl WorldCollection {
         }
         self.worlds.iter().map(|w| w.num_live_edges() as f64).sum::<f64>()
             / self.worlds.len() as f64
+    }
+
+    /// Approximate resident heap bytes of the whole collection — the sum of
+    /// its worlds' CSR arrays, which is the dominant allocation of the
+    /// serving tier. Deterministic (lengths, not capacities), so the
+    /// service-layer cache can budget collections with it.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Vec<LiveEdgeWorld>>()
+            + self.worlds.iter().map(LiveEdgeWorld::approx_bytes).sum::<usize>()
     }
 }
 

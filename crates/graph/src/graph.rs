@@ -129,6 +129,27 @@ impl Graph {
         self.num_groups
     }
 
+    /// Approximate resident heap footprint in bytes: the CSR arrays
+    /// (`offsets`, `targets`, `probabilities`), the group assignment and the
+    /// per-group membership lists. Counts element payloads by length plus one
+    /// `Vec` header per allocation — not allocator slack — so the estimate is
+    /// a deterministic function of the graph itself. The serving-tier cache
+    /// budgets graph entries with this.
+    pub fn approx_bytes(&self) -> usize {
+        let vec_header = std::mem::size_of::<Vec<u8>>();
+        let members: usize = self
+            .group_members
+            .iter()
+            .map(|m| vec_header + m.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        5 * vec_header
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.probabilities.len() * std::mem::size_of::<f64>()
+            + self.groups.len() * std::mem::size_of::<GroupId>()
+            + members
+    }
+
     /// Returns `true` if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -11,13 +11,18 @@
 //! ```text
 //! tcim_serve [--input FILE | --listen ADDR | --listen-unix PATH]
 //!            [--threads N] [--quiet]
+//!            [--cache-bytes SIZE] [--cache-shards N]
 //!            [--max-connections N] [--max-inflight N] [--window N]
 //!            [--shutdown-grace-ms MS]
 //! ```
 //!
-//! The server knobs (`--max-connections`, `--max-inflight`, `--window`,
-//! `--shutdown-grace-ms`) require a listen mode; every flag is validated
-//! eagerly and errors name the offending flag. Blank lines and `#` comment
+//! `--cache-bytes` sizes the oracle cache's byte budget (accepts a plain
+//! byte count or a `K`/`M`/`G` suffix, powers of 1024 — e.g. `256M`) and
+//! `--cache-shards` its shard count; both work in batch and socket mode and
+//! default to 256 MiB over 8 shards (see `docs/CACHE.md` for sizing
+//! guidance). The server knobs (`--max-connections`, `--max-inflight`,
+//! `--window`, `--shutdown-grace-ms`) require a listen mode; every flag is
+//! validated eagerly and errors name the offending flag. Blank lines and `#` comment
 //! lines are skipped in both modes. A line that fails to parse produces an
 //! `"ok": false` response (echoing the request's `id` when one could be
 //! salvaged, plus its line number) instead of aborting.
@@ -37,7 +42,9 @@ use std::time::Duration;
 
 use tcim_diffusion::ParallelismConfig;
 use tcim_service::protocol::error_response_at;
-use tcim_service::{install_ctrl_c, Request, Server, ServerConfig, ServiceEngine};
+use tcim_service::{
+    install_ctrl_c, CacheConfig, OracleCache, Request, Server, ServerConfig, ServiceEngine,
+};
 
 enum Mode {
     /// One batch from stdin or a file; exit when served.
@@ -53,7 +60,30 @@ struct Cli {
     mode: Mode,
     parallelism: ParallelismConfig,
     quiet: bool,
+    cache: CacheConfig,
     server: ServerConfig,
+}
+
+/// Parses a byte size: a plain integer, optionally suffixed with `K`, `M`
+/// or `G` (case-insensitive, powers of 1024). Must be at least 1 byte.
+fn parse_bytes(raw: &str, flag: &str) -> Result<usize, String> {
+    let bad = || {
+        format!(
+            "invalid value '{raw}' for {flag} \
+             (expected a byte count, optionally suffixed K, M or G)"
+        )
+    };
+    let (digits, multiplier) = match raw.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&raw[..i], 1usize << 10),
+        Some((i, 'm' | 'M')) => (&raw[..i], 1usize << 20),
+        Some((i, 'g' | 'G')) => (&raw[..i], 1usize << 30),
+        _ => (raw, 1),
+    };
+    let count: usize = digits.parse().map_err(|_| bad())?;
+    match count.checked_mul(multiplier) {
+        Some(bytes) if bytes >= 1 => Ok(bytes),
+        _ => Err(bad()),
+    }
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -61,6 +91,7 @@ fn parse_cli() -> Result<Cli, String> {
         mode: Mode::Batch { input: None },
         parallelism: ParallelismConfig::auto(),
         quiet: false,
+        cache: CacheConfig::default(),
         server: ServerConfig::default(),
     };
     let mut mode_flag: Option<String> = None;
@@ -119,6 +150,12 @@ fn parse_cli() -> Result<Cli, String> {
                 })?;
                 cli.parallelism = ParallelismConfig::fixed(threads);
             }
+            "--cache-bytes" => {
+                cli.cache.max_bytes = parse_bytes(&value("--cache-bytes")?, "--cache-bytes")?;
+            }
+            "--cache-shards" => {
+                cli.cache.shards = positive(value("--cache-shards")?, flag.as_str())?;
+            }
             "--max-connections" => {
                 cli.server.max_connections = positive(value("--max-connections")?, flag.as_str())?;
                 server_flags.push(flag);
@@ -146,8 +183,8 @@ fn parse_cli() -> Result<Cli, String> {
             other => {
                 return Err(format!(
                     "unknown flag '{other}' (expected --input, --listen, --listen-unix, \
-                     --threads, --max-connections, --max-inflight, --window, \
-                     --shutdown-grace-ms or --quiet)"
+                     --threads, --cache-bytes, --cache-shards, --max-connections, \
+                     --max-inflight, --window, --shutdown-grace-ms or --quiet)"
                 ))
             }
         }
@@ -256,7 +293,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = ServiceEngine::new(cli.parallelism);
+    let engine =
+        ServiceEngine::with_cache(Arc::new(OracleCache::with_config(cli.cache)), cli.parallelism);
     let clean = match &cli.mode {
         Mode::Batch { input } => run_batch(&engine, input.as_deref(), cli.quiet),
         _ => run_socket(Arc::new(engine), &cli),
@@ -269,6 +307,24 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn byte_sizes_parse_with_and_without_suffixes() {
+        assert_eq!(parse_bytes("65536", "--cache-bytes").unwrap(), 65536);
+        assert_eq!(parse_bytes("64K", "--cache-bytes").unwrap(), 64 * 1024);
+        assert_eq!(parse_bytes("64k", "--cache-bytes").unwrap(), 64 * 1024);
+        assert_eq!(parse_bytes("256M", "--cache-bytes").unwrap(), 256 * 1024 * 1024);
+        assert_eq!(parse_bytes("2G", "--cache-bytes").unwrap(), 2 * 1024 * 1024 * 1024);
+        for bad in ["", "K", "0", "-1", "1.5M", "64KB", "18446744073709551615G"] {
+            let err = parse_bytes(bad, "--cache-bytes").unwrap_err();
+            assert!(err.contains("--cache-bytes"), "{err}");
         }
     }
 }

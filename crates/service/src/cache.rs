@@ -1,4 +1,4 @@
-//! Long-lived oracle state shared across queries.
+//! Long-lived oracle state shared across queries, held under a byte budget.
 //!
 //! Every figure binary and example builds its graph and estimator from
 //! scratch per run; a serving process cannot afford that. The
@@ -12,20 +12,41 @@
 //!   runs on it, so one collection backs oracles for every `τ`,
 //! * fully built [`Estimator`]s, keyed by the complete [`OracleSpec`].
 //!
-//! Every map is capacity-bounded with FIFO eviction (keys embed
-//! request-controlled seeds and sample counts, so an unbounded cache fed
-//! adversarial or merely long-lived traffic would grow until OOM); an
-//! evicted entry rebuilds deterministically on its next use.
+//! # Memory budget
+//!
+//! Keys embed request-controlled seeds and sample counts (and inline
+//! scenario specs make the key space effectively unbounded), so an
+//! unbounded cache fed adversarial or merely long-lived traffic would grow
+//! until OOM. Instead of the old per-map entry counts, the cache enforces a
+//! single **byte budget** ([`CacheConfig::max_bytes`]): every entry is
+//! charged its approximate resident size via the [`CacheCost`] trait, whose
+//! estimates are computed by the crate that owns each type
+//! (`Graph::approx_bytes`, `LtWeights::approx_bytes`,
+//! `WorldCollection::approx_bytes`, `Estimator::approx_bytes` — see
+//! `docs/CACHE.md` for the derivations). Entries are spread over
+//! [`CacheConfig::shards`] shards by an FNV-1a hash of their fingerprint
+//! key; each shard owns its own `Mutex` and an equal slice of the budget,
+//! so batch fan-out stops serializing on one global lock.
+//!
+//! Within a shard, eviction is **cost-aware segmented LRU**: a new entry
+//! starts in a probation segment, a re-accessed entry is promoted to a
+//! protected segment (capped at 4/5 of the shard's slice, demoting its own
+//! LRU tail back to probation when it overflows), and when the shard
+//! exceeds its slice it evicts the probation tail first. One-shot traffic
+//! therefore churns through probation while the entries that are actually
+//! re-used survive. Evicting never changes answers: an evicted entry
+//! rebuilds deterministically on its next use, and outstanding `Arc`
+//! handles keep in-flight queries alive.
 //!
 //! # Determinism
 //!
 //! Cache keys exclude the parallelism knob, and every sampling path derives
 //! sample `i` from `seed + i` (see `tcim_diffusion::ParallelismConfig`), so
 //! a cache hit returns answers bitwise-identical to a cold build at any
-//! thread count — the service-level tests and the CI golden files pin this
-//! down.
+//! thread count and any cache temperature — the service-level tests and the
+//! CI golden files pin this down.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -114,12 +135,6 @@ impl DatasetSpec {
     }
 }
 
-/// The registry's stable dataset name without building the graph
-/// (re-exported shim over [`Dataset::name`]).
-pub fn dataset_name(dataset: &Dataset) -> &'static str {
-    dataset.name()
-}
-
 /// Everything that identifies one influence oracle: the dataset, the
 /// diffusion model, the deadline and the estimator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,8 +178,76 @@ impl OracleSpec {
     }
 }
 
-/// Hit/miss counters of one [`OracleCache`], for observability (never part
-/// of a response — responses must not depend on cache temperature).
+/// Per-entry byte cost used for cache-budget accounting.
+///
+/// Implementations delegate to `approx_bytes` methods defined in the crate
+/// that owns each type, so the estimate tracks the type's actual layout:
+/// element payloads are counted by *length* (not capacity) plus one `Vec`
+/// header per allocation, which makes the cost a deterministic function of
+/// the value — never of allocator state or build history.
+pub trait CacheCost {
+    /// Approximate resident heap bytes of this value.
+    fn cost_bytes(&self) -> usize;
+}
+
+impl CacheCost for Graph {
+    fn cost_bytes(&self) -> usize {
+        self.approx_bytes()
+    }
+}
+
+impl CacheCost for LtWeights {
+    fn cost_bytes(&self) -> usize {
+        self.approx_bytes()
+    }
+}
+
+impl CacheCost for WorldCollection {
+    fn cost_bytes(&self) -> usize {
+        self.approx_bytes()
+    }
+}
+
+impl CacheCost for Estimator {
+    fn cost_bytes(&self) -> usize {
+        self.approx_bytes()
+    }
+}
+
+/// Sizing of an [`OracleCache`]: one global byte budget split over a number
+/// of independently locked shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards. Entry costs come from
+    /// [`CacheCost`]; once a shard's slice is exceeded it evicts (see the
+    /// module docs for the policy).
+    pub max_bytes: usize,
+    /// Number of shards (clamped to at least 1). Each shard owns its own
+    /// `Mutex` and `max_bytes / shards` of the budget.
+    pub shards: usize,
+}
+
+impl CacheConfig {
+    /// Default budget: 256 MiB. Sized from the old per-map entry counts (up
+    /// to 32 world collections at a couple of MiB each, 128 oracles, a
+    /// handful of graphs) with generous headroom, so a default-configured
+    /// cache retains at least as much as the count-bounded cache did.
+    pub const DEFAULT_MAX_BYTES: usize = 256 * 1024 * 1024;
+    /// Default shard count: 8 — enough to keep a batch fan-out from
+    /// serializing on one lock, few enough that the budget slices stay
+    /// large relative to any single entry.
+    pub const DEFAULT_SHARDS: usize = 8;
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { max_bytes: Self::DEFAULT_MAX_BYTES, shards: Self::DEFAULT_SHARDS }
+    }
+}
+
+/// Hit/miss and budget counters of one [`OracleCache`], for observability
+/// (never part of a response — responses must not depend on cache
+/// temperature).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Oracle lookups answered from the cache.
@@ -180,6 +263,16 @@ pub struct CacheStats {
     pub graph_hits: u64,
     /// Dataset-graph lookups that had to generate.
     pub graph_misses: u64,
+    /// LT weight-table lookups answered from the cache.
+    pub lt_hits: u64,
+    /// LT weight-table lookups that had to build.
+    pub lt_misses: u64,
+    /// Total bytes currently charged against the budget, summed over shards.
+    pub bytes_used: u64,
+    /// Total byte budget, summed over shards (the configured `max_bytes`).
+    pub bytes_budget: u64,
+    /// Entries evicted to stay under the budget, summed over shards.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -199,81 +292,248 @@ fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
     (total > 0).then(|| hits as f64 / total as f64)
 }
 
-/// An insertion-ordered map with a capacity bound. Cache keys are
-/// request-controlled (`dataset_seed`, `estimator_seed`, `samples`, …), so
-/// an unbounded map would let a long-lived engine grow until OOM; past the
-/// bound the oldest entry is evicted (FIFO). Eviction never changes
-/// answers — rebuilding an evicted entry is deterministic, and outstanding
-/// `Arc` handles keep in-flight queries alive.
-struct BoundedMap<V> {
-    capacity: usize,
-    order: VecDeque<String>,
-    entries: HashMap<String, V>,
+/// One shard's budget counters, as reported by [`OracleCache::shard_stats`]
+/// and the `stats` wire op. All byte figures are [`CacheCost`] estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Bytes currently charged against this shard's slice.
+    pub bytes_used: u64,
+    /// This shard's slice of the global budget.
+    pub bytes_budget: u64,
+    /// High-water mark of `bytes_used`, recorded after eviction settles —
+    /// by construction it never exceeds `bytes_budget`.
+    pub peak_bytes: u64,
+    /// Entries this shard has evicted.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
 }
 
-impl<V> BoundedMap<V> {
-    fn new(capacity: usize) -> Self {
-        BoundedMap { capacity: capacity.max(1), order: VecDeque::new(), entries: HashMap::new() }
+/// One cached value. The four key namespaces are disjoint (`lt|…`,
+/// `…|worlds:…`, `oracle|…` prefixes/infixes never collide with bare
+/// dataset fingerprints), so each key's variant is statically known at its
+/// call site.
+#[derive(Clone)]
+enum CacheValue {
+    Graph(Arc<Graph>),
+    Lt(Arc<LtWeights>),
+    Worlds(Arc<WorldCollection>),
+    Oracle(Arc<Estimator>),
+}
+
+impl CacheValue {
+    fn cost_bytes(&self) -> usize {
+        match self {
+            CacheValue::Graph(graph) => graph.cost_bytes(),
+            CacheValue::Lt(weights) => weights.cost_bytes(),
+            CacheValue::Worlds(worlds) => worlds.cost_bytes(),
+            CacheValue::Oracle(oracle) => oracle.cost_bytes(),
+        }
     }
 
-    fn get(&self, key: &str) -> Option<&V> {
-        self.entries.get(key)
+    fn into_graph(self) -> Arc<Graph> {
+        match self {
+            CacheValue::Graph(graph) => graph,
+            _ => unreachable!("graph keys only ever store graphs"),
+        }
+    }
+
+    fn into_lt(self) -> Arc<LtWeights> {
+        match self {
+            CacheValue::Lt(weights) => weights,
+            _ => unreachable!("lt keys only ever store LT tables"),
+        }
+    }
+
+    fn into_worlds(self) -> Arc<WorldCollection> {
+        match self {
+            CacheValue::Worlds(worlds) => worlds,
+            _ => unreachable!("worlds keys only ever store collections"),
+        }
+    }
+
+    fn into_oracle(self) -> Arc<Estimator> {
+        match self {
+            CacheValue::Oracle(oracle) => oracle,
+            _ => unreachable!("oracle keys only ever store estimators"),
+        }
+    }
+}
+
+struct Entry {
+    value: CacheValue,
+    /// Charged cost: the value's [`CacheCost`] bytes plus key and
+    /// bookkeeping overhead, fixed at insertion.
+    cost: usize,
+    /// Recency stamp; also the entry's position in its segment map.
+    stamp: u64,
+    protected: bool,
+}
+
+/// One lock's worth of cache: a key -> entry map plus two recency-ordered
+/// segments (`BTreeMap` keyed by stamp, so `first_key_value` is the LRU
+/// end). New entries join *probation*; a re-access promotes to *protected*.
+/// Probation is evicted first, so one-shot keys churn without displacing
+/// the entries that are actually re-used.
+struct Shard {
+    entries: HashMap<String, Entry>,
+    probation: BTreeMap<u64, String>,
+    protected: BTreeMap<u64, String>,
+    /// Monotone per-shard stamp source (uniqueness makes stamps usable as
+    /// segment-map keys).
+    clock: u64,
+    bytes_used: usize,
+    bytes_budget: usize,
+    /// Bytes held by protected entries, capped below the slice so probation
+    /// always retains room (see [`Shard::rebalance`]).
+    protected_bytes: usize,
+    peak_bytes: usize,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new(bytes_budget: usize) -> Self {
+        Shard {
+            entries: HashMap::new(),
+            probation: BTreeMap::new(),
+            protected: BTreeMap::new(),
+            clock: 0,
+            bytes_used: 0,
+            bytes_budget,
+            protected_bytes: 0,
+            peak_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, refreshing its recency and promoting it to the
+    /// protected segment (segmented LRU: surviving a second access is the
+    /// signal that an entry is worth protecting from one-shot churn).
+    fn get(&mut self, key: &str) -> Option<CacheValue> {
+        if !self.entries.contains_key(key) {
+            return None;
+        }
+        let stamp = self.next_stamp();
+        let entry = self.entries.get_mut(key).expect("checked above");
+        let old_stamp = entry.stamp;
+        let was_protected = entry.protected;
+        let cost = entry.cost;
+        entry.stamp = stamp;
+        entry.protected = true;
+        let value = entry.value.clone();
+        if was_protected {
+            self.protected.remove(&old_stamp);
+        } else {
+            self.probation.remove(&old_stamp);
+            self.protected_bytes += cost;
+        }
+        self.protected.insert(stamp, key.to_string());
+        self.rebalance();
+        Some(value)
     }
 
     /// Inserts `value` under `key` unless the key is already present (the
-    /// first build wins, so concurrent builders converge on one entry), then
-    /// returns the stored value.
-    fn insert_or_get(&mut self, key: String, value: V) -> &V {
-        if !self.entries.contains_key(&key) {
-            if self.entries.len() >= self.capacity {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.entries.remove(&oldest);
-                }
+    /// first build wins, so concurrent builders converge on one entry),
+    /// then returns the stored value. New entries join probation; the shard
+    /// then evicts down to its budget. An entry larger than the whole slice
+    /// is evicted immediately, but the returned value stays usable — the
+    /// caller's `Arc` keeps it alive for the request in flight.
+    fn insert_or_get(&mut self, key: String, value: CacheValue, cost: usize) -> CacheValue {
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        let stamp = self.next_stamp();
+        self.entries
+            .insert(key.clone(), Entry { value: value.clone(), cost, stamp, protected: false });
+        self.probation.insert(stamp, key);
+        self.bytes_used += cost;
+        self.evict_to_budget();
+        // Record the peak after eviction settles, so the reported high-water
+        // mark honours the budget invariant the operator relies on.
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+        value
+    }
+
+    /// Demotes the protected segment's LRU tail back to probation while the
+    /// segment exceeds its cap (4/5 of the slice). Demoted entries keep
+    /// their stamps, so they re-enter probation at their true recency.
+    fn rebalance(&mut self) {
+        let cap = self.bytes_budget - self.bytes_budget / 5;
+        while self.protected_bytes > cap {
+            let Some((&stamp, _)) = self.protected.first_key_value() else {
+                break;
+            };
+            let key = self.protected.remove(&stamp).expect("stamp listed");
+            let entry = self.entries.get_mut(&key).expect("segment entry resident");
+            entry.protected = false;
+            let cost = entry.cost;
+            self.protected_bytes -= cost;
+            self.probation.insert(stamp, key);
+        }
+    }
+
+    /// Evicts LRU-first — probation before protected — until the shard fits
+    /// its slice again.
+    fn evict_to_budget(&mut self) {
+        while self.bytes_used > self.bytes_budget {
+            let (stamp, from_protected) =
+                if let Some((&stamp, _)) = self.probation.first_key_value() {
+                    (stamp, false)
+                } else if let Some((&stamp, _)) = self.protected.first_key_value() {
+                    (stamp, true)
+                } else {
+                    break;
+                };
+            let key = if from_protected {
+                self.protected.remove(&stamp)
+            } else {
+                self.probation.remove(&stamp)
             }
-            self.order.push_back(key.clone());
-            self.entries.insert(key.clone(), value);
+            .expect("stamp listed");
+            let entry = self.entries.remove(&key).expect("segment entry resident");
+            self.bytes_used -= entry.cost;
+            if from_protected {
+                self.protected_bytes -= entry.cost;
+            }
+            self.evictions += 1;
         }
-        &self.entries[&key]
     }
 
-    #[cfg(test)]
-    fn len(&self) -> usize {
-        self.entries.len()
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            bytes_used: self.bytes_used as u64,
+            bytes_budget: self.bytes_budget as u64,
+            peak_bytes: self.peak_bytes as u64,
+            evictions: self.evictions,
+            entries: self.entries.len() as u64,
+        }
     }
 }
 
-/// Retained dataset graphs / LT tables (small, and few distinct datasets).
-const GRAPH_CAPACITY: usize = 8;
-/// Retained live-edge world collections (the big allocations).
-const WORLDS_CAPACITY: usize = 32;
-/// Retained built estimators (worlds-backed ones are views into the world
-/// pool; RIS entries own their sketches).
-const ORACLE_CAPACITY: usize = 128;
-
-struct CacheMaps {
-    graphs: BoundedMap<Arc<Graph>>,
-    lt_weights: BoundedMap<Arc<LtWeights>>,
-    worlds: BoundedMap<Arc<WorldCollection>>,
-    oracles: BoundedMap<Arc<Estimator>>,
-}
-
-impl Default for CacheMaps {
-    fn default() -> Self {
-        CacheMaps {
-            graphs: BoundedMap::new(GRAPH_CAPACITY),
-            lt_weights: BoundedMap::new(GRAPH_CAPACITY),
-            worlds: BoundedMap::new(WORLDS_CAPACITY),
-            oracles: BoundedMap::new(ORACLE_CAPACITY),
-        }
+/// FNV-1a over the key bytes: tiny, dependency-free, and plenty uniform for
+/// spreading fingerprint strings over a handful of shards.
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    hash
 }
 
 /// Shared, thread-safe cache of graphs, LT weight tables, live-edge world
-/// collections and fully built estimators. See the module docs for the
-/// keying scheme and the determinism contract.
-#[derive(Default)]
+/// collections and fully built estimators, sharded and held under a byte
+/// budget. See the module docs for the keying scheme, the eviction policy
+/// and the determinism contract — and `docs/CACHE.md` for the operator's
+/// guide.
 pub struct OracleCache {
-    maps: Mutex<CacheMaps>,
+    shards: Vec<Mutex<Shard>>,
+    max_bytes: usize,
     /// Per-key in-flight build locks: when several cold requests race for
     /// the same entry, exactly one samples/builds while the rest wait on
     /// its lock and then take the cache hit — without this, a parallel
@@ -286,16 +546,64 @@ pub struct OracleCache {
     world_misses: AtomicU64,
     graph_hits: AtomicU64,
     graph_misses: AtomicU64,
+    lt_hits: AtomicU64,
+    lt_misses: AtomicU64,
+}
+
+impl Default for OracleCache {
+    fn default() -> Self {
+        OracleCache::with_config(CacheConfig::default())
+    }
 }
 
 impl OracleCache {
-    /// An empty cache.
+    /// An empty cache with the default budget ([`CacheConfig::default`]).
     pub fn new() -> Self {
         OracleCache::default()
     }
 
-    /// Current hit/miss counters.
+    /// An empty cache sized by `config`. The budget is sliced exactly over
+    /// the shards: each gets `max_bytes / shards`, and the first
+    /// `max_bytes % shards` shards get one extra byte, so the slices always
+    /// sum to `max_bytes`.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let base = config.max_bytes / shard_count;
+        let extra = config.max_bytes % shard_count;
+        let shards = (0..shard_count)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        OracleCache {
+            shards,
+            max_bytes: config.max_bytes,
+            building: Mutex::default(),
+            oracle_hits: AtomicU64::new(0),
+            oracle_misses: AtomicU64::new(0),
+            world_hits: AtomicU64::new(0),
+            world_misses: AtomicU64::new(0),
+            graph_hits: AtomicU64::new(0),
+            graph_misses: AtomicU64::new(0),
+            lt_hits: AtomicU64::new(0),
+            lt_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        CacheConfig { max_bytes: self.max_bytes, shards: self.shards.len() }
+    }
+
+    /// Current hit/miss and budget counters, aggregated over shards.
     pub fn stats(&self) -> CacheStats {
+        let mut bytes_used = 0u64;
+        let mut bytes_budget = 0u64;
+        let mut evictions = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard");
+            bytes_used += shard.bytes_used as u64;
+            bytes_budget += shard.bytes_budget as u64;
+            evictions += shard.evictions;
+        }
         CacheStats {
             oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
             oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
@@ -303,21 +611,50 @@ impl OracleCache {
             world_misses: self.world_misses.load(Ordering::Relaxed),
             graph_hits: self.graph_hits.load(Ordering::Relaxed),
             graph_misses: self.graph_misses.load(Ordering::Relaxed),
+            lt_hits: self.lt_hits.load(Ordering::Relaxed),
+            lt_misses: self.lt_misses.load(Ordering::Relaxed),
+            bytes_used,
+            bytes_budget,
+            evictions,
         }
+    }
+
+    /// Per-shard budget counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|shard| shard.lock().expect("cache shard").stats()).collect()
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up in its shard, refreshing recency on a hit. Shard
+    /// locks are held only for the lookup itself, never across builds.
+    fn lookup(&self, key: &str) -> Option<CacheValue> {
+        self.shard_for(key).lock().expect("cache shard").get(key)
+    }
+
+    /// Stores `value` under `key` (first build wins) and returns the stored
+    /// value. The charged cost is the value's [`CacheCost`] bytes plus the
+    /// key string and fixed per-entry bookkeeping.
+    fn store(&self, key: &str, value: CacheValue) -> CacheValue {
+        let cost = key.len() + value.cost_bytes() + std::mem::size_of::<Entry>();
+        self.shard_for(key).lock().expect("cache shard").insert_or_get(key.to_string(), value, cost)
     }
 
     /// Takes the per-key build lock for `key`; `build` runs only if a
     /// re-check under the lock still misses. Lock order is strictly
     /// outer-entry -> inner-entry (oracle -> worlds -> graph), so the
-    /// per-key locks cannot cycle.
+    /// per-key locks cannot cycle; shard locks are leaf locks taken only
+    /// inside `lookup`/`store`.
     fn build_once<V: Clone>(
         &self,
         key: &str,
-        lookup: impl Fn(&CacheMaps) -> Option<V>,
+        lookup: impl Fn() -> Option<V>,
         on_hit: impl Fn(),
         on_miss: impl Fn(),
         build: impl FnOnce() -> Result<V>,
-        store: impl FnOnce(&mut CacheMaps, V) -> V,
+        store: impl FnOnce(V) -> V,
     ) -> Result<V> {
         let lock = {
             let mut building = self.building.lock().expect("build-lock registry");
@@ -326,15 +663,12 @@ impl OracleCache {
         let guard = lock.lock().expect("build lock");
         // Re-check under the lock: a concurrent builder may have finished
         // while this request waited, in which case the wait *was* the build.
-        if let Some(value) = lookup(&self.maps.lock().expect("cache lock")) {
+        let stored = if let Some(value) = lookup() {
             on_hit();
-            return Ok(value);
-        }
-        on_miss();
-        let result = build();
-        let stored = match result {
-            Ok(value) => Ok(store(&mut self.maps.lock().expect("cache lock"), value)),
-            Err(err) => Err(err),
+            Ok(value)
+        } else {
+            on_miss();
+            build().map(store)
         };
         drop(guard);
         // Waiters that already hold the Arc proceed normally; future
@@ -350,13 +684,13 @@ impl OracleCache {
     /// Propagates dataset-generator failures.
     pub fn graph(&self, spec: &DatasetSpec) -> Result<Arc<Graph>> {
         let key = spec.fingerprint();
-        if let Some(graph) = self.maps.lock().expect("cache lock").graphs.get(&key) {
+        if let Some(graph) = self.lookup(&key) {
             self.graph_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(graph));
+            return Ok(graph.into_graph());
         }
         self.build_once(
             &key,
-            |maps| maps.graphs.get(&key).map(Arc::clone),
+            || self.lookup(&key).map(CacheValue::into_graph),
             || {
                 self.graph_hits.fetch_add(1, Ordering::Relaxed);
             },
@@ -372,7 +706,7 @@ impl OracleCache {
                 })?;
                 Ok(Arc::new(bundle.graph))
             },
-            |maps, graph| Arc::clone(maps.graphs.insert_or_get(key.clone(), graph)),
+            |graph| self.store(&key, CacheValue::Graph(graph)).into_graph(),
         )
     }
 
@@ -383,19 +717,24 @@ impl OracleCache {
     /// Propagates dataset-generator failures.
     pub fn lt_weights(&self, spec: &DatasetSpec) -> Result<Arc<LtWeights>> {
         let key = format!("lt|{}", spec.fingerprint());
-        if let Some(weights) = self.maps.lock().expect("cache lock").lt_weights.get(&key) {
-            return Ok(Arc::clone(weights));
+        if let Some(weights) = self.lookup(&key) {
+            self.lt_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(weights.into_lt());
         }
         self.build_once(
             &key,
-            |maps| maps.lt_weights.get(&key).map(Arc::clone),
-            || {},
-            || {},
+            || self.lookup(&key).map(CacheValue::into_lt),
+            || {
+                self.lt_hits.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                self.lt_misses.fetch_add(1, Ordering::Relaxed);
+            },
             || {
                 let graph = self.graph(spec)?;
                 Ok(Arc::new(LtWeights::from_graph(&graph)))
             },
-            |maps, weights| Arc::clone(maps.lt_weights.insert_or_get(key.clone(), weights)),
+            |weights| self.store(&key, CacheValue::Lt(weights)).into_lt(),
         )
     }
 
@@ -418,13 +757,13 @@ impl OracleCache {
             config.num_worlds,
             config.seed
         );
-        if let Some(worlds) = self.maps.lock().expect("cache lock").worlds.get(&key) {
+        if let Some(worlds) = self.lookup(&key) {
             self.world_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(worlds));
+            return Ok(worlds.into_worlds());
         }
         self.build_once(
             &key,
-            |maps| maps.worlds.get(&key).map(Arc::clone),
+            || self.lookup(&key).map(CacheValue::into_worlds),
             || {
                 self.world_hits.fetch_add(1, Ordering::Relaxed);
             },
@@ -442,7 +781,7 @@ impl OracleCache {
                 };
                 Ok(Arc::new(collection))
             },
-            |maps, collection| Arc::clone(maps.worlds.insert_or_get(key.clone(), collection)),
+            |collection| self.store(&key, CacheValue::Worlds(collection)).into_worlds(),
         )
     }
 
@@ -459,13 +798,13 @@ impl OracleCache {
     /// failures.
     pub fn oracle(&self, spec: &OracleSpec) -> Result<Arc<Estimator>> {
         let key = format!("oracle|{}", spec.fingerprint());
-        if let Some(oracle) = self.maps.lock().expect("cache lock").oracles.get(&key) {
+        if let Some(oracle) = self.lookup(&key) {
             self.oracle_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(oracle));
+            return Ok(oracle.into_oracle());
         }
         self.build_once(
             &key,
-            |maps| maps.oracles.get(&key).map(Arc::clone),
+            || self.lookup(&key).map(CacheValue::into_oracle),
             || {
                 self.oracle_hits.fetch_add(1, Ordering::Relaxed);
             },
@@ -473,7 +812,7 @@ impl OracleCache {
                 self.oracle_misses.fetch_add(1, Ordering::Relaxed);
             },
             || Ok(Arc::new(self.build_oracle(spec)?)),
-            |maps, oracle| Arc::clone(maps.oracles.insert_or_get(key.clone(), oracle)),
+            |oracle| self.store(&key, CacheValue::Oracle(oracle)).into_oracle(),
         )
     }
 
@@ -531,6 +870,9 @@ mod tests {
         assert_eq!(stats.oracle_hit_rate(), Some(1.0 / 3.0));
         assert_eq!(stats.world_hit_rate(), Some(0.5));
         assert_eq!(CacheStats::default().oracle_hit_rate(), None);
+        assert!(stats.bytes_used > 0, "resident entries must be charged");
+        assert_eq!(stats.bytes_budget, CacheConfig::DEFAULT_MAX_BYTES as u64);
+        assert_eq!(stats.evictions, 0, "the default budget must not thrash");
 
         let (Estimator::Worlds(a), Estimator::Worlds(b)) = (first.as_ref(), other.as_ref()) else {
             panic!("worlds estimators expected");
@@ -576,34 +918,95 @@ mod tests {
     }
 
     #[test]
-    fn bounded_maps_evict_fifo_and_keep_serving() {
-        let mut map = BoundedMap::new(2);
-        map.insert_or_get("a".into(), 1);
-        map.insert_or_get("b".into(), 2);
-        // Re-inserting an existing key keeps the first value and evicts
-        // nothing.
-        assert_eq!(*map.insert_or_get("a".into(), 99), 1);
-        assert_eq!(map.len(), 2);
-        // A third key evicts the oldest ("a"), not the newest.
-        map.insert_or_get("c".into(), 3);
-        assert_eq!(map.len(), 2);
-        assert!(map.get("a").is_none());
-        assert_eq!(map.get("b"), Some(&2));
-        assert_eq!(map.get("c"), Some(&3));
+    fn budget_slices_cover_max_bytes_exactly() {
+        let cache = OracleCache::with_config(CacheConfig { max_bytes: 10, shards: 4 });
+        let slices: Vec<u64> = cache.shard_stats().iter().map(|s| s.bytes_budget).collect();
+        assert_eq!(slices, vec![3, 3, 2, 2]);
+        assert_eq!(cache.config(), CacheConfig { max_bytes: 10, shards: 4 });
+        // Zero shards clamp to one rather than panicking on modulo.
+        let clamped = OracleCache::with_config(CacheConfig { max_bytes: 10, shards: 0 });
+        assert_eq!(clamped.config().shards, 1);
+    }
 
-        // End-to-end: more distinct oracle specs than ORACLE_CAPACITY must
-        // not grow the cache without bound, and an evicted spec re-serves
-        // (deterministically) instead of erroring.
-        let cache = OracleCache::new();
-        for seed in 0..(ORACLE_CAPACITY as u64 + 8) {
-            let mut overflowing = spec(2, 4);
-            overflowing.estimator =
-                EstimatorConfig::Worlds(WorldsConfig { num_worlds: 4, seed, ..Default::default() });
-            cache.oracle(&overflowing).unwrap();
+    fn probe_value() -> CacheValue {
+        let bundle = Dataset::Illustrative.build(0).unwrap();
+        CacheValue::Graph(Arc::new(bundle.graph))
+    }
+
+    #[test]
+    fn reaccessed_entries_survive_eviction() {
+        // The old BoundedMap evicted in pure insertion order, so the hottest
+        // entry died first under steady mixed traffic. Segmented LRU must
+        // keep the re-accessed entry and evict the cold one instead.
+        let mut shard = Shard::new(250);
+        shard.insert_or_get("a".into(), probe_value(), 100);
+        shard.insert_or_get("b".into(), probe_value(), 100);
+        assert!(shard.get("a").is_some(), "re-access promotes 'a' to protected");
+        // 'c' overflows the slice; the probation tail 'b' — not the older
+        // but protected 'a' — must be the victim.
+        shard.insert_or_get("c".into(), probe_value(), 100);
+        assert!(shard.get("a").is_some(), "hot entry survives");
+        assert!(shard.get("b").is_none(), "cold entry is the victim");
+        assert!(shard.get("c").is_some(), "new entry stays resident");
+        let stats = shard.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes_used <= stats.bytes_budget);
+        assert!(stats.peak_bytes <= stats.bytes_budget, "peak records post-eviction");
+
+        // First build wins: re-inserting a resident key returns the stored
+        // value and charges nothing extra.
+        let before = shard.stats().bytes_used;
+        shard.insert_or_get("a".into(), probe_value(), 100);
+        assert_eq!(shard.stats().bytes_used, before);
+
+        // An entry larger than the whole slice is evicted immediately but
+        // still returned for the request in flight.
+        shard.insert_or_get("huge".into(), probe_value(), 10_000);
+        assert!(shard.get("huge").is_none());
+        assert!(shard.stats().bytes_used <= shard.stats().bytes_budget);
+
+        // A full protected segment demotes its own LRU tail instead of
+        // growing past its cap (4/5 of the slice = 200 bytes here).
+        assert!(shard.get("a").is_some());
+        assert!(shard.get("c").is_some());
+        assert!(shard.protected_bytes <= 200, "protected stays under its cap");
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_rebuilds_deterministically() {
+        // A budget far below the working set: 64 distinct world seeds over
+        // ~16 KiB forces heavy eviction, yet every answer must match the
+        // first build bit-for-bit and the budget must hold at all times.
+        let cache = OracleCache::with_config(CacheConfig { max_bytes: 16 * 1024, shards: 2 });
+        let overflowing = |seed: u64| {
+            let mut s = spec(2, 8);
+            s.estimator =
+                EstimatorConfig::Worlds(WorldsConfig { num_worlds: 8, seed, ..Default::default() });
+            s
+        };
+        let probe = [tcim_graph::NodeId(0)];
+        let first: Vec<u64> = (0..64)
+            .map(|seed| {
+                let oracle = cache.oracle(&overflowing(seed)).unwrap();
+                oracle.evaluate(&probe).unwrap().total().to_bits()
+            })
+            .collect();
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "the working set must overflow the budget");
+        assert!(stats.bytes_used <= stats.bytes_budget);
+        for shard in cache.shard_stats() {
+            assert!(shard.peak_bytes <= shard.bytes_budget, "peak honours each slice");
         }
-        let maps = cache.maps.lock().unwrap();
-        assert_eq!(maps.oracles.len(), ORACLE_CAPACITY);
-        assert_eq!(maps.worlds.len(), WORLDS_CAPACITY);
+        // Replay: most entries were evicted and rebuild from scratch, and
+        // the rebuilt oracles must answer identically.
+        let again: Vec<u64> = (0..64)
+            .map(|seed| {
+                let oracle = cache.oracle(&overflowing(seed)).unwrap();
+                oracle.evaluate(&probe).unwrap().total().to_bits()
+            })
+            .collect();
+        assert_eq!(first, again, "eviction must never change answers");
     }
 
     #[test]
@@ -618,5 +1021,16 @@ mod tests {
         let good = OracleSpec { model: ModelKind::LinearThreshold, ..spec(2, 16) };
         let oracle = cache.oracle(&good).unwrap();
         assert!(oracle.evaluate(&[tcim_graph::NodeId(0)]).unwrap().total() >= 1.0);
+
+        // Satellite: LT-table traffic is visible in the stats. Building the
+        // LT worlds pool built the weight table once (a miss); asking for
+        // the table again is a hit.
+        let stats = cache.stats();
+        assert_eq!(stats.lt_misses, 1, "the LT table builds once");
+        assert_eq!(stats.lt_hits, 0);
+        cache.lt_weights(&good.dataset).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.lt_hits, 1, "re-asking for the table is a visible hit");
+        assert_eq!(stats.lt_misses, 1);
     }
 }

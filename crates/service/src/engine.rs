@@ -55,10 +55,11 @@ impl ServiceEngine {
         &self.stats
     }
 
-    /// A point-in-time stats snapshot joined with the cache counters — the
-    /// payload of the `stats` op and of the shutdown log line.
+    /// A point-in-time stats snapshot joined with the cache counters and
+    /// per-shard budget breakdown — the payload of the `stats` op and of the
+    /// shutdown log line.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.cache.stats())
+        self.stats.snapshot(self.cache.stats(), self.cache.shard_stats())
     }
 
     /// Serves one request, returning the response object (errors become
@@ -233,6 +234,18 @@ mod tests {
         assert!(requests.get("p99_us").unwrap().as_f64().is_some());
         let cache = stats.get("cache").unwrap();
         assert!(cache.get("oracles").unwrap().get("hit_rate").unwrap().as_f64().is_some());
+        // Budget accounting reaches the wire: resident bytes, the configured
+        // budget, and one shard object per configured shard.
+        assert!(cache.get("bytes_used").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            cache.get("bytes_budget").unwrap().as_f64(),
+            Some(crate::CacheConfig::DEFAULT_MAX_BYTES as f64)
+        );
+        assert_eq!(cache.get("evictions").unwrap().as_f64(), Some(0.0));
+        let Some(Json::Arr(shards)) = cache.get("shards") else {
+            panic!("shards array expected: {stats}");
+        };
+        assert_eq!(shards.len(), crate::CacheConfig::DEFAULT_SHARDS);
 
         // Shutdown is a bare acknowledgment at the engine level.
         let ack = engine.serve(&request(r#"{"id":9,"op":"shutdown"}"#));

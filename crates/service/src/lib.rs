@@ -11,7 +11,9 @@
 //!   a registry name or an inline scenario, keyed by its canonical
 //!   [`ScenarioSpec::fingerprint`](tcim_datasets::ScenarioSpec::fingerprint).
 //!   World collections are deadline-independent, so a warm cache answers a
-//!   new `τ` for the price of a view.
+//!   new `τ` for the price of a view. Entries live under a sharded byte
+//!   budget ([`CacheConfig`], costs via [`CacheCost`]) with segmented-LRU
+//!   eviction — see `docs/CACHE.md` for the operator's guide.
 //! * [`ServiceEngine`] fans batches of requests out across threads (via the
 //!   same [`ParallelismConfig`] knob the estimators use) over the shared
 //!   read-only cache, executing every solve through `tcim_core::solve`.
@@ -75,7 +77,9 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use cache::{dataset_name, CacheStats, DatasetSpec, ModelKind, OracleCache, OracleSpec};
+pub use cache::{
+    CacheConfig, CacheCost, CacheStats, DatasetSpec, ModelKind, OracleCache, OracleSpec, ShardStats,
+};
 pub use client::Client;
 pub use engine::ServiceEngine;
 pub use error::{Result, ServiceError};

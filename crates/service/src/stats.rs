@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ShardStats};
 use crate::minijson::Json;
 use crate::protocol::Op;
 
@@ -257,8 +257,9 @@ impl ServerStats {
         self.rejected_connections.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time snapshot joined with the cache's hit/miss counters.
-    pub fn snapshot(&self, cache: CacheStats) -> StatsSnapshot {
+    /// A point-in-time snapshot joined with the cache's hit/miss/budget
+    /// counters and its per-shard breakdown.
+    pub fn snapshot(&self, cache: CacheStats, shards: Vec<ShardStats>) -> StatsSnapshot {
         let mut per_op = Vec::new();
         let mut merged = [0u64; BUCKETS];
         let mut total = 0u64;
@@ -298,6 +299,7 @@ impl ServerStats {
             total_connections: self.total_connections.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             cache,
+            shards,
         }
     }
 }
@@ -347,8 +349,10 @@ pub struct StatsSnapshot {
     pub total_connections: u64,
     /// Connections turned away by the `max_connections` cap.
     pub rejected_connections: u64,
-    /// The oracle cache's hit/miss counters.
+    /// The oracle cache's hit/miss and budget counters.
     pub cache: CacheStats,
+    /// The cache's per-shard budget breakdown, in shard order.
+    pub shards: Vec<ShardStats>,
 }
 
 fn opt_us(us: Option<u64>) -> Json {
@@ -436,6 +440,38 @@ impl StatsSnapshot {
                             ("misses".into(), Json::Num(cache.graph_misses as f64)),
                         ]),
                     ),
+                    (
+                        "lt".into(),
+                        Json::Obj(vec![
+                            ("hits".into(), Json::Num(cache.lt_hits as f64)),
+                            ("misses".into(), Json::Num(cache.lt_misses as f64)),
+                        ]),
+                    ),
+                    // Aggregate budget figures render before the per-shard
+                    // array, so a flat text scan finds the totals first.
+                    ("bytes_used".into(), Json::Num(cache.bytes_used as f64)),
+                    ("bytes_budget".into(), Json::Num(cache.bytes_budget as f64)),
+                    ("evictions".into(), Json::Num(cache.evictions as f64)),
+                    (
+                        "shards".into(),
+                        Json::Arr(
+                            self.shards
+                                .iter()
+                                .map(|shard| {
+                                    Json::Obj(vec![
+                                        ("bytes_used".into(), Json::Num(shard.bytes_used as f64)),
+                                        (
+                                            "bytes_budget".into(),
+                                            Json::Num(shard.bytes_budget as f64),
+                                        ),
+                                        ("peak_bytes".into(), Json::Num(shard.peak_bytes as f64)),
+                                        ("evictions".into(), Json::Num(shard.evictions as f64)),
+                                        ("entries".into(), Json::Num(shard.entries as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
         ]
@@ -450,8 +486,8 @@ impl StatsSnapshot {
         };
         format!(
             "served {} request(s) ({} failed, {} unparsable): p50 {} p99 {}; oracle cache {} \
-             hit(s) / {} miss(es), world pool {} hit(s) / {} miss(es); connections {} total, \
-             peak {}, {} rejected; peak in-flight {}",
+             hit(s) / {} miss(es), world pool {} hit(s) / {} miss(es), {}/{} cache byte(s) used, \
+             {} eviction(s); connections {} total, peak {}, {} rejected; peak in-flight {}",
             self.total_requests,
             self.total_errors,
             self.parse_errors,
@@ -461,6 +497,9 @@ impl StatsSnapshot {
             self.cache.oracle_misses,
             self.cache.world_hits,
             self.cache.world_misses,
+            self.cache.bytes_used,
+            self.cache.bytes_budget,
+            self.cache.evictions,
             self.total_connections,
             self.peak_connections,
             self.rejected_connections,
@@ -511,8 +550,28 @@ mod tests {
         stats.connection_closed();
         stats.connection_rejected();
 
-        let snap =
-            stats.snapshot(CacheStats { oracle_hits: 3, oracle_misses: 1, ..Default::default() });
+        let snap = stats.snapshot(
+            CacheStats {
+                oracle_hits: 3,
+                oracle_misses: 1,
+                lt_hits: 2,
+                lt_misses: 1,
+                bytes_used: 300,
+                bytes_budget: 1024,
+                evictions: 5,
+                ..Default::default()
+            },
+            vec![
+                ShardStats {
+                    bytes_used: 300,
+                    bytes_budget: 512,
+                    peak_bytes: 400,
+                    evictions: 5,
+                    entries: 2,
+                },
+                ShardStats { bytes_budget: 512, ..Default::default() },
+            ],
+        );
         assert_eq!(snap.total_requests, 3);
         assert_eq!(snap.total_errors, 1);
         assert_eq!(snap.parse_errors, 1);
@@ -535,6 +594,19 @@ mod tests {
             json.get("cache").unwrap().get("oracles").unwrap().get("hit_rate").unwrap().as_f64(),
             Some(0.75)
         );
+        let cache = json.get("cache").unwrap();
+        assert_eq!(cache.get("lt").unwrap().get("hits").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cache.get("lt").unwrap().get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("bytes_used").unwrap().as_f64(), Some(300.0));
+        assert_eq!(cache.get("bytes_budget").unwrap().as_f64(), Some(1024.0));
+        assert_eq!(cache.get("evictions").unwrap().as_f64(), Some(5.0));
+        let Some(Json::Arr(shards)) = cache.get("shards") else {
+            panic!("shards must render as an array");
+        };
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("peak_bytes").unwrap().as_f64(), Some(400.0));
+        assert_eq!(shards[1].get("bytes_budget").unwrap().as_f64(), Some(512.0));
+        assert_eq!(shards[1].get("entries").unwrap().as_f64(), Some(0.0));
         assert!(json.get("requests").unwrap().get("p50_us").unwrap().as_f64().is_some());
         assert!(json.get("requests").unwrap().get("p99_us").unwrap().as_f64().is_some());
         let per_op = json.get("requests").unwrap().get("per_op").unwrap();
@@ -543,6 +615,8 @@ mod tests {
         let line = snap.summary_line();
         assert!(line.contains("served 3 request(s)"), "{line}");
         assert!(line.contains("p50"), "{line}");
+        assert!(line.contains("300/1024 cache byte(s) used"), "{line}");
+        assert!(line.contains("5 eviction(s)"), "{line}");
     }
 
     #[test]

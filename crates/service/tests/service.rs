@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use tcim_core::{solve, EstimatorConfig, ProblemSpec, WorldsConfig};
 use tcim_diffusion::{Deadline, ParallelismConfig};
-use tcim_service::{Json, OracleCache, Request, ServiceEngine};
+use tcim_service::{CacheConfig, Json, OracleCache, Request, ServiceEngine};
 
 fn request(line: &str) -> Request {
     Request::parse_line(line).unwrap()
@@ -102,6 +102,48 @@ fn one_world_pool_serves_the_whole_grid() {
         assert_eq!(stats.world_hits, 3, "each further deadline reuses the pool");
         assert_eq!(stats.oracle_misses, 4, "one oracle per distinct deadline");
         assert_eq!(stats.oracle_hits, 8, "every repeated (τ) query hits");
+    }
+}
+
+#[test]
+fn eviction_under_budget_is_byte_identical() {
+    // Scenario-diverse traffic against a budget far below its working set:
+    // six inline scenarios, each sampling its own world pool. A 32 KiB / 2
+    // shard cache cannot hold them all, so serving the sweep twice forces
+    // evicted entries to rebuild — and the rebuilt answers must match the
+    // unbounded engine's byte-for-byte, at 1 and at 8 threads.
+    let requests: Vec<Request> = (0..6)
+        .map(|seed| {
+            request(&format!(
+                r#"{{"id":"sbm-{seed}","op":"solve_budget","scenario":{{"family":"sbm","nodes":80,"p_within":0.05,"p_across":0.005,"majority_fraction":0.7,"weights":"uniform","edge_probability":0.1}},"dataset_seed":{seed},"deadline":3,"samples":24,"budget":2}}"#
+            ))
+        })
+        .collect();
+    let render = |responses: Vec<Json>| -> Vec<String> {
+        responses.into_iter().map(|r| r.to_string()).collect()
+    };
+
+    let unbounded = ServiceEngine::new(ParallelismConfig::serial());
+    let expected = render(unbounded.serve_batch(&requests));
+
+    for parallelism in [ParallelismConfig::serial(), ParallelismConfig::fixed(8)] {
+        let cache =
+            Arc::new(OracleCache::with_config(CacheConfig { max_bytes: 32 * 1024, shards: 2 }));
+        let engine = ServiceEngine::with_cache(Arc::clone(&cache), parallelism);
+        let first = render(engine.serve_batch(&requests));
+        let second = render(engine.serve_batch(&requests));
+        assert_eq!(expected, first, "budgeted pass must match the unbounded engine");
+        assert_eq!(expected, second, "evicted-and-rebuilt answers must not change");
+
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "the sweep must overflow 32 KiB: {stats:?}");
+        assert!(stats.bytes_used <= stats.bytes_budget);
+        for shard in cache.shard_stats() {
+            assert!(
+                shard.peak_bytes <= shard.bytes_budget,
+                "peak bytes must honour the shard slice: {shard:?}"
+            );
+        }
     }
 }
 
