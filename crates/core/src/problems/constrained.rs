@@ -74,9 +74,11 @@ pub fn solve_constrained_budget(
 ) -> Result<ConstrainedBudgetReport> {
     let spec = config.to_spec(FairnessMode::Constrained { disparity_cap });
     let report = crate::solve::solve(oracle, &spec)?;
+    // lint:allow(panic): solve() with FairnessMode::Constrained always populates `constrained`
     let outcome = report.constrained.clone().expect("capped solves carry a constrained outcome");
     Ok(ConstrainedBudgetReport {
         report,
+        // lint:allow(panic): the budget ladder sets `wrapper` on every rung it records
         wrapper: outcome.wrapper.expect("the budget sweep records its wrapper"),
         weights: outcome.weights,
         disparity_cap,
@@ -116,9 +118,11 @@ pub fn solve_constrained_cover(
 ) -> Result<ConstrainedCoverReport> {
     let spec = config.to_spec(FairnessMode::Constrained { disparity_cap });
     let report = crate::solve::solve(oracle, &spec)?;
+    // lint:allow(panic): solve() with FairnessMode::Constrained always populates `constrained`
     let outcome = report.constrained.clone().expect("capped solves carry a constrained outcome");
     Ok(ConstrainedCoverReport {
         cover: CoverReport::from_report(report),
+        // lint:allow(panic): the cover ladder sets `effective_quota` on every rung it records
         effective_quota: outcome.effective_quota.expect("the cover sweep records its quota"),
         disparity_cap,
         feasible: outcome.feasible,

@@ -85,6 +85,7 @@ impl SolverReport {
     /// the invariant holds by construction.
     pub fn fairness(&self) -> FairnessReport {
         FairnessReport::new(&self.influence, &self.group_sizes)
+            // lint:allow(panic): documented panic contract — solver-built reports satisfy it by construction
             .expect("solver reports pair influence and group sizes from the same oracle")
     }
 
@@ -112,6 +113,7 @@ impl SolverReport {
     pub fn fairness_at(&self, i: usize) -> Option<FairnessReport> {
         self.iterations.get(i).map(|rec| {
             FairnessReport::new(&rec.influence, &self.group_sizes)
+                // lint:allow(panic): documented panic contract — solver-built reports satisfy it by construction
                 .expect("solver reports pair influence and group sizes from the same oracle")
         })
     }
@@ -138,6 +140,7 @@ impl CoverReport {
     /// Panics if `report` carries no [`CoverOutcome`] — i.e. it did not come
     /// from a cover solve.
     pub fn from_report(report: SolverReport) -> Self {
+        // lint:allow(panic): documented panic contract — callers pass cover-solve reports only
         let outcome = report.cover.clone().expect("cover solves carry a cover outcome");
         CoverReport { report, quota: outcome.quota, reached: outcome.reached }
     }

@@ -450,6 +450,7 @@ impl ScenarioSpec {
                 .and_then(|s| s.with_uniform_weights(0.01)),
             _ => return None,
         };
+        // lint:allow(panic): preset parameters are compile-time constants validated by tests
         Some(spec.expect("presets are statically valid"))
     }
 

@@ -502,6 +502,7 @@ impl InfluenceOracle for MonteCarloEstimator {
                     |mut counts, i| {
                         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
                         let trace = simulate_ic(&self.graph, seeds, &mut rng)
+                            // lint:allow(panic): seeds are range-checked before entering the parallel region
                             .expect("seeds validated before the parallel region");
                         let activations = trace.group_activations(&self.graph, self.deadline);
                         for (c, a) in counts.iter_mut().zip(activations) {

@@ -61,6 +61,7 @@ impl ParallelismConfig {
         let pool: ThreadPool = ThreadPoolBuilder::new()
             .num_threads(self.resolved_threads())
             .build()
+            // lint:allow(panic): the vendored rayon stand-in's build() is infallible by construction
             .expect("thread pool construction cannot fail");
         pool.install(op)
     }

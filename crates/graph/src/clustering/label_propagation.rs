@@ -48,7 +48,10 @@ pub fn label_propagation(graph: &Graph, config: &LabelPropagationConfig) -> Vec<
     let mut labels: Vec<usize> = (0..n).collect();
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // BTreeMap so the candidate list below comes out in deterministic
+    // (ascending-label) order: the same seed must always reproduce the same
+    // labelling regardless of hasher state.
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     let mut candidates: Vec<usize> = Vec::new();
 
     for _ in 0..config.max_sweeps {
@@ -72,10 +75,9 @@ pub fn label_propagation(graph: &Graph, config: &LabelPropagationConfig) -> Vec<
                 continue;
             }
             candidates.clear();
+            // BTreeMap iteration is ascending by label, so the candidate
+            // list is already sorted and the draw below is reproducible.
             candidates.extend(counts.iter().filter(|(_, &c)| c == max_count).map(|(&l, _)| l));
-            // HashMap iteration order is not deterministic; sort so the same
-            // seed always reproduces the same labelling.
-            candidates.sort_unstable();
             let best = candidates[rng.random_range(0..candidates.len())];
             if best != labels[v] {
                 labels[v] = best;

@@ -52,9 +52,9 @@ pub struct IllustrativeNodes {
 }
 
 /// Group id of the majority ("blue dots") group `V1`.
-pub const MAJORITY_GROUP: GroupId = GroupId(0);
+pub(crate) const MAJORITY_GROUP: GroupId = GroupId(0);
 /// Group id of the minority ("red triangles") group `V2`.
-pub const MINORITY_GROUP: GroupId = GroupId(1);
+pub(crate) const MINORITY_GROUP: GroupId = GroupId(1);
 
 /// Builds the 38-node illustrative graph and returns it together with the
 /// named landmark nodes.

@@ -1,0 +1,19 @@
+// Fixture: debug-format must fire on `{:?}` inside fingerprint/canonical
+// bodies (and anywhere in critical protocol-writer files).
+
+pub struct Spec {
+    pub name: String,
+    pub k: usize,
+}
+
+impl Spec {
+    pub fn fingerprint(&self) -> String {
+        // Violation: Debug output is not a stable encoding.
+        format!("{:?}-{}", self.name, self.k)
+    }
+
+    pub fn canonical(&self) -> String {
+        // Violation: pretty-Debug is just as unstable.
+        format!("{:#?}", self.k)
+    }
+}

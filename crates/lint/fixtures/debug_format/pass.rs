@@ -1,0 +1,19 @@
+// Fixture: debug-format stays quiet on spelled-out encodings, and on `{:?}`
+// outside determinism-critical scopes (logging helpers, tests).
+
+pub struct Spec {
+    pub name: String,
+    pub k: usize,
+}
+
+impl Spec {
+    pub fn fingerprint(&self) -> String {
+        // Explicit, stable encoding.
+        format!("{}-{}", self.name, self.k)
+    }
+
+    pub fn log_line(&self) -> String {
+        // Not a critical scope: Debug output in diagnostics is fine.
+        format!("spec {:?}", self.name)
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: hash-iter must fire on order-revealing access to hash containers.
+use std::collections::HashMap;
+
+pub fn keys_of(map: &HashMap<u32, u32>) -> Vec<u32> {
+    // Violation: .keys() observes randomized iteration order.
+    map.keys().copied().collect()
+}
+
+pub fn sum_values() -> u64 {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    counts.insert(1, 2);
+    let mut total = 0;
+    // Violation: `for … in` over a hash-typed binding.
+    for (_, v) in &counts {
+        total += v;
+    }
+    total
+}

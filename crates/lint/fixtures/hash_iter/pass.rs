@@ -1,0 +1,31 @@
+// Fixture: hash-iter stays quiet on ordered containers, membership-only
+// hash use, suppressed sites, and test code.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn keys_of(map: &BTreeMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect()
+}
+
+pub fn membership_only(map: &HashMap<u32, u32>, key: u32) -> bool {
+    // Point lookups never observe iteration order.
+    map.contains_key(&key)
+}
+
+pub fn sorted_before_use(map: &HashMap<u32, u32>) -> Vec<u32> {
+    // lint:allow(hash-iter): the collected keys are sorted before use
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_does_not_matter_in_tests() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.iter().count(), 1);
+    }
+}

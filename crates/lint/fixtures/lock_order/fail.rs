@@ -1,0 +1,22 @@
+// Fixture: lock-order must fire when two paths acquire the same pair of
+// locks in opposite orders.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        *a - *b
+    }
+}

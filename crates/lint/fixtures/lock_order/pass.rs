@@ -1,0 +1,35 @@
+// Fixture: lock-order stays quiet on consistent ordering, and on guards
+// released (block end or drop) before the next acquisition.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        *a + *b
+    }
+
+    pub fn sequential(&self) -> u32 {
+        // The alpha guard dies with its block: no nesting, so the reverse
+        // textual order records no edge.
+        let first = {
+            let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+            *b
+        };
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        first + *a
+    }
+
+    pub fn dropped(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        let snapshot = *b;
+        drop(b);
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        snapshot + *a
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: panic must fire on panicking constructs in library code.
+
+pub fn first(values: &[u32]) -> u32 {
+    // Violation: unwrap in library code.
+    values.first().copied().unwrap()
+}
+
+pub fn must(value: Option<u32>) -> u32 {
+    // Violation: expect in library code.
+    value.expect("caller promised")
+}
+
+pub fn boom() {
+    // Violation: explicit panic.
+    panic!("nope");
+}
+
+pub fn later() {
+    // Violation: todo! panics at runtime.
+    todo!()
+}

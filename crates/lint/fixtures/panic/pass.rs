@@ -1,0 +1,25 @@
+// Fixture: panic stays quiet on Result propagation, annotated invariants,
+// and test code.
+
+pub fn first(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+pub fn invariant(values: &[u32]) -> u32 {
+    // lint:allow(panic): callers are required to pass non-empty slices; checked by construction
+    values.first().copied().expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(super::first(&v).unwrap(), 1);
+        #[allow(deprecated)] // exercise the attr-then-comment parse path
+        fn helper() -> u32 {
+            Some(2).unwrap()
+        }
+        assert_eq!(helper(), 2);
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: stdout-purity must fire on stdout writes in library code.
+use std::io::Write;
+
+pub fn report(done: usize) {
+    // Violation: println! in library code.
+    println!("done: {done}");
+    // Violation: print! is the same channel.
+    print!("...");
+}
+
+pub fn raw_handle() {
+    // Violation: a raw stdout handle leaks the same way.
+    let mut out = std::io::stdout();
+    let _ = out.write_all(b"x");
+}

@@ -1,0 +1,20 @@
+// Fixture: stdout-purity stays quiet on stderr logging, suppressed
+// designated writers, and test code.
+
+pub fn log(done: usize) {
+    // stderr is the logging channel; it never interleaves with responses.
+    eprintln!("done: {done}");
+}
+
+pub fn designated_writer(line: &str) {
+    // lint:allow(stdout-purity): this is the designated response writer for the fixture
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: the suppression grammar is itself checked.
+
+pub fn bad_rule(values: &[u32]) -> u32 {
+    // lint:allow(no-such-rule): misspelled rule names must be rejected
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn missing_reason(value: Option<u32>) -> u32 {
+    // lint:allow(panic)
+    value.expect("caller promised")
+}
+
+pub fn empty_reason(value: Option<u32>) -> u32 {
+    // lint:allow(panic):
+    value.expect("caller promised")
+}

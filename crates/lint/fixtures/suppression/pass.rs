@@ -1,0 +1,10 @@
+// Fixture: a well-formed suppression names a known rule and gives a reason.
+
+pub fn invariant(value: Option<u32>) -> u32 {
+    // lint:allow(panic): the caller constructs the Option as Some directly above
+    value.expect("always Some")
+}
+
+pub fn same_line(value: Option<u32>) -> u32 {
+    value.expect("always Some") // lint:allow(panic): same-line form of the annotation
+}

@@ -1,0 +1,6 @@
+// Fixture: unsafe-safety must fire on undocumented unsafe.
+
+pub fn read_first(ptr: *const u8) -> u8 {
+    // A plain code comment is not a SAFETY justification.
+    unsafe { *ptr }
+}

@@ -1,0 +1,7 @@
+// Fixture: unsafe-safety stays quiet when the justification is adjacent.
+
+pub fn read_first(ptr: *const u8) -> u8 {
+    // SAFETY: callers guarantee `ptr` is non-null, aligned, and points to
+    // at least one initialized byte for the duration of the call.
+    unsafe { *ptr }
+}

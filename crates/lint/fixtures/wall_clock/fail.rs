@@ -1,0 +1,13 @@
+// Fixture: wall-clock must fire on clock reads in undesignated files.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    // Violation: Instant::now in library code.
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn epoch() -> SystemTime {
+    // Violation: SystemTime in library code (flagged at the use above too).
+    SystemTime::now()
+}

@@ -1,0 +1,20 @@
+// Fixture: wall-clock stays quiet on annotated sites and test code.
+use std::time::Instant;
+
+pub fn timed<R>(op: impl FnOnce() -> R) -> (R, f64) {
+    // lint:allow(wall-clock): measures the op for a local log line, never reaches output
+    let start = Instant::now();
+    let out = op();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let start = Instant::now();
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

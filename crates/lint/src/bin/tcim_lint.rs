@@ -1,0 +1,180 @@
+//! The `tcim-lint` CLI: check the workspace (or specific files) against
+//! the project invariant rules and exit non-zero on violations.
+//!
+//! ```text
+//! tcim_lint --workspace [--root DIR] [--lock-graph]
+//! tcim_lint [--root DIR] FILE...
+//! tcim_lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tcim_lint::walk::rust_sources;
+use tcim_lint::{Analyzer, Policy, KNOWN_RULES};
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    lock_graph: bool,
+    list_rules: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        lock_graph: false,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--lock-graph" => args.lock_graph = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to check: pass --workspace or one or more files".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "tcim-lint: workspace invariant checker (see docs/LINTS.md)\n\
+         \n\
+         usage:\n\
+         \x20 tcim_lint --workspace [--root DIR] [--lock-graph]\n\
+         \x20 tcim_lint [--root DIR] FILE...\n\
+         \x20 tcim_lint --list-rules\n\
+         \n\
+         exit codes: 0 clean, 1 violations, 2 usage/io error"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in KNOWN_RULES {
+            // lint:allow(stdout-purity): --list-rules output is this binary's product
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The unsafe-count pin is a workspace-total invariant: it is meaningful
+    // only when the whole tree is in view, so explicit-file runs skip it.
+    let policy = if args.workspace {
+        Policy::default()
+    } else {
+        Policy { unsafe_pin: None, ..Policy::default() }
+    };
+    let mut analyzer = Analyzer::new(policy);
+    let mut checked = 0usize;
+
+    if args.workspace {
+        let files = match rust_sources(&args.root) {
+            Ok(files) => files,
+            Err(err) => {
+                eprintln!("error: walking {}: {err}", args.root.display());
+                return ExitCode::from(2);
+            }
+        };
+        for (rel, abs) in files {
+            match fs::read_to_string(&abs) {
+                Ok(source) => {
+                    analyzer.check_file(&rel, &source);
+                    checked += 1;
+                }
+                Err(err) => {
+                    eprintln!("error: reading {}: {err}", abs.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    } else {
+        for file in &args.files {
+            let abs = args.root.join(file);
+            let rel = relative_key(&args.root, file, &abs);
+            match fs::read_to_string(&abs) {
+                Ok(source) => {
+                    analyzer.check_file(&rel, &source);
+                    checked += 1;
+                }
+                Err(err) => {
+                    eprintln!("error: reading {}: {err}", abs.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let (findings, graph) = analyzer.finish();
+
+    if args.lock_graph {
+        if graph.is_empty() {
+            eprintln!("lock graph: no nested acquisitions");
+        } else {
+            eprintln!("lock graph (held -> acquired):");
+            for edge in graph.edges() {
+                eprintln!("  {} -> {}  ({})", edge.from, edge.to, edge.site);
+            }
+        }
+    }
+
+    for finding in &findings {
+        // lint:allow(stdout-purity): findings are this binary's product
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("tcim-lint: {checked} file(s) clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tcim-lint: {} violation(s) in {checked} file(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The policy key for an explicitly-passed file: its path relative to the
+/// root if it is inside the root, otherwise as given (normalized to `/`).
+fn relative_key(root: &Path, as_given: &str, abs: &Path) -> String {
+    let canonical_root = root.canonicalize().unwrap_or_else(|_| root.to_path_buf());
+    let canonical = abs.canonicalize().unwrap_or_else(|_| abs.to_path_buf());
+    match canonical.strip_prefix(&canonical_root) {
+        Ok(rel) => rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/"),
+        Err(_) => as_given.replace('\\', "/"),
+    }
+}

@@ -1,0 +1,343 @@
+//! # tcim-lint
+//!
+//! The workspace invariant checker: project-specific rules that turn the
+//! determinism contract (see `docs/ARCHITECTURE.md` and `docs/LINTS.md`)
+//! into a blocking static pass. `rustc` and clippy keep the code *correct
+//! Rust*; this tool keeps it *correct for this project* — no randomized
+//! iteration feeding a fingerprint, no stray stdout in the serving path,
+//! no un-audited `unsafe`, no panic in library code without a stated
+//! invariant, no lock-order cycles in the serving tier.
+//!
+//! Std-only and hand-rolled (a small lexer in the same spirit as the
+//! service crate's `minijson`), because the rules are syntactic by design:
+//! every one of them is checkable from the token stream plus light
+//! structure (function spans, `#[cfg(test)]` ranges), which keeps the tool
+//! dependency-free, fast, and auditable in one sitting.
+//!
+//! ## Rules
+//!
+//! | Rule | Family | What it forbids |
+//! |------|--------|-----------------|
+//! | `hash-iter` | determinism | HashMap/HashSet iteration order reaching output |
+//! | `wall-clock` | determinism | `Instant::now`/`SystemTime` outside bench/stats |
+//! | `debug-format` | determinism | `{:?}` in fingerprints/canonical/protocol writers |
+//! | `stdout-purity` | serving | `println!`/`print!`/`io::stdout()` in library code |
+//! | `panic` | robustness | `unwrap`/`expect`/`panic!` in non-test library code |
+//! | `unsafe-safety` | audit | `unsafe` without a `// SAFETY:` comment |
+//! | `unsafe-count` | audit | any change to the pinned workspace unsafe count |
+//! | `lock-order` | concurrency | nested lock-acquisition cycles in `crates/service` |
+//! | `suppression` | meta | malformed/unknown `lint:allow` annotations |
+//!
+//! ## Suppression
+//!
+//! `// lint:allow(<rule>): <reason>` on the violating line or the line
+//! directly above. The reason is mandatory; unknown rule names and missing
+//! reasons are themselves violations, so suppressions cannot rot. The
+//! `unsafe-count` pin is not suppressible — widening the unsafe surface
+//! requires editing [`Policy`] in a reviewed change.
+
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod walk;
+
+use std::fmt;
+
+use model::FileModel;
+use rules::{LockGraph, RuleCtx, UnsafeSite};
+
+/// Rule name: HashMap/HashSet iteration order reaching output.
+pub const HASH_ITER: &str = "hash-iter";
+/// Rule name: wall-clock reads outside bench/stats.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Rule name: `{:?}` in determinism-critical scopes.
+pub const DEBUG_FORMAT: &str = "debug-format";
+/// Rule name: stdout writes in library code.
+pub const STDOUT_PURITY: &str = "stdout-purity";
+/// Rule name: panics in non-test library code.
+pub const PANIC: &str = "panic";
+/// Rule name: `unsafe` without a SAFETY comment.
+pub const UNSAFE_SAFETY: &str = "unsafe-safety";
+/// Rule name: the workspace unsafe-count pin.
+pub const UNSAFE_COUNT: &str = "unsafe-count";
+/// Rule name: lock-acquisition cycles.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule name: malformed suppression comments.
+pub const SUPPRESSION: &str = "suppression";
+
+/// Every rule name the suppression syntax accepts.
+pub const KNOWN_RULES: &[&str] = &[
+    HASH_ITER,
+    WALL_CLOCK,
+    DEBUG_FORMAT,
+    STDOUT_PURITY,
+    PANIC,
+    UNSAFE_SAFETY,
+    UNSAFE_COUNT,
+    LOCK_ORDER,
+    SUPPRESSION,
+];
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (one of [`KNOWN_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding for `rule` at `path:line`.
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding { rule, path: path.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// The project policy: which paths get which rules, and the unsafe pin.
+///
+/// Paths are workspace-relative with `/` separators. The default policy is
+/// the one CI enforces; tests construct custom policies to drive fixtures
+/// through specific scopes.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Path prefixes that are never linted (vendored stand-ins, build
+    /// output, the lint fixtures themselves).
+    pub skip_prefixes: Vec<String>,
+    /// Path prefixes allowed to read wall clocks and write stdout: the
+    /// bench harness measures and prints by design.
+    pub bench_prefixes: Vec<String>,
+    /// Exact files additionally allowed to read wall clocks (the stats
+    /// module timestamps requests for the latency histograms).
+    pub wall_clock_files: Vec<String>,
+    /// Determinism-critical protocol-writer files where hash containers
+    /// and `{:?}` are banned outright.
+    pub critical_files: Vec<String>,
+    /// Path prefixes whose lock acquisitions enter the order graph.
+    pub lock_scope_prefixes: Vec<String>,
+    /// The unsafe pin: exact expected count and the files allowed to
+    /// contain `unsafe`. `None` disables the pin (fixture testing).
+    pub unsafe_pin: Option<UnsafePin>,
+}
+
+/// The workspace unsafe-count pin.
+#[derive(Debug, Clone)]
+pub struct UnsafePin {
+    /// Exactly how many `unsafe` keywords the workspace may contain.
+    pub count: usize,
+    /// The only files allowed to contain them.
+    pub files: Vec<String>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            skip_prefixes: vec![
+                "vendor/".to_string(),
+                "target/".to_string(),
+                "crates/lint/fixtures/".to_string(),
+            ],
+            bench_prefixes: vec!["crates/bench/".to_string()],
+            wall_clock_files: vec!["crates/service/src/stats.rs".to_string()],
+            critical_files: vec![
+                "crates/service/src/protocol.rs".to_string(),
+                "crates/service/src/minijson.rs".to_string(),
+            ],
+            lock_scope_prefixes: vec!["crates/service/src/".to_string()],
+            unsafe_pin: Some(UnsafePin {
+                // The one signal(2) FFI block behind graceful shutdown; see
+                // crates/service/src/server.rs and docs/LINTS.md. Growing
+                // this number is a reviewed change to this file, not a
+                // suppression comment.
+                count: 1,
+                files: vec!["crates/service/src/server.rs".to_string()],
+            }),
+        }
+    }
+}
+
+impl Policy {
+    fn skipped(&self, path: &str) -> bool {
+        self.skip_prefixes.iter().any(|p| path.starts_with(p))
+    }
+
+    fn is_bench(&self, path: &str) -> bool {
+        self.bench_prefixes.iter().any(|p| path.starts_with(p))
+    }
+
+    /// Binaries and examples own their stdout and may exit by panicking
+    /// with a message; library sources may do neither.
+    fn is_binary(&self, path: &str) -> bool {
+        path.contains("/bin/") || path.starts_with("examples/") || path.contains("/examples/")
+    }
+
+    /// Whether `path` is an integration-test file (whole file test scope).
+    fn is_test_path(&self, path: &str) -> bool {
+        path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
+    }
+
+    fn allows_wall_clock(&self, path: &str) -> bool {
+        self.is_bench(path) || self.wall_clock_files.iter().any(|f| f == path)
+    }
+
+    fn allows_stdout(&self, path: &str) -> bool {
+        self.is_bench(path) || self.is_binary(path)
+    }
+
+    fn allows_panics(&self, path: &str) -> bool {
+        self.is_bench(path) || self.is_binary(path)
+    }
+
+    fn is_critical(&self, path: &str) -> bool {
+        self.critical_files.iter().any(|f| f == path)
+    }
+
+    fn in_lock_scope(&self, path: &str) -> bool {
+        self.lock_scope_prefixes.iter().any(|p| path.starts_with(p))
+    }
+}
+
+/// Accumulates per-file checks and finishes with the workspace-level
+/// verdicts (unsafe pin, lock cycles).
+pub struct Analyzer {
+    policy: Policy,
+    findings: Vec<Finding>,
+    lock_graph: LockGraph,
+    unsafe_sites: Vec<UnsafeSite>,
+}
+
+impl Analyzer {
+    /// An analyzer enforcing `policy`.
+    pub fn new(policy: Policy) -> Analyzer {
+        Analyzer {
+            policy,
+            findings: Vec::new(),
+            lock_graph: LockGraph::default(),
+            unsafe_sites: Vec::new(),
+        }
+    }
+
+    /// Checks one file. `path` must be workspace-relative with `/`
+    /// separators — it decides every scope question.
+    pub fn check_file(&mut self, path: &str, source: &str) {
+        if self.policy.skipped(path) {
+            return;
+        }
+        let model = FileModel::parse(source, self.policy.is_test_path(path));
+        let mut ctx = RuleCtx {
+            model: &model,
+            path,
+            policy_allows_wall_clock: self.policy.allows_wall_clock(path),
+            policy_allows_stdout: self.policy.allows_stdout(path),
+            policy_allows_panics: self.policy.allows_panics(path),
+            critical_file: self.policy.is_critical(path),
+            findings: Vec::new(),
+        };
+        rules::determinism::check(&mut ctx);
+        rules::purity::check(&mut ctx);
+        let unsafe_sites = rules::unsafe_audit::check(&mut ctx);
+        if self.policy.in_lock_scope(path) {
+            rules::locks::collect(&ctx, &mut self.lock_graph);
+        }
+        let mut findings = ctx.findings;
+        // Apply inline suppressions, then validate the suppressions
+        // themselves: malformed ones and unknown rule names are findings.
+        findings.retain(|f| !model.is_suppressed(f.rule, f.line));
+        for bad in &model.bad_suppressions {
+            findings.push(Finding::new(SUPPRESSION, path, bad.line, bad.message.clone()));
+        }
+        for list in model.suppressions.values() {
+            for sup in list {
+                if !KNOWN_RULES.contains(&sup.rule.as_str()) {
+                    findings.push(Finding::new(
+                        SUPPRESSION,
+                        path,
+                        sup.line,
+                        format!(
+                            "unknown rule '{}' in lint:allow (known rules: {})",
+                            sup.rule,
+                            KNOWN_RULES.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        self.unsafe_sites.extend(unsafe_sites);
+        self.findings.extend(findings);
+    }
+
+    /// Finishes the run: applies the workspace-level rules and returns all
+    /// findings sorted by `(path, line, rule)`, plus the lock graph for
+    /// reporting.
+    pub fn finish(mut self) -> (Vec<Finding>, LockGraph) {
+        if let Some(pin) = &self.policy.unsafe_pin {
+            for site in &self.unsafe_sites {
+                if !pin.files.iter().any(|f| f == &site.path) {
+                    self.findings.push(Finding::new(
+                        UNSAFE_COUNT,
+                        &site.path,
+                        site.line,
+                        format!(
+                            "`unsafe` outside the pinned file(s) [{}]; the workspace unsafe \
+                             surface is pinned — widening it must edit the lint Policy",
+                            pin.files.join(", ")
+                        ),
+                    ));
+                }
+            }
+            if self.unsafe_sites.len() != pin.count {
+                let line = self.unsafe_sites.first().map(|s| s.line).unwrap_or(0);
+                let path = self
+                    .unsafe_sites
+                    .first()
+                    .map(|s| s.path.clone())
+                    .unwrap_or_else(|| pin.files.first().cloned().unwrap_or_default());
+                self.findings.push(Finding::new(
+                    UNSAFE_COUNT,
+                    &path,
+                    line,
+                    format!(
+                        "workspace contains {} `unsafe` keyword(s), pinned to exactly {}; \
+                         changing the unsafe surface must edit the lint Policy",
+                        self.unsafe_sites.len(),
+                        pin.count
+                    ),
+                ));
+            }
+        }
+        if let Some(cycle) = self.lock_graph.find_cycle() {
+            let steps: Vec<String> =
+                cycle.iter().map(|e| format!("{} -> {} at {}", e.from, e.to, e.site)).collect();
+            let first_site = cycle.first().map(|e| e.site.clone()).unwrap_or_default();
+            let (path, line) = split_site(&first_site);
+            self.findings.push(Finding::new(
+                LOCK_ORDER,
+                &path,
+                line,
+                format!("lock-acquisition cycle: {}", steps.join("; ")),
+            ));
+        }
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+        self.findings.dedup();
+        (self.findings, self.lock_graph)
+    }
+}
+
+fn split_site(site: &str) -> (String, u32) {
+    match site.rsplit_once(':') {
+        Some((path, line)) => (path.to_string(), line.parse().unwrap_or(0)),
+        None => (site.to_string(), 0),
+    }
+}

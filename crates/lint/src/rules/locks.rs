@@ -1,0 +1,254 @@
+//! `lock-order`: nested lock-acquisition discipline for the serving tier.
+//!
+//! `crates/service` owns the workspace's only long-lived lock structures —
+//! the cache's sharded mutexes, the per-key build-lock registry, the
+//! admission semaphore and the connection gauge. A deadlock needs two
+//! threads acquiring two of those in opposite orders, so the rule extracts
+//! every `.lock()` acquisition site, tracks which guards are still held
+//! when the next acquisition happens (guard bindings live to their block
+//! end or an explicit `drop(guard)`; un-bound temporaries die with their
+//! statement), unions the per-function acquisition edges into one graph,
+//! and fails on any cycle.
+//!
+//! The analysis is intentionally first-order: it sees nesting that is
+//! *textually visible* inside one function body (closures included — they
+//! are part of the enclosing body's token stream). Cross-function nesting
+//! through calls is out of scope; the project convention backing that gap
+//! is documented in `docs/LINTS.md` (shard locks are leaf locks, never
+//! held across calls).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+use crate::LOCK_ORDER;
+
+/// Receiver-name aliases that denote the same lock class (e.g. the shard
+/// mutex is reached both as `shard.lock()` and `self.shard_for(k).lock()`).
+const CLASS_ALIASES: &[(&str, &str)] = &[("shard_for", "shard")];
+
+/// One nested-acquisition edge: while `from` was held, `to` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// The lock class already held.
+    pub from: String,
+    /// The lock class acquired under it.
+    pub to: String,
+    /// `file:line` of the inner acquisition.
+    pub site: String,
+}
+
+/// The union of every function's acquisition edges across the lock scope.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeSet<LockEdge>,
+}
+
+impl LockGraph {
+    /// All edges, deduplicated and ordered.
+    pub fn edges(&self) -> impl Iterator<Item = &LockEdge> {
+        self.edges.iter()
+    }
+
+    /// Whether any edges were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    pub(crate) fn add(&mut self, from: String, to: String, site: String) {
+        self.edges.insert(LockEdge { from, to, site });
+    }
+
+    /// Finds one acquisition cycle if the graph has any, as the list of
+    /// edges along the cycle.
+    pub fn find_cycle(&self) -> Option<Vec<&LockEdge>> {
+        let mut adjacency: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+        for edge in &self.edges {
+            adjacency.entry(edge.from.as_str()).or_default().push(edge);
+        }
+        // DFS with an explicit stack of (node, path-of-edges).
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        for &start in adjacency.keys().collect::<Vec<_>>().iter() {
+            if visited.contains(start) {
+                continue;
+            }
+            let mut path: Vec<&LockEdge> = Vec::new();
+            if let Some(cycle) = Self::dfs(start, &adjacency, &mut visited, &mut path) {
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    fn dfs<'a>(
+        node: &'a str,
+        adjacency: &BTreeMap<&'a str, Vec<&'a LockEdge>>,
+        visited: &mut BTreeSet<&'a str>,
+        path: &mut Vec<&'a LockEdge>,
+    ) -> Option<Vec<&'a LockEdge>> {
+        if let Some(pos) = path.iter().position(|e| e.from == node) {
+            return Some(path[pos..].to_vec());
+        }
+        if !visited.insert(node) {
+            return None;
+        }
+        for edge in adjacency.get(node).into_iter().flatten() {
+            path.push(edge);
+            if let Some(cycle) = Self::dfs(edge.to.as_str(), adjacency, visited, path) {
+                return Some(cycle);
+            }
+            path.pop();
+        }
+        None
+    }
+}
+
+/// A lock whose guard is still live at the current point of the scan.
+struct Held {
+    class: String,
+    guard: Option<String>,
+    depth: i32,
+}
+
+/// Extracts acquisition edges from every function body of this file into
+/// `graph`. Sites carrying a `lint:allow(lock-order)` annotation record no
+/// edges.
+pub(crate) fn collect(ctx: &RuleCtx<'_>, graph: &mut LockGraph) {
+    for span in &ctx.model.fn_spans {
+        if ctx.model.in_test(span.body.start) {
+            continue;
+        }
+        scan_body(ctx, span.body.start, span.body.end, graph);
+    }
+}
+
+fn scan_body(ctx: &RuleCtx<'_>, start: usize, end: usize, graph: &mut LockGraph) {
+    let tokens = &ctx.model.tokens;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        let tok = &tokens[i];
+        if tok.is_comment() {
+            i += 1;
+            continue;
+        }
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| h.depth <= depth);
+        } else if tok.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(guard) = tokens.get(i + 2) {
+                if guard.kind == TokenKind::Ident {
+                    held.retain(|h| h.guard.as_deref() != Some(guard.text.as_str()));
+                }
+            }
+        } else if tok.is_ident("lock")
+            && i >= 1
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            let class = receiver_class(tokens, i - 1);
+            let suppressed = ctx.model.is_suppressed(LOCK_ORDER, tok.line);
+            if !suppressed {
+                for h in &held {
+                    graph.add(h.class.clone(), class.clone(), format!("{}:{}", ctx.path, tok.line));
+                }
+            }
+            if let Some(guard) = binding_guard(tokens, start, i) {
+                held.push(Held { class, guard: Some(guard), depth });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The lock class of an acquisition: the last meaningful identifier of the
+/// receiver expression before `.lock()` (field name, variable name, or the
+/// method producing the lock), normalized through [`CLASS_ALIASES`].
+fn receiver_class(tokens: &[crate::lexer::Token], dot: usize) -> String {
+    let mut j = dot as i64 - 1;
+    // Skip a trailing call's argument list: `shard_for(key).lock()`.
+    if j >= 0 && tokens[j as usize].is_punct(')') {
+        let mut depth = 0i64;
+        while j >= 0 {
+            if tokens[j as usize].is_punct(')') {
+                depth += 1;
+            } else if tokens[j as usize].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    j -= 1;
+                    break;
+                }
+            }
+            j -= 1;
+        }
+    }
+    let name = if j >= 0 && tokens[j as usize].kind == TokenKind::Ident {
+        tokens[j as usize].text.clone()
+    } else {
+        "<expr>".to_string()
+    };
+    CLASS_ALIASES
+        .iter()
+        .find(|(from, _)| *from == name)
+        .map(|(_, to)| (*to).to_string())
+        .unwrap_or(name)
+}
+
+/// If the statement containing the acquisition at token `site` is a
+/// `let [mut] name = …` binding, returns `name` — the guard lives past the
+/// statement. Unbound acquisitions are temporaries that die with their
+/// statement and are never treated as held.
+fn binding_guard(tokens: &[crate::lexer::Token], body_start: usize, site: usize) -> Option<String> {
+    // Walk back to the statement start.
+    let mut j = site;
+    while j > body_start {
+        let tok = &tokens[j - 1];
+        if tok.is_punct(';') || tok.is_punct('{') || tok.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    let mut k = j;
+    while tokens.get(k).is_some_and(|t| t.is_comment()) {
+        k += 1;
+    }
+    if !tokens.get(k).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut name = k + 1;
+    if tokens.get(name).is_some_and(|t| t.is_ident("mut")) {
+        name += 1;
+    }
+    let tok = tokens.get(name)?;
+    (tok.kind == TokenKind::Ident).then(|| tok.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_detection_finds_opposite_orders() {
+        let mut graph = LockGraph::default();
+        graph.add("a".into(), "b".into(), "f.rs:1".into());
+        graph.add("b".into(), "c".into(), "f.rs:2".into());
+        assert!(graph.find_cycle().is_none());
+        graph.add("c".into(), "a".into(), "f.rs:3".into());
+        let cycle = graph.find_cycle().expect("cycle");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn self_edges_are_cycles() {
+        let mut graph = LockGraph::default();
+        graph.add("a".into(), "a".into(), "f.rs:9".into());
+        assert_eq!(graph.find_cycle().expect("self cycle").len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! `stdout-purity` and `panic`: the serving-path hygiene rules.
+//!
+//! * **`stdout-purity`** — responses are golden-diffed byte-for-byte, so
+//!   stdout belongs exclusively to the designated response writers (the
+//!   `src/bin` binaries) and the bench crate. One `println!` in a library
+//!   crate interleaves with a response stream and breaks the diff. The
+//!   rule flags `println!`/`print!` and direct `io::stdout(…)` handles in
+//!   library code; `eprintln!` (stderr) stays available for logging.
+//! * **`panic`** — a panic in library code kills a serving thread and, in
+//!   the worst case, poisons a shared lock. Library code returns `Result`;
+//!   a genuinely unreachable branch or an invariant the type system cannot
+//!   see may keep `unwrap`/`expect`/`panic!` behind an inline
+//!   `// lint:allow(panic): <reason>` stating the invariant.
+
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+use crate::{Finding, PANIC, STDOUT_PURITY};
+
+/// Macros that abort the current thread.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Methods that panic on the error/empty case.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub(crate) fn check(ctx: &mut RuleCtx<'_>) {
+    stdout_purity(ctx);
+    panics(ctx);
+}
+
+fn stdout_purity(ctx: &mut RuleCtx<'_>) {
+    if ctx.policy_allows_stdout {
+        return;
+    }
+    let tokens = ctx.code_tokens();
+    for idx in 0..tokens.len() {
+        let (i, tok) = tokens[idx];
+        if tok.kind != TokenKind::Ident || ctx.model.in_test(i) {
+            continue;
+        }
+        let bang = tokens.get(idx + 1).is_some_and(|(_, next)| next.is_punct('!'));
+        if (tok.text == "println" || tok.text == "print") && bang {
+            ctx.push(Finding::new(
+                STDOUT_PURITY,
+                ctx.path,
+                tok.line,
+                format!(
+                    "`{}!` in library code; stdout belongs to the response writers — \
+                     return data, or log via `eprintln!`",
+                    tok.text
+                ),
+            ));
+        }
+        // A raw `io::stdout()` handle is the same leak without the macro.
+        if tok.text == "stdout"
+            && tokens.get(idx + 1).is_some_and(|(_, next)| next.is_punct('('))
+            && idx >= 2
+            && tokens[idx - 1].1.is_punct(':')
+            && tokens[idx - 2].1.is_punct(':')
+        {
+            ctx.push(Finding::new(
+                STDOUT_PURITY,
+                ctx.path,
+                tok.line,
+                "`io::stdout()` handle in library code; stdout belongs to the response writers"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn panics(ctx: &mut RuleCtx<'_>) {
+    if ctx.policy_allows_panics {
+        return;
+    }
+    let tokens = ctx.code_tokens();
+    for idx in 0..tokens.len() {
+        let (i, tok) = tokens[idx];
+        if tok.kind != TokenKind::Ident || ctx.model.in_test(i) {
+            continue;
+        }
+        if PANIC_MACROS.contains(&tok.text.as_str())
+            && tokens.get(idx + 1).is_some_and(|(_, next)| next.is_punct('!'))
+        {
+            ctx.push(Finding::new(
+                PANIC,
+                ctx.path,
+                tok.line,
+                format!(
+                    "`{}!` in library code; return an error, or annotate the invariant with \
+                     `// lint:allow(panic): <reason>`",
+                    tok.text
+                ),
+            ));
+        }
+        if PANIC_METHODS.contains(&tok.text.as_str())
+            && idx >= 1
+            && tokens[idx - 1].1.is_punct('.')
+            && tokens.get(idx + 1).is_some_and(|(_, next)| next.is_punct('('))
+        {
+            ctx.push(Finding::new(
+                PANIC,
+                ctx.path,
+                tok.line,
+                format!(
+                    "`.{}(…)` in library code; propagate the error, or annotate the invariant \
+                     with `// lint:allow(panic): <reason>`",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Workspace traversal: find every `.rs` file under the root, returned as
+//! sorted workspace-relative paths so runs are deterministic regardless of
+//! directory-entry order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, whatever the policy says — build
+//  output and VCS metadata are not source.
+const PRUNE_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// All `.rs` files under `root`, as `(relative_path, absolute_path)` pairs
+/// sorted by relative path. Relative paths use `/` separators on every
+/// platform — they are the policy and reporting keys.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    visit(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if PRUNE_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_sources(root).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"src/walk.rs"));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+    }
+}

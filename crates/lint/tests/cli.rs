@@ -1,0 +1,187 @@
+//! CLI contract tests: exit codes, `file:line` reporting, suppression
+//! syntax through the binary, and the workspace-clean integration check.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tcim_lint")
+}
+
+/// A unique scratch workspace for one test, removed on drop.
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new(name: &str) -> Tree {
+        let root = std::env::temp_dir().join(format!("tcim-lint-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create scratch root");
+        let tree = Tree { root };
+        // Satisfy the workspace unsafe-count pin so tests exercise the rule
+        // under test, not the pin.
+        tree.write(
+            "crates/service/src/server.rs",
+            "// SAFETY: scratch-tree stand-in for the pinned signal-FFI block.\n\
+             pub unsafe fn pinned() {}\n",
+        );
+        tree
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel paths have parents")).expect("mkdir");
+        fs::write(path, contents).expect("write fixture file");
+    }
+
+    fn run(&self, args: &[&str]) -> Output {
+        Command::new(bin())
+            .arg("--root")
+            .arg(&self.root)
+            .args(args)
+            .output()
+            .expect("spawn tcim_lint")
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let tree = Tree::new("clean");
+    tree.write("crates/x/src/lib.rs", "pub fn id(v: u32) -> u32 { v }\n");
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn violations_exit_one_and_name_file_and_line() {
+    let tree = Tree::new("violation");
+    tree.write("crates/x/src/lib.rs", "pub fn boom(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n");
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(text.contains("crates/x/src/lib.rs:2"), "must name file:line, got: {text}");
+    assert!(text.contains("[panic]"), "must name the rule, got: {text}");
+}
+
+#[test]
+fn single_file_mode_checks_only_the_named_file() {
+    let tree = Tree::new("single");
+    tree.write("crates/x/src/lib.rs", "pub fn boom() { panic!(\"x\") }\n");
+    tree.write("crates/y/src/lib.rs", "pub fn also() { panic!(\"y\") }\n");
+    let out = tree.run(&["crates/x/src/lib.rs"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(text.contains("crates/x/src/lib.rs:1"));
+    assert!(!text.contains("crates/y"), "unrequested file leaked into: {text}");
+}
+
+#[test]
+fn suppression_with_reason_silences_the_site() {
+    let tree = Tree::new("suppressed");
+    tree.write(
+        "crates/x/src/lib.rs",
+        "pub fn ok(v: Option<u32>) -> u32 {\n    \
+         // lint:allow(panic): the caller builds the Option as Some\n    \
+         v.expect(\"always Some\")\n}\n",
+    );
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn suppression_without_reason_is_rejected() {
+    let tree = Tree::new("no-reason");
+    tree.write(
+        "crates/x/src/lib.rs",
+        "pub fn bad(v: Option<u32>) -> u32 {\n    \
+         // lint:allow(panic)\n    \
+         v.expect(\"always Some\")\n}\n",
+    );
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(text.contains("[suppression]"), "must flag the annotation, got: {text}");
+    assert!(text.contains("[panic]"), "a malformed annotation must not suppress, got: {text}");
+}
+
+#[test]
+fn suppression_with_unknown_rule_is_rejected() {
+    let tree = Tree::new("bad-rule");
+    tree.write(
+        "crates/x/src/lib.rs",
+        "pub fn f(v: u32) -> u32 {\n    \
+         // lint:allow(panics): typo in the rule name\n    \
+         v\n}\n",
+    );
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 1);
+    assert!(stdout(&out).contains("unknown rule 'panics'"), "got: {}", stdout(&out));
+}
+
+#[test]
+fn list_rules_names_every_family() {
+    let out = Command::new(bin()).arg("--list-rules").output().expect("spawn");
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    for rule in tcim_lint::KNOWN_RULES {
+        assert!(text.lines().any(|l| l == *rule), "missing rule {rule} in: {text}");
+    }
+}
+
+#[test]
+fn no_input_is_a_usage_error() {
+    let out = Command::new(bin()).output().expect("spawn");
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(bin()).arg("--frobnicate").output().expect("spawn");
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let tree = Tree::new("missing");
+    let out = tree.run(&["crates/none/src/lib.rs"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    // The zero-violation baseline is the PR's contract: the tool must exit
+    // 0 on the tree it ships in. CARGO_MANIFEST_DIR = crates/lint.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let out = Command::new(bin())
+        .arg("--root")
+        .arg(root)
+        .arg("--workspace")
+        .output()
+        .expect("spawn tcim_lint");
+    assert_eq!(
+        code(&out),
+        0,
+        "workspace must be lint-clean.\nstdout:\n{}\nstderr:\n{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,200 @@
+//! Fixture tests: every rule family must fire on its failing fixture and
+//! stay quiet on its passing one. Fixtures are checked through the library
+//! API under virtual workspace-relative paths, so each one lands in
+//! exactly the scope the rule targets.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tcim_lint::{Analyzer, Finding, Policy};
+
+fn fixture(family: &str, which: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(family)
+        .join(format!("{which}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Policy for fixture runs: default scopes, but no unsafe pin (the pin has
+/// its own dedicated tests below) and no skip list (fixtures are fed under
+/// virtual paths anyway).
+fn fixture_policy() -> Policy {
+    Policy { unsafe_pin: None, ..Policy::default() }
+}
+
+fn check(family: &str, which: &str, virtual_path: &str) -> Vec<Finding> {
+    let mut analyzer = Analyzer::new(fixture_policy());
+    analyzer.check_file(virtual_path, &fixture(family, which));
+    analyzer.finish().0
+}
+
+const LIB_PATH: &str = "crates/fake/src/lib.rs";
+
+fn assert_fires(findings: &[Finding], rule: &str, at_least: usize) {
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+    assert!(
+        hits.len() >= at_least,
+        "expected >= {at_least} `{rule}` finding(s), got {hits:?} out of {findings:?}"
+    );
+}
+
+fn assert_clean(findings: &[Finding]) {
+    assert!(findings.is_empty(), "expected a clean pass fixture, got {findings:?}");
+}
+
+#[test]
+fn hash_iter_fires_and_passes() {
+    let fail = check("hash_iter", "fail", LIB_PATH);
+    assert_fires(&fail, "hash-iter", 2);
+    assert_clean(&check("hash_iter", "pass", LIB_PATH));
+}
+
+#[test]
+fn wall_clock_fires_and_passes() {
+    let fail = check("wall_clock", "fail", LIB_PATH);
+    assert_fires(&fail, "wall-clock", 2);
+    assert_clean(&check("wall_clock", "pass", LIB_PATH));
+}
+
+#[test]
+fn wall_clock_is_policy_scoped() {
+    // The same failing source is clean inside the bench crate.
+    let findings = check("wall_clock", "fail", "crates/bench/src/lib.rs");
+    assert!(findings.is_empty(), "bench crate may read clocks, got {findings:?}");
+}
+
+#[test]
+fn debug_format_fires_and_passes() {
+    let fail = check("debug_format", "fail", LIB_PATH);
+    assert_fires(&fail, "debug-format", 2);
+    assert_clean(&check("debug_format", "pass", LIB_PATH));
+}
+
+#[test]
+fn debug_format_critical_files_ban_hash_containers_outright() {
+    // In a protocol-writer file even a non-iterated HashMap mention fails.
+    let source = "pub fn encode(m: &std::collections::HashMap<u32, u32>) -> usize { m.len() }\n";
+    let mut analyzer = Analyzer::new(fixture_policy());
+    analyzer.check_file("crates/service/src/protocol.rs", source);
+    let findings = analyzer.finish().0;
+    assert_fires(&findings, "hash-iter", 1);
+}
+
+#[test]
+fn stdout_purity_fires_and_passes() {
+    let fail = check("stdout_purity", "fail", LIB_PATH);
+    assert_fires(&fail, "stdout-purity", 3);
+    assert_clean(&check("stdout_purity", "pass", LIB_PATH));
+}
+
+#[test]
+fn stdout_purity_allows_binaries() {
+    let findings = check("stdout_purity", "fail", "crates/fake/src/bin/tool.rs");
+    assert!(findings.is_empty(), "binaries own their stdout, got {findings:?}");
+}
+
+#[test]
+fn panic_fires_and_passes() {
+    let fail = check("panic", "fail", LIB_PATH);
+    assert_fires(&fail, "panic", 4);
+    assert_clean(&check("panic", "pass", LIB_PATH));
+}
+
+#[test]
+fn unsafe_safety_fires_and_passes() {
+    let fail = check("unsafe_audit", "fail", LIB_PATH);
+    assert_fires(&fail, "unsafe-safety", 1);
+    assert_clean(&check("unsafe_audit", "pass", LIB_PATH));
+}
+
+#[test]
+fn unsafe_count_pin_rejects_new_sites() {
+    // The documented fixture has a SAFETY comment, so only the pin fires:
+    // the count matches but the site sits outside the pinned file.
+    let mut analyzer = Analyzer::new(Policy::default());
+    analyzer.check_file(LIB_PATH, &fixture("unsafe_audit", "pass"));
+    let findings = analyzer.finish().0;
+    assert_fires(&findings, "unsafe-count", 1);
+    assert!(findings.iter().all(|f| f.rule == "unsafe-count"), "got {findings:?}");
+}
+
+#[test]
+fn unsafe_count_pin_rejects_a_second_site() {
+    // Pinned site present *and* a new one elsewhere: off-pin location plus
+    // count mismatch (2 != 1).
+    let mut analyzer = Analyzer::new(Policy::default());
+    analyzer.check_file("crates/service/src/server.rs", &fixture("unsafe_audit", "pass"));
+    analyzer.check_file(LIB_PATH, &fixture("unsafe_audit", "pass"));
+    let findings = analyzer.finish().0;
+    assert_fires(&findings, "unsafe-count", 2);
+}
+
+#[test]
+fn unsafe_count_pin_accepts_the_pinned_site() {
+    let mut analyzer = Analyzer::new(Policy::default());
+    analyzer.check_file("crates/service/src/server.rs", &fixture("unsafe_audit", "pass"));
+    let findings = analyzer.finish().0;
+    assert_clean(&findings);
+}
+
+#[test]
+fn unsafe_count_pin_flags_a_missing_site() {
+    // Zero unsafe where the pin demands one: the surface shrank, the pin
+    // must still fail so it gets re-pinned consciously.
+    let mut analyzer = Analyzer::new(Policy::default());
+    analyzer.check_file("crates/service/src/server.rs", "pub fn safe() {}\n");
+    let findings = analyzer.finish().0;
+    assert_fires(&findings, "unsafe-count", 1);
+}
+
+#[test]
+fn lock_order_fires_and_passes() {
+    let fail = check("lock_order", "fail", "crates/service/src/fixture.rs");
+    assert_fires(&fail, "lock-order", 1);
+    let f = fail.iter().find(|f| f.rule == "lock-order").expect("checked above");
+    assert!(f.message.contains("alpha") && f.message.contains("beta"), "cycle names locks: {f:?}");
+    assert_clean(&check("lock_order", "pass", "crates/service/src/fixture.rs"));
+}
+
+#[test]
+fn lock_order_only_applies_in_lock_scope() {
+    // Outside crates/service the same source records no edges.
+    let findings = check("lock_order", "fail", LIB_PATH);
+    assert!(findings.is_empty(), "lock scope is crates/service only, got {findings:?}");
+}
+
+#[test]
+fn suppression_grammar_is_checked() {
+    let fail = check("suppression", "fail", LIB_PATH);
+    assert_fires(&fail, "suppression", 3);
+    // The malformed annotations do not suppress: the expects still fire.
+    assert_fires(&fail, "panic", 2);
+    assert_clean(&check("suppression", "pass", LIB_PATH));
+}
+
+#[test]
+fn findings_are_sorted_and_deduplicated() {
+    let mut analyzer = Analyzer::new(fixture_policy());
+    analyzer.check_file("crates/b/src/lib.rs", &fixture("panic", "fail"));
+    analyzer.check_file("crates/a/src/lib.rs", &fixture("panic", "fail"));
+    let findings = analyzer.finish().0;
+    let keys: Vec<(String, u32)> = findings.iter().map(|f| (f.path.clone(), f.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must come out ordered by (path, line)");
+    assert!(findings.iter().any(|f| f.path == "crates/a/src/lib.rs"));
+    assert!(findings.iter().any(|f| f.path == "crates/b/src/lib.rs"));
+}
+
+#[test]
+fn skip_prefixes_exempt_vendored_code() {
+    let mut analyzer = Analyzer::new(Policy::default());
+    analyzer.check_file("vendor/rand/src/lib.rs", &fixture("panic", "fail"));
+    analyzer.check_file("crates/lint/fixtures/panic/fail.rs", &fixture("panic", "fail"));
+    // The pin still sees zero unsafe sites and complains; filter it out —
+    // this test is about the per-file rules being skipped.
+    let findings: Vec<Finding> =
+        analyzer.finish().0.into_iter().filter(|f| f.rule != "unsafe-count").collect();
+    assert!(findings.is_empty(), "skipped paths must produce no findings, got {findings:?}");
+}

@@ -313,6 +313,7 @@ impl Request {
                 seeds: optional_node_array(value, "seeds")?
                     .ok_or_else(|| missing("seeds", "estimate"))?,
             },
+            // lint:allow(panic): the op string was matched against this same list above
             _ => unreachable!("op validated above"),
         };
         Ok(Request {

@@ -82,6 +82,7 @@ impl OpKind {
     }
 
     fn index(self) -> usize {
+        // lint:allow(panic): OpKind::ALL enumerates every variant of this non-exhaustive-proof enum
         OpKind::ALL.iter().position(|k| *k == self).expect("OpKind::ALL covers every kind")
     }
 }
