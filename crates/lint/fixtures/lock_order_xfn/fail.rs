@@ -1,0 +1,32 @@
+// Fixture: interprocedural lock-order must fire when the opposite
+// acquisition order only materializes across a call boundary — neither
+// function nests two `.lock()` calls textually, so the v1 lexical rule
+// sees no edge at all.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        self.grab_beta() + *a
+    }
+
+    fn grab_beta(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        self.grab_alpha() + *b
+    }
+
+    fn grab_alpha(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        *a
+    }
+}

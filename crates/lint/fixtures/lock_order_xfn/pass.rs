@@ -1,0 +1,32 @@
+// Fixture: interprocedural lock-order stays quiet when every path — direct
+// or through helpers — acquires in the same alpha-before-beta order.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        self.grab_beta() + *a
+    }
+
+    pub fn double_forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        self.grab_beta() * 2 + *a
+    }
+
+    fn grab_beta(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        *b
+    }
+
+    pub fn beta_alone(&self) -> u32 {
+        // No lock held at the call site: acquiring beta first here is fine
+        // because nothing is nested under it.
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        *b
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: panic-reachability must fire when a public API function reaches
+// an unannotated assert through a private helper. The assert is invisible
+// to the v1 lexical panic rule (which only knows panic macros and
+// unwrap/expect), and the reachability only exists across the call edge.
+
+pub fn select_budgeted(budget: u32, cost: u32) -> u32 {
+    remaining(budget, cost)
+}
+
+fn remaining(budget: u32, cost: u32) -> u32 {
+    assert!(cost <= budget, "cost {cost} exceeds budget {budget}");
+    budget - cost
+}

@@ -1,0 +1,17 @@
+// Fixture: seed-provenance must fire on RNG constructions in sampling code
+// whose seed is not derived from a seed-bearing value — a literal restart
+// of the stream, and an entropy source that can never be replayed.
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+pub fn sample_fixed(n: u32) -> u64 {
+    // A literal seed silently decouples this stream from the run seed.
+    let mut rng = SmallRng::seed_from_u64(12345);
+    rng.next_u64() % u64::from(n.max(1))
+}
+
+pub fn sample_entropy(n: u32) -> u64 {
+    // OS entropy is unreplayable by construction.
+    let mut rng = SmallRng::from_entropy();
+    rng.next_u64() % u64::from(n.max(1))
+}

@@ -1,0 +1,8 @@
+// Fixture: unused-suppression must fire on an annotation whose rule never
+// produces a finding at the annotated site — stale allowances rot into
+// false documentation.
+
+// lint:allow(hash-iter): left over from a deleted HashMap iteration
+pub fn total(values: &[u32]) -> u32 {
+    values.iter().sum()
+}

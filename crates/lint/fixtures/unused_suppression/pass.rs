@@ -1,0 +1,12 @@
+// Fixture: unused-suppression stays quiet on annotations that suppress a
+// live finding, and on deliberately-kept annotations shielded with an
+// unused-suppression allowance of their own.
+
+pub fn take(v: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture input is always Some by construction
+    v.unwrap()
+}
+
+// lint:allow(unused-suppression): retained as the documentation example
+// lint:allow(hash-iter): intentionally unused, shielded above
+pub fn noop() {}

@@ -2,10 +2,16 @@
 //! the project invariant rules and exit non-zero on violations.
 //!
 //! ```text
-//! tcim_lint --workspace [--root DIR] [--lock-graph]
-//! tcim_lint [--root DIR] FILE...
+//! tcim_lint --workspace [--root DIR] [--lock-graph] [--emit MODE] [--stats] [--threads N]
+//! tcim_lint [--root DIR] [--emit MODE] [--stats] FILE...
 //! tcim_lint --list-rules
 //! ```
+//!
+//! `--emit` selects the stdout format: `text` (default, one finding per
+//! line), `json` (machine-readable document over minijson), or `github`
+//! (GitHub Actions `::error` annotations). Output is byte-identical at
+//! any `--threads` count: files are analyzed in parallel but merged in
+//! sorted path order.
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
@@ -14,14 +20,27 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
 use tcim_lint::walk::rust_sources;
-use tcim_lint::{Analyzer, Policy, KNOWN_RULES};
+use tcim_lint::{analyze_file, emit, Analyzer, FileOutcome, Policy, Report, KNOWN_RULES};
+
+/// What `--emit` writes to stdout.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Text,
+    Json,
+    Github,
+}
 
 struct Args {
     workspace: bool,
     root: PathBuf,
     lock_graph: bool,
     list_rules: bool,
+    emit: Emit,
+    stats: bool,
+    threads: Option<usize>,
     files: Vec<String>,
 }
 
@@ -31,6 +50,9 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         lock_graph: false,
         list_rules: false,
+        emit: Emit::Text,
+        stats: false,
+        threads: None,
         files: Vec::new(),
     };
     let mut it = env::args().skip(1);
@@ -39,6 +61,25 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--lock-graph" => args.lock_graph = true,
             "--list-rules" => args.list_rules = true,
+            "--stats" => args.stats = true,
+            "--emit" => {
+                let mode = it.next().ok_or("--emit needs a mode: text, json or github")?;
+                args.emit = match mode.as_str() {
+                    "text" => Emit::Text,
+                    "json" => Emit::Json,
+                    "github" => Emit::Github,
+                    other => return Err(format!("unknown emit mode '{other}'")),
+                };
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                let n: usize =
+                    n.parse().map_err(|_| format!("--threads: '{n}' is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
+            }
             "--root" => {
                 let dir = it.next().ok_or("--root needs a directory argument")?;
                 args.root = PathBuf::from(dir);
@@ -63,10 +104,11 @@ fn usage() {
         "tcim-lint: workspace invariant checker (see docs/LINTS.md)\n\
          \n\
          usage:\n\
-         \x20 tcim_lint --workspace [--root DIR] [--lock-graph]\n\
-         \x20 tcim_lint [--root DIR] FILE...\n\
+         \x20 tcim_lint --workspace [--root DIR] [--lock-graph] [--emit MODE] [--stats] [--threads N]\n\
+         \x20 tcim_lint [--root DIR] [--emit MODE] [--stats] FILE...\n\
          \x20 tcim_lint --list-rules\n\
          \n\
+         emit modes: text (default), json, github\n\
          exit codes: 0 clean, 1 violations, 2 usage/io error"
     );
 }
@@ -85,7 +127,6 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for rule in KNOWN_RULES {
-            // lint:allow(stdout-purity): --list-rules output is this binary's product
             println!("{rule}");
         }
         return ExitCode::SUCCESS;
@@ -98,7 +139,7 @@ fn main() -> ExitCode {
     } else {
         Policy { unsafe_pin: None, ..Policy::default() }
     };
-    let mut analyzer = Analyzer::new(policy);
+    let mut analyzer = Analyzer::new(policy.clone());
     let mut checked = 0usize;
 
     if args.workspace {
@@ -109,14 +150,38 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        for (rel, abs) in files {
-            match fs::read_to_string(&abs) {
-                Ok(source) => {
-                    analyzer.check_file(&rel, &source);
+        // Analyze in parallel (analyze_file is pure), then absorb in the
+        // walker's sorted path order so every downstream artifact — finding
+        // order, witness paths, the lock graph — is byte-identical at any
+        // thread count.
+        let scan = || {
+            files
+                .par_iter()
+                .map(|(rel, abs)| {
+                    fs::read_to_string(abs)
+                        .map(|source| analyze_file(&policy, rel, &source))
+                        .map_err(|err| format!("reading {}: {err}", abs.display()))
+                })
+                .collect::<Vec<Result<FileOutcome, String>>>()
+        };
+        let outcomes = match args.threads {
+            Some(n) => match ThreadPoolBuilder::new().num_threads(n).build() {
+                Ok(pool) => pool.install(scan),
+                Err(err) => {
+                    eprintln!("error: building thread pool: {err}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => scan(),
+        };
+        for outcome in outcomes {
+            match outcome {
+                Ok(outcome) => {
+                    analyzer.absorb(outcome);
                     checked += 1;
                 }
                 Err(err) => {
-                    eprintln!("error: reading {}: {err}", abs.display());
+                    eprintln!("error: {err}");
                     return ExitCode::from(2);
                 }
             }
@@ -138,29 +203,51 @@ fn main() -> ExitCode {
         }
     }
 
-    let (findings, graph) = analyzer.finish();
+    let report = analyzer.finish();
 
     if args.lock_graph {
-        if graph.is_empty() {
-            eprintln!("lock graph: no nested acquisitions");
-        } else {
-            eprintln!("lock graph (held -> acquired):");
-            for edge in graph.edges() {
-                eprintln!("  {} -> {}  ({})", edge.from, edge.to, edge.site);
-            }
-        }
+        print_lock_graph(&report);
     }
 
-    for finding in &findings {
-        // lint:allow(stdout-purity): findings are this binary's product
-        println!("{finding}");
+    match args.emit {
+        Emit::Text => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+        }
+        Emit::Json => {
+            print!("{}", emit::render_json(&report, checked));
+        }
+        Emit::Github => {
+            print!("{}", emit::render_github(&report.findings));
+        }
     }
-    if findings.is_empty() {
+    if args.stats && args.emit != Emit::Json {
+        // JSON embeds the stats; the table is for human eyes on stderr.
+        eprint!("{}", emit::render_stats(&report));
+    }
+    if report.findings.is_empty() {
         eprintln!("tcim-lint: {checked} file(s) clean");
         ExitCode::SUCCESS
     } else {
-        eprintln!("tcim-lint: {} violation(s) in {checked} file(s)", findings.len());
+        eprintln!("tcim-lint: {} violation(s) in {checked} file(s)", report.findings.len());
         ExitCode::FAILURE
+    }
+}
+
+fn print_lock_graph(report: &Report) {
+    if report.lock_graph.is_empty() {
+        eprintln!("lock graph: no nested acquisitions");
+    } else {
+        eprintln!("lock graph (held -> acquired):");
+        for edge in report.lock_graph.edges() {
+            match &edge.via {
+                Some(via) => {
+                    eprintln!("  {} -> {}  ({} via {})", edge.from, edge.to, edge.site, via)
+                }
+                None => eprintln!("  {} -> {}  ({})", edge.from, edge.to, edge.site),
+            }
+        }
     }
 }
 

@@ -1,0 +1,327 @@
+//! The workspace call graph: every file's [`crate::items::FnItem`]s pooled
+//! into one index, with call sites resolved to candidate callees by
+//! name, path and receiver-type heuristics.
+//!
+//! Resolution is deliberately tiered and conservative. A call resolves
+//! through the first tier that produces candidates:
+//!
+//! 1. **Qualified** (`Foo::f(…)`): methods of an `impl Foo`, or functions
+//!    in a module/file named `foo`; `Self::f` binds to the caller's owner.
+//! 2. **Receiver-typed** (`x.f(…)`): if exactly one impl type's
+//!    snake_cased name matches the receiver identifier (`cache` →
+//!    `OracleCache`), its method wins; `self.f(…)` binds to the caller's
+//!    owner.
+//! 3. **Scoped name** (bare `f(…)` or unresolved method): same file, then
+//!    same crate, then workspace-wide — first non-empty tier wins.
+//!
+//! A tier with more than [`MAX_CANDIDATES`] hits is treated as *unresolved*
+//! (likely a std/vendor name like `get` or `len`): the analyses built on
+//! top would rather miss an edge than chase every `len` in the workspace.
+//! Test functions never enter the index — nothing in library code calls
+//! into test scope.
+
+use std::collections::BTreeMap;
+
+use crate::items::{CallSite, FnItem};
+
+/// Above this many same-tier candidates a call counts as unresolved.
+pub const MAX_CANDIDATES: usize = 3;
+
+/// One function in the workspace index.
+#[derive(Debug)]
+pub struct FnRef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Crate key (`crates/<name>` or `root` for the facade).
+    pub crate_key: String,
+    /// File stem (`cache` for `crates/service/src/cache.rs`).
+    pub file_stem: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// The pooled index over every scanned file's functions.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    fns: Vec<FnRef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Crate key of a workspace-relative path.
+pub fn crate_key(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return format!("crates/{name}");
+        }
+    }
+    "root".to_string()
+}
+
+/// `CamelCase` → `camel_case`, for receiver-name ↔ type-name matching.
+pub fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+impl Workspace {
+    /// Adds every non-test function of one file to the index. Returns the
+    /// global index of each input item in order (`None` for test items,
+    /// which never enter the index).
+    pub fn add_file(&mut self, path: &str, items: Vec<FnItem>) -> Vec<Option<usize>> {
+        let key = crate_key(path);
+        let stem =
+            path.rsplit('/').next().and_then(|f| f.strip_suffix(".rs")).unwrap_or("").to_string();
+        let mut global = Vec::with_capacity(items.len());
+        for item in items {
+            if item.is_test {
+                global.push(None);
+                continue;
+            }
+            let idx = self.fns.len();
+            global.push(Some(idx));
+            self.by_name.entry(item.name.clone()).or_default().push(idx);
+            self.fns.push(FnRef {
+                path: path.to_string(),
+                crate_key: key.clone(),
+                file_stem: stem.clone(),
+                item,
+            });
+        }
+        global
+    }
+
+    /// All indexed functions, in insertion (path-sorted, then source) order.
+    pub fn fns(&self) -> &[FnRef] {
+        &self.fns
+    }
+
+    /// The function at index `idx`.
+    pub fn get(&self, idx: usize) -> &FnRef {
+        &self.fns[idx]
+    }
+
+    /// Candidate callees for `call` made from `caller`. Empty means
+    /// unresolved: an external name, or too ambiguous to chase.
+    /// `resolve_params` opts in to resolving calls through closure-typed
+    /// parameters by name (the lock analysis wants the over-approximation;
+    /// panic-reachability does not).
+    pub fn resolve(&self, caller: usize, call: &CallSite, resolve_params: bool) -> Vec<usize> {
+        if call.is_param && !resolve_params {
+            return Vec::new();
+        }
+        let Some(named) = self.by_name.get(&call.callee) else {
+            return Vec::new();
+        };
+        let from = &self.fns[caller];
+
+        // Tier 1: qualified path `Q::f(…)`.
+        if let Some(q) = &call.qualifier {
+            let owner_key = if q == "Self" { from.item.owner.clone() } else { Some(q.clone()) };
+            if let Some(owner) = &owner_key {
+                let of_owner: Vec<usize> = named
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].item.owner.as_deref() == Some(owner.as_str()))
+                    .collect();
+                if let Some(hit) = capped(of_owner) {
+                    return hit;
+                }
+            }
+            if q != "Self" {
+                let snake = snake_case(q);
+                let in_module: Vec<usize> = named
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let f = &self.fns[i];
+                        f.file_stem == snake
+                            || f.item.module_path.last().is_some_and(|m| *m == snake)
+                    })
+                    .collect();
+                if let Some(hit) = capped(in_module) {
+                    return hit;
+                }
+            }
+            // A qualifier that matches nothing in the workspace is an
+            // external type (`Vec::new`, `String::from`): unresolved.
+            return Vec::new();
+        }
+
+        // Tier 2: receiver-typed method call.
+        if let Some(recv) = &call.receiver {
+            if recv == "self" {
+                if let Some(owner) = &from.item.owner {
+                    let own: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.fns[i].item.owner.as_deref() == Some(owner.as_str()))
+                        .collect();
+                    if let Some(hit) = capped(own) {
+                        return hit;
+                    }
+                }
+            } else if recv != "<expr>" {
+                let mut owners: Vec<&str> = named
+                    .iter()
+                    .filter_map(|&i| self.fns[i].item.owner.as_deref())
+                    .filter(|owner| {
+                        let snake = snake_case(owner);
+                        snake == *recv || snake.ends_with(&format!("_{recv}"))
+                    })
+                    .collect();
+                owners.dedup();
+                if owners.len() == 1 {
+                    let owner = owners[0].to_string();
+                    let of_owner: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.fns[i].item.owner.as_deref() == Some(owner.as_str()))
+                        .collect();
+                    if let Some(hit) = capped(of_owner) {
+                        return hit;
+                    }
+                }
+            }
+        }
+
+        // Tier 3: same file → same crate → workspace.
+        let same_file: Vec<usize> =
+            named.iter().copied().filter(|&i| self.fns[i].path == from.path).collect();
+        if let Some(hit) = capped(same_file) {
+            return hit;
+        }
+        let same_crate: Vec<usize> =
+            named.iter().copied().filter(|&i| self.fns[i].crate_key == from.crate_key).collect();
+        if let Some(hit) = capped(same_crate) {
+            return hit;
+        }
+        capped(named.clone()).unwrap_or_default()
+    }
+}
+
+/// A non-empty candidate set under the ambiguity cap, or `None` to try the
+/// next tier (empty) / give up (oversized).
+fn capped(candidates: Vec<usize>) -> Option<Vec<usize>> {
+    if candidates.is_empty() || candidates.len() > MAX_CANDIDATES {
+        return None;
+    }
+    Some(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::model::FileModel;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, src) in files {
+            ws.add_file(path, parse_items(&FileModel::parse(src, false)));
+        }
+        ws
+    }
+
+    fn idx(ws: &Workspace, name: &str) -> usize {
+        ws.fns().iter().position(|f| f.item.name == name).expect("fn in index")
+    }
+
+    fn resolved_names(ws: &Workspace, caller: &str, callee: &str) -> Vec<String> {
+        let c = idx(ws, caller);
+        let call = ws.get(c).item.calls.iter().find(|s| s.callee == callee).expect("call site");
+        ws.resolve(c, call, false).into_iter().map(|i| ws.get(i).path.clone()).collect()
+    }
+
+    #[test]
+    fn snake_case_matches_receivers_to_types() {
+        assert_eq!(snake_case("OracleCache"), "oracle_cache");
+        assert_eq!(snake_case("BitSet"), "bit_set");
+        assert_eq!(snake_case("shard"), "shard");
+    }
+
+    #[test]
+    fn same_file_beats_same_crate_beats_workspace() {
+        let ws = ws(&[
+            ("crates/a/src/one.rs", "fn caller() { helper(); } fn helper() {}"),
+            ("crates/a/src/two.rs", "fn helper() {}"),
+            ("crates/b/src/three.rs", "fn helper() {}"),
+        ]);
+        assert_eq!(resolved_names(&ws, "caller", "helper"), vec!["crates/a/src/one.rs"]);
+    }
+
+    #[test]
+    fn qualified_calls_bind_to_impl_owner_or_module_file() {
+        let ws = ws(&[
+            ("crates/a/src/caller.rs", "fn go() { Cache::build(); store::persist(); Vec::new(); }"),
+            ("crates/a/src/cache.rs", "struct Cache; impl Cache { fn build() {} }"),
+            ("crates/a/src/store.rs", "pub fn persist() {}"),
+        ]);
+        assert_eq!(resolved_names(&ws, "go", "build"), vec!["crates/a/src/cache.rs"]);
+        assert_eq!(resolved_names(&ws, "go", "persist"), vec!["crates/a/src/store.rs"]);
+        assert!(
+            resolved_names(&ws, "go", "new").is_empty(),
+            "external `Vec::new` stays unresolved"
+        );
+    }
+
+    #[test]
+    fn self_and_receiver_type_heuristics() {
+        let ws = ws(&[(
+            "crates/a/src/cache.rs",
+            "struct OracleCache;\n\
+             impl OracleCache {\n\
+               fn outer(&self, cache: &OracleCache) { self.inner(); cache.inner(); }\n\
+               fn inner(&self) {}\n\
+             }",
+        )]);
+        let outer = idx(&ws, "outer");
+        for call in &ws.get(outer).item.calls {
+            let hits = ws.resolve(outer, call, false);
+            assert_eq!(hits.len(), 1, "both self.inner() and cache.inner() resolve");
+            assert_eq!(ws.get(hits[0]).item.name, "inner");
+        }
+    }
+
+    #[test]
+    fn ambiguous_names_stay_unresolved() {
+        let files: Vec<(String, String)> = (0..5)
+            .map(|i| (format!("crates/c{i}/src/lib.rs"), "pub fn get() {}".to_string()))
+            .collect();
+        let mut all: Vec<(&str, &str)> =
+            files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        let caller = ("crates/z/src/lib.rs", "fn go(v: u32) { get(); }");
+        all.push(caller);
+        let ws = ws(&all);
+        assert!(resolved_names(&ws, "go", "get").is_empty(), "5 candidates > cap");
+    }
+
+    #[test]
+    fn param_calls_resolve_only_on_request() {
+        let ws = ws(&[("crates/a/src/lib.rs", "fn run(build: u32) { build(); } fn build() {}")]);
+        let run = idx(&ws, "run");
+        let call = &ws.get(run).item.calls[0];
+        assert!(call.is_param);
+        assert!(ws.resolve(run, call, false).is_empty());
+        assert_eq!(ws.resolve(run, call, true).len(), 1);
+    }
+
+    #[test]
+    fn test_fns_never_enter_the_index() {
+        let ws = ws(&[(
+            "crates/a/src/lib.rs",
+            "#[cfg(test)] mod tests { fn helper() {} }\nfn lib() {}",
+        )]);
+        assert_eq!(ws.fns().len(), 1);
+        assert_eq!(ws.fns()[0].item.name, "lib");
+    }
+}

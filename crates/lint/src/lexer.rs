@@ -119,6 +119,24 @@ impl Lexer {
                 'r' | 'b' if self.raw_or_byte_string() => {
                     tokens.push(self.token(TokenKind::Str, start, line));
                 }
+                // Raw identifier `r#type` — one Ident token with the `r#`
+                // prefix kept verbatim, so keyword matching can never
+                // confuse `r#fn` with `fn`. (Raw *strings* `r#"…"#` are
+                // consumed by the arm above; its guard sees the quote.)
+                'r' if self.peek(1) == Some('#')
+                    && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    self.bump(); // r
+                    self.bump(); // #
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(self.token(TokenKind::Ident, start, line));
+                }
                 'b' if self.peek(1) == Some('\'') => {
                     self.bump(); // b
                     self.char_literal();
@@ -364,6 +382,69 @@ mod tests {
     fn byte_strings() {
         let tokens = tokenize(r#"b"bytes" br"raw" r"plain""#);
         assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let tokens = tokenize("let r#type = r#fn; r#"); // trailing `r#` alone stays punct-ish
+        assert!(tokens[1].is_ident("r#type"), "raw ident keeps its prefix: {:?}", tokens[1]);
+        assert!(tokens[3].is_ident("r#fn"));
+        // The keyword matcher must NOT see a bare `fn` — before the raw-ident
+        // fix this lexed as `r`, `#`, `fn` and fabricated a function item.
+        assert!(tokens.iter().all(|t| !t.is_ident("fn")));
+        // `r#"…"#` raw strings still win over raw identifiers.
+        let raw = tokenize(r###"r#"text"# r#ident"###);
+        assert_eq!(raw[0].kind, TokenKind::Str);
+        assert!(raw[1].is_ident("r#ident"));
+    }
+
+    #[test]
+    fn shift_right_closes_nested_generics_as_two_tokens() {
+        assert_eq!(
+            kinds("Vec<Vec<u8>>"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct('<'),
+                TokenKind::Ident,
+                TokenKind::Punct('<'),
+                TokenKind::Ident,
+                TokenKind::Punct('>'),
+                TokenKind::Punct('>'),
+            ],
+            "`>>` must lex as two closing angles so brace/angle matching sees both"
+        );
+    }
+
+    #[test]
+    fn char_literal_directly_after_generics_is_not_a_lifetime() {
+        // `x::<'a>('b')` — a lifetime argument immediately followed by a
+        // char-literal argument; each side of the `>(` must keep its kind.
+        assert_eq!(
+            kinds("x::<'a>('b')"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(':'),
+                TokenKind::Punct(':'),
+                TokenKind::Punct('<'),
+                TokenKind::Lifetime,
+                TokenKind::Punct('>'),
+                TokenKind::Punct('('),
+                TokenKind::Char,
+                TokenKind::Punct(')'),
+            ]
+        );
+        // Comparison against a char: `<` then a char literal, not a lifetime.
+        assert_eq!(
+            kinds("if c < 'a' {}"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('<'),
+                TokenKind::Char,
+                TokenKind::Punct('{'),
+                TokenKind::Punct('}'),
+            ]
+        );
     }
 
     #[test]

@@ -106,8 +106,18 @@ impl FileModel {
     /// Whether a violation of `rule` on `line` is suppressed: an allow
     /// comment for the rule on the same line or on the line directly above.
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
-        [line, line.saturating_sub(1)].iter().any(|l| {
-            self.suppressions.get(l).is_some_and(|list| list.iter().any(|s| s.rule == rule))
+        self.suppressing_line(rule, line).is_some()
+    }
+
+    /// Like [`FileModel::is_suppressed`], but returns the comment line of
+    /// the matching suppression — the hook the unused-suppression analysis
+    /// uses to mark annotations as earning their keep.
+    pub fn suppressing_line(&self, rule: &str, line: u32) -> Option<u32> {
+        [line, line.saturating_sub(1)].iter().find_map(|l| {
+            self.suppressions
+                .get(l)
+                .is_some_and(|list| list.iter().any(|s| s.rule == rule))
+                .then_some(*l)
         })
     }
 }
@@ -186,7 +196,7 @@ fn match_attr_any(tokens: &[Token], i: usize) -> Option<usize> {
 
 /// Returns the span of the next `{ … }` block starting at or after `i`,
 /// stopping early at a `;` (item without a body).
-fn next_brace_block(tokens: &[Token], i: usize) -> Option<Span> {
+pub(crate) fn next_brace_block(tokens: &[Token], i: usize) -> Option<Span> {
     let mut j = i;
     while j < tokens.len() {
         let tok = &tokens[j];

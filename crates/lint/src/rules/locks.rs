@@ -10,18 +10,28 @@
 //! statement), unions the per-function acquisition edges into one graph,
 //! and fails on any cycle.
 //!
-//! The analysis is intentionally first-order: it sees nesting that is
-//! *textually visible* inside one function body (closures included — they
-//! are part of the enclosing body's token stream). Cross-function nesting
-//! through calls is out of scope; the project convention backing that gap
-//! is documented in `docs/LINTS.md` (shard locks are leaf locks, never
-//! held across calls).
+//! The analysis is interprocedural: beyond the nesting that is *textually
+//! visible* inside one function body (closures included — they are part of
+//! the enclosing body's token stream), it records every call made while a
+//! guard is held, resolves the callee through the workspace call graph
+//! (closure-parameter calls included — over-approximating an unknown
+//! closure by the same-named function is conservative for cycle
+//! detection), and unions the callee's transitive acquisition summary
+//! (bounded depth) into the graph as `held -> callee-acquired` edges. The
+//! oracle → worlds → graph build-lock convention from `cache.rs` is
+//! thereby machine-checked across function boundaries, not just inside
+//! one body.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::Workspace;
+use crate::items::{CallSite, FnItem};
 use crate::lexer::TokenKind;
 use crate::rules::RuleCtx;
-use crate::LOCK_ORDER;
+use crate::{Policy, LOCK_ORDER};
+
+/// Transitive acquisition summaries stop unioning past this call depth.
+const SUMMARY_DEPTH: usize = 8;
 
 /// Receiver-name aliases that denote the same lock class (e.g. the shard
 /// mutex is reached both as `shard.lock()` and `self.shard_for(k).lock()`).
@@ -34,8 +44,12 @@ pub struct LockEdge {
     pub from: String,
     /// The lock class acquired under it.
     pub to: String,
-    /// `file:line` of the inner acquisition.
+    /// `file:line` of the inner acquisition (for interprocedural edges:
+    /// the call site the acquisition is reached through).
     pub site: String,
+    /// For interprocedural edges, the callee whose summary contributed
+    /// the acquisition; `None` for textually-nested edges.
+    pub via: Option<String>,
 }
 
 /// The union of every function's acquisition edges across the lock scope.
@@ -56,7 +70,16 @@ impl LockGraph {
     }
 
     pub(crate) fn add(&mut self, from: String, to: String, site: String) {
-        self.edges.insert(LockEdge { from, to, site });
+        self.edges.insert(LockEdge { from, to, site, via: None });
+    }
+
+    pub(crate) fn add_via(&mut self, from: String, to: String, site: String, via: String) {
+        self.edges.insert(LockEdge { from, to, site, via: Some(via) });
+    }
+
+    /// Unions another graph's edges into this one.
+    pub(crate) fn merge(&mut self, other: LockGraph) {
+        self.edges.extend(other.edges);
     }
 
     /// Finds one acquisition cycle if the graph has any, as the list of
@@ -110,20 +133,63 @@ struct Held {
     depth: i32,
 }
 
+/// A call made while at least one guard was held — the raw material for
+/// the interprocedural pass: once the whole workspace is pooled, the
+/// callee is resolved and its transitive acquisition summary becomes
+/// `held -> acquired` edges at this site.
+#[derive(Debug, Clone)]
+pub(crate) struct GuardedCall {
+    /// Index of the calling function in this file's item list.
+    pub caller: usize,
+    /// The call site (callee name, qualifier, receiver, param-ness).
+    pub call: CallSite,
+    /// Lock classes held at the call, deduplicated.
+    pub held: Vec<String>,
+    /// `file:line` of the call.
+    pub site: String,
+}
+
+/// Per-file lock facts beyond the textual edges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LockFacts {
+    /// Calls made under a held guard.
+    pub guarded_calls: Vec<GuardedCall>,
+    /// Direct (unsuppressed) lock-class acquisitions per item index.
+    pub acquires: BTreeMap<usize, BTreeSet<String>>,
+}
+
 /// Extracts acquisition edges from every function body of this file into
-/// `graph`. Sites carrying a `lint:allow(lock-order)` annotation record no
-/// edges.
-pub(crate) fn collect(ctx: &RuleCtx<'_>, graph: &mut LockGraph) {
-    for span in &ctx.model.fn_spans {
-        if ctx.model.in_test(span.body.start) {
+/// `graph`, plus the guarded calls and per-function acquisition sets the
+/// interprocedural pass consumes. Sites carrying a `lint:allow(lock-order)`
+/// annotation record no edges and drop out of the summaries; the matching
+/// annotation lines are marked used.
+pub(crate) fn collect(
+    ctx: &RuleCtx<'_>,
+    items: &[FnItem],
+    graph: &mut LockGraph,
+    facts: &mut LockFacts,
+    used: &mut BTreeSet<(u32, String)>,
+) {
+    for (idx, item) in items.iter().enumerate() {
+        if item.is_test {
             continue;
         }
-        scan_body(ctx, span.body.start, span.body.end, graph);
+        scan_body(ctx, idx, item, graph, facts, used);
     }
 }
 
-fn scan_body(ctx: &RuleCtx<'_>, start: usize, end: usize, graph: &mut LockGraph) {
+fn scan_body(
+    ctx: &RuleCtx<'_>,
+    item_idx: usize,
+    item: &FnItem,
+    graph: &mut LockGraph,
+    facts: &mut LockFacts,
+    used: &mut BTreeSet<(u32, String)>,
+) {
     let tokens = &ctx.model.tokens;
+    let (start, end) = (item.body.start, item.body.end);
+    let calls_by_token: BTreeMap<usize, &CallSite> =
+        item.calls.iter().map(|c| (c.token, c)).collect();
     let mut held: Vec<Held> = Vec::new();
     let mut depth = 0i32;
     let mut i = start;
@@ -154,18 +220,117 @@ fn scan_body(ctx: &RuleCtx<'_>, start: usize, end: usize, graph: &mut LockGraph)
             && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
         {
             let class = receiver_class(tokens, i - 1);
-            let suppressed = ctx.model.is_suppressed(LOCK_ORDER, tok.line);
-            if !suppressed {
-                for h in &held {
-                    graph.add(h.class.clone(), class.clone(), format!("{}:{}", ctx.path, tok.line));
+            match ctx.model.suppressing_line(LOCK_ORDER, tok.line) {
+                Some(l) => {
+                    used.insert((l, LOCK_ORDER.to_string()));
+                }
+                None => {
+                    for h in &held {
+                        graph.add(
+                            h.class.clone(),
+                            class.clone(),
+                            format!("{}:{}", ctx.path, tok.line),
+                        );
+                    }
+                    facts.acquires.entry(item_idx).or_default().insert(class.clone());
                 }
             }
             if let Some(guard) = binding_guard(tokens, start, i) {
                 held.push(Held { class, guard: Some(guard), depth });
             }
+        } else if let Some(&call) = calls_by_token.get(&i) {
+            // A call made under a held guard: the callee's acquisitions
+            // nest under everything currently held.
+            if !held.is_empty() && call.callee != "drop" && call.callee != "lock" {
+                match ctx.model.suppressing_line(LOCK_ORDER, tok.line) {
+                    Some(l) => {
+                        used.insert((l, LOCK_ORDER.to_string()));
+                    }
+                    None => {
+                        let mut classes: Vec<String> =
+                            held.iter().map(|h| h.class.clone()).collect();
+                        classes.sort();
+                        classes.dedup();
+                        facts.guarded_calls.push(GuardedCall {
+                            caller: item_idx,
+                            call: call.clone(),
+                            held: classes,
+                            site: format!("{}:{}", ctx.path, tok.line),
+                        });
+                    }
+                }
+            }
         }
         i += 1;
     }
+}
+
+/// The interprocedural pass, run once the whole workspace is pooled:
+/// resolves every guarded call and unions the callee's bounded-depth
+/// transitive acquisition summary into `graph` as `held -> acquired`
+/// edges. Both resolution and summaries stay inside the lock scope —
+/// a call that leaves `crates/service` cannot come back to its locks.
+pub(crate) fn interprocedural_edges(
+    ws: &Workspace,
+    policy: &Policy,
+    guarded: &[(usize, GuardedCall)],
+    acquires: &BTreeMap<usize, BTreeSet<String>>,
+    graph: &mut LockGraph,
+) {
+    let mut memo: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (caller, gc) in guarded {
+        for cand in ws.resolve(*caller, &gc.call, true) {
+            if !policy.in_lock_scope(&ws.get(cand).path) {
+                continue;
+            }
+            let mut visiting = BTreeSet::new();
+            let classes =
+                transitive(ws, policy, acquires, &mut memo, &mut visiting, cand, SUMMARY_DEPTH);
+            for to in &classes {
+                for from in &gc.held {
+                    graph.add_via(
+                        from.clone(),
+                        to.clone(),
+                        gc.site.clone(),
+                        gc.call.callee.clone(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lock classes function `idx` may acquire, directly or through calls, up
+/// to `depth` levels deep. Memoized; cycles in the call graph contribute
+/// their direct sets only.
+fn transitive(
+    ws: &Workspace,
+    policy: &Policy,
+    acquires: &BTreeMap<usize, BTreeSet<String>>,
+    memo: &mut BTreeMap<usize, BTreeSet<String>>,
+    visiting: &mut BTreeSet<usize>,
+    idx: usize,
+    depth: usize,
+) -> BTreeSet<String> {
+    if let Some(done) = memo.get(&idx) {
+        return done.clone();
+    }
+    let mut classes = acquires.get(&idx).cloned().unwrap_or_default();
+    if depth == 0 || !visiting.insert(idx) {
+        return classes;
+    }
+    let f = ws.get(idx);
+    for call in &f.item.calls {
+        for cand in ws.resolve(idx, call, true) {
+            if cand == idx || !policy.in_lock_scope(&ws.get(cand).path) {
+                continue;
+            }
+            classes.extend(transitive(ws, policy, acquires, memo, visiting, cand, depth - 1));
+        }
+    }
+    visiting.remove(&idx);
+    memo.insert(idx, classes.clone());
+    classes
 }
 
 /// The lock class of an acquisition: the last meaningful identifier of the

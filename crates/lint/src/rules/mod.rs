@@ -3,7 +3,9 @@
 
 pub(crate) mod determinism;
 pub(crate) mod locks;
+pub(crate) mod panic_reach;
 pub(crate) mod purity;
+pub(crate) mod seed;
 pub(crate) mod unsafe_audit;
 
 pub use locks::{LockEdge, LockGraph};
@@ -25,6 +27,9 @@ pub(crate) struct RuleCtx<'a> {
     pub policy_allows_stdout: bool,
     /// Whether this file may panic (binaries, the bench harness).
     pub policy_allows_panics: bool,
+    /// Whether this file is sampling code where RNG constructions must be
+    /// seed-derived.
+    pub policy_in_seed_scope: bool,
     /// Whether this file is a determinism-critical protocol writer, where
     /// hash containers and `{:?}` are banned outright.
     pub critical_file: bool,

@@ -163,6 +163,93 @@ fn missing_file_is_an_io_error() {
     assert_eq!(code(&out), 2);
 }
 
+/// A scratch tree with one violation, for output-format tests.
+fn violating_tree(name: &str) -> Tree {
+    let tree = Tree::new(name);
+    tree.write("crates/x/src/lib.rs", "pub fn boom(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n");
+    tree
+}
+
+#[test]
+fn emit_json_is_machine_readable() {
+    let tree = violating_tree("emit-json");
+    let out = tree.run(&["--workspace", "--emit", "json"]);
+    assert_eq!(code(&out), 1);
+    let doc = tcim_service::Json::parse(&stdout(&out)).expect("stdout parses as JSON");
+    assert_eq!(doc.get("version").and_then(tcim_service::Json::as_u64), Some(1));
+    assert!(doc.get("checked").and_then(tcim_service::Json::as_u64).is_some_and(|n| n >= 2));
+    let findings = doc.get("findings").and_then(tcim_service::Json::as_arr).expect("findings");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].get("rule").and_then(tcim_service::Json::as_str), Some("panic"));
+    assert_eq!(
+        findings[0].get("path").and_then(tcim_service::Json::as_str),
+        Some("crates/x/src/lib.rs")
+    );
+    assert_eq!(findings[0].get("line").and_then(tcim_service::Json::as_u64), Some(2));
+    let stats = doc.get("stats").and_then(tcim_service::Json::as_arr).expect("stats");
+    assert_eq!(stats.len(), tcim_lint::KNOWN_RULES.len(), "one stats row per rule");
+}
+
+#[test]
+fn emit_github_writes_error_annotations() {
+    let tree = violating_tree("emit-github");
+    let out = tree.run(&["--workspace", "--emit", "github"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(
+        text.starts_with("::error file=crates/x/src/lib.rs,line=2,title=tcim-lint panic::"),
+        "got: {text}"
+    );
+}
+
+#[test]
+fn emit_unknown_mode_is_a_usage_error() {
+    let tree = Tree::new("emit-bad");
+    let out = tree.run(&["--workspace", "--emit", "yaml"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn stats_table_lands_on_stderr() {
+    let tree = violating_tree("stats");
+    let out = tree.run(&["--workspace", "--stats"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("findings  suppressions-used"), "stats header on stderr, got: {err}");
+    assert!(err.contains("panic"), "per-rule rows, got: {err}");
+}
+
+#[test]
+fn output_is_byte_identical_across_thread_counts() {
+    let tree = Tree::new("threads");
+    // Violations across several files so the parallel scan has real work
+    // whose merge order could drift if absorption were racy.
+    for i in 0..6 {
+        tree.write(
+            &format!("crates/x/src/m{i}.rs"),
+            "pub fn boom(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        );
+    }
+    let one = tree.run(&["--workspace", "--emit", "json", "--threads", "1"]);
+    let eight = tree.run(&["--workspace", "--emit", "json", "--threads", "8"]);
+    assert_eq!(code(&one), 1);
+    assert_eq!(code(&eight), 1);
+    assert_eq!(one.stdout, eight.stdout, "stdout must not depend on thread count");
+}
+
+#[test]
+fn unused_suppression_is_flagged_through_the_binary() {
+    let tree = Tree::new("unused-sup");
+    tree.write(
+        "crates/x/src/lib.rs",
+        "// lint:allow(hash-iter): left over from deleted code\npub fn id(v: u32) -> u32 { v }\n",
+    );
+    let out = tree.run(&["--workspace"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(text.contains("[unused-suppression]"), "got: {text}");
+    assert!(text.contains("crates/x/src/lib.rs:1"), "got: {text}");
+}
+
 #[test]
 fn the_real_workspace_is_clean() {
     // The zero-violation baseline is the PR's contract: the tool must exit

@@ -26,7 +26,7 @@ fn fixture_policy() -> Policy {
 fn check(family: &str, which: &str, virtual_path: &str) -> Vec<Finding> {
     let mut analyzer = Analyzer::new(fixture_policy());
     analyzer.check_file(virtual_path, &fixture(family, which));
-    analyzer.finish().0
+    analyzer.finish().findings
 }
 
 const LIB_PATH: &str = "crates/fake/src/lib.rs";
@@ -77,7 +77,7 @@ fn debug_format_critical_files_ban_hash_containers_outright() {
     let source = "pub fn encode(m: &std::collections::HashMap<u32, u32>) -> usize { m.len() }\n";
     let mut analyzer = Analyzer::new(fixture_policy());
     analyzer.check_file("crates/service/src/protocol.rs", source);
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     assert_fires(&findings, "hash-iter", 1);
 }
 
@@ -114,7 +114,7 @@ fn unsafe_count_pin_rejects_new_sites() {
     // the count matches but the site sits outside the pinned file.
     let mut analyzer = Analyzer::new(Policy::default());
     analyzer.check_file(LIB_PATH, &fixture("unsafe_audit", "pass"));
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     assert_fires(&findings, "unsafe-count", 1);
     assert!(findings.iter().all(|f| f.rule == "unsafe-count"), "got {findings:?}");
 }
@@ -126,7 +126,7 @@ fn unsafe_count_pin_rejects_a_second_site() {
     let mut analyzer = Analyzer::new(Policy::default());
     analyzer.check_file("crates/service/src/server.rs", &fixture("unsafe_audit", "pass"));
     analyzer.check_file(LIB_PATH, &fixture("unsafe_audit", "pass"));
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     assert_fires(&findings, "unsafe-count", 2);
 }
 
@@ -134,7 +134,7 @@ fn unsafe_count_pin_rejects_a_second_site() {
 fn unsafe_count_pin_accepts_the_pinned_site() {
     let mut analyzer = Analyzer::new(Policy::default());
     analyzer.check_file("crates/service/src/server.rs", &fixture("unsafe_audit", "pass"));
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     assert_clean(&findings);
 }
 
@@ -144,7 +144,7 @@ fn unsafe_count_pin_flags_a_missing_site() {
     // must still fail so it gets re-pinned consciously.
     let mut analyzer = Analyzer::new(Policy::default());
     analyzer.check_file("crates/service/src/server.rs", "pub fn safe() {}\n");
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     assert_fires(&findings, "unsafe-count", 1);
 }
 
@@ -165,6 +165,60 @@ fn lock_order_only_applies_in_lock_scope() {
 }
 
 #[test]
+fn lock_order_xfn_fires_and_passes() {
+    // The opposite order only exists across a call boundary: neither fn
+    // nests two acquisitions textually, so only the interprocedural
+    // analysis can see the cycle.
+    let fail = check("lock_order_xfn", "fail", "crates/service/src/fixture.rs");
+    assert_fires(&fail, "lock-order", 1);
+    let f = fail.iter().find(|f| f.rule == "lock-order").expect("checked above");
+    assert!(f.message.contains("via"), "cycle message names the call edge: {f:?}");
+    assert_clean(&check("lock_order_xfn", "pass", "crates/service/src/fixture.rs"));
+}
+
+#[test]
+fn seed_provenance_fires_and_passes() {
+    let fail = check("seed_provenance", "fail", "crates/diffusion/src/fixture.rs");
+    assert_fires(&fail, "seed-provenance", 2);
+    assert_clean(&check("seed_provenance", "pass", "crates/diffusion/src/fixture.rs"));
+}
+
+#[test]
+fn seed_provenance_only_applies_in_sampling_scope() {
+    let findings = check("seed_provenance", "fail", LIB_PATH);
+    assert!(findings.is_empty(), "seed scope is sampling code only, got {findings:?}");
+}
+
+#[test]
+fn panic_reach_fires_and_passes() {
+    // The assert is invisible to the lexical panic rule; only the call
+    // graph connects it to the public entry point.
+    let fail = check("panic_reach", "fail", "crates/core/src/fixture.rs");
+    assert_fires(&fail, "panic-reachability", 1);
+    let f = fail.iter().find(|f| f.rule == "panic-reachability").expect("checked above");
+    assert!(
+        f.message.contains("select_budgeted") && f.message.contains("remaining"),
+        "message carries the witness path: {f:?}"
+    );
+    assert_clean(&check("panic_reach", "pass", "crates/core/src/fixture.rs"));
+}
+
+#[test]
+fn panic_reach_only_applies_to_api_roots() {
+    // The same source under a non-root crate has no public-API entry, so
+    // the assert is nobody's release panic surface.
+    let findings = check("panic_reach", "fail", "crates/service/src/fixture.rs");
+    assert!(findings.is_empty(), "panic-reachability roots are core/facade, got {findings:?}");
+}
+
+#[test]
+fn unused_suppression_fires_and_passes() {
+    let fail = check("unused_suppression", "fail", LIB_PATH);
+    assert_fires(&fail, "unused-suppression", 1);
+    assert_clean(&check("unused_suppression", "pass", LIB_PATH));
+}
+
+#[test]
 fn suppression_grammar_is_checked() {
     let fail = check("suppression", "fail", LIB_PATH);
     assert_fires(&fail, "suppression", 3);
@@ -178,7 +232,7 @@ fn findings_are_sorted_and_deduplicated() {
     let mut analyzer = Analyzer::new(fixture_policy());
     analyzer.check_file("crates/b/src/lib.rs", &fixture("panic", "fail"));
     analyzer.check_file("crates/a/src/lib.rs", &fixture("panic", "fail"));
-    let findings = analyzer.finish().0;
+    let findings = analyzer.finish().findings;
     let keys: Vec<(String, u32)> = findings.iter().map(|f| (f.path.clone(), f.line)).collect();
     let mut sorted = keys.clone();
     sorted.sort();
@@ -195,6 +249,6 @@ fn skip_prefixes_exempt_vendored_code() {
     // The pin still sees zero unsafe sites and complains; filter it out —
     // this test is about the per-file rules being skipped.
     let findings: Vec<Finding> =
-        analyzer.finish().0.into_iter().filter(|f| f.rule != "unsafe-count").collect();
+        analyzer.finish().findings.into_iter().filter(|f| f.rule != "unsafe-count").collect();
     assert!(findings.is_empty(), "skipped paths must produce no findings, got {findings:?}");
 }
