@@ -27,8 +27,11 @@ use std::time::Instant;
 
 use tcim_bench::regression::{compare, BenchRecord, REGRESSION_TOLERANCE};
 use tcim_core::{solve, EstimatorConfig, ProblemSpec, RisConfig, WorldsConfig};
+use tcim_datasets::churn::ChurnConfig;
 use tcim_datasets::SyntheticConfig;
-use tcim_diffusion::{Deadline, InfluenceOracle, MonteCarloEstimator, ParallelismConfig};
+use tcim_diffusion::{
+    Deadline, InfluenceOracle, MonteCarloEstimator, ParallelismConfig, RisEstimator,
+};
 use tcim_graph::NodeId;
 use tcim_service::{Op, Request, ServiceEngine};
 
@@ -253,6 +256,52 @@ fn main() {
         warm_stats.bytes_budget
     );
     record.push("service_warm_hit_rate", warm_hit_rate);
+
+    // --- Incremental sketch refresh vs cold rebuild under churn -----------
+    // Sparse edge churn (a few edges per step) against the 20k-sketch RIS
+    // pool: `refresh` resamples only the RR sets that touch a mutated edge,
+    // a cold rebuild resamples all of them. The ratio divides two wall-times
+    // from the same process (runner speed cancels), and the baseline gate
+    // enforces the incremental path's reason to exist: refreshing after a
+    // sparse mutation must stay well over 2x cheaper than rebuilding. The
+    // refreshed pool must also stay bitwise-identical to the cold one — a
+    // divergence is a determinism bug, not a perf number.
+    let ris_config = RisConfig { num_sets: 20_000, seed: 2, ..Default::default() };
+    let churn = ChurnConfig::new(8, 2, 11).generate(&graph).expect("churn sequence");
+    let mut live = Arc::clone(&graph);
+    let mut warm =
+        RisEstimator::new(Arc::clone(&live), deadline, &ris_config).expect("warm ris pool");
+    let (mut cold_total_ms, mut refresh_total_ms) = (0.0f64, 0.0f64);
+    for ops in &churn.steps {
+        live = Arc::new(live.apply(ops).expect("churn step applies"));
+        let touched: Vec<NodeId> = ops.iter().map(|op| op.endpoints().1).collect();
+        let (refresh_ms, _resampled) =
+            timed(|| warm.refresh(Arc::clone(&live), &touched).expect("incremental refresh"));
+        let (cold_ms, cold) = timed(|| {
+            RisEstimator::new(Arc::clone(&live), deadline, &ris_config).expect("cold ris pool")
+        });
+        refresh_total_ms += refresh_ms;
+        cold_total_ms += cold_ms;
+        let warm_influence = warm.evaluate(&eval_seeds).expect("warm evaluate");
+        let cold_influence = cold.evaluate(&eval_seeds).expect("cold evaluate");
+        if warm_influence.total().to_bits() != cold_influence.total().to_bits() {
+            eprintln!(
+                "bench-regression: FATAL: refreshed RIS pool diverged from a cold rebuild at \
+                 graph version {} ({} vs {})",
+                live.version(),
+                warm_influence.total(),
+                cold_influence.total()
+            );
+            exit(1);
+        }
+    }
+    eprintln!(
+        "churn refresh: {} step(s), {:.1}ms refreshed vs {:.1}ms cold",
+        churn.steps.len(),
+        refresh_total_ms,
+        cold_total_ms
+    );
+    record.push("incremental_refresh_speedup", cold_total_ms / refresh_total_ms);
 
     print!("{}", record.to_json());
 

@@ -10,6 +10,8 @@
 //!   Instagram-Activities and Facebook-SNAP datasets (the originals are not
 //!   redistributable; see `DESIGN.md` for the substitution rationale),
 //! * [`loader`] — plain-text loading of the genuine files when available,
+//! * [`churn`] — deterministic edge-churn sequences over any base graph:
+//!   the temporal workloads behind the dynamic-graph differential tests,
 //! * [`scenario`] — the open scenario space: [`ScenarioSpec`] describes a
 //!   synthetic graph (generator family, size, group model, edge-weight
 //!   model) as typed, validated, canonically-fingerprinted data,
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod fbsnap;
 pub mod instagram;
 pub mod loader;
@@ -52,6 +55,7 @@ pub mod rice;
 pub mod scenario;
 pub mod synthetic;
 
+pub use churn::{ChurnConfig, ChurnSequence};
 pub use registry::{Dataset, DatasetBundle, ExperimentDefaults};
 pub use scenario::{GeneratorFamily, GroupModel, ScenarioSpec, WeightModel};
 pub use synthetic::SyntheticConfig;

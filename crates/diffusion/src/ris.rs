@@ -412,6 +412,30 @@ impl RrSketches {
         self.sets.extend(fresh);
     }
 
+    /// Replaces the sketches with ids `ids` by `fresh` (same length, same
+    /// order) and rebuilds the per-group counts and inverted index from
+    /// scratch. Rebuilding pushes set ids in ascending order per node —
+    /// exactly the order [`RrSketches::extend`] produces — so a refreshed
+    /// pool is bitwise-identical to a cold one.
+    fn replace(&mut self, ids: &[u32], fresh: Vec<RrSet>) {
+        debug_assert_eq!(ids.len(), fresh.len());
+        for (&id, set) in ids.iter().zip(fresh) {
+            self.sets[id as usize] = set;
+        }
+        for count in &mut self.sets_per_group {
+            *count = 0;
+        }
+        for index in &mut self.node_to_sets {
+            index.clear();
+        }
+        for (id, set) in self.sets.iter().enumerate() {
+            self.sets_per_group[set.target_group.index()] += 1;
+            for &node in set.nodes() {
+                self.node_to_sets[node.index()].push(id as u32);
+            }
+        }
+    }
+
     /// Number of sketches in the pool.
     pub fn len(&self) -> usize {
         self.sets.len()
@@ -549,6 +573,87 @@ impl RisEstimator {
         // estimator grows its own (construction-time extension never copies,
         // the pool is unshared until the estimator is handed out).
         Arc::make_mut(&mut self.sketches).extend(fresh);
+    }
+
+    /// Incremental sketch maintenance after a graph mutation: resamples only
+    /// the sketches that contain a node in `touched` (the **targets** of the
+    /// mutated edges) and leaves every other sketch untouched.
+    ///
+    /// Why this is exact and not an approximation: sketch `i` is a reverse
+    /// BFS seeded by `seed + i`, and the only per-node state it reads is the
+    /// in-edge row of each visited node. A mutation of edge `u → v` changes
+    /// only `v`'s row, so a sketch that never visited `v` replays the exact
+    /// same RNG trajectory on the new graph — its result is already correct.
+    /// Resampled sketches reuse their original `seed + id`, so the refreshed
+    /// pool is **bitwise-identical** to a cold [`RisEstimator::new`] on the
+    /// mutated graph with the same configuration.
+    ///
+    /// The pool is copy-on-write: clones sharing it keep serving the
+    /// pre-mutation sketches. Returns the number of sketches resampled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidParameter`] when `graph` disagrees
+    /// with the current graph on node or group count — mutations never
+    /// change the node set, so a mismatch means `graph` is not a mutated
+    /// version of this estimator's graph.
+    pub fn refresh(&mut self, graph: Arc<Graph>, touched: &[NodeId]) -> Result<usize> {
+        if graph.num_nodes() != self.graph.num_nodes()
+            || graph.num_groups() != self.graph.num_groups()
+        {
+            return Err(DiffusionError::InvalidParameter {
+                message: format!(
+                    "refresh graph has {} nodes / {} groups but the estimator was built on {} \
+                     nodes / {} groups",
+                    graph.num_nodes(),
+                    graph.num_groups(),
+                    self.graph.num_nodes(),
+                    self.graph.num_groups()
+                ),
+            });
+        }
+        let mut affected: Vec<u32> = touched
+            .iter()
+            .flat_map(|&t| self.sketches.sets_containing(t).iter().copied())
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+
+        let in_edges = Arc::new(InEdges::build(&graph));
+        if !affected.is_empty() {
+            let chunk_size = sketch_chunk_size(graph.num_nodes(), affected.len());
+            let num_chunks = affected.len().div_ceil(chunk_size);
+            let base_seed = self.base_seed;
+            let deadline = self.deadline;
+            let chunks: Vec<Vec<RrSet>> = self.parallelism.run(|| {
+                (0..num_chunks)
+                    .into_par_iter()
+                    .map(|chunk| {
+                        let lo = chunk * chunk_size;
+                        let hi = (lo + chunk_size).min(affected.len());
+                        let mut scratch = SketchScratch::new(graph.num_nodes());
+                        affected[lo..hi]
+                            .iter()
+                            .map(|&id| {
+                                sample_one_sketch(
+                                    &graph,
+                                    &in_edges,
+                                    deadline,
+                                    base_seed.wrapping_add(id as u64),
+                                    &mut scratch,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+            let fresh: Vec<RrSet> = chunks.into_iter().flatten().collect();
+            Arc::make_mut(&mut self.sketches).replace(&affected, fresh);
+        }
+        self.group_sizes = graph.group_sizes();
+        self.graph = graph;
+        self.in_edges = in_edges;
+        Ok(affected.len())
     }
 
     /// The IMM sampling phase: double the sketch count until the greedy
@@ -1051,6 +1156,82 @@ mod tests {
         )
         .unwrap();
         assert!(capped.num_sets() <= 500);
+    }
+
+    fn assert_pools_bitwise_eq(a: &RisEstimator, b: &RisEstimator) {
+        assert_eq!(a.sketches.sets(), b.sketches.sets());
+        assert_eq!(a.sketches.sets_per_group(), b.sketches.sets_per_group());
+        assert_eq!(a.sketches.node_to_sets, b.sketches.node_to_sets);
+        let seeds = [NodeId(0), NodeId(7), NodeId(63)];
+        let x = a.evaluate(&seeds).unwrap();
+        let y = b.evaluate(&seeds).unwrap();
+        for (p, q) in x.values().iter().zip(y.values()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn refresh_matches_a_cold_rebuild_bitwise() {
+        use tcim_graph::MutationOp;
+        let g = two_group_sbm();
+        let config = RisConfig { num_sets: 512, seed: 11, ..Default::default() };
+        let deadline = Deadline::finite(3);
+        let ops = [
+            MutationOp::AddEdge { source: NodeId(0), target: NodeId(90), probability: 0.9 },
+            MutationOp::RemoveEdge { source: NodeId(0), target: NodeId(90) },
+            MutationOp::Reweight { source: NodeId(2), target: NodeId(1), probability: 0.99 },
+        ];
+        let mut current = Arc::clone(&g);
+        let mut incremental = RisEstimator::new(Arc::clone(&g), deadline, &config).unwrap();
+        for op in ops {
+            // Reweight targets an edge of the SBM draw; make sure it exists.
+            let mutated = Arc::new(match op {
+                MutationOp::Reweight { source, target, .. }
+                    if !current.out_edges(source).any(|(w, _)| w == target) =>
+                {
+                    current.add_edge(source, target, 0.99).unwrap()
+                }
+                _ => current.apply(&[op]).unwrap(),
+            });
+            let (_, target) = op.endpoints();
+            let resampled = incremental.refresh(Arc::clone(&mutated), &[target]).unwrap();
+            assert!(resampled > 0, "mutation around node {target:?} touched no sketch");
+            assert!(resampled < config.num_sets, "refresh resampled the whole pool");
+            let cold = RisEstimator::new(Arc::clone(&mutated), deadline, &config).unwrap();
+            assert_pools_bitwise_eq(&incremental, &cold);
+            current = mutated;
+        }
+    }
+
+    #[test]
+    fn refresh_is_copy_on_write_for_clones() {
+        let g = two_group_sbm();
+        let config = RisConfig { num_sets: 256, seed: 5, ..Default::default() };
+        let mut a = RisEstimator::new(Arc::clone(&g), Deadline::finite(3), &config).unwrap();
+        let b = a.clone();
+        let before = b.sketches.sets().to_vec();
+        let mutated = Arc::new(g.add_edge(NodeId(1), NodeId(100), 0.8).unwrap());
+        a.refresh(Arc::clone(&mutated), &[NodeId(100)]).unwrap();
+        // The clone still serves the pre-mutation pool, untouched.
+        assert_eq!(b.sketches.sets(), &before[..]);
+        assert_eq!(b.graph_arc().version(), 0);
+        assert_eq!(a.graph_arc().version(), 1);
+    }
+
+    #[test]
+    fn refresh_rejects_shape_mismatches_and_tolerates_empty_touch_sets() {
+        let g = two_group_sbm();
+        let config = RisConfig { num_sets: 64, seed: 9, ..Default::default() };
+        let mut ris = RisEstimator::new(Arc::clone(&g), Deadline::finite(2), &config).unwrap();
+        let mut b = GraphBuilder::new();
+        b.add_nodes(3, GroupId(0));
+        let small = Arc::new(b.build().unwrap());
+        assert!(ris.refresh(small, &[]).is_err());
+        // An empty touch set still swaps in the new graph (every sketch is
+        // already valid on it).
+        let mutated = Arc::new(g.add_edge(NodeId(3), NodeId(110), 0.5).unwrap());
+        assert_eq!(ris.refresh(Arc::clone(&mutated), &[]).unwrap(), 0);
+        assert_eq!(ris.graph_arc().version(), 1);
     }
 
     #[test]

@@ -88,6 +88,50 @@ impl LiveEdgeWorld {
         LiveEdgeWorld::from_edges(n, edges)
     }
 
+    /// Samples a world with **keyed** per-edge coins: the coin of edge
+    /// `u → v` is a pure function of `(world_seed, u, v)` instead of a
+    /// position in a sequential RNG stream. Two consequences the dynamic
+    /// serving tier relies on:
+    ///
+    /// 1. mutating the graph leaves the coins of every untouched edge
+    ///    unchanged (common random numbers across versions), and
+    /// 2. patching only the mutated rows ([`WorldCollection::patch`]) is
+    ///    bitwise-identical to resampling the whole world from scratch.
+    ///
+    /// The sequential sampler ([`LiveEdgeWorld::sample`]) cannot offer either
+    /// property — inserting one edge shifts every later coin — which is why
+    /// version-0 pools keep it (frozen goldens) and mutated graphs use this.
+    pub fn sample_keyed(graph: &Graph, world_seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            for (w, p) in graph.out_edges(v) {
+                if p > 0.0 && (p >= 1.0 || keyed_draw(world_seed, v.0, w.0) < p) {
+                    targets.push(w.0);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        LiveEdgeWorld { offsets, targets }
+    }
+
+    /// Keyed linear-threshold world: node `v`'s single in-edge pick draws
+    /// from `(world_seed, v)` instead of a sequential stream, so a mutation
+    /// touching the in-edges of one node re-picks only that node — see
+    /// [`LiveEdgeWorld::sample_keyed`] for why that makes patching exact.
+    pub fn sample_lt_keyed(graph: &Graph, weights: &crate::lt::LtWeights, world_seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            if let Some((u, _)) = lt_pick(weights, v, world_seed) {
+                edges.push((u.0, v.0));
+            }
+        }
+        LiveEdgeWorld::from_edges(n, edges)
+    }
+
     /// Samples a world from `graph` using `rng` (each edge kept independently
     /// with its activation probability).
     pub fn sample<R: RngExt + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
@@ -180,6 +224,39 @@ impl LiveEdgeWorld {
         });
         covered
     }
+}
+
+/// The keyed coin of edge `u → v` in the world seeded by `world_seed`: a
+/// splitmix64-style finalizer over the packed inputs, mapped to `[0, 1)`.
+/// A pure function of its arguments — never a stream position — so graph
+/// mutations cannot shift the coins of untouched edges.
+#[inline]
+fn keyed_draw(world_seed: u64, u: u32, v: u32) -> f64 {
+    let mut x = world_seed ^ (((u as u64) << 32) | v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The linear-threshold in-edge pick of node `v` under keyed sampling:
+/// `None` when no edge is selected. Self-loops never exist, so the `(v, v)`
+/// key is free for the per-node draw without colliding with any IC edge key.
+fn lt_pick(weights: &crate::lt::LtWeights, v: NodeId, world_seed: u64) -> Option<(NodeId, f64)> {
+    let in_edges = weights.in_edges(v);
+    if in_edges.is_empty() {
+        return None;
+    }
+    let mut pick = keyed_draw(world_seed, v.0, v.0);
+    for &(u, w) in in_edges {
+        if pick < w {
+            return Some((u, w));
+        }
+        pick -= w;
+    }
+    None
 }
 
 /// Reusable visited-marker buffer for [`LiveEdgeWorld::bounded_bfs`].
@@ -298,6 +375,126 @@ impl WorldCollection {
                 .collect()
         });
         Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
+    }
+
+    /// Samples a collection with keyed per-edge coins
+    /// ([`LiveEdgeWorld::sample_keyed`]); world `i` uses the world seed
+    /// `config.seed + i`. The serving tier builds every pool for a *mutated*
+    /// graph (`graph.version() > 0`) this way, so incremental patching and a
+    /// cold rebuild agree bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NoSamples`] when `num_worlds` is zero.
+    pub fn sample_keyed(graph: &Graph, config: &WorldsConfig) -> Result<Self> {
+        if config.num_worlds == 0 {
+            return Err(DiffusionError::NoSamples);
+        }
+        let worlds = config.parallelism.run(|| {
+            (0..config.num_worlds)
+                .into_par_iter()
+                .map(|i| LiveEdgeWorld::sample_keyed(graph, config.seed.wrapping_add(i as u64)))
+                .collect()
+        });
+        Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
+    }
+
+    /// Keyed linear-threshold collection; see
+    /// [`LiveEdgeWorld::sample_lt_keyed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NoSamples`] when `num_worlds` is zero.
+    pub fn sample_lt_keyed(
+        graph: &Graph,
+        weights: &crate::lt::LtWeights,
+        config: &WorldsConfig,
+    ) -> Result<Self> {
+        if config.num_worlds == 0 {
+            return Err(DiffusionError::NoSamples);
+        }
+        let worlds = config.parallelism.run(|| {
+            (0..config.num_worlds)
+                .into_par_iter()
+                .map(|i| {
+                    LiveEdgeWorld::sample_lt_keyed(
+                        graph,
+                        weights,
+                        config.seed.wrapping_add(i as u64),
+                    )
+                })
+                .collect()
+        });
+        Ok(WorldCollection { worlds, num_nodes: graph.num_nodes() })
+    }
+
+    /// Patches a **keyed** collection onto a mutated graph: only the CSR
+    /// rows of `touched_sources` (the source endpoints of mutated edges) are
+    /// re-drawn; every other row is copied verbatim. Because keyed coins are
+    /// pure functions of `(seed + i, u, v)`, the result is bitwise-identical
+    /// to [`WorldCollection::sample_keyed`] on the new graph — patching is a
+    /// latency optimisation, never a semantic one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::NoSamples`] when `config.num_worlds` is
+    /// zero, or [`DiffusionError::InvalidParameter`] when the collection was
+    /// built for a different node or world count (mutations never change the
+    /// node set).
+    pub fn patch(
+        &self,
+        graph: &Graph,
+        touched_sources: &[NodeId],
+        config: &WorldsConfig,
+    ) -> Result<Self> {
+        if config.num_worlds == 0 {
+            return Err(DiffusionError::NoSamples);
+        }
+        if self.num_nodes != graph.num_nodes() || self.worlds.len() != config.num_worlds {
+            return Err(DiffusionError::InvalidParameter {
+                message: format!(
+                    "cannot patch a {}-world collection over {} nodes onto a graph with {} \
+                     nodes and a config asking for {} worlds",
+                    self.worlds.len(),
+                    self.num_nodes,
+                    graph.num_nodes(),
+                    config.num_worlds
+                ),
+            });
+        }
+        let n = graph.num_nodes();
+        let mut touched = vec![false; n];
+        for &v in touched_sources {
+            if v.index() < n {
+                touched[v.index()] = true;
+            }
+        }
+        let worlds = config.parallelism.run(|| {
+            (0..self.worlds.len())
+                .into_par_iter()
+                .map(|i| {
+                    let old = &self.worlds[i];
+                    let world_seed = config.seed.wrapping_add(i as u64);
+                    let mut offsets = Vec::with_capacity(n + 1);
+                    let mut targets = Vec::with_capacity(old.targets.len());
+                    offsets.push(0u32);
+                    for v in graph.nodes() {
+                        if touched[v.index()] {
+                            for (w, p) in graph.out_edges(v) {
+                                if p > 0.0 && (p >= 1.0 || keyed_draw(world_seed, v.0, w.0) < p) {
+                                    targets.push(w.0);
+                                }
+                            }
+                        } else {
+                            targets.extend_from_slice(old.out_neighbors(v));
+                        }
+                        offsets.push(targets.len() as u32);
+                    }
+                    LiveEdgeWorld { offsets, targets }
+                })
+                .collect()
+        });
+        Ok(WorldCollection { worlds, num_nodes: n })
     }
 
     /// Number of worlds in the collection.
@@ -495,5 +692,99 @@ mod tests {
         .unwrap();
         let mean = worlds.mean_live_edges();
         assert!((mean - 60.0).abs() < 6.0, "mean live edges {mean}");
+    }
+
+    fn assert_worlds_bitwise_eq(a: &WorldCollection, b: &WorldCollection) {
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.worlds().iter().zip(b.worlds()) {
+            assert_eq!(wa.offsets, wb.offsets);
+            assert_eq!(wa.targets, wb.targets);
+        }
+    }
+
+    #[test]
+    fn keyed_sampling_is_deterministic_and_independent_of_parallelism() {
+        let g = path(0.5);
+        let cfg = WorldsConfig { num_worlds: 16, seed: 9, ..Default::default() };
+        let serial =
+            WorldsConfig { num_worlds: 16, seed: 9, parallelism: ParallelismConfig::fixed(1) };
+        let a = WorldCollection::sample_keyed(&g, &cfg).unwrap();
+        let b = WorldCollection::sample_keyed(&g, &serial).unwrap();
+        assert_worlds_bitwise_eq(&a, &b);
+        assert!(matches!(
+            WorldCollection::sample_keyed(
+                &g,
+                &WorldsConfig { num_worlds: 0, seed: 0, ..Default::default() }
+            ),
+            Err(DiffusionError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn patch_matches_a_cold_keyed_rebuild_after_each_mutation_kind() {
+        use tcim_graph::MutationOp;
+        let g = path(0.5);
+        let cfg = WorldsConfig { num_worlds: 24, seed: 7, ..Default::default() };
+        let base = WorldCollection::sample_keyed(&g, &cfg).unwrap();
+        let cases = [
+            MutationOp::AddEdge { source: NodeId(0), target: NodeId(2), probability: 0.6 },
+            MutationOp::RemoveEdge { source: NodeId(1), target: NodeId(2) },
+            MutationOp::Reweight { source: NodeId(2), target: NodeId(3), probability: 0.05 },
+        ];
+        for op in cases {
+            let mutated = g.apply(&[op]).unwrap();
+            let (source, _) = op.endpoints();
+            let patched = base.patch(&mutated, &[source], &cfg).unwrap();
+            let cold = WorldCollection::sample_keyed(&mutated, &cfg).unwrap();
+            assert_worlds_bitwise_eq(&patched, &cold);
+        }
+    }
+
+    #[test]
+    fn patch_rejects_mismatched_shapes() {
+        let g = path(0.5);
+        let cfg = WorldsConfig { num_worlds: 8, seed: 3, ..Default::default() };
+        let base = WorldCollection::sample_keyed(&g, &cfg).unwrap();
+        let wrong_count = WorldsConfig { num_worlds: 9, seed: 3, ..Default::default() };
+        assert!(matches!(
+            base.patch(&g, &[], &wrong_count),
+            Err(DiffusionError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            base.patch(&g, &[], &WorldsConfig { num_worlds: 0, seed: 3, ..Default::default() }),
+            Err(DiffusionError::NoSamples)
+        ));
+        let mut b = GraphBuilder::new();
+        b.add_nodes(5, GroupId(0));
+        let bigger = b.build().unwrap();
+        assert!(base.patch(&bigger, &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn keyed_lt_worlds_keep_at_most_one_in_edge_and_match_patchless_rebuild() {
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes(3, GroupId(0));
+        b.add_edge(nodes[0], nodes[2], 0.9).unwrap();
+        b.add_edge(nodes[1], nodes[2], 0.9).unwrap();
+        let g = b.build().unwrap();
+        let weights = crate::lt::LtWeights::from_graph(&g);
+        for seed in 0..50 {
+            let world = LiveEdgeWorld::sample_lt_keyed(&g, &weights, seed);
+            let in_degree_of_2 = world.out_neighbors(NodeId(0)).contains(&2) as usize
+                + world.out_neighbors(NodeId(1)).contains(&2) as usize;
+            assert!(in_degree_of_2 <= 1);
+        }
+        let cfg = WorldsConfig { num_worlds: 12, seed: 5, ..Default::default() };
+        let a = WorldCollection::sample_lt_keyed(&g, &weights, &cfg).unwrap();
+        let b2 = WorldCollection::sample_lt_keyed(&g, &weights, &cfg).unwrap();
+        assert_worlds_bitwise_eq(&a, &b2);
+        assert!(matches!(
+            WorldCollection::sample_lt_keyed(
+                &g,
+                &weights,
+                &WorldsConfig { num_worlds: 0, seed: 0, ..Default::default() }
+            ),
+            Err(DiffusionError::NoSamples)
+        ));
     }
 }

@@ -10,7 +10,7 @@ use tcim_diffusion::{
     RisEstimator, WorldEstimator, WorldsConfig,
 };
 use tcim_graph::generators::{stochastic_block_model, SbmConfig};
-use tcim_graph::{Graph, NodeId};
+use tcim_graph::{Graph, MutationOp, NodeId};
 
 fn sbm() -> Arc<Graph> {
     let config = SbmConfig::two_group(200, 0.7, 0.05, 0.01, 0.3, 17);
@@ -204,6 +204,114 @@ fn shared_sketch_pools_serve_identical_answers() {
         &fresh.evaluate(&seeds).unwrap(),
         "extended clone vs fresh sample",
     );
+}
+
+#[test]
+fn deadline_edges_survive_every_mutation_kind() {
+    // τ = 0, τ = 1 and ∞ must keep their invariants — and their bitwise
+    // thread-independence — after each kind of graph mutation, and the RIS
+    // incremental refresh must equal a cold rebuild at exactly those
+    // deadlines (the cutoff arithmetic is where a stale sketch would hide).
+    let base = sbm();
+    let seeds = seeds();
+    // One mutation of each kind, chained: insert a fresh edge, remove an
+    // original one, reweight another.
+    let added = base
+        .nodes()
+        .find_map(|u| {
+            base.nodes().find(|&v| u != v && !base.out_neighbors(u).any(|w| w == v)).map(|v| (u, v))
+        })
+        .unwrap();
+    let mut existing = base.edges().map(|(s, t, _)| (s, t));
+    let removed = existing.next().unwrap();
+    let reweighted = existing.next().unwrap();
+    let mutations = [
+        MutationOp::AddEdge { source: added.0, target: added.1, probability: 0.5 },
+        MutationOp::RemoveEdge { source: removed.0, target: removed.1 },
+        MutationOp::Reweight { source: reweighted.0, target: reweighted.1, probability: 0.9 },
+    ];
+
+    let mut previous = Arc::clone(&base);
+    for op in mutations {
+        let mutated = Arc::new(previous.apply(std::slice::from_ref(&op)).unwrap());
+        let touched = vec![op.endpoints().1];
+        for (tau, deadline) in [
+            (Some(0u32), Deadline::finite(0)),
+            (Some(1), Deadline::finite(1)),
+            (None, Deadline::unbounded()),
+        ] {
+            let context = |estimator: &str| format!("{estimator} after {}, τ={tau:?}", op.label());
+            // Worlds: serial == 8 threads on the mutated graph; τ = 0 still
+            // reduces to exact seed counts.
+            let worlds = WorldEstimator::new(
+                Arc::clone(&mutated),
+                deadline,
+                &WorldsConfig { num_worlds: 48, seed: 5, parallelism: ParallelismConfig::serial() },
+            )
+            .unwrap();
+            let reference = worlds.evaluate(&seeds).unwrap();
+            if tau == Some(0) {
+                assert_bitwise_equal(
+                    &reference,
+                    &seed_counts(&mutated, &seeds),
+                    &context("worlds"),
+                );
+            }
+            let parallel = worlds.with_parallelism(ParallelismConfig::fixed(8));
+            assert_bitwise_equal(
+                &reference,
+                &parallel.evaluate(&seeds).unwrap(),
+                &context("worlds"),
+            );
+
+            // Monte-Carlo: same thread-independence and τ = 0 exactness.
+            let mc = MonteCarloEstimator::new(Arc::clone(&mutated), deadline, 64, 9)
+                .unwrap()
+                .with_parallelism(ParallelismConfig::serial());
+            let mc_reference = mc.evaluate(&seeds).unwrap();
+            if tau == Some(0) {
+                assert_bitwise_equal(
+                    &mc_reference,
+                    &seed_counts(&mutated, &seeds),
+                    &context("monte-carlo"),
+                );
+            }
+            assert_bitwise_equal(
+                &mc_reference,
+                &mc.with_parallelism(ParallelismConfig::fixed(8)).evaluate(&seeds).unwrap(),
+                &context("monte-carlo"),
+            );
+
+            // RIS: refreshing the pre-mutation pool must equal a cold build
+            // on the mutated graph, bitwise, at every deadline edge.
+            for threads in [1usize, 8] {
+                let config = RisConfig {
+                    num_sets: 400,
+                    seed: 13,
+                    parallelism: ParallelismConfig::fixed(threads),
+                    adaptive: None,
+                };
+                let mut refreshed =
+                    RisEstimator::new(Arc::clone(&previous), deadline, &config).unwrap();
+                refreshed.refresh(Arc::clone(&mutated), &touched).unwrap();
+                let cold = RisEstimator::new(Arc::clone(&mutated), deadline, &config).unwrap();
+                assert_bitwise_equal(
+                    &refreshed.evaluate(&seeds).unwrap(),
+                    &cold.evaluate(&seeds).unwrap(),
+                    &format!("{} ({threads} threads)", context("ris refresh")),
+                );
+                if tau == Some(0) {
+                    assert!(
+                        refreshed.sets().iter().all(|s| s.len() == 1),
+                        "τ=0 sketches must stay singletons after {}",
+                        op.label()
+                    );
+                }
+            }
+        }
+        previous = mutated;
+    }
+    assert_eq!(previous.version(), 3, "one version step per mutation kind");
 }
 
 #[test]

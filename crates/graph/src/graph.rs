@@ -13,6 +13,63 @@ use crate::ids::{GroupId, NodeId};
 /// A directed edge during graph assembly: `(source, target, probability)`.
 pub type EdgeRecord = (NodeId, NodeId, f64);
 
+/// One deterministic graph mutation, applied by [`Graph::apply`].
+///
+/// Mutations never add or remove nodes: the node set (and therefore the
+/// group assignment) is fixed at build time, which is what makes incremental
+/// sketch refresh sound — a reverse-reachable sketch whose nodes never touch
+/// a mutated edge replays the exact same RNG trajectory on the new graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MutationOp {
+    /// Insert the directed edge `source → target` with `probability`.
+    /// Fails if the edge already exists or is a self-loop.
+    AddEdge {
+        /// Edge source.
+        source: NodeId,
+        /// Edge target.
+        target: NodeId,
+        /// Activation probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Delete the directed edge `source → target`. Fails if absent.
+    RemoveEdge {
+        /// Edge source.
+        source: NodeId,
+        /// Edge target.
+        target: NodeId,
+    },
+    /// Replace the activation probability of the existing directed edge
+    /// `source → target`. Fails if the edge is absent.
+    Reweight {
+        /// Edge source.
+        source: NodeId,
+        /// Edge target.
+        target: NodeId,
+        /// New activation probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+impl MutationOp {
+    /// The `(source, target)` endpoints the mutation touches.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            MutationOp::AddEdge { source, target, .. }
+            | MutationOp::RemoveEdge { source, target }
+            | MutationOp::Reweight { source, target, .. } => (source, target),
+        }
+    }
+
+    /// The protocol name of the mutation kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationOp::AddEdge { .. } => "add",
+            MutationOp::RemoveEdge { .. } => "remove",
+            MutationOp::Reweight { .. } => "reweight",
+        }
+    }
+}
+
 /// A directed graph in CSR form with disjoint node groups and per-edge
 /// influence (activation) probabilities, as used by the independent-cascade
 /// model of Kempe et al. and the time-critical variant of Chen et al.
@@ -33,6 +90,11 @@ pub struct Graph {
     num_groups: usize,
     /// Cached member lists per group.
     group_members: Vec<Vec<NodeId>>,
+    /// Mutation generation: 0 for freshly built graphs, bumped by one on
+    /// every [`Graph::apply`]. Part of `PartialEq` on purpose — two graphs
+    /// with identical CSR content but different mutation histories are
+    /// distinct cache citizens.
+    version: u64,
 }
 
 impl Graph {
@@ -104,7 +166,153 @@ impl Graph {
             group_members[group.index()].push(NodeId::from_index(idx));
         }
 
-        Ok(Graph { offsets, targets, probabilities, groups, num_groups, group_members })
+        Ok(Graph { offsets, targets, probabilities, groups, num_groups, group_members, version: 0 })
+    }
+
+    /// Mutation generation of this graph: 0 for freshly built graphs,
+    /// incremented by every [`Graph::apply`]. Monotonically increasing along
+    /// any mutation chain, so version-keyed caches never serve stale state.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Applies a batch of [`MutationOp`]s, producing a new graph with
+    /// `version() + 1`. The receiver is untouched (mutation is functional:
+    /// estimators holding the old graph behind an `Arc` keep a consistent
+    /// snapshot).
+    ///
+    /// Ops apply in order, each against the result of the previous one. The
+    /// node set, group assignment and CSR row ordering are preserved:
+    /// inserted edges land at their target-sorted position within the
+    /// source's row, so a graph built by `GraphBuilder` (whose rows are
+    /// target-sorted and parallel-edge-free) stays canonical — applying
+    /// `AddEdge` yields byte-for-byte the CSR a from-scratch rebuild with
+    /// the extra edge would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (and leaves no partial state) if any op names an
+    /// out-of-bounds node, a self-loop, a probability outside `[0, 1]`, adds
+    /// an edge that already exists, or removes/reweights one that does not.
+    pub fn apply(&self, ops: &[MutationOp]) -> Result<Self> {
+        let n = self.num_nodes();
+        let check = |node: NodeId| -> Result<usize> {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfBounds { node: node.0, num_nodes: n });
+            }
+            Ok(node.index())
+        };
+        let check_p = |p: f64| -> Result<f64> {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(GraphError::InvalidProbability { value: p });
+            }
+            Ok(p)
+        };
+        // Expand the CSR into per-source rows once, edit rows in place, then
+        // reassemble: O(V + E) per batch regardless of how rows shift.
+        let mut rows: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|v| {
+                let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+                self.targets[range.clone()]
+                    .iter()
+                    .zip(&self.probabilities[range])
+                    .map(|(&t, &p)| (t, p))
+                    .collect()
+            })
+            .collect();
+        for op in ops {
+            let (source, target) = op.endpoints();
+            let (s, t) = (check(source)?, check(target)?);
+            let row = &mut rows[s];
+            let hit = row.iter().position(|&(w, _)| w == target.0);
+            match *op {
+                MutationOp::AddEdge { probability, .. } => {
+                    if s == t {
+                        return Err(GraphError::InvalidParameter {
+                            message: format!("cannot add self-loop {source:?} -> {target:?}"),
+                        });
+                    }
+                    let p = check_p(probability)?;
+                    if hit.is_some() {
+                        return Err(GraphError::InvalidParameter {
+                            message: format!("edge {source:?} -> {target:?} already exists"),
+                        });
+                    }
+                    let at = row.iter().position(|&(w, _)| w > target.0).unwrap_or(row.len());
+                    row.insert(at, (target.0, p));
+                }
+                MutationOp::RemoveEdge { .. } => {
+                    let Some(at) = hit else {
+                        return Err(GraphError::InvalidParameter {
+                            message: format!("edge {source:?} -> {target:?} does not exist"),
+                        });
+                    };
+                    // Builder-built graphs carry no parallel edges, but a raw
+                    // from_csr graph may: remove every copy.
+                    row.remove(at);
+                    row.retain(|&(w, _)| w != target.0);
+                }
+                MutationOp::Reweight { probability, .. } => {
+                    if hit.is_none() {
+                        return Err(GraphError::InvalidParameter {
+                            message: format!("edge {source:?} -> {target:?} does not exist"),
+                        });
+                    }
+                    let p = check_p(probability)?;
+                    for slot in row.iter_mut().filter(|(w, _)| *w == target.0) {
+                        slot.1 = p;
+                    }
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut probabilities = Vec::new();
+        offsets.push(0u32);
+        for row in rows {
+            for (t, p) in row {
+                targets.push(t);
+                probabilities.push(p);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Ok(Graph {
+            offsets,
+            targets,
+            probabilities,
+            groups: self.groups.clone(),
+            num_groups: self.num_groups,
+            group_members: self.group_members.clone(),
+            version: self.version + 1,
+        })
+    }
+
+    /// [`Graph::apply`] with a single [`MutationOp::AddEdge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::apply`].
+    pub fn add_edge(&self, source: NodeId, target: NodeId, probability: f64) -> Result<Self> {
+        self.apply(&[MutationOp::AddEdge { source, target, probability }])
+    }
+
+    /// [`Graph::apply`] with a single [`MutationOp::RemoveEdge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::apply`].
+    pub fn remove_edge(&self, source: NodeId, target: NodeId) -> Result<Self> {
+        self.apply(&[MutationOp::RemoveEdge { source, target }])
+    }
+
+    /// [`Graph::apply`] with a single [`MutationOp::Reweight`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::apply`].
+    pub fn reweight(&self, source: NodeId, target: NodeId, probability: f64) -> Result<Self> {
+        self.apply(&[MutationOp::Reweight { source, target, probability }])
     }
 
     /// Number of nodes in the graph.
@@ -484,5 +692,118 @@ mod tests {
     fn expected_live_edges_sums_probabilities() {
         let g = triangle();
         assert!((g.expected_live_edges() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutations_bump_the_version_monotonically() {
+        let g = triangle();
+        assert_eq!(g.version(), 0);
+        let g1 = g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+        assert_eq!(g1.version(), 1);
+        let g2 = g1.reweight(NodeId(0), NodeId(2), 0.9).unwrap();
+        assert_eq!(g2.version(), 2);
+        let g3 = g2.remove_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g3.version(), 3);
+        // The receiver is untouched each time (functional mutation).
+        assert_eq!(g.version(), 0);
+        assert_eq!(g.num_edges(), 3);
+        // A batch of ops is one version step.
+        let batch = g
+            .apply(&[
+                MutationOp::AddEdge { source: NodeId(0), target: NodeId(2), probability: 0.4 },
+                MutationOp::RemoveEdge { source: NodeId(0), target: NodeId(2) },
+            ])
+            .unwrap();
+        assert_eq!(batch.version(), 1);
+    }
+
+    #[test]
+    fn add_edge_matches_a_from_scratch_rebuild() {
+        // Mutating a builder-built graph stays canonical: the CSR equals the
+        // one a rebuild with the extra edge produces.
+        let g = triangle();
+        let mutated = g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(GroupId(0));
+        let c = b.add_node(GroupId(0));
+        let d = b.add_node(GroupId(1));
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(a, d, 0.4).unwrap();
+        b.add_edge(c, d, 0.25).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        let rebuilt = b.build().unwrap();
+        let lhs: Vec<_> = mutated.edges().collect();
+        let rhs: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(lhs, rhs);
+        assert_eq!(mutated.group_sizes(), rebuilt.group_sizes());
+    }
+
+    #[test]
+    fn remove_and_reweight_edit_exactly_one_edge() {
+        let g = triangle();
+        let removed = g.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(removed.num_edges(), 2);
+        assert!(removed.edges().all(|(s, t, _)| (s, t) != (NodeId(1), NodeId(2))));
+        let reweighted = g.reweight(NodeId(1), NodeId(2), 0.75).unwrap();
+        assert_eq!(reweighted.num_edges(), 3);
+        let p = reweighted
+            .edges()
+            .find(|(s, t, _)| (*s, *t) == (NodeId(1), NodeId(2)))
+            .map(|(_, _, p)| p);
+        assert_eq!(p, Some(0.75));
+        // Other edges keep their exact probabilities.
+        assert_eq!(
+            reweighted.edges().find(|(s, _, _)| *s == NodeId(0)).map(|(_, _, p)| p),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn invalid_mutations_are_rejected_by_name() {
+        let g = triangle();
+        // Duplicate add, missing remove/reweight, self-loop, bad probability,
+        // out-of-bounds node.
+        assert!(g.add_edge(NodeId(0), NodeId(1), 0.3).is_err());
+        assert!(g.remove_edge(NodeId(0), NodeId(2)).is_err());
+        assert!(g.reweight(NodeId(0), NodeId(2), 0.3).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(0), 0.3).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(2), 1.5).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(9), 0.3).is_err());
+        assert!(g.remove_edge(NodeId(9), NodeId(0)).is_err());
+        // A failing op in a batch leaves no partial result to observe.
+        let err = g.apply(&[
+            MutationOp::RemoveEdge { source: NodeId(0), target: NodeId(1) },
+            MutationOp::RemoveEdge { source: NodeId(0), target: NodeId(1) },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ops_in_a_batch_apply_in_order() {
+        let g = triangle();
+        let out = g
+            .apply(&[
+                MutationOp::AddEdge { source: NodeId(0), target: NodeId(2), probability: 0.1 },
+                MutationOp::Reweight { source: NodeId(0), target: NodeId(2), probability: 0.6 },
+            ])
+            .unwrap();
+        let p = out.edges().find(|(s, t, _)| (*s, *t) == (NodeId(0), NodeId(2))).unwrap().2;
+        assert_eq!(p, 0.6);
+        assert_eq!(
+            MutationOp::AddEdge { source: NodeId(0), target: NodeId(2), probability: 0.1 }
+                .endpoints(),
+            (NodeId(0), NodeId(2))
+        );
+        for (op, label) in [
+            (MutationOp::AddEdge { source: NodeId(0), target: NodeId(2), probability: 0.1 }, "add"),
+            (MutationOp::RemoveEdge { source: NodeId(0), target: NodeId(1) }, "remove"),
+            (
+                MutationOp::Reweight { source: NodeId(0), target: NodeId(1), probability: 0.2 },
+                "reweight",
+            ),
+        ] {
+            assert_eq!(op.label(), label);
+        }
     }
 }

@@ -50,5 +50,5 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
-pub use graph::{EdgeRecord, Graph};
+pub use graph::{EdgeRecord, Graph, MutationOp};
 pub use ids::{GroupId, NodeId};

@@ -1,0 +1,27 @@
+// Fixture: inside churn-path functions (refresh / resample / patch /
+// mutate) the seed rule additionally demands per-item derivation. Both
+// constructions below ARE seed-derived — the base rule is satisfied — but
+// they re-seed every resampled item from the bare pool seed, so the
+// incremental rebuild replays one stream N times and diverges from a cold
+// build.
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+pub fn refresh_sketches(pool_seed: u64, affected: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for _sketch in affected {
+        let mut rng = SmallRng::seed_from_u64(pool_seed);
+        acc ^= rng.next_u64();
+    }
+    acc
+}
+
+pub fn patch_worlds(pool_seed: u64, touched: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for _world in touched {
+        let stream = pool_seed.wrapping_mul(0x9e37_79b9);
+        let mut rng = SmallRng::seed_from_u64(stream);
+        acc ^= rng.next_u64();
+    }
+    acc
+}

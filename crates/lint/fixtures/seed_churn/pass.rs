@@ -1,0 +1,32 @@
+// Fixture: the churn-path obligation is satisfied when every resampled
+// item derives its own seed from the pool seed plus the item's identity —
+// exactly the stream a cold rebuild would draw — and the obligation does
+// not leak into ordinary pool-construction functions.
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+pub fn refresh_sketches(pool_seed: u64, affected: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for id in affected {
+        let mut rng = SmallRng::seed_from_u64(pool_seed.wrapping_add(u64::from(*id)));
+        acc ^= rng.next_u64();
+    }
+    acc
+}
+
+pub fn patch_worlds(pool_seed: u64, touched: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for (world_index, _) in touched.iter().enumerate() {
+        let stream = pool_seed.wrapping_add(world_index as u64);
+        let mut rng = SmallRng::seed_from_u64(stream);
+        acc ^= rng.next_u64();
+    }
+    acc
+}
+
+pub fn sample_pool(seed: u64) -> u64 {
+    // Not a churn path: a pool-level construction from the bare run seed
+    // stays legal outside refresh/resample/patch/mutate functions.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -16,6 +16,16 @@
 //!   inside the same function (`let worker = seed.wrapping_add(i); …
 //!   seed_from_u64(worker)`).
 //!
+//! Churn paths get one extra obligation. Inside a function whose name marks
+//! it as an incremental maintenance path (`refresh` / `resample` / `patch` /
+//! `mutate`), a seeded constructor must *also* mention an index-ish
+//! identifier (`i`, `id`, `*_id`, `…index…`, `…idx…`, `…version…`): the
+//! incremental-equals-cold contract holds only because item `i` is resampled
+//! from exactly the seed a cold rebuild would use (`seed.wrapping_add(i)`).
+//! A refresh loop that re-seeds every item from the bare pool seed is still
+//! "seed-derived", but it replays one stream N times and silently diverges
+//! from a cold rebuild.
+//!
 //! Test scope is exempt: pinning a literal seed inside `#[cfg(test)]` is
 //! exactly how golden tests are written.
 
@@ -30,6 +40,9 @@ use crate::{Finding, SEED_PROVENANCE};
 const SEEDED_CTORS: &[&str] = &["seed_from_u64", "from_seed"];
 /// RNG constructors that draw from the environment: never deterministic.
 const ENTROPY_CTORS: &[&str] = &["from_entropy", "from_os_rng", "thread_rng"];
+/// Function-name fragments marking incremental churn paths, where seeds
+/// must additionally be derived per item (see the module docs).
+const CHURN_FN_MARKERS: &[&str] = &["refresh", "resample", "patch", "mutate"];
 
 /// Runs the rule over one file (the caller has already checked scope).
 pub(crate) fn check(ctx: &mut RuleCtx<'_>) {
@@ -63,7 +76,7 @@ pub(crate) fn check(ctx: &mut RuleCtx<'_>) {
         }
         let Some(open) = next_code(ctx, i + 1) else { continue };
         let Some(close) = matching_paren(ctx, open) else { continue };
-        let tainted = tainted_locals(ctx, i);
+        let tainted = tainted_locals(ctx, i, is_seedish);
         let arg_is_derived = (open + 1..close).any(|j| {
             let t = &tokens[j];
             t.kind == TokenKind::Ident && (is_seedish(&t.text) || tainted.contains(&t.text))
@@ -79,8 +92,52 @@ pub(crate) fn check(ctx: &mut RuleCtx<'_>) {
                      so replay stays byte-identical"
                 ),
             ));
+            continue;
+        }
+        // Seed-derived, but inside a churn path: the derivation must also be
+        // per item, or the incremental rebuild diverges from a cold one.
+        if let Some(fn_name) = churn_fn_name(ctx, i) {
+            let indexed = tainted_locals(ctx, i, is_indexish);
+            let arg_is_indexed = (open + 1..close).any(|j| {
+                let t = &tokens[j];
+                t.kind == TokenKind::Ident && (is_indexish(&t.text) || indexed.contains(&t.text))
+            });
+            if !arg_is_indexed {
+                ctx.push(Finding::new(
+                    SEED_PROVENANCE,
+                    ctx.path,
+                    tok.line,
+                    format!(
+                        "`{name}(…)` in the incremental path `{fn_name}` carries no per-item \
+                         index: resample item `i` from `seed.wrapping_add(i)` — re-seeding every \
+                         item from the pool seed replays one stream and diverges from a cold \
+                         rebuild"
+                    ),
+                ));
+            }
         }
     }
+}
+
+/// The name of the innermost enclosing function when it marks an
+/// incremental churn path (`refresh` / `resample` / `patch` / `mutate`).
+fn churn_fn_name(ctx: &RuleCtx<'_>, i: usize) -> Option<String> {
+    let f =
+        ctx.model.fn_spans.iter().filter(|f| f.body.contains(i)).max_by_key(|f| f.body.start)?;
+    let lower = f.name.to_lowercase();
+    CHURN_FN_MARKERS.iter().any(|m| lower.contains(m)).then(|| f.name.clone())
+}
+
+/// Whether an identifier names a per-item index by convention.
+fn is_indexish(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    lower.contains("index")
+        || lower.contains("idx")
+        || lower.contains("version")
+        || lower == "i"
+        || lower == "id"
+        || lower.ends_with("_id")
+        || lower.starts_with("id_")
 }
 
 /// Whether an identifier carries seed provenance by name.
@@ -89,10 +146,10 @@ fn is_seedish(name: &str) -> bool {
 }
 
 /// Locals of the innermost function around token `site` that are bound
-/// (transitively) from a seed-ish expression: a fixed point over
-/// `let [mut] name = rhs;` statements whose right-hand side mentions a
-/// seed-ish or already-tainted identifier.
-fn tainted_locals(ctx: &RuleCtx<'_>, site: usize) -> BTreeSet<String> {
+/// (transitively) from an expression satisfying `is_source`: a fixed point
+/// over `let [mut] name = rhs;` statements whose right-hand side mentions a
+/// source (seed-ish / index-ish) or already-tainted identifier.
+fn tainted_locals(ctx: &RuleCtx<'_>, site: usize, is_source: fn(&str) -> bool) -> BTreeSet<String> {
     let tokens = &ctx.model.tokens;
     let body = innermost_fn(ctx, site).unwrap_or(Span { start: 0, end: tokens.len() });
     let mut tainted: BTreeSet<String> = BTreeSet::new();
@@ -134,7 +191,7 @@ fn tainted_locals(ctx: &RuleCtx<'_>, site: usize) -> BTreeSet<String> {
                     saw_eq = true;
                 } else if saw_eq
                     && t.kind == TokenKind::Ident
-                    && (is_seedish(&t.text) || tainted.contains(&t.text))
+                    && (is_source(&t.text) || tainted.contains(&t.text))
                 {
                     rhs_tainted = true;
                 }

@@ -184,6 +184,30 @@ fn seed_provenance_fires_and_passes() {
 }
 
 #[test]
+fn seed_churn_paths_require_per_item_derivation() {
+    // Both failing constructions ARE seed-derived (the base rule is
+    // satisfied); only the churn-path obligation flags them.
+    let fail = check("seed_churn", "fail", "crates/diffusion/src/fixture.rs");
+    assert_fires(&fail, "seed-provenance", 2);
+    assert!(
+        fail.iter().all(|f| f.message.contains("per-item index")),
+        "churn findings must carry the per-item message, got {fail:?}"
+    );
+    assert!(
+        fail.iter().any(|f| f.message.contains("refresh_sketches"))
+            && fail.iter().any(|f| f.message.contains("patch_worlds")),
+        "findings must name the churn function, got {fail:?}"
+    );
+    assert_clean(&check("seed_churn", "pass", "crates/diffusion/src/fixture.rs"));
+}
+
+#[test]
+fn seed_churn_obligation_is_scoped_like_the_seed_rule() {
+    let findings = check("seed_churn", "fail", LIB_PATH);
+    assert!(findings.is_empty(), "seed scope is sampling code only, got {findings:?}");
+}
+
+#[test]
 fn seed_provenance_only_applies_in_sampling_scope() {
     let findings = check("seed_provenance", "fail", LIB_PATH);
     assert!(findings.is_empty(), "seed scope is sampling code only, got {findings:?}");

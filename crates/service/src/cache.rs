@@ -38,6 +38,23 @@
 //! rebuilds deterministically on its next use, and outstanding `Arc`
 //! handles keep in-flight queries alive.
 //!
+//! # Dynamic graphs
+//!
+//! [`OracleCache::mutate`] applies [`MutationOp`]s to a dataset's graph and
+//! advances its *mutable head*. Every derived key embeds the head's
+//! `graph_version` (`{base}@v{g}` for `g > 0`, the bare fingerprint at
+//! version 0 so all pre-mutation keys — and the frozen goldens — are
+//! unchanged), which makes stale worlds/oracles unreachable the instant a
+//! mutation lands: they age out of the byte budget instead of being served.
+//! Generation `g-2` entries are purged eagerly (crediting their exact
+//! charged bytes); generation `g-1` stays resident as the donor for the two
+//! incremental rebuild paths — RIS sketch refresh
+//! (`RisEstimator::refresh`, invalidating by mutated edge targets) and
+//! keyed world-pool patching ([`WorldCollection::patch`], re-drawing
+//! mutated source rows). Both are bitwise-identical to the cold rebuild
+//! taken when the donor has been evicted, so cache temperature still never
+//! changes answers.
+//!
 //! # Determinism
 //!
 //! Cache keys exclude the parallelism knob, and every sampling path derives
@@ -54,7 +71,7 @@ use std::sync::{Arc, Mutex};
 use tcim_core::{Estimator, EstimatorConfig};
 use tcim_datasets::registry::Dataset;
 use tcim_diffusion::{Deadline, LtWeights, WorldCollection, WorldsConfig};
-use tcim_graph::Graph;
+use tcim_graph::{Graph, MutationOp, NodeId};
 
 use crate::error::{Result, ServiceError};
 
@@ -171,11 +188,43 @@ impl OracleSpec {
     /// on purpose: thread counts never change results, so requests differing
     /// only in parallelism must share an entry.
     pub fn fingerprint(&self) -> String {
-        let mut key = self.dataset.fingerprint();
+        self.fingerprint_with_dataset(&self.dataset.fingerprint())
+    }
+
+    /// Same encoding, but over a caller-supplied dataset fingerprint — the
+    /// cache substitutes the *versioned* dataset fingerprint here so oracle
+    /// keys at every graph version share one format by construction.
+    fn fingerprint_with_dataset(&self, dataset_fingerprint: &str) -> String {
+        let mut key = dataset_fingerprint.to_string();
         let _ = write!(key, "|{}|tau={}", self.model.label(), self.deadline);
         let _ = write!(key, "|{}", self.estimator.fingerprint());
         key
     }
+}
+
+/// The dataset fingerprint at a given mutation generation: bare at version
+/// 0 (so every pre-mutation key — including the frozen goldens — is
+/// unchanged), `{base}@v{g}` afterwards. Every derived key (graph, LT,
+/// worlds, oracle) embeds this, which is what makes stale entries
+/// unreachable after a mutation instead of merely suspect.
+fn versioned_fingerprint(base: &str, version: u64) -> String {
+    if version == 0 {
+        base.to_string()
+    } else {
+        format!("{base}@v{version}")
+    }
+}
+
+/// Mutable head of a dataset that has received `mutate` ops: the current
+/// graph (whose `version()` names the generation every derived cache key
+/// embeds) plus the edge endpoints touched by the *latest* step, which the
+/// incremental rebuild paths need: RR-sketch refresh invalidates by mutated
+/// edge **targets** (reverse BFS reads in-edge rows), world patching
+/// rebuilds mutated edge **source** rows (live-edge CSR is source-major).
+struct MutableHead {
+    graph: Arc<Graph>,
+    last_touched_targets: Vec<NodeId>,
+    last_touched_sources: Vec<NodeId>,
 }
 
 /// Per-entry byte cost used for cache-budget accounting.
@@ -273,6 +322,13 @@ pub struct CacheStats {
     pub bytes_budget: u64,
     /// Entries evicted to stay under the budget, summed over shards.
     pub evictions: u64,
+    /// Graph mutations applied (`mutate` requests that advanced a head).
+    pub mutations: u64,
+    /// RIS sketch pools refreshed incrementally instead of rebuilt cold.
+    pub ris_refreshes: u64,
+    /// World pools patched forward from the previous version instead of
+    /// resampled from scratch.
+    pub world_patches: u64,
 }
 
 impl CacheStats {
@@ -512,6 +568,35 @@ impl Shard {
         }
     }
 
+    /// Removes every entry whose key satisfies `matches`, crediting the
+    /// exact cost each entry was charged at insertion — this is what keeps
+    /// `bytes_used` equal to a from-scratch recount across version purges.
+    /// Purged entries count as evictions (they left to protect the budget).
+    fn purge_matching(&mut self, matches: impl Fn(&str) -> bool) -> u64 {
+        // lint:allow(hash-iter): the collected keys are sorted before use
+        let mut keys: Vec<String> = self.entries.keys().filter(|k| matches(k)).cloned().collect();
+        keys.sort_unstable();
+        for key in &keys {
+            // lint:allow(panic): `key` was just listed from `entries`
+            let entry = self.entries.remove(key).expect("listed key resident");
+            self.bytes_used -= entry.cost;
+            if entry.protected {
+                self.protected.remove(&entry.stamp);
+                self.protected_bytes -= entry.cost;
+            } else {
+                self.probation.remove(&entry.stamp);
+            }
+            self.evictions += 1;
+        }
+        keys.len() as u64
+    }
+
+    /// `bytes_used` recomputed from the resident entries, for drift checks.
+    fn recount_bytes(&self) -> usize {
+        // lint:allow(hash-iter): an unordered sum is order-independent
+        self.entries.values().map(|entry| entry.cost).sum()
+    }
+
     fn stats(&self) -> ShardStats {
         ShardStats {
             bytes_used: self.bytes_used as u64,
@@ -548,6 +633,14 @@ pub struct OracleCache {
     /// batch over one world pool would sample it once per worker thread
     /// and throw all but one result away.
     building: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Mutable heads, keyed by base dataset fingerprint. A dataset appears
+    /// here only after its first `mutate`; until then every key is the bare
+    /// version-0 fingerprint and this map is never consulted on the hot
+    /// path beyond one lock per graph lookup.
+    heads: Mutex<HashMap<String, MutableHead>>,
+    mutations: AtomicU64,
+    ris_refreshes: AtomicU64,
+    world_patches: AtomicU64,
     oracle_hits: AtomicU64,
     oracle_misses: AtomicU64,
     world_hits: AtomicU64,
@@ -585,6 +678,10 @@ impl OracleCache {
             shards,
             max_bytes: config.max_bytes,
             building: Mutex::default(),
+            heads: Mutex::default(),
+            mutations: AtomicU64::new(0),
+            ris_refreshes: AtomicU64::new(0),
+            world_patches: AtomicU64::new(0),
             oracle_hits: AtomicU64::new(0),
             oracle_misses: AtomicU64::new(0),
             world_hits: AtomicU64::new(0),
@@ -625,6 +722,9 @@ impl OracleCache {
             bytes_used,
             bytes_budget,
             evictions,
+            mutations: self.mutations.load(Ordering::Relaxed),
+            ris_refreshes: self.ris_refreshes.load(Ordering::Relaxed),
+            world_patches: self.world_patches.load(Ordering::Relaxed),
         }
     }
 
@@ -692,13 +792,38 @@ impl OracleCache {
         stored
     }
 
-    /// The dataset graph for `spec`, built on first use.
+    /// The head state of `spec`, if it has ever been mutated: the current
+    /// graph plus the endpoints touched by the latest mutation step.
+    fn head_state(&self, base: &str) -> Option<(Arc<Graph>, Vec<NodeId>, Vec<NodeId>)> {
+        // lint:allow(panic): the heads lock is held for a map op only; no code inside can panic
+        let heads = self.heads.lock().expect("mutable-head registry");
+        heads.get(base).map(|head| {
+            (
+                Arc::clone(&head.graph),
+                head.last_touched_targets.clone(),
+                head.last_touched_sources.clone(),
+            )
+        })
+    }
+
+    /// The current mutation generation of `spec`'s graph: 0 until the first
+    /// `mutate`, then whatever the head has reached.
+    pub fn graph_version(&self, spec: &DatasetSpec) -> u64 {
+        self.head_state(&spec.fingerprint()).map_or(0, |(graph, _, _)| graph.version())
+    }
+
+    /// The dataset graph for `spec` — the mutated head when one exists, the
+    /// version-0 build otherwise — built on first use.
     ///
     /// # Errors
     ///
     /// Propagates dataset-generator failures.
     pub fn graph(&self, spec: &DatasetSpec) -> Result<Arc<Graph>> {
         let key = spec.fingerprint();
+        if let Some((graph, _, _)) = self.head_state(&key) {
+            self.graph_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(graph);
+        }
         if let Some(graph) = self.lookup(&key) {
             self.graph_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(graph.into_graph());
@@ -731,7 +856,8 @@ impl OracleCache {
     ///
     /// Propagates dataset-generator failures.
     pub fn lt_weights(&self, spec: &DatasetSpec) -> Result<Arc<LtWeights>> {
-        let key = format!("lt|{}", spec.fingerprint());
+        let base = spec.fingerprint();
+        let key = format!("lt|{}", versioned_fingerprint(&base, self.graph_version(spec)));
         if let Some(weights) = self.lookup(&key) {
             self.lt_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(weights.into_lt());
@@ -753,8 +879,16 @@ impl OracleCache {
         )
     }
 
-    /// A live-edge world collection for `(dataset, model, worlds config)`,
-    /// sampled on first use and shared across every deadline thereafter.
+    /// A live-edge world collection for `(dataset, model, worlds config)` at
+    /// the dataset's current graph version, sampled on first use and shared
+    /// across every deadline thereafter.
+    ///
+    /// Version 0 keeps the sequential sampler (the frozen goldens pin its
+    /// output). Mutated graphs use **keyed** coins, which makes a patched
+    /// pool ([`WorldCollection::patch`]) bitwise-identical to a cold keyed
+    /// rebuild — so when the previous version's pool is still resident, only
+    /// the mutated source rows are re-drawn, and when it has been evicted
+    /// the cold keyed path gives the exact same bytes.
     ///
     /// # Errors
     ///
@@ -765,13 +899,19 @@ impl OracleCache {
         model: ModelKind,
         config: &WorldsConfig,
     ) -> Result<Arc<WorldCollection>> {
-        let key = format!(
-            "{}|{}|worlds:n={},s={}",
-            spec.fingerprint(),
-            model.label(),
-            config.num_worlds,
-            config.seed
-        );
+        let base = spec.fingerprint();
+        let head = self.head_state(&base);
+        let version = head.as_ref().map_or(0, |(graph, _, _)| graph.version());
+        let worlds_key = |v: u64| {
+            format!(
+                "{}|{}|worlds:n={},s={}",
+                versioned_fingerprint(&base, v),
+                model.label(),
+                config.num_worlds,
+                config.seed
+            )
+        };
+        let key = worlds_key(version);
         if let Some(worlds) = self.lookup(&key) {
             self.world_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(worlds.into_worlds());
@@ -787,11 +927,39 @@ impl OracleCache {
             },
             || {
                 let graph = self.graph(spec)?;
-                let collection = match model {
-                    ModelKind::IndependentCascade => WorldCollection::sample(&graph, config)?,
-                    ModelKind::LinearThreshold => {
+                let collection = match (model, &head) {
+                    (ModelKind::IndependentCascade, None) => {
+                        WorldCollection::sample(&graph, config)?
+                    }
+                    (ModelKind::IndependentCascade, Some((_, _, sources))) => {
+                        // The donor must itself be keyed: the version-0 pool
+                        // uses the sequential sampler (frozen goldens), so
+                        // the first mutated generation always rebuilds cold
+                        // and patching starts from generation 2.
+                        let predecessor = (version >= 2)
+                            .then(|| self.lookup(&worlds_key(version - 1)))
+                            .flatten()
+                            .map(CacheValue::into_worlds)
+                            .and_then(|prev| prev.patch(&graph, sources, config).ok());
+                        match predecessor {
+                            Some(patched) => {
+                                self.world_patches.fetch_add(1, Ordering::Relaxed);
+                                patched
+                            }
+                            None => WorldCollection::sample_keyed(&graph, config)?,
+                        }
+                    }
+                    (ModelKind::LinearThreshold, None) => {
                         let weights = self.lt_weights(spec)?;
                         WorldCollection::sample_lt(&graph, &weights, config)?
+                    }
+                    // LT picks are keyed by *target* node while world rows
+                    // are source-major, so a row-wise patch cannot express
+                    // an LT re-pick: mutated LT pools always rebuild cold
+                    // (still keyed, still deterministic).
+                    (ModelKind::LinearThreshold, Some(_)) => {
+                        let weights = self.lt_weights(spec)?;
+                        WorldCollection::sample_lt_keyed(&graph, &weights, config)?
                     }
                 };
                 Ok(Arc::new(collection))
@@ -812,7 +980,14 @@ impl OracleCache {
     /// model requires the worlds estimator) and propagates construction
     /// failures.
     pub fn oracle(&self, spec: &OracleSpec) -> Result<Arc<Estimator>> {
-        let key = format!("oracle|{}", spec.fingerprint());
+        let version = self.graph_version(&spec.dataset);
+        let key = format!(
+            "oracle|{}",
+            spec.fingerprint_with_dataset(&versioned_fingerprint(
+                &spec.dataset.fingerprint(),
+                version
+            ))
+        );
         if let Some(oracle) = self.lookup(&key) {
             self.oracle_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(oracle.into_oracle());
@@ -841,8 +1016,151 @@ impl OracleCache {
             (_, ModelKind::LinearThreshold) => Err(ServiceError::bad_request(
                 "the linear-threshold model requires the worlds estimator".to_string(),
             )),
+            (EstimatorConfig::Ris(config), ModelKind::IndependentCascade)
+                if config.adaptive.is_none() && graph.version() > 0 =>
+            {
+                if let Some(refreshed) = self.refreshed_ris(spec, &graph)? {
+                    Ok(refreshed)
+                } else {
+                    Ok(spec.estimator.build(graph, spec.deadline)?)
+                }
+            }
             (_, ModelKind::IndependentCascade) => Ok(spec.estimator.build(graph, spec.deadline)?),
         }
+    }
+
+    /// Incremental RIS rebuild: when the previous version's oracle for the
+    /// same spec is still resident, clone it (copy-on-write pool) and
+    /// [`refresh`](tcim_diffusion::RisEstimator::refresh) only the sketches
+    /// touching the mutated edge targets. `refresh` reuses `seed + id` per
+    /// sketch, so this is bitwise-identical to the cold build the caller
+    /// falls back to — which is exactly what the differential churn suite
+    /// pins. Adaptive RIS never takes this path: its sketch *count* depends
+    /// on sketch content, so only a cold run reproduces the sizing walk.
+    fn refreshed_ris(&self, spec: &OracleSpec, graph: &Arc<Graph>) -> Result<Option<Estimator>> {
+        let base = spec.dataset.fingerprint();
+        let Some((head, targets, _)) = self.head_state(&base) else {
+            return Ok(None);
+        };
+        // The touched set describes exactly the step `version-1 -> version`;
+        // any other resident generation must rebuild cold.
+        if head.version() != graph.version() {
+            return Ok(None);
+        }
+        let prev_key = format!(
+            "oracle|{}",
+            spec.fingerprint_with_dataset(&versioned_fingerprint(&base, graph.version() - 1))
+        );
+        let Some(prev) = self.lookup(&prev_key).map(CacheValue::into_oracle) else {
+            return Ok(None);
+        };
+        let Estimator::Ris(prev_ris) = prev.as_ref() else {
+            return Ok(None);
+        };
+        let mut ris = prev_ris.clone();
+        ris.refresh(Arc::clone(graph), &targets)?;
+        self.ris_refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(Estimator::Ris(ris)))
+    }
+
+    /// Applies `ops` to `spec`'s current graph, advancing its head to the
+    /// next generation. Every derived cache key embeds the new version, so
+    /// stale worlds/oracles become unreachable immediately; entries of
+    /// generation `version - 2` are purged outright (crediting their exact
+    /// charged bytes), while generation `version - 1` is kept resident as
+    /// the donor for incremental world patching and RIS refresh.
+    ///
+    /// Mutations are serialized by the serving tier (batch execution treats
+    /// a `mutate` as a barrier); concurrent out-of-band mutators are
+    /// last-writer-wins on the head.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty op lists and propagates graph-side validation
+    /// (self-loops, unknown endpoints, duplicate edges, bad probabilities)
+    /// as bad requests.
+    pub fn mutate(&self, spec: &DatasetSpec, ops: &[MutationOp]) -> Result<Arc<Graph>> {
+        if ops.is_empty() {
+            return Err(ServiceError::bad_request("mutate requires at least one op".to_string()));
+        }
+        let base = spec.fingerprint();
+        let current = self.graph(spec)?;
+        let mutated = Arc::new(
+            current
+                .apply(ops)
+                .map_err(|err| ServiceError::bad_request(format!("mutation rejected: {err}")))?,
+        );
+        let mut targets: Vec<NodeId> = ops.iter().map(|op| op.endpoints().1).collect();
+        targets.sort_unstable_by_key(|n| n.0);
+        targets.dedup();
+        let mut sources: Vec<NodeId> = ops.iter().map(|op| op.endpoints().0).collect();
+        sources.sort_unstable_by_key(|n| n.0);
+        sources.dedup();
+        let new_version = mutated.version();
+        // Charge the new graph against the budget under its versioned key.
+        self.store(
+            &versioned_fingerprint(&base, new_version),
+            CacheValue::Graph(Arc::clone(&mutated)),
+        );
+        {
+            // lint:allow(panic): the heads lock is held for a map op only; no code inside can panic
+            let mut heads = self.heads.lock().expect("mutable-head registry");
+            heads.insert(
+                base.clone(),
+                MutableHead {
+                    graph: Arc::clone(&mutated),
+                    last_touched_targets: targets,
+                    last_touched_sources: sources,
+                },
+            );
+        }
+        if new_version >= 2 {
+            self.purge_version(&base, new_version - 2);
+        }
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(mutated)
+    }
+
+    /// Purges every entry keyed at `(base, version)` from all shards: the
+    /// graph, the LT table, world pools and oracles of that generation.
+    fn purge_version(&self, base: &str, version: u64) {
+        let vfp = versioned_fingerprint(base, version);
+        let lt = format!("lt|{vfp}");
+        let with_sep = format!("{vfp}|");
+        let oracle_prefix = format!("oracle|{vfp}|");
+        let matches = |key: &str| {
+            key == vfp || key == lt || key.starts_with(&with_sep) || key.starts_with(&oracle_prefix)
+        };
+        for shard in &self.shards {
+            // lint:allow(panic): shard locks poison only if a holder panicked, which the panic rule forbids
+            shard.lock().expect("cache shard").purge_matching(matches);
+        }
+    }
+
+    /// Graph mutations applied so far (the number of `mutate` calls).
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed)
+    }
+
+    /// RIS oracles rebuilt incrementally instead of cold.
+    pub fn ris_refreshes(&self) -> u64 {
+        self.ris_refreshes.load(Ordering::Relaxed)
+    }
+
+    /// World pools rebuilt by row patching instead of cold sampling.
+    pub fn world_patches(&self) -> u64 {
+        self.world_patches.load(Ordering::Relaxed)
+    }
+
+    /// `bytes_used` recomputed from scratch over every resident entry. The
+    /// cache-accounting tests pin `recount_bytes() == stats().bytes_used`
+    /// after arbitrary churn; a mismatch means a charge/credit drifted.
+    pub fn recount_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            // lint:allow(panic): shard locks poison only if a holder panicked, which the panic rule forbids
+            .map(|shard| shard.lock().expect("cache shard").recount_bytes() as u64)
+            .sum()
     }
 }
 
@@ -1022,6 +1340,134 @@ mod tests {
             })
             .collect();
         assert_eq!(first, again, "eviction must never change answers");
+    }
+
+    fn first_edge(graph: &Graph) -> (NodeId, NodeId, f64) {
+        graph.edges().next().expect("non-empty graph")
+    }
+
+    fn absent_edge(graph: &Graph) -> (NodeId, NodeId) {
+        for u in graph.nodes() {
+            for v in graph.nodes() {
+                if u != v && !graph.out_edges(u).any(|(w, _)| w == v) {
+                    return (u, v);
+                }
+            }
+        }
+        panic!("complete graph");
+    }
+
+    fn assert_no_accounting_drift(cache: &OracleCache) {
+        assert_eq!(
+            cache.recount_bytes(),
+            cache.stats().bytes_used,
+            "shard bytes_used drifted from a from-scratch recount"
+        );
+    }
+
+    #[test]
+    fn mutation_versions_cache_keys_and_purges_stale_generations() {
+        let cache = OracleCache::new();
+        let dataset = DatasetSpec { dataset: Dataset::Illustrative, seed: 1 };
+        let v0 = cache.oracle(&spec(2, 16)).unwrap();
+        assert_eq!(cache.graph_version(&dataset), 0);
+        assert_no_accounting_drift(&cache);
+
+        let graph = cache.graph(&dataset).unwrap();
+        let (u, v) = absent_edge(&graph);
+        let g1 = cache
+            .mutate(&dataset, &[MutationOp::AddEdge { source: u, target: v, probability: 0.5 }])
+            .unwrap();
+        assert_eq!(g1.version(), 1);
+        assert_eq!(cache.graph_version(&dataset), 1);
+        assert!(Arc::ptr_eq(&cache.graph(&dataset).unwrap(), &g1), "head graph is served");
+        assert_no_accounting_drift(&cache);
+
+        // The same oracle spec now resolves to a different (versioned) entry.
+        let v1 = cache.oracle(&spec(2, 16)).unwrap();
+        assert!(!Arc::ptr_eq(&v0, &v1), "post-mutation lookups must not serve stale oracles");
+        assert_no_accounting_drift(&cache);
+
+        // Two more generations age generation 0 and 1 entirely out.
+        let evictions_before = cache.stats().evictions;
+        let (a, b, p) = first_edge(&g1);
+        let g2 = cache
+            .mutate(
+                &dataset,
+                &[MutationOp::Reweight { source: a, target: b, probability: p / 2.0 }],
+            )
+            .unwrap();
+        let g3 =
+            cache.mutate(&dataset, &[MutationOp::RemoveEdge { source: a, target: b }]).unwrap();
+        assert_eq!((g2.version(), g3.version()), (2, 3));
+        assert!(
+            cache.stats().evictions > evictions_before,
+            "stale generations must be purged, not kept resident"
+        );
+        assert_no_accounting_drift(&cache);
+
+        // Invalid mutations are rejected as bad requests, by name.
+        let err =
+            cache.mutate(&dataset, &[MutationOp::RemoveEdge { source: a, target: b }]).unwrap_err();
+        assert!(err.to_string().contains("mutation rejected"), "{err}");
+        let err = cache.mutate(&dataset, &[]).unwrap_err();
+        assert!(err.to_string().contains("at least one op"), "{err}");
+        assert_eq!(cache.mutations(), 3, "failed mutations must not advance the head");
+        assert_eq!(cache.graph_version(&dataset), 3);
+        assert_no_accounting_drift(&cache);
+    }
+
+    #[test]
+    fn ris_refresh_and_world_patch_match_a_cold_replay_bitwise() {
+        let dataset = DatasetSpec { dataset: Dataset::Illustrative, seed: 1 };
+        let ris_spec = OracleSpec {
+            estimator: EstimatorConfig::Ris(RisConfig {
+                num_sets: 256,
+                seed: 3,
+                ..Default::default()
+            }),
+            ..spec(2, 16)
+        };
+        let worlds_spec = spec(2, 16);
+        let probe = [tcim_graph::NodeId(0), tcim_graph::NodeId(3)];
+
+        let warm = OracleCache::new();
+        warm.oracle(&ris_spec).unwrap();
+        warm.oracle(&worlds_spec).unwrap();
+        let graph = warm.graph(&dataset).unwrap();
+        let (u, v) = absent_edge(&graph);
+        let op1 = MutationOp::AddEdge { source: u, target: v, probability: 0.7 };
+        let op2 = MutationOp::Reweight { source: u, target: v, probability: 0.2 };
+        warm.mutate(&dataset, &[op1]).unwrap();
+        warm.oracle(&ris_spec).unwrap();
+        warm.oracle(&worlds_spec).unwrap();
+        assert_eq!(warm.ris_refreshes(), 1, "the incremental RIS path must engage");
+        // Generation 1 rebuilds worlds cold (the version-0 donor is not
+        // keyed); generation 2 patches off the keyed generation-1 pool.
+        assert_eq!(warm.world_patches(), 0);
+        warm.mutate(&dataset, &[op2]).unwrap();
+        let warm_ris = warm.oracle(&ris_spec).unwrap();
+        let warm_worlds = warm.oracle(&worlds_spec).unwrap();
+        assert_eq!(warm.ris_refreshes(), 2);
+        assert_eq!(warm.world_patches(), 1, "the world patch path must engage");
+
+        // A cold cache replaying the same mutations must answer identically.
+        let cold = OracleCache::new();
+        cold.mutate(&dataset, &[op1]).unwrap();
+        cold.mutate(&dataset, &[op2]).unwrap();
+        let cold_ris = cold.oracle(&ris_spec).unwrap();
+        let cold_worlds = cold.oracle(&worlds_spec).unwrap();
+        assert_eq!(cold.ris_refreshes(), 0);
+        assert_eq!(cold.world_patches(), 0);
+        for (warm_oracle, cold_oracle) in [(&warm_ris, &cold_ris), (&warm_worlds, &cold_worlds)] {
+            let a = warm_oracle.evaluate(&probe).unwrap();
+            let b = cold_oracle.evaluate(&probe).unwrap();
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "incremental and cold rebuild diverged");
+            }
+        }
+        assert_no_accounting_drift(&warm);
+        assert_no_accounting_drift(&cold);
     }
 
     #[test]

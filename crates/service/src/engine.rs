@@ -82,7 +82,32 @@ impl ServiceEngine {
     }
 
     /// Serves a batch concurrently, preserving request order in the output.
+    ///
+    /// Mutations are sequencing barriers: every request before a `mutate`
+    /// line is served against the pre-mutation graph and every request after
+    /// it against the post-mutation graph, exactly as a serial replay would —
+    /// the segments between mutations still fan out across the worker
+    /// threads, so a churn batch stays bitwise-identical at any thread count.
     pub fn serve_batch(&self, requests: &[Request]) -> Vec<Json> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut rest = requests;
+        while !rest.is_empty() {
+            let split =
+                rest.iter().position(|r| matches!(r.op, Op::Mutate { .. })).unwrap_or(rest.len());
+            let (segment, tail) = rest.split_at(split);
+            responses.extend(self.serve_segment(segment));
+            match tail.split_first() {
+                Some((mutation, after)) => {
+                    responses.push(self.serve(mutation));
+                    rest = after;
+                }
+                None => rest = tail,
+            }
+        }
+        responses
+    }
+
+    fn serve_segment(&self, requests: &[Request]) -> Vec<Json> {
         if requests.len() < 2 || self.parallelism.is_serial() {
             return requests.iter().map(|r| self.serve(r)).collect();
         }
@@ -99,6 +124,18 @@ impl ServiceEngine {
             Op::Stats => return Ok(self.stats_snapshot().fields()),
             Op::Ping => return Ok(ping_fields()),
             Op::Shutdown => return Ok(Vec::new()),
+            // Mutations carry a dataset but no oracle: apply the step and
+            // echo the new graph shape so the response pins the version the
+            // following solves will be served against.
+            Op::Mutate { dataset, ops } => {
+                let graph = self.cache.mutate(dataset, ops)?;
+                return Ok(vec![
+                    ("graph_version".into(), Json::Num(graph.version() as f64)),
+                    ("nodes".into(), Json::Num(graph.num_nodes() as f64)),
+                    ("edges".into(), Json::Num(graph.num_edges() as f64)),
+                    ("applied".into(), Json::Num(ops.len() as f64)),
+                ]);
+            }
             _ => {}
         }
         let spec = request.oracle.as_ref().ok_or_else(|| {
@@ -124,8 +161,10 @@ impl ServiceEngine {
                     ("total".into(), Json::Num(influence.total())),
                 ])
             }
-            // lint:allow(panic): serve() answers admin ops before dispatching here
-            Op::Stats | Op::Ping | Op::Shutdown => unreachable!("admin ops handled above"),
+            Op::Stats | Op::Ping | Op::Shutdown | Op::Mutate { .. } => {
+                // lint:allow(panic): execute() answers admin ops and mutations before dispatching here
+                unreachable!("admin ops and mutations handled above")
+            }
         }
     }
 }

@@ -80,7 +80,7 @@ use tcim_core::{
 };
 use tcim_datasets::{Dataset, GeneratorFamily, GroupModel, ScenarioSpec, WeightModel};
 use tcim_diffusion::Deadline;
-use tcim_graph::{GroupId, NodeId};
+use tcim_graph::{GroupId, MutationOp, NodeId};
 
 use crate::cache::{DatasetSpec, ModelKind, OracleSpec};
 use crate::error::{Result, ServiceError};
@@ -88,8 +88,9 @@ use crate::minijson::Json;
 
 /// Version of the wire protocol, reported by `{"op":"ping"}`. Bumped when
 /// the request/response grammar changes incompatibly (v2 added the
-/// serving-tier ops and the structured `"line"` error field).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// serving-tier ops and the structured `"line"` error field; v3 added the
+/// `mutate` op and graph versioning).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// One operation against an oracle (or against the serving tier itself).
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +107,18 @@ pub enum Op {
     Estimate {
         /// The seed set to evaluate.
         seeds: Vec<NodeId>,
+    },
+    /// Apply edge mutations to a dataset's graph, advancing its
+    /// `graph_version` (see `OracleCache::mutate`). Carries the dataset
+    /// directly instead of an oracle — a mutation is about the graph, not
+    /// any particular estimator. Wire ops:
+    /// `{"add":[u,v],"p":0.5}` / `{"remove":[u,v]}` /
+    /// `{"reweight":[u,v],"p":0.2}`.
+    Mutate {
+        /// Which graph to mutate.
+        dataset: DatasetSpec,
+        /// The edits, applied in order as one version step.
+        ops: Vec<MutationOp>,
     },
     /// Serving-tier telemetry: the typed `ServerStats` snapshot (request
     /// counts, p50/p99 latency, cache hit rates, connection gauges).
@@ -131,6 +144,7 @@ impl Op {
             },
             Op::Audit { .. } => "audit",
             Op::Estimate { .. } => "estimate",
+            Op::Mutate { .. } => "mutate",
             Op::Stats => "stats",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
@@ -238,6 +252,13 @@ impl Request {
         Request::from_json(&value)
     }
 
+    /// Builds a `mutate` request programmatically — the builder-side twin
+    /// of the `{"op":"mutate",...}` wire line, used by the churn harness and
+    /// `tcim_diffcheck` to drive graph versions without formatting JSON.
+    pub fn mutate(id: Option<Json>, dataset: DatasetSpec, ops: Vec<MutationOp>) -> Request {
+        Request { id, oracle: None, op: Op::Mutate { dataset, ops } }
+    }
+
     /// Parses one JSONL line, salvaging the request's `id` when the line is
     /// valid JSON carrying a well-typed id but fails request validation —
     /// so error responses for pipelined batches can still be correlated
@@ -285,11 +306,33 @@ impl Request {
             };
             return Ok(Request { id: validated_id(value)?, oracle: None, op });
         }
+        if op_name == "mutate" {
+            // Mutations address a graph, not an oracle: model / deadline /
+            // estimator fields are rejected by name like any other field
+            // that cannot apply.
+            const MUTATE_FIELDS: &[&str] =
+                &["id", "op", "dataset", "scenario", "dataset_seed", "ops"];
+            for (key, _) in members {
+                if !MUTATE_FIELDS.contains(&key.as_str()) {
+                    return Err(ServiceError::bad_request(format!(
+                        "unknown field '{key}' for op 'mutate' (mutations take only a dataset \
+                         and 'ops')"
+                    )));
+                }
+            }
+            let dataset = parse_dataset(value)?;
+            let ops = mutation_ops_from_json(value)?;
+            return Ok(Request {
+                id: validated_id(value)?,
+                oracle: None,
+                op: Op::Mutate { dataset, ops },
+            });
+        }
         let allowed = op_fields(op_name);
         if allowed.is_empty() {
             return Err(ServiceError::bad_request(format!(
                 "unknown op '{op_name}' (expected solve_budget, solve_cover, audit, estimate, \
-                 stats, ping or shutdown)"
+                 mutate, stats, ping or shutdown)"
             )));
         }
         for (key, _) in members {
@@ -332,6 +375,18 @@ impl Request {
             members.push(("id".into(), id.clone()));
         }
         members.push(("op".into(), Json::from(self.op.label())));
+        // Mutations carry a dataset but no oracle.
+        if let Op::Mutate { dataset, ops } = &self.op {
+            match &dataset.dataset {
+                Dataset::Scenario(spec) => {
+                    members.push(("scenario".into(), scenario_to_json(spec)));
+                }
+                named => members.push(("dataset".into(), Json::from(named.name()))),
+            }
+            members.push(("dataset_seed".into(), Json::Num(dataset.seed as f64)));
+            members.push(("ops".into(), mutation_ops_to_json(ops)));
+            return Json::Obj(members);
+        }
         // Serving-tier ops render as the bare header — they carry no oracle.
         let Some(oracle) = &self.oracle else {
             return Json::Obj(members);
@@ -365,6 +420,8 @@ impl Request {
                 members.push(("seeds".into(), nodes_to_json(seeds)));
             }
             Op::Stats | Op::Ping | Op::Shutdown => {}
+            // lint:allow(panic): mutations returned early above
+            Op::Mutate { .. } => unreachable!("mutations rendered above"),
         }
         Json::Obj(members)
     }
@@ -611,10 +668,19 @@ pub fn ping_fields() -> Vec<(String, Json)> {
         (
             "ops".into(),
             Json::Arr(
-                ["solve_budget", "solve_cover", "audit", "estimate", "stats", "ping", "shutdown"]
-                    .iter()
-                    .map(|&op| Json::from(op))
-                    .collect(),
+                [
+                    "solve_budget",
+                    "solve_cover",
+                    "audit",
+                    "estimate",
+                    "mutate",
+                    "stats",
+                    "ping",
+                    "shutdown",
+                ]
+                .iter()
+                .map(|&op| Json::from(op))
+                .collect(),
             ),
         ),
     ]
@@ -801,26 +867,115 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
     Json::Obj(members)
 }
 
+/// Decodes a `"ops"` array of edge mutations — the minijson → [`MutationOp`]
+/// direction of the mutation codec. Each element carries exactly one of
+/// `add` / `remove` / `reweight` holding a `[source, target]` pair, plus
+/// `p` for the kinds that set a probability.
+///
+/// # Errors
+///
+/// Returns a bad-request error naming the malformed or inapplicable field.
+pub fn mutation_ops_from_json(value: &Json) -> Result<Vec<MutationOp>> {
+    let raw = value.get("ops").ok_or_else(|| missing("ops", "mutate"))?;
+    let items = raw.as_arr().ok_or_else(|| {
+        ServiceError::bad_request("field 'ops' must be an array of mutation objects")
+    })?;
+    if items.is_empty() {
+        return Err(ServiceError::bad_request("field 'ops' must not be empty"));
+    }
+    items.iter().map(mutation_op_from_json).collect()
+}
+
+fn mutation_op_from_json(item: &Json) -> Result<MutationOp> {
+    let Some(members) = item.as_obj() else {
+        return Err(ServiceError::bad_request("each mutation must be a JSON object"));
+    };
+    for (key, _) in members {
+        if !["add", "remove", "reweight", "p"].contains(&key.as_str()) {
+            return Err(ServiceError::bad_request(format!("unknown mutation field '{key}'")));
+        }
+    }
+    let mut kind = None;
+    for name in ["add", "remove", "reweight"] {
+        if item.get(name).is_some() {
+            if kind.is_some() {
+                return Err(ServiceError::bad_request(
+                    "each mutation must carry exactly one of 'add', 'remove' or 'reweight'",
+                ));
+            }
+            kind = Some(name);
+        }
+    }
+    let Some(kind) = kind else {
+        return Err(ServiceError::bad_request(
+            "each mutation must carry exactly one of 'add', 'remove' or 'reweight'",
+        ));
+    };
+    let endpoints = optional_node_array(item, kind)?.unwrap_or_default();
+    let [source, target] = endpoints[..] else {
+        return Err(ServiceError::bad_request(format!(
+            "mutation field '{kind}' must be a [source, target] pair"
+        )));
+    };
+    let p = optional_f64(item, "p")?;
+    match (kind, p) {
+        ("add", Some(p)) => Ok(MutationOp::AddEdge { source, target, probability: p }),
+        ("reweight", Some(p)) => Ok(MutationOp::Reweight { source, target, probability: p }),
+        ("remove", None) => Ok(MutationOp::RemoveEdge { source, target }),
+        ("remove", Some(_)) => {
+            Err(ServiceError::bad_request("mutation field 'p' does not apply to 'remove'"))
+        }
+        _ => Err(ServiceError::bad_request(format!("mutation '{kind}' requires field 'p'"))),
+    }
+}
+
+/// Renders mutations back to their wire array — the [`MutationOp`] →
+/// minijson direction. `mutation_ops_from_json` over the rendered array
+/// yields the ops back.
+pub fn mutation_ops_to_json(ops: &[MutationOp]) -> Json {
+    Json::Arr(
+        ops.iter()
+            .map(|op| {
+                let (source, target) = op.endpoints();
+                let pair = Json::Arr(vec![Json::Num(source.0 as f64), Json::Num(target.0 as f64)]);
+                let mut members = vec![(op.label().to_string(), pair)];
+                match op {
+                    MutationOp::AddEdge { probability, .. }
+                    | MutationOp::Reweight { probability, .. } => {
+                        members.push(("p".into(), Json::Num(*probability)));
+                    }
+                    MutationOp::RemoveEdge { .. } => {}
+                }
+                Json::Obj(members)
+            })
+            .collect(),
+    )
+}
+
 type OracleParts = (DatasetSpec, ModelKind, Deadline, EstimatorConfig);
 
-fn parse_oracle(value: &Json) -> Result<OracleParts> {
+/// The dataset half of a request: a named registry dataset or an inline
+/// scenario, plus the generation seed.
+fn parse_dataset(value: &Json) -> Result<DatasetSpec> {
     let dataset_seed = optional_u64(value, "dataset_seed")?.unwrap_or(42);
-    let dataset = match (value.get("dataset"), value.get("scenario")) {
+    match (value.get("dataset"), value.get("scenario")) {
         (Some(_), Some(_)) => {
-            return Err(ServiceError::bad_request("field 'scenario' conflicts with 'dataset'"))
+            Err(ServiceError::bad_request("field 'scenario' conflicts with 'dataset'"))
         }
-        (Some(_), None) => DatasetSpec::parse(required_str(value, "dataset")?, dataset_seed)?,
-        (None, Some(scenario)) => DatasetSpec {
+        (Some(_), None) => DatasetSpec::parse(required_str(value, "dataset")?, dataset_seed),
+        (None, Some(scenario)) => Ok(DatasetSpec {
             dataset: Dataset::Scenario(scenario_from_json(scenario)?),
             seed: dataset_seed,
-        },
-        (None, None) => {
-            return Err(ServiceError::bad_request(
-                "missing required field 'dataset' (name a registry dataset, or inline a \
-                 'scenario' object)",
-            ))
-        }
-    };
+        }),
+        (None, None) => Err(ServiceError::bad_request(
+            "missing required field 'dataset' (name a registry dataset, or inline a \
+             'scenario' object)",
+        )),
+    }
+}
+
+fn parse_oracle(value: &Json) -> Result<OracleParts> {
+    let dataset = parse_dataset(value)?;
     let model = match value.get("model") {
         None => ModelKind::IndependentCascade,
         Some(m) => ModelKind::parse(m.as_str().ok_or_else(|| {
@@ -1324,7 +1479,101 @@ mod tests {
         let fields = Json::Obj(ping_fields());
         assert_eq!(fields.get("protocol").unwrap().as_f64(), Some(PROTOCOL_VERSION as f64));
         assert_eq!(fields.get("service").unwrap().as_str(), Some("tcim-service"));
-        assert_eq!(fields.get("ops").unwrap().as_arr().unwrap().len(), 7);
+        assert_eq!(fields.get("ops").unwrap().as_arr().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn mutate_requests_parse_round_trip_and_carry_no_oracle() {
+        let line = r#"{"id":7,"op":"mutate","dataset":"illustrative","ops":[{"add":[0,5],"p":0.5},{"remove":[1,2]},{"reweight":[3,4],"p":0.25}]}"#;
+        let req = Request::parse_line(line).unwrap();
+        assert_eq!(req.op.label(), "mutate");
+        assert!(!req.op.is_admin());
+        assert!(req.oracle.is_none());
+        let Op::Mutate { dataset, ops } = &req.op else {
+            panic!("mutate expected, got {:?}", req.op);
+        };
+        assert_eq!(dataset.seed, 42);
+        assert_eq!(
+            ops[..],
+            [
+                MutationOp::AddEdge { source: NodeId(0), target: NodeId(5), probability: 0.5 },
+                MutationOp::RemoveEdge { source: NodeId(1), target: NodeId(2) },
+                MutationOp::Reweight { source: NodeId(3), target: NodeId(4), probability: 0.25 },
+            ]
+        );
+        // Round trip through the rendered wire form, named and inline forms.
+        assert_eq!(Request::parse_line(&req.to_json().to_string()).unwrap(), req);
+        let inline = Request::parse_line(
+            r#"{"op":"mutate","scenario":{"preset":"ba-hubs"},"dataset_seed":7,"ops":[{"remove":[0,1]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(Request::parse_line(&inline.to_json().to_string()).unwrap(), inline);
+        // The programmatic builder produces the parsed request exactly.
+        let Op::Mutate { dataset, ops } = inline.op.clone() else {
+            panic!("mutate expected");
+        };
+        assert_eq!(Request::mutate(None, dataset, ops), inline);
+    }
+
+    #[test]
+    fn mutate_requests_reject_malformed_fields_by_name() {
+        for (line, needle) in [
+            // Oracle fields do not apply: a mutation names a graph, not an
+            // estimator.
+            (
+                r#"{"op":"mutate","dataset":"illustrative","samples":8,"ops":[{"remove":[0,1]}]}"#,
+                "unknown field 'samples' for op 'mutate'",
+            ),
+            (r#"{"op":"mutate","dataset":"illustrative"}"#, "op 'mutate' requires field 'ops'"),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[]}"#,
+                "field 'ops' must not be empty",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":{}}"#,
+                "field 'ops' must be an array",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[3]}"#,
+                "each mutation must be a JSON object",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"drop":[0,1]}]}"#,
+                "unknown mutation field 'drop'",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"p":0.5}]}"#,
+                "exactly one of 'add', 'remove' or 'reweight'",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"add":[0,1],"remove":[0,1],"p":0.5}]}"#,
+                "exactly one of 'add', 'remove' or 'reweight'",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"add":[0],"p":0.5}]}"#,
+                "'add' must be a [source, target] pair",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"add":[0,1]}]}"#,
+                "mutation 'add' requires field 'p'",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"reweight":[0,1]}]}"#,
+                "mutation 'reweight' requires field 'p'",
+            ),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","ops":[{"remove":[0,1],"p":0.5}]}"#,
+                "'p' does not apply to 'remove'",
+            ),
+            (r#"{"op":"mutate","ops":[{"remove":[0,1]}]}"#, "missing required field 'dataset'"),
+            (
+                r#"{"op":"mutate","dataset":"illustrative","scenario":{"preset":"ba-hubs"},"ops":[{"remove":[0,1]}]}"#,
+                "'scenario' conflicts with 'dataset'",
+            ),
+        ] {
+            let err = Request::parse_line(line).unwrap_err().to_string();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub enum OpKind {
     Audit,
     /// `estimate` requests.
     Estimate,
+    /// `mutate` requests (graph churn).
+    Mutate,
     /// `stats` requests (yes, asking for stats is itself counted).
     Stats,
     /// `ping` requests.
@@ -43,11 +45,12 @@ pub enum OpKind {
 
 impl OpKind {
     /// Every kind, in snapshot render order.
-    pub const ALL: [OpKind; 7] = [
+    pub const ALL: [OpKind; 8] = [
         OpKind::SolveBudget,
         OpKind::SolveCover,
         OpKind::Audit,
         OpKind::Estimate,
+        OpKind::Mutate,
         OpKind::Stats,
         OpKind::Ping,
         OpKind::Shutdown,
@@ -60,6 +63,7 @@ impl OpKind {
             OpKind::SolveCover => "solve_cover",
             OpKind::Audit => "audit",
             OpKind::Estimate => "estimate",
+            OpKind::Mutate => "mutate",
             OpKind::Stats => "stats",
             OpKind::Ping => "ping",
             OpKind::Shutdown => "shutdown",
@@ -75,6 +79,7 @@ impl OpKind {
             },
             Op::Audit { .. } => OpKind::Audit,
             Op::Estimate { .. } => OpKind::Estimate,
+            Op::Mutate { .. } => OpKind::Mutate,
             Op::Stats => OpKind::Stats,
             Op::Ping => OpKind::Ping,
             Op::Shutdown => OpKind::Shutdown,
@@ -448,6 +453,16 @@ impl StatsSnapshot {
                             ("misses".into(), Json::Num(cache.lt_misses as f64)),
                         ]),
                     ),
+                    // Dynamic-graph telemetry: how often solves rode the
+                    // incremental refresh/patch paths instead of cold builds.
+                    (
+                        "churn".into(),
+                        Json::Obj(vec![
+                            ("mutations".into(), Json::Num(cache.mutations as f64)),
+                            ("ris_refreshes".into(), Json::Num(cache.ris_refreshes as f64)),
+                            ("world_patches".into(), Json::Num(cache.world_patches as f64)),
+                        ]),
+                    ),
                     // Aggregate budget figures render before the per-shard
                     // array, so a flat text scan finds the totals first.
                     ("bytes_used".into(), Json::Num(cache.bytes_used as f64)),
@@ -557,6 +572,9 @@ mod tests {
                 oracle_misses: 1,
                 lt_hits: 2,
                 lt_misses: 1,
+                mutations: 2,
+                ris_refreshes: 4,
+                world_patches: 3,
                 bytes_used: 300,
                 bytes_budget: 1024,
                 evictions: 5,
@@ -598,6 +616,10 @@ mod tests {
         let cache = json.get("cache").unwrap();
         assert_eq!(cache.get("lt").unwrap().get("hits").unwrap().as_f64(), Some(2.0));
         assert_eq!(cache.get("lt").unwrap().get("misses").unwrap().as_f64(), Some(1.0));
+        let churn = cache.get("churn").unwrap();
+        assert_eq!(churn.get("mutations").unwrap().as_f64(), Some(2.0));
+        assert_eq!(churn.get("ris_refreshes").unwrap().as_f64(), Some(4.0));
+        assert_eq!(churn.get("world_patches").unwrap().as_f64(), Some(3.0));
         assert_eq!(cache.get("bytes_used").unwrap().as_f64(), Some(300.0));
         assert_eq!(cache.get("bytes_budget").unwrap().as_f64(), Some(1024.0));
         assert_eq!(cache.get("evictions").unwrap().as_f64(), Some(5.0));

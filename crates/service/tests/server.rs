@@ -126,7 +126,7 @@ fn stats_and_ping_are_served_over_the_wire() {
         .expect("ping round trip");
     assert_eq!(ping.get("ok"), Some(&Json::Bool(true)));
     assert_eq!(ping.get("id").and_then(Json::as_u64), Some(1));
-    assert_eq!(ping.get("protocol").and_then(Json::as_u64), Some(2));
+    assert_eq!(ping.get("protocol").and_then(Json::as_u64), Some(3));
 
     // Generate some traffic so the stats payload has something to report.
     let solve = client

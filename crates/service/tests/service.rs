@@ -162,6 +162,64 @@ fn shared_caches_serve_multiple_engines() {
 }
 
 #[test]
+fn golden_churn_files_stay_in_sync() {
+    // The churn batch extends the smoke batch with graph mutations and
+    // post-mutation re-solves. Two invariants keep the pair honest:
+    //  1. its first five requests (and their responses) are byte-identical
+    //     to the smoke pair, so the pre-mutation prefix can never drift from
+    //     the canonical smoke answers; and
+    //  2. replaying the whole batch through the engine reproduces the golden
+    //     responses byte-for-byte, mutation barriers included.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let requests_text = std::fs::read_to_string(dir.join("churn_requests.jsonl")).unwrap();
+    let expected = std::fs::read_to_string(dir.join("churn_responses.jsonl")).unwrap();
+    let smoke_requests = std::fs::read_to_string(dir.join("smoke_requests.jsonl")).unwrap();
+    let smoke_responses = std::fs::read_to_string(dir.join("smoke_responses.jsonl")).unwrap();
+
+    let payload = |text: &str| -> Vec<String> {
+        text.lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(str::to_string)
+            .collect()
+    };
+    let churn_lines = payload(&requests_text);
+    let smoke_lines = payload(&smoke_requests);
+    assert_eq!(churn_lines.len(), 12, "the churn batch is twelve requests");
+    assert_eq!(
+        &churn_lines[..smoke_lines.len()],
+        &smoke_lines[..],
+        "the churn batch must open with the smoke batch, byte-for-byte"
+    );
+    assert_eq!(
+        expected.lines().take(smoke_lines.len()).collect::<Vec<_>>(),
+        smoke_responses.lines().collect::<Vec<_>>(),
+        "the pre-mutation churn responses must equal the smoke responses"
+    );
+
+    let requests: Vec<Request> = churn_lines
+        .iter()
+        .map(|line| Request::parse_line(line).expect("golden request must parse"))
+        .collect();
+    let engine = ServiceEngine::new(ParallelismConfig::auto());
+    let mut produced = String::new();
+    for response in engine.serve_batch(&requests) {
+        produced.push_str(&response.to_string());
+        produced.push('\n');
+    }
+    assert_eq!(
+        produced, expected,
+        "golden churn responses out of date; regenerate with:\n  cargo run -q -p tcim-service \
+         --bin tcim_serve -- --quiet --input crates/service/tests/golden/churn_requests.jsonl \
+         > crates/service/tests/golden/churn_responses.jsonl"
+    );
+    // The mutations actually exercised the incremental paths while producing
+    // those bytes (the diffcheck harness proves incremental == cold).
+    assert_eq!(engine.cache().mutations(), 2, "the batch carries two mutate requests");
+    assert!(engine.cache().ris_refreshes() >= 1, "the RIS pool must refresh incrementally");
+}
+
+#[test]
 fn golden_smoke_files_stay_in_sync() {
     // CI pipes the request file through `tcim_serve` and diffs stdout against
     // the response file at RAYON_NUM_THREADS 1 and 8; this test keeps the
